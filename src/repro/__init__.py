@@ -1,0 +1,27 @@
+"""repro — a reproduction of "Canopy: Property-Driven Learning for Congestion Control".
+
+The package is organized bottom-up:
+
+* substrates: :mod:`repro.nn` (numpy neural nets), :mod:`repro.rl` (TD3),
+  :mod:`repro.abstract` (box abstract interpretation / IBP),
+  :mod:`repro.cc` (bottleneck-link simulator + classic TCP controllers),
+  :mod:`repro.traces` (synthetic / cellular / wide-area workloads),
+  :mod:`repro.orca` (the Orca learned congestion controller);
+* the paper's contribution: :mod:`repro.core` (properties, quantitative
+  certificates, the IBP verifier, QC-shaped training, runtime fallback);
+* :mod:`repro.harness` — the evaluation harness regenerating every figure and
+  table of the paper's evaluation section.
+
+Quickstart::
+
+    from repro.core import CanopyConfig, CanopyTrainer, TrainerConfig
+
+    config = CanopyConfig.shallow(seed=1)
+    trainer = CanopyTrainer(config, TrainerConfig(total_steps=200))
+    result = trainer.train()
+    print(result.final_metrics())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

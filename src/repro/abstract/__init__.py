@@ -1,0 +1,30 @@
+"""Abstract interpretation substrate for Canopy.
+
+This package implements the box (hyper-interval) abstract domain used by the
+Canopy verifier (Section 3.2 of the paper), together with sound abstract
+transformers for every operation appearing in the Orca controller pipeline:
+affine layers, ReLU, tanh, element-wise arithmetic and the ``2^(2a) * cwnd``
+post-network computation (Eq. 1).
+
+The key objects are:
+
+* :class:`repro.abstract.interval.Interval` — a scalar/vector interval with
+  sound arithmetic.
+* :class:`repro.abstract.box.Box` — the (center, deviation) representation of
+  an ``m``-dimensional hyper-interval used for abstract states ``s#``.
+* :mod:`repro.abstract.transformers` — sound lifted counterparts ``f#`` of the
+  concrete operations ``f``.
+* :func:`repro.abstract.propagate.propagate_mlp` — interval bound propagation
+  (IBP) through a :class:`repro.nn.mlp.MLP`.
+"""
+
+from repro.abstract.box import Box
+from repro.abstract.interval import Interval
+from repro.abstract.propagate import propagate_mlp, propagate_sequential
+
+__all__ = [
+    "Box",
+    "Interval",
+    "propagate_mlp",
+    "propagate_sequential",
+]

@@ -1,0 +1,163 @@
+"""The box abstract domain ``s# = (b_c, b_e)#``.
+
+Section 3.2 of the Canopy paper represents abstract states as boxes: a pair of
+a center vector ``b_c`` and a non-negative deviation vector ``b_e``.  The box
+encodes every concrete state whose ``i``-th coordinate lies in
+``[(b_c)_i - (b_e)_i, (b_c)_i + (b_e)_i]``.
+
+A :class:`Box` is interchangeable with a :class:`repro.abstract.interval.Interval`
+(same concretization); the box form is the natural one for interval bound
+propagation through affine layers because
+
+    f#(s#) = (M @ b_c + b, |M| @ b_e)
+
+is exact for affine ``f``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.abstract.interval import Interval
+
+__all__ = ["Box"]
+
+
+@dataclass(frozen=True)
+class Box:
+    """Box abstract value: ``center ± deviation`` element-wise."""
+
+    center: np.ndarray
+    deviation: np.ndarray
+
+    def __post_init__(self) -> None:
+        center = np.asarray(self.center, dtype=np.float64)
+        deviation = np.asarray(self.deviation, dtype=np.float64)
+        center, deviation = np.broadcast_arrays(center, deviation)
+        if np.any(deviation < -1e-12):
+            raise ValueError("box deviation must be non-negative")
+        object.__setattr__(self, "center", np.array(center, dtype=np.float64))
+        object.__setattr__(self, "deviation", np.array(np.maximum(deviation, 0.0), dtype=np.float64))
+
+    # ------------------------------------------------------------------ #
+    # Constructors / conversions
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def point(cls, value) -> "Box":
+        arr = np.asarray(value, dtype=np.float64)
+        return cls(arr, np.zeros_like(arr))
+
+    @classmethod
+    def from_interval(cls, interval: Interval) -> "Box":
+        return cls(interval.center, interval.deviation)
+
+    @classmethod
+    def from_bounds(cls, lo, hi) -> "Box":
+        return cls.from_interval(Interval(lo, hi))
+
+    @classmethod
+    def abstraction(cls, concrete_states: Sequence[np.ndarray]) -> "Box":
+        """The abstraction function α(S): smallest box containing all states."""
+        states = [np.asarray(s, dtype=np.float64) for s in concrete_states]
+        if not states:
+            raise ValueError("cannot abstract an empty set of states")
+        stacked = np.stack(states, axis=0)
+        lo = stacked.min(axis=0)
+        hi = stacked.max(axis=0)
+        return cls.from_bounds(lo, hi)
+
+    def to_interval(self) -> Interval:
+        """The concretization bounds γ(s#) as an interval."""
+        return Interval(self.center - self.deviation, self.center + self.deviation)
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def lo(self) -> np.ndarray:
+        return self.center - self.deviation
+
+    @property
+    def hi(self) -> np.ndarray:
+        return self.center + self.deviation
+
+    @property
+    def shape(self) -> tuple:
+        return self.center.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.center.ndim
+
+    def volume(self) -> float:
+        return float(np.prod(2.0 * self.deviation))
+
+    def contains(self, value, tol: float = 1e-9) -> bool:
+        return self.to_interval().contains(value, tol=tol)
+
+    def contains_box(self, other: "Box", tol: float = 1e-9) -> bool:
+        return self.to_interval().contains_interval(other.to_interval(), tol=tol)
+
+    # ------------------------------------------------------------------ #
+    # Abstract transformers (box-native forms; see paper Section 3.2)
+    # ------------------------------------------------------------------ #
+    def affine(self, weight: np.ndarray, bias: np.ndarray | None = None) -> "Box":
+        """``f(x) = W x + b`` lifted to the box domain: ``(W b_c + b, |W| b_e)``."""
+        weight = np.asarray(weight, dtype=np.float64)
+        center = weight @ self.center
+        deviation = np.abs(weight) @ self.deviation
+        if bias is not None:
+            center = center + np.asarray(bias, dtype=np.float64)
+        return Box(center, deviation)
+
+    def add_elements(self, target: int, lhs: int, rhs: int) -> "Box":
+        """The paper's 'Add' transformer.
+
+        Replaces element ``target`` with the sum of elements ``lhs`` and
+        ``rhs``; implemented through the selector matrix M of Section 3.2.
+        """
+        m = self.center.shape[0]
+        matrix = np.eye(m)
+        matrix[target, :] = 0.0
+        matrix[target, lhs] = 1.0
+        matrix[target, rhs] = 1.0
+        return Box(matrix @ self.center, matrix @ self.deviation)
+
+    def relu(self) -> "Box":
+        """ReLU transformer from Section 3.2 (midpoint/half-width of end-point images)."""
+        upper = np.maximum(self.center + self.deviation, 0.0)
+        lower = np.maximum(self.center - self.deviation, 0.0)
+        return Box((upper + lower) / 2.0, (upper - lower) / 2.0)
+
+    def tanh(self) -> "Box":
+        upper = np.tanh(self.center + self.deviation)
+        lower = np.tanh(self.center - self.deviation)
+        return Box((upper + lower) / 2.0, (upper - lower) / 2.0)
+
+    def scale(self, factor) -> "Box":
+        factor = np.asarray(factor, dtype=np.float64)
+        return Box(self.center * factor, self.deviation * np.abs(factor))
+
+    def shift(self, offset) -> "Box":
+        return Box(self.center + np.asarray(offset, dtype=np.float64), self.deviation.copy())
+
+    def join(self, other: "Box") -> "Box":
+        """Least upper bound (box hull) of two boxes."""
+        lo = np.minimum(self.lo, other.lo)
+        hi = np.maximum(self.hi, other.hi)
+        return Box.from_bounds(lo, hi)
+
+    def split(self, n: int, dims: Sequence[int] | None = None) -> list:
+        """Partition into ``n`` components along ``dims`` (default: all dims jointly)."""
+        interval = self.to_interval()
+        if interval.lo.ndim == 0:
+            return [Box.from_interval(piece) for piece in interval.split(n)]
+        if dims is None:
+            dims = list(range(interval.lo.shape[0]))
+        return [Box.from_interval(piece) for piece in interval.split_dims(n, dims)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Box(center={self.center!r}, deviation={self.deviation!r})"

@@ -1,0 +1,60 @@
+"""Interval bound propagation (IBP) through numpy neural networks.
+
+Canopy wraps its controller with composable per-layer abstractions (Sonnet in
+the paper's prototype) and pushes an abstract input box through the network.
+Here we do the same for the :mod:`repro.nn` layer set: each concrete layer has
+a sound abstract counterpart from :mod:`repro.abstract.transformers`, and
+:func:`propagate_sequential` chains them.
+
+The output box over-approximates the set of actions the controller can emit
+for any concrete input in the box — the object ``a# = π#(s#)`` of
+Section 4.3.1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.abstract.box import Box
+from repro.abstract import transformers
+
+__all__ = ["propagate_layer", "propagate_sequential", "propagate_mlp"]
+
+
+def propagate_layer(layer, box: Box) -> Box:
+    """Push an abstract box through a single :mod:`repro.nn` layer."""
+    # Imported lazily to avoid an import cycle at package-init time.
+    from repro.nn.layers import Dense, Identity, ReLU, Sequential, Tanh
+
+    if isinstance(layer, Dense):
+        return transformers.affine(box, layer.weight, layer.bias)
+    if isinstance(layer, ReLU):
+        return transformers.relu(box)
+    if isinstance(layer, Tanh):
+        return transformers.tanh(box)
+    if isinstance(layer, Identity):
+        return box
+    if isinstance(layer, Sequential):
+        return propagate_sequential(layer.layers, box)
+    raise TypeError(f"no abstract transformer registered for layer type {type(layer).__name__}")
+
+
+def propagate_sequential(layers: Iterable, box: Box) -> Box:
+    """Push an abstract box through a sequence of layers in order."""
+    current = box
+    for layer in layers:
+        current = propagate_layer(layer, current)
+    return current
+
+
+def propagate_mlp(model, box: Box) -> Box:
+    """Push an abstract box through an :class:`repro.nn.mlp.MLP` (or Sequential).
+
+    The input box dimensionality must match the model's input features.
+    """
+    in_features = getattr(model, "in_features", None)
+    if in_features is not None and box.center.shape[-1] != in_features:
+        raise ValueError(
+            f"input box has {box.center.shape[-1]} dims but model expects {in_features}"
+        )
+    return propagate_sequential(model.layers, box)

@@ -1,0 +1,44 @@
+"""Congestion-control substrate: link/queue simulator and classic controllers.
+
+The Canopy paper evaluates controllers over Mahimahi-emulated links.  This
+package substitutes a time-stepped fluid-flow simulator:
+
+* :class:`~repro.cc.link.BottleneckLink` — a FIFO bottleneck queue fed by a
+  bandwidth trace, with a finite buffer (expressed in BDP multiples) and a
+  fixed propagation delay.
+* :class:`~repro.cc.flow.Flow` — a sender whose in-flight data is limited by
+  the congestion window chosen by its controller; acks and loss notifications
+  return one RTT later.
+* :class:`~repro.cc.netsim.NetworkSimulator` — steps the link and flows in
+  lockstep, aggregates per-monitor-interval statistics, and exposes the whole
+  run as :class:`~repro.cc.netsim.FlowStats`.
+* Classic controllers: :class:`~repro.cc.cubic.CubicController`,
+  :class:`~repro.cc.newreno.NewRenoController`,
+  :class:`~repro.cc.vegas.VegasController`, :class:`~repro.cc.bbr.BBRController`.
+"""
+
+from repro.cc.base import CongestionController, TickFeedback
+from repro.cc.link import BottleneckLink
+from repro.cc.flow import Flow
+from repro.cc.netsim import FlowStats, MonitorReport, NetworkSimulator, SimulationResult
+from repro.cc.cubic import CubicController
+from repro.cc.newreno import NewRenoController
+from repro.cc.vegas import VegasController
+from repro.cc.bbr import BBRController
+from repro.cc import metrics
+
+__all__ = [
+    "CongestionController",
+    "TickFeedback",
+    "BottleneckLink",
+    "Flow",
+    "NetworkSimulator",
+    "FlowStats",
+    "MonitorReport",
+    "SimulationResult",
+    "CubicController",
+    "NewRenoController",
+    "VegasController",
+    "BBRController",
+    "metrics",
+]

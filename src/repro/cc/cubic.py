@@ -1,0 +1,125 @@
+"""TCP CUBIC congestion control (Ha, Rhee, Xu 2008).
+
+CUBIC is the fine-grained backbone of both Orca and Canopy (Eq. 1 of the paper
+multiplies CUBIC's suggested window by the learned factor).  This
+implementation follows the published algorithm:
+
+* cubic window growth ``W(t) = C (t - K)^3 + W_max`` since the last loss epoch,
+* multiplicative decrease by ``β = 0.7`` on loss, with fast convergence,
+* TCP-friendly region (the AIMD estimate ``W_est``),
+* standard slow start below ``ssthresh``.
+
+Per-ack updates are applied proportionally to the fluid ack amounts delivered
+by the simulator each tick.
+"""
+
+from __future__ import annotations
+
+from repro.cc.base import MIN_CWND, CongestionController, TickFeedback
+
+__all__ = ["CubicController"]
+
+
+class CubicController(CongestionController):
+    """TCP CUBIC with fast convergence and the TCP-friendly region."""
+
+    name = "cubic"
+
+    #: Cubic scaling constant (packets / s^3), the standard value.
+    C = 0.4
+    #: Multiplicative decrease factor (window retained after loss).
+    BETA = 0.7
+
+    def __init__(self, initial_cwnd: float = 10.0, ssthresh: float = 1e9, fast_convergence: bool = True) -> None:
+        super().__init__(initial_cwnd)
+        self._initial_cwnd = max(MIN_CWND, initial_cwnd)
+        self._initial_ssthresh = ssthresh
+        self.ssthresh = ssthresh
+        self.fast_convergence = fast_convergence
+        self._w_max = 0.0
+        self._w_last_max = 0.0
+        self._k = 0.0
+        self._epoch_start: float | None = None
+        self._w_est = 0.0
+        self._acks_in_epoch = 0.0
+        self._last_reduction_time = -1e9
+
+    def reset(self) -> None:
+        super().reset()
+        self._cwnd = self._initial_cwnd
+        self.ssthresh = self._initial_ssthresh
+        self._w_max = 0.0
+        self._w_last_max = 0.0
+        self._k = 0.0
+        self._epoch_start = None
+        self._w_est = 0.0
+        self._acks_in_epoch = 0.0
+        self._last_reduction_time = -1e9
+
+    # ------------------------------------------------------------------ #
+    # Event handlers
+    # ------------------------------------------------------------------ #
+    def _on_loss(self, now: float) -> None:
+        self._epoch_start = None
+        if self.fast_convergence and self._cwnd < self._w_last_max:
+            # Release bandwidth faster when the loss happened below the previous peak.
+            self._w_last_max = self._cwnd * (1.0 + self.BETA) / 2.0
+        else:
+            self._w_last_max = self._cwnd
+        self._w_max = self._cwnd
+        self._cwnd = max(MIN_CWND, self._cwnd * self.BETA)
+        self.ssthresh = max(self._cwnd, MIN_CWND)
+        self._last_reduction_time = now
+
+    def _cubic_update(self, now: float, rtt: float, acked: float) -> None:
+        if self._epoch_start is None:
+            self._epoch_start = now
+            if self._cwnd < self._w_max:
+                self._k = ((self._w_max - self._cwnd) / self.C) ** (1.0 / 3.0)
+            else:
+                self._k = 0.0
+                self._w_max = self._cwnd
+            self._w_est = self._cwnd
+            self._acks_in_epoch = 0.0
+        self._acks_in_epoch += acked
+
+        t = now - self._epoch_start
+        target = self.C * (t + rtt - self._k) ** 3 + self._w_max
+
+        if target > self._cwnd:
+            # Grow toward the cubic target over roughly one RTT's worth of acks.
+            increment = (target - self._cwnd) / max(self._cwnd, 1.0) * acked
+            self._cwnd += increment
+        else:
+            # Very slow growth in the concave plateau (the "TCP-friendly" floor
+            # below still applies).
+            self._cwnd += 0.01 * acked / max(self._cwnd, 1.0)
+
+        # TCP-friendly region: emulate AIMD with the same loss rate.
+        aimd_alpha = 3.0 * (1.0 - self.BETA) / (1.0 + self.BETA)
+        self._w_est += aimd_alpha * acked / max(self._cwnd, 1.0)
+        if self._w_est > self._cwnd:
+            self._cwnd = self._w_est
+
+    def on_tick(self, feedback: TickFeedback) -> None:
+        rtt = feedback.rtt if feedback.rtt > 0 else max(feedback.min_rtt, 0.01)
+        if feedback.lost > 0 and feedback.now - self._last_reduction_time > rtt:
+            self._on_loss(feedback.now)
+            return
+        if feedback.acked <= 0:
+            return
+        if self._cwnd < self.ssthresh:
+            self._cwnd = min(self.ssthresh, self._cwnd + feedback.acked)
+        else:
+            self._cubic_update(feedback.now, rtt, feedback.acked)
+        self._cwnd = max(MIN_CWND, self._cwnd)
+
+    def set_cwnd(self, value: float) -> None:
+        """Window override from the coarse-grained (Orca/Canopy) agent.
+
+        CUBIC's epoch state is re-anchored so that subsequent cubic growth
+        resumes from the overridden window instead of snapping back.
+        """
+        super().set_cwnd(value)
+        self._epoch_start = None
+        self._w_max = max(self._w_max, self._cwnd)

@@ -1,0 +1,219 @@
+"""A sender/receiver pair whose sending is governed by a congestion controller.
+
+The flow keeps the classic TCP invariant: the amount of unacknowledged data in
+flight never exceeds the controller's congestion window.  Acknowledgements and
+loss notifications come back one propagation RTT after the corresponding
+packets left (or were dropped at) the bottleneck queue, so the controller sees
+realistic feedback delay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Tuple
+
+from repro.cc.base import CongestionController, TickFeedback
+
+__all__ = ["Flow", "TickRecord"]
+
+
+@dataclass
+class _AckEvent:
+    time: float
+    packets: float
+    rtt: float
+    queuing_delay: float
+
+
+@dataclass
+class _LossEvent:
+    time: float
+    packets: float
+
+
+@dataclass(frozen=True)
+class TickRecord:
+    """Everything the flow observed during one simulator tick."""
+
+    time: float
+    sent: float
+    acked: float
+    lost: float
+    rtt: float
+    queuing_delay: float
+    cwnd: float
+    inflight: float
+
+
+class Flow:
+    """One congestion-controlled flow traversing the bottleneck link."""
+
+    def __init__(
+        self,
+        flow_id: int,
+        controller: CongestionController,
+        start_time: float = 0.0,
+        stop_time: float | None = None,
+    ) -> None:
+        if start_time < 0:
+            raise ValueError("start_time must be non-negative")
+        if stop_time is not None and stop_time <= start_time:
+            raise ValueError("stop_time must exceed start_time")
+        self.flow_id = flow_id
+        self.controller = controller
+        self.start_time = float(start_time)
+        self.stop_time = stop_time
+        self.inflight = 0.0
+        self.min_rtt = float("inf")
+        self.srtt = 0.0
+        self.delivery_rate = 0.0
+        self._ack_events: Deque[_AckEvent] = deque()
+        self._loss_events: Deque[_LossEvent] = deque()
+        self._pacing_credit = 0.0
+        # Per-tick accumulators, reset by finish_tick().
+        self._tick_sent = 0.0
+        self._tick_acked = 0.0
+        self._tick_lost = 0.0
+        self._tick_rtt = 0.0
+        self._tick_delay = 0.0
+        self._tick_ack_weight = 0.0
+        # Lifetime counters.
+        self.total_sent = 0.0
+        self.total_acked = 0.0
+        self.total_lost = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def is_active(self, now: float) -> bool:
+        if now + 1e-12 < self.start_time:
+            return False
+        if self.stop_time is not None and now >= self.stop_time:
+            return False
+        return True
+
+    def reset(self) -> None:
+        self.controller.reset()
+        self.inflight = 0.0
+        self.min_rtt = float("inf")
+        self.srtt = 0.0
+        self.delivery_rate = 0.0
+        self._ack_events.clear()
+        self._loss_events.clear()
+        self._pacing_credit = 0.0
+        self.total_sent = 0.0
+        self.total_acked = 0.0
+        self.total_lost = 0.0
+        self._reset_tick()
+
+    def _reset_tick(self) -> None:
+        self._tick_sent = 0.0
+        self._tick_acked = 0.0
+        self._tick_lost = 0.0
+        self._tick_rtt = 0.0
+        self._tick_delay = 0.0
+        self._tick_ack_weight = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Sending side
+    # ------------------------------------------------------------------ #
+    def send_allowance(self, now: float, dt: float, prop_rtt: float) -> float:
+        """Packets the flow may emit this tick (window- and pacing-limited)."""
+        if not self.is_active(now):
+            return 0.0
+        window_room = max(0.0, self.controller.cwnd - self.inflight)
+        rate = self.controller.pacing_rate()
+        if rate is None:
+            # Window-limited senders still pace a window per RTT to avoid
+            # emitting the whole window in a single tick.
+            rtt_estimate = self.srtt if self.srtt > 0 else (self.min_rtt if self.min_rtt < float("inf") else prop_rtt)
+            rate = self.controller.cwnd / max(rtt_estimate, 1e-3)
+        self._pacing_credit = min(self._pacing_credit + rate * dt, max(rate * dt * 4, 1.0))
+        allowance = min(window_room, self._pacing_credit)
+        return max(0.0, allowance)
+
+    def record_sent(self, accepted: float, tail_dropped: float, random_lost: float, now: float, prop_rtt: float) -> None:
+        """Account for packets handed to the link this tick."""
+        sent = accepted + tail_dropped + random_lost
+        if sent <= 0:
+            return
+        self._pacing_credit = max(0.0, self._pacing_credit - sent)
+        self.inflight += sent
+        self._tick_sent += sent
+        self.total_sent += sent
+        lost = tail_dropped + random_lost
+        if lost > 0:
+            # The sender learns about the drop roughly one RTT later (dup-ack /
+            # explicit notification); until then the packets count as in flight.
+            rtt_estimate = self.srtt if self.srtt > 0 else prop_rtt
+            self._loss_events.append(_LossEvent(now + rtt_estimate, lost))
+
+    def record_delivery(self, packets: float, queuing_delay: float, now: float, prop_rtt: float) -> None:
+        """A chunk of this flow left the bottleneck; the ack arrives one RTT later."""
+        if packets <= 0:
+            return
+        rtt_sample = queuing_delay + prop_rtt
+        self._ack_events.append(_AckEvent(now + prop_rtt, packets, rtt_sample, queuing_delay))
+
+    # ------------------------------------------------------------------ #
+    # Receiving side (processed each tick)
+    # ------------------------------------------------------------------ #
+    def process_events(self, now: float, dt: float) -> None:
+        """Consume ack/loss events due by ``now`` and update RTT estimators."""
+        while self._ack_events and self._ack_events[0].time <= now + 1e-12:
+            event = self._ack_events.popleft()
+            self.inflight = max(0.0, self.inflight - event.packets)
+            self.total_acked += event.packets
+            self._tick_acked += event.packets
+            self._tick_rtt += event.rtt * event.packets
+            self._tick_delay += event.queuing_delay * event.packets
+            self._tick_ack_weight += event.packets
+            self.min_rtt = min(self.min_rtt, event.rtt)
+            if self.srtt == 0.0:
+                self.srtt = event.rtt
+            else:
+                self.srtt = 0.875 * self.srtt + 0.125 * event.rtt
+        while self._loss_events and self._loss_events[0].time <= now + 1e-12:
+            event = self._loss_events.popleft()
+            self.inflight = max(0.0, self.inflight - event.packets)
+            self.total_lost += event.packets
+            self._tick_lost += event.packets
+        # Exponentially smoothed delivery (ack) rate in packets/second.
+        instant_rate = self._tick_acked / dt if dt > 0 else 0.0
+        alpha = 0.3
+        self.delivery_rate = (1 - alpha) * self.delivery_rate + alpha * instant_rate
+
+    def finish_tick(self, now: float, dt: float) -> TickRecord:
+        """Build feedback, update the controller, and return the tick record."""
+        if self._tick_ack_weight > 0:
+            rtt = self._tick_rtt / self._tick_ack_weight
+            delay = self._tick_delay / self._tick_ack_weight
+        else:
+            rtt = 0.0
+            delay = 0.0
+        feedback = TickFeedback(
+            now=now,
+            dt=dt,
+            acked=self._tick_acked,
+            lost=self._tick_lost,
+            rtt=rtt,
+            min_rtt=self.min_rtt if self.min_rtt < float("inf") else 0.0,
+            queuing_delay=delay,
+            inflight=self.inflight,
+            delivery_rate=self.delivery_rate,
+        )
+        if self.is_active(now):
+            self.controller.on_tick(feedback)
+        record = TickRecord(
+            time=now,
+            sent=self._tick_sent,
+            acked=self._tick_acked,
+            lost=self._tick_lost,
+            rtt=rtt,
+            queuing_delay=delay,
+            cwnd=self.controller.cwnd,
+            inflight=self.inflight,
+        )
+        self._reset_tick()
+        return record

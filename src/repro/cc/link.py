@@ -1,0 +1,155 @@
+"""Bottleneck link with a finite FIFO queue driven by a bandwidth trace.
+
+The link is a fluid model: packet amounts are real numbers, the queue is a
+FIFO of (flow, amount, enqueue-time) chunks, and every tick the link drains up
+to ``capacity(t) * dt`` packets.  Packets that arrive when the buffer is full
+are dropped (tail drop); an optional random loss rate models non-congestion
+losses on wide-area paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Tuple
+
+import numpy as np
+
+from repro.traces.trace import BandwidthTrace
+
+__all__ = ["BottleneckLink", "DeliveredChunk"]
+
+
+@dataclass(frozen=True)
+class DeliveredChunk:
+    """A chunk of packets that left the bottleneck queue this tick."""
+
+    flow_id: int
+    packets: float
+    queuing_delay: float
+
+
+@dataclass
+class _QueuedChunk:
+    flow_id: int
+    packets: float
+    enqueue_time: float
+
+
+class BottleneckLink:
+    """A single shared bottleneck: trace-driven capacity, finite FIFO buffer."""
+
+    def __init__(
+        self,
+        trace: BandwidthTrace,
+        min_rtt: float,
+        buffer_bdp: float = 1.0,
+        buffer_packets: float | None = None,
+        random_loss_rate: float = 0.0,
+        seed: int | None = None,
+    ) -> None:
+        if min_rtt <= 0:
+            raise ValueError("min_rtt must be positive")
+        if buffer_bdp <= 0 and buffer_packets is None:
+            raise ValueError("buffer must be positive")
+        if not 0.0 <= random_loss_rate < 1.0:
+            raise ValueError("random_loss_rate must be in [0, 1)")
+        self.trace = trace
+        self.min_rtt = float(min_rtt)
+        self.buffer_bdp = float(buffer_bdp)
+        if buffer_packets is not None:
+            self.buffer_packets = float(buffer_packets)
+        else:
+            self.buffer_packets = max(2.0, buffer_bdp * trace.bdp_packets(min_rtt))
+        self.random_loss_rate = float(random_loss_rate)
+        self._rng = np.random.default_rng(seed)
+        self._queue: Deque[_QueuedChunk] = deque()
+        self._occupancy = 0.0
+        self._drain_credit = 0.0
+        self.total_enqueued = 0.0
+        self.total_dropped = 0.0
+        self.total_delivered = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_occupancy(self) -> float:
+        """Packets currently sitting in the bottleneck buffer."""
+        return self._occupancy
+
+    def capacity_pps(self, now: float) -> float:
+        """Instantaneous drain capacity in packets/second."""
+        return self.trace.capacity_pps(now)
+
+    def expected_queuing_delay(self, now: float) -> float:
+        """Occupancy divided by current capacity (seconds); 0 when capacity is 0."""
+        capacity = self.capacity_pps(now)
+        if capacity <= 0:
+            return 0.0 if self._occupancy == 0 else float("inf")
+        return self._occupancy / capacity
+
+    def reset(self) -> None:
+        self._queue.clear()
+        self._occupancy = 0.0
+        self._drain_credit = 0.0
+        self.total_enqueued = 0.0
+        self.total_dropped = 0.0
+        self.total_delivered = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Dynamics
+    # ------------------------------------------------------------------ #
+    def enqueue(self, flow_id: int, packets: float, now: float) -> Tuple[float, float, float]:
+        """Offer ``packets`` from ``flow_id`` to the queue.
+
+        Returns ``(accepted, tail_dropped, random_lost)``: the amount admitted
+        to the buffer, the amount dropped because the buffer was full, and the
+        amount removed by the random-loss process before reaching the queue.
+        """
+        if packets < 0:
+            raise ValueError("packets must be non-negative")
+        if packets == 0:
+            return 0.0, 0.0, 0.0
+        random_lost = 0.0
+        if self.random_loss_rate > 0:
+            random_lost = packets * self.random_loss_rate
+            packets -= random_lost
+        free = max(0.0, self.buffer_packets - self._occupancy)
+        accepted = min(packets, free)
+        dropped = packets - accepted
+        if accepted > 0:
+            self._queue.append(_QueuedChunk(flow_id, accepted, now))
+            self._occupancy += accepted
+        self.total_enqueued += accepted
+        self.total_dropped += dropped + random_lost
+        return accepted, dropped, random_lost
+
+    def drain(self, now: float, dt: float) -> List[DeliveredChunk]:
+        """Dequeue up to ``capacity * dt`` packets (FIFO) and return them."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        budget = self.capacity_pps(now) * dt + self._drain_credit
+        delivered: List[DeliveredChunk] = []
+        while budget > 1e-12 and self._queue:
+            chunk = self._queue[0]
+            take = min(chunk.packets, budget)
+            queuing_delay = max(0.0, now - chunk.enqueue_time)
+            delivered.append(DeliveredChunk(chunk.flow_id, take, queuing_delay))
+            chunk.packets -= take
+            self._occupancy = max(0.0, self._occupancy - take)
+            budget -= take
+            self.total_delivered += take
+            if chunk.packets <= 1e-12:
+                self._queue.popleft()
+        # Unused capacity does not carry over when the queue is empty (a link
+        # cannot save transmission opportunities for later).
+        self._drain_credit = budget if self._queue else 0.0
+        return delivered
+
+    def per_flow_occupancy(self) -> Dict[int, float]:
+        """Packets in the queue broken down by flow (for fairness diagnostics)."""
+        occupancy: Dict[int, float] = {}
+        for chunk in self._queue:
+            occupancy[chunk.flow_id] = occupancy.get(chunk.flow_id, 0.0) + chunk.packets
+        return occupancy

@@ -1,0 +1,239 @@
+"""Time-stepped network simulator coordinating the bottleneck link and flows.
+
+This is the Mahimahi substitute: it advances simulation time in fixed ticks,
+moves packets from every active flow into the shared bottleneck queue, drains
+the queue at the trace-driven capacity, routes deliveries back to their flows
+(as ack events one propagation RTT later), and records per-tick statistics.
+
+Two consumption styles are supported:
+
+* ``run(duration)`` — run the whole experiment and return a
+  :class:`SimulationResult` (used by the evaluation harness).
+* ``tick()`` / ``monitor_report(flow_id)`` — step manually; used by
+  :class:`repro.orca.env.OrcaNetworkEnv`, whose RL agent interacts with the
+  network once per monitor interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.cc.flow import Flow, TickRecord
+from repro.cc.link import BottleneckLink
+
+__all__ = ["NetworkSimulator", "FlowStats", "MonitorReport", "SimulationResult"]
+
+DEFAULT_TICK = 0.01
+
+
+@dataclass
+class FlowStats:
+    """Per-tick time series collected for one flow."""
+
+    flow_id: int
+    records: List[TickRecord] = field(default_factory=list)
+
+    def append(self, record: TickRecord) -> None:
+        self.records.append(record)
+
+    # Convenience array views -------------------------------------------------
+    def _column(self, name: str) -> np.ndarray:
+        return np.array([getattr(r, name) for r in self.records], dtype=np.float64)
+
+    @property
+    def times(self) -> np.ndarray:
+        return self._column("time")
+
+    @property
+    def acked(self) -> np.ndarray:
+        return self._column("acked")
+
+    @property
+    def sent(self) -> np.ndarray:
+        return self._column("sent")
+
+    @property
+    def lost(self) -> np.ndarray:
+        return self._column("lost")
+
+    @property
+    def rtt(self) -> np.ndarray:
+        return self._column("rtt")
+
+    @property
+    def queuing_delay(self) -> np.ndarray:
+        return self._column("queuing_delay")
+
+    @property
+    def cwnd(self) -> np.ndarray:
+        return self._column("cwnd")
+
+    @property
+    def inflight(self) -> np.ndarray:
+        return self._column("inflight")
+
+
+@dataclass(frozen=True)
+class MonitorReport:
+    """Aggregated statistics over one monitor interval (the paper's Table 1)."""
+
+    throughput_pps: float      # thr — average delivery rate over the interval
+    loss_rate: float           # l — lost / (lost + acked)
+    avg_queuing_delay: float   # delay — packet-weighted average queuing delay (s)
+    n_acks: float              # n — number of (fluid) acked packets
+    interval: float            # m — time since the previous report (s)
+    srtt: float                # smoothed RTT (s)
+    min_rtt: float             # minimum RTT observed so far (s)
+    avg_rtt: float             # packet-weighted average RTT over the interval (s)
+    cwnd: float                # controller window at the end of the interval
+    sent_pps: float            # sending rate over the interval
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a full simulation run."""
+
+    duration: float
+    dt: float
+    flow_stats: Dict[int, FlowStats]
+    capacity_mbps: np.ndarray
+    times: np.ndarray
+
+    def stats_for(self, flow_id: int) -> FlowStats:
+        return self.flow_stats[flow_id]
+
+
+class NetworkSimulator:
+    """Drives the link and a set of flows over a shared bottleneck."""
+
+    def __init__(
+        self,
+        link: BottleneckLink,
+        flows: Sequence[Flow],
+        dt: float = DEFAULT_TICK,
+    ) -> None:
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if not flows:
+            raise ValueError("at least one flow is required")
+        ids = [flow.flow_id for flow in flows]
+        if len(set(ids)) != len(ids):
+            raise ValueError("flow ids must be unique")
+        self.link = link
+        self.flows: Dict[int, Flow] = {flow.flow_id: flow for flow in flows}
+        self.dt = float(dt)
+        self.now = 0.0
+        self.stats: Dict[int, FlowStats] = {fid: FlowStats(fid) for fid in self.flows}
+        self._capacity_log: List[float] = []
+        self._time_log: List[float] = []
+        # Monitor-interval accumulators keyed by flow id.
+        self._monitor_acc: Dict[int, Dict[str, float]] = {fid: self._fresh_acc() for fid in self.flows}
+        self._last_report_time: Dict[int, float] = {fid: 0.0 for fid in self.flows}
+        self._tick_count = 0
+
+    @staticmethod
+    def _fresh_acc() -> Dict[str, float]:
+        return {"acked": 0.0, "lost": 0.0, "sent": 0.0, "delay_weighted": 0.0,
+                "rtt_weighted": 0.0, "ack_weight": 0.0}
+
+    # ------------------------------------------------------------------ #
+    # Core stepping
+    # ------------------------------------------------------------------ #
+    def tick(self) -> Dict[int, TickRecord]:
+        """Advance the simulation by one tick and return per-flow records."""
+        now = self.now
+        dt = self.dt
+        prop_rtt = self.link.min_rtt
+
+        # 1. Senders put packets on the bottleneck queue.  The service order is
+        # rotated every tick so no flow systematically wins the race for the
+        # last buffer slot (real links interleave packets from different flows).
+        flow_list = list(self.flows.values())
+        if flow_list:
+            offset = self._tick_count % len(flow_list)
+            flow_list = flow_list[offset:] + flow_list[:offset]
+        for flow in flow_list:
+            allowance = flow.send_allowance(now, dt, prop_rtt)
+            if allowance > 0:
+                accepted, dropped, random_lost = self.link.enqueue(flow.flow_id, allowance, now)
+                flow.record_sent(accepted, dropped, random_lost, now, prop_rtt)
+        self._tick_count += 1
+
+        # 2. The bottleneck drains at trace capacity; deliveries turn into acks.
+        for chunk in self.link.drain(now, dt):
+            self.flows[chunk.flow_id].record_delivery(chunk.packets, chunk.queuing_delay, now, prop_rtt)
+
+        # 3. Each flow consumes due ack/loss events and updates its controller.
+        end_of_tick = now + dt
+        records: Dict[int, TickRecord] = {}
+        for fid, flow in self.flows.items():
+            flow.process_events(end_of_tick, dt)
+            record = flow.finish_tick(end_of_tick, dt)
+            self.stats[fid].append(record)
+            records[fid] = record
+            acc = self._monitor_acc[fid]
+            acc["acked"] += record.acked
+            acc["lost"] += record.lost
+            acc["sent"] += record.sent
+            if record.acked > 0:
+                acc["delay_weighted"] += record.queuing_delay * record.acked
+                acc["rtt_weighted"] += record.rtt * record.acked
+                acc["ack_weight"] += record.acked
+
+        self._capacity_log.append(self.link.trace.capacity_mbps(now))
+        self._time_log.append(end_of_tick)
+        self.now = end_of_tick
+        return records
+
+    def run(self, duration: float) -> SimulationResult:
+        """Run for ``duration`` seconds and return the collected statistics."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        steps = int(round(duration / self.dt))
+        for _ in range(steps):
+            self.tick()
+        return self.result()
+
+    def result(self) -> SimulationResult:
+        return SimulationResult(
+            duration=self.now,
+            dt=self.dt,
+            flow_stats=self.stats,
+            capacity_mbps=np.array(self._capacity_log),
+            times=np.array(self._time_log),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Monitor-interval reporting (Orca's observation pipeline)
+    # ------------------------------------------------------------------ #
+    def monitor_report(self, flow_id: int) -> MonitorReport:
+        """Aggregate and reset the accumulators for ``flow_id``.
+
+        Called by the Orca environment once per monitor interval; the report
+        fields correspond to the observed network states in Table 1 of the
+        paper.
+        """
+        flow = self.flows[flow_id]
+        acc = self._monitor_acc[flow_id]
+        interval = max(self.now - self._last_report_time[flow_id], self.dt)
+        acked = acc["acked"]
+        lost = acc["lost"]
+        weight = acc["ack_weight"]
+        report = MonitorReport(
+            throughput_pps=acked / interval,
+            loss_rate=lost / (acked + lost) if (acked + lost) > 0 else 0.0,
+            avg_queuing_delay=acc["delay_weighted"] / weight if weight > 0 else 0.0,
+            n_acks=acked,
+            interval=interval,
+            srtt=flow.srtt,
+            min_rtt=flow.min_rtt if flow.min_rtt < float("inf") else 0.0,
+            avg_rtt=acc["rtt_weighted"] / weight if weight > 0 else flow.srtt,
+            cwnd=flow.controller.cwnd,
+            sent_pps=acc["sent"] / interval,
+        )
+        self._monitor_acc[flow_id] = self._fresh_acc()
+        self._last_report_time[flow_id] = self.now
+        return report

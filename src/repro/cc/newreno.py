@@ -1,0 +1,49 @@
+"""TCP NewReno congestion control (AIMD with slow start)."""
+
+from __future__ import annotations
+
+from repro.cc.base import MIN_CWND, CongestionController, TickFeedback
+
+__all__ = ["NewRenoController"]
+
+
+class NewRenoController(CongestionController):
+    """Classic slow-start / congestion-avoidance / multiplicative-decrease TCP.
+
+    The simulator delivers fluid ack and loss amounts per tick, so per-ack
+    rules are applied proportionally: slow start grows the window by the
+    number of packets acked, congestion avoidance by ``acked / cwnd``.
+    A loss event halves the window at most once per RTT.
+    """
+
+    name = "newreno"
+
+    def __init__(self, initial_cwnd: float = 10.0, ssthresh: float = 1e9) -> None:
+        super().__init__(initial_cwnd)
+        self._initial_cwnd = max(MIN_CWND, initial_cwnd)
+        self._initial_ssthresh = ssthresh
+        self.ssthresh = ssthresh
+        self._last_reduction_time = -1e9
+
+    def reset(self) -> None:
+        super().reset()
+        self._cwnd = self._initial_cwnd
+        self.ssthresh = self._initial_ssthresh
+        self._last_reduction_time = -1e9
+
+    def on_tick(self, feedback: TickFeedback) -> None:
+        rtt = feedback.rtt if feedback.rtt > 0 else max(feedback.min_rtt, 0.01)
+        if feedback.lost > 0 and feedback.now - self._last_reduction_time > rtt:
+            self.ssthresh = max(self._cwnd / 2.0, MIN_CWND)
+            self._cwnd = self.ssthresh
+            self._last_reduction_time = feedback.now
+            return
+        if feedback.acked <= 0:
+            return
+        if self._cwnd < self.ssthresh:
+            # Slow start: one packet of growth per acked packet.
+            self._cwnd = min(self.ssthresh, self._cwnd + feedback.acked)
+        else:
+            # Congestion avoidance: one packet per window per RTT.
+            self._cwnd += feedback.acked / max(self._cwnd, 1.0)
+        self._cwnd = max(MIN_CWND, self._cwnd)

@@ -1,0 +1,71 @@
+"""TCP Vegas congestion control (delay-based AIAD)."""
+
+from __future__ import annotations
+
+from repro.cc.base import MIN_CWND, CongestionController, TickFeedback
+
+__all__ = ["VegasController"]
+
+
+class VegasController(CongestionController):
+    """Delay-based controller targeting a small number of queued packets.
+
+    Vegas compares the expected throughput ``cwnd / baseRTT`` with the actual
+    throughput ``cwnd / RTT``; the difference times ``baseRTT`` estimates how
+    many of the flow's packets sit in the bottleneck queue.  The window grows
+    by one packet per RTT when fewer than ``alpha`` packets are queued and
+    shrinks by one per RTT when more than ``beta`` are queued.
+    """
+
+    name = "vegas"
+
+    def __init__(self, initial_cwnd: float = 10.0, alpha: float = 2.0, beta: float = 4.0, ssthresh: float = 1e9) -> None:
+        if alpha <= 0 or beta <= alpha:
+            raise ValueError("need 0 < alpha < beta")
+        super().__init__(initial_cwnd)
+        self._initial_cwnd = max(MIN_CWND, initial_cwnd)
+        self.alpha = alpha
+        self.beta = beta
+        self.ssthresh = ssthresh
+        self._initial_ssthresh = ssthresh
+        self._base_rtt = float("inf")
+        self._last_reduction_time = -1e9
+
+    def reset(self) -> None:
+        super().reset()
+        self._cwnd = self._initial_cwnd
+        self.ssthresh = self._initial_ssthresh
+        self._base_rtt = float("inf")
+        self._last_reduction_time = -1e9
+
+    def on_tick(self, feedback: TickFeedback) -> None:
+        rtt = feedback.rtt
+        if rtt > 0:
+            self._base_rtt = min(self._base_rtt, rtt)
+        base_rtt = self._base_rtt if self._base_rtt < float("inf") else max(feedback.min_rtt, 0.01)
+
+        if feedback.lost > 0 and feedback.now - self._last_reduction_time > max(rtt, base_rtt):
+            self.ssthresh = max(self._cwnd / 2.0, MIN_CWND)
+            self._cwnd = max(self._cwnd * 0.75, MIN_CWND)
+            self._last_reduction_time = feedback.now
+            return
+        if feedback.acked <= 0 or rtt <= 0:
+            return
+
+        expected = self._cwnd / base_rtt
+        actual = self._cwnd / rtt
+        queued = (expected - actual) * base_rtt
+        if self._cwnd < self.ssthresh:
+            # Vegas exits slow start as soon as the queue estimate shows
+            # congestion building (rather than waiting for a loss).
+            if queued > self.alpha:
+                self.ssthresh = self._cwnd
+            else:
+                self._cwnd = min(self.ssthresh, self._cwnd + feedback.acked / 2.0)
+        else:
+            per_rtt_fraction = feedback.acked / max(self._cwnd, 1.0)
+            if queued < self.alpha:
+                self._cwnd += per_rtt_fraction
+            elif queued > self.beta:
+                self._cwnd -= per_rtt_fraction
+        self._cwnd = max(MIN_CWND, self._cwnd)

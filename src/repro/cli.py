@@ -1,0 +1,206 @@
+"""Command-line interface for the Canopy reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list-traces
+    python -m repro train --kind canopy-shallow --steps 800 --out model.npz
+    python -m repro evaluate --kind canopy-shallow --steps 400 --trace step-12-48
+    python -m repro certify --kind canopy-shallow --steps 400 --trace step-12-48
+    python -m repro figure 5          # regenerate one evaluation figure
+    python -m repro compare-classical --buffer-bdp 1.0
+
+Every subcommand is a thin wrapper over the public library API, so anything
+the CLI does can also be done programmatically (see the examples/ scripts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.harness import experiments
+from repro.harness.evaluate import EvaluationSettings, evaluate_qcsat, run_scheme_on_trace, scheme_factory
+from repro.harness.models import DEFAULT_TRAINING_STEPS, MODEL_KINDS, get_trained_model
+from repro.harness.reporting import format_rows, print_experiment
+from repro.nn.serialization import save_weight_dict
+from repro.traces.cellular import CELLULAR_TRACE_NAMES, make_cellular_trace
+from repro.traces.synthetic import SYNTHETIC_TRACE_NAMES, make_synthetic_trace
+
+__all__ = ["main", "build_parser"]
+
+#: Experiment drivers reachable through ``python -m repro figure <id>``.
+FIGURE_DRIVERS: Dict[str, Callable[..., dict]] = {
+    "1": experiments.motivation_noise,
+    "2": experiments.motivation_bad_state,
+    "5": experiments.qcsat_buffers,
+    "6": experiments.certified_components,
+    "7": experiments.qcsat_robustness,
+    "9": lambda **kw: experiments.performance_sweep(buffer_bdp=1.0, **kw),
+    "10": lambda **kw: experiments.performance_sweep(buffer_bdp=5.0, canopy_kind="canopy-deep", **kw),
+    "11": experiments.noise_sensitivity,
+    "12": experiments.realworld_deployment,
+    "13": experiments.fallback_runtime,
+    "16": lambda **kw: experiments.sensitivity(seed=kw.get("seed", 1),
+                                               training_steps=kw.get("training_steps", 300)),
+    "17": experiments.training_curves,
+    "table4": lambda **kw: experiments.verification_overhead(
+        training_steps=kw.get("training_steps", 150), seed=kw.get("seed", 1)),
+}
+
+
+def _get_trace(name: str):
+    if name in SYNTHETIC_TRACE_NAMES:
+        return make_synthetic_trace(name)
+    if name in CELLULAR_TRACE_NAMES:
+        return make_cellular_trace(name)
+    raise SystemExit(f"unknown trace {name!r}; run 'python -m repro list-traces'")
+
+
+# ---------------------------------------------------------------------- #
+# Subcommand implementations
+# ---------------------------------------------------------------------- #
+def cmd_list_traces(_args: argparse.Namespace) -> int:
+    print("Synthetic traces (18):")
+    for name in SYNTHETIC_TRACE_NAMES:
+        print(f"  {name}")
+    print("Cellular-like traces (3):")
+    for name in CELLULAR_TRACE_NAMES:
+        print(f"  {name}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    model = get_trained_model(args.kind, training_steps=args.steps, seed=args.seed,
+                              lam=args.lam, n_components=args.components)
+    metrics = model.training.final_metrics()
+    print(f"trained {args.kind} for {args.steps} steps "
+          f"(raw reward {metrics['raw_reward']:.3f}, verifier reward {metrics['verifier_reward']:.3f})")
+    if args.out:
+        path = save_weight_dict(model.training.agent.get_weights(), args.out)
+        print(f"saved agent weights to {path}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    trace = _get_trace(args.trace)
+    settings = EvaluationSettings(duration=args.duration, buffer_bdp=args.buffer_bdp,
+                                  min_rtt=args.rtt, seed=args.seed)
+    rows = []
+    model = get_trained_model(args.kind, training_steps=args.steps, seed=args.seed)
+    factories = {
+        args.kind: scheme_factory(args.kind, model=model, seed=args.seed),
+        "cubic": scheme_factory("cubic"),
+    }
+    for name, factory in factories.items():
+        result = run_scheme_on_trace(factory, trace, settings, scheme_name=name)
+        rows.append({"scheme": name, **result.summary.as_dict()})
+    print(format_rows(rows, columns=["scheme", "utilization", "avg_queuing_delay_ms",
+                                     "p95_queuing_delay_ms", "loss_rate"]))
+    return 0
+
+
+def cmd_certify(args: argparse.Namespace) -> int:
+    trace = _get_trace(args.trace)
+    settings = EvaluationSettings(duration=args.duration, buffer_bdp=args.buffer_bdp,
+                                  min_rtt=args.rtt, seed=args.seed)
+    model = get_trained_model(args.kind, training_steps=args.steps, seed=args.seed)
+    qcsat = evaluate_qcsat(model, trace, settings, n_components=args.components or 50)
+    print(f"QC_sat for {args.kind} on {trace.name}: {qcsat.mean:.3f} +/- {qcsat.std:.3f} "
+          f"({qcsat.n_decisions} decisions, properties {qcsat.property_names})")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    driver = FIGURE_DRIVERS.get(args.figure_id)
+    if driver is None:
+        raise SystemExit(f"no driver for figure {args.figure_id!r}; "
+                         f"known: {', '.join(sorted(FIGURE_DRIVERS))}")
+    result = driver(training_steps=args.steps, seed=args.seed)
+    print_experiment(f"Figure/table {args.figure_id}", result)
+    return 0
+
+
+def cmd_compare_classical(args: argparse.Namespace) -> int:
+    traces = [make_synthetic_trace(name) for name in SYNTHETIC_TRACE_NAMES[:args.traces]]
+    settings = EvaluationSettings(duration=args.duration, buffer_bdp=args.buffer_bdp, seed=args.seed)
+    rows = []
+    for scheme in ("cubic", "newreno", "vegas", "bbr"):
+        factory = scheme_factory(scheme)
+        for trace in traces:
+            result = run_scheme_on_trace(factory, trace, settings, scheme_name=scheme)
+            rows.append({"scheme": scheme, "trace": trace.name, **result.summary.as_dict()})
+    print(format_rows(rows, columns=["scheme", "trace", "utilization",
+                                     "avg_queuing_delay_ms", "p95_queuing_delay_ms", "loss_rate"]))
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# Parser
+# ---------------------------------------------------------------------- #
+def _add_common_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--kind", default="canopy-shallow", choices=sorted(MODEL_KINDS),
+                        help="which learned model to use")
+    parser.add_argument("--steps", type=int, default=DEFAULT_TRAINING_STEPS,
+                        help="training budget in environment steps")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _add_common_eval_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default="step-12-48", help="trace name (see list-traces)")
+    parser.add_argument("--duration", type=float, default=15.0)
+    parser.add_argument("--buffer-bdp", dest="buffer_bdp", type=float, default=1.0)
+    parser.add_argument("--rtt", type=float, default=0.04, help="propagation RTT in seconds")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description="Canopy reproduction command-line interface")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list-traces", help="list available workload traces")
+    list_parser.set_defaults(handler=cmd_list_traces)
+
+    train_parser = subparsers.add_parser("train", help="train a Canopy/Orca model")
+    _add_common_model_arguments(train_parser)
+    train_parser.add_argument("--lam", type=float, default=None, help="override lambda")
+    train_parser.add_argument("--components", type=int, default=None, help="override N")
+    train_parser.add_argument("--out", default=None, help="save agent weights to this .npz path")
+    train_parser.set_defaults(handler=cmd_train)
+
+    eval_parser = subparsers.add_parser("evaluate", help="run a model (and CUBIC) over a trace")
+    _add_common_model_arguments(eval_parser)
+    _add_common_eval_arguments(eval_parser)
+    eval_parser.set_defaults(handler=cmd_evaluate)
+
+    certify_parser = subparsers.add_parser("certify", help="compute QC_sat over a trace")
+    _add_common_model_arguments(certify_parser)
+    _add_common_eval_arguments(certify_parser)
+    certify_parser.add_argument("--components", type=int, default=50)
+    certify_parser.set_defaults(handler=cmd_certify)
+
+    figure_parser = subparsers.add_parser("figure", help="regenerate one evaluation figure/table")
+    figure_parser.add_argument("figure_id", help="1, 2, 5, 6, 7, 9, 10, 11, 12, 13, 16, 17 or table4")
+    figure_parser.add_argument("--steps", type=int, default=400)
+    figure_parser.add_argument("--seed", type=int, default=1)
+    figure_parser.set_defaults(handler=cmd_figure)
+
+    classical_parser = subparsers.add_parser("compare-classical",
+                                             help="compare the classical controllers (no learning)")
+    classical_parser.add_argument("--traces", type=int, default=3)
+    classical_parser.add_argument("--duration", type=float, default=15.0)
+    classical_parser.add_argument("--buffer-bdp", dest="buffer_bdp", type=float, default=1.0)
+    classical_parser.add_argument("--seed", type=int, default=1)
+    classical_parser.set_defaults(handler=cmd_compare_classical)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Bundled Canopy configuration presets.
+
+The evaluation studies three Canopy model families (Section 6): a
+shallow-buffer model (trained with P1+P2 on 0.5 BDP buffers), a deep-buffer
+model (P3+P4 on 5 BDP buffers) and a robustness model (P5 on 2 BDP buffers).
+:class:`CanopyConfig` captures the knobs shared by all of them and provides
+the three presets with the paper's hyperparameters (λ = 0.25, N = 5, k = 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.properties import (
+    PropertySet,
+    deep_buffer_properties,
+    robustness_properties,
+    shallow_buffer_properties,
+)
+from repro.orca.env import OrcaEnvConfig
+from repro.orca.observations import ObservationConfig
+from repro.rl.td3 import TD3Config
+
+__all__ = ["CanopyConfig"]
+
+
+@dataclass
+class CanopyConfig:
+    """Everything needed to train and evaluate one Canopy model."""
+
+    name: str
+    properties: PropertySet
+    lam: float = 0.25
+    n_components: int = 5
+    buffer_bdp: float = 2.0
+    observation: ObservationConfig = field(default_factory=ObservationConfig)
+    env: Optional[OrcaEnvConfig] = None
+    td3: Optional[TD3Config] = None
+    observation_noise: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.lam <= 1.0:
+            raise ValueError("lambda must be in [0, 1]")
+        if self.n_components <= 0:
+            raise ValueError("n_components must be positive")
+        if self.buffer_bdp <= 0:
+            raise ValueError("buffer_bdp must be positive")
+        if self.env is None:
+            self.env = OrcaEnvConfig(
+                buffer_bdp=self.buffer_bdp,
+                observation=self.observation,
+                observation_noise=self.observation_noise,
+                seed=self.seed,
+            )
+        if self.td3 is None:
+            self.td3 = TD3Config(state_dim=self.observation.state_dim, seed=self.seed)
+
+    # ------------------------------------------------------------------ #
+    # Presets matching the three evaluated Canopy models
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def shallow(cls, lam: float = 0.25, n_components: int = 5, seed: int = 0) -> "CanopyConfig":
+        """Canopy trained with the shallow-buffer properties (P1 + P2)."""
+        return cls(name="canopy-shallow", properties=shallow_buffer_properties(),
+                   lam=lam, n_components=n_components, buffer_bdp=0.5, seed=seed)
+
+    @classmethod
+    def deep(cls, lam: float = 0.25, n_components: int = 5, seed: int = 0) -> "CanopyConfig":
+        """Canopy trained with the deep-buffer properties (P3 + P4)."""
+        return cls(name="canopy-deep", properties=deep_buffer_properties(),
+                   lam=lam, n_components=n_components, buffer_bdp=5.0, seed=seed)
+
+    @classmethod
+    def robustness(cls, lam: float = 0.25, n_components: int = 5, seed: int = 0) -> "CanopyConfig":
+        """Canopy trained with the robustness property (P5)."""
+        return cls(name="canopy-robust", properties=robustness_properties(),
+                   lam=lam, n_components=n_components, buffer_bdp=2.0,
+                   observation_noise=0.05, seed=seed)
+
+    @classmethod
+    def orca_baseline(cls, buffer_bdp: float = 2.0, seed: int = 0) -> "CanopyConfig":
+        """The Orca baseline: same pipeline with λ = 0 (no verifier shaping).
+
+        The verifier feedback is still *measured* during training so the
+        training-curve comparison of Figure 17 can be reproduced.
+        """
+        return cls(name="orca", properties=shallow_buffer_properties(),
+                   lam=0.0, n_components=5, buffer_bdp=buffer_bdp, seed=seed)
+
+    def with_lambda(self, lam: float) -> "CanopyConfig":
+        return replace(self, lam=lam, env=None, td3=None)
+
+    def with_components(self, n_components: int) -> "CanopyConfig":
+        return replace(self, n_components=n_components, env=None, td3=None)

@@ -1,0 +1,97 @@
+"""Runtime QC monitoring and CUBIC fallback (Section 4.4 of the paper).
+
+``QC_sat`` is generated alongside the model and can be used as an online
+signal: before each coarse-grained decision, the monitor computes the QC of
+the deployed controller around the current state and compares its feedback to
+a threshold.  When the feedback meets the threshold the learned decision is
+applied; otherwise the controller falls back to plain TCP CUBIC for that step.
+
+The monitor is exposed as a *decision filter* compatible with
+:class:`repro.orca.agent.LearnedController`, and also keeps a history of QC
+values so the evaluation harness can report runtime QC_sat alongside the
+performance metrics (Figures 5, 7, 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.properties import PropertySet
+from repro.core.verifier import Verifier
+
+__all__ = ["QCRuntimeMonitor"]
+
+
+@dataclass
+class _MonitorRecord:
+    qc_value: float
+    allowed_learned: bool
+    per_property: dict
+
+
+class QCRuntimeMonitor:
+    """Computes QC_sat before each decision and gates the learned action."""
+
+    def __init__(
+        self,
+        verifier: Verifier,
+        properties: PropertySet,
+        threshold: float = 0.5,
+        n_components: int = 50,
+        enabled: bool = True,
+    ) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        if n_components <= 0:
+            raise ValueError("n_components must be positive")
+        self.verifier = verifier
+        self.properties = properties
+        self.threshold = float(threshold)
+        self.n_components = int(n_components)
+        self.enabled = enabled
+        self.records: List[_MonitorRecord] = []
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, state: np.ndarray, cwnd_tcp: float, cwnd_prev: float) -> Tuple[float, dict]:
+        """QC feedback (weighted over the property set) at this decision point."""
+        per_property = {}
+        total = 0.0
+        weight_sum = 0.0
+        for prop in self.properties:
+            certificate = self.verifier.certify(
+                prop, state, cwnd_tcp, cwnd_prev, n_components=self.n_components
+            )
+            per_property[prop.name] = certificate.feedback
+            total += prop.weight * certificate.feedback
+            weight_sum += prop.weight
+        qc_value = total / weight_sum if weight_sum > 0 else 1.0
+        return qc_value, per_property
+
+    def decision_filter(self, state: np.ndarray, cwnd_tcp: float, cwnd_prev: float) -> Tuple[bool, float]:
+        """The callback installed on :class:`repro.orca.agent.LearnedController`.
+
+        Returns ``(allow_learned_action, qc_value)``.
+        """
+        qc_value, per_property = self.evaluate(state, cwnd_tcp, cwnd_prev)
+        allow = (not self.enabled) or qc_value >= self.threshold
+        self.records.append(_MonitorRecord(qc_value, allow, per_property))
+        return allow, qc_value
+
+    # ------------------------------------------------------------------ #
+    @property
+    def mean_qc(self) -> float:
+        if not self.records:
+            return 1.0
+        return float(np.mean([record.qc_value for record in self.records]))
+
+    @property
+    def fallback_fraction(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([0.0 if record.allowed_learned else 1.0 for record in self.records]))
+
+    def reset(self) -> None:
+        self.records = []

@@ -1,0 +1,112 @@
+"""Quantitative certificates (QCs).
+
+A QC (Section 4.3) has two pieces:
+
+* a **proof**: for each input component ``X_n``, whether the propagated output
+  region provably lies inside the allowed action region ``A \\ Y``;
+* **feedback**: the smoothed fractional-volume measure of Eq. 6, averaged
+  across components, which the Canopy trainer folds into the reward.
+
+The :class:`QuantitativeCertificate` produced by the verifier carries both,
+plus enough detail (per-component output bounds) to reproduce the
+certified-component visualizations of Figures 6 and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.abstract.interval import Interval
+
+__all__ = ["interval_feedback", "ComponentCertificate", "QuantitativeCertificate"]
+
+
+def interval_feedback(output: Interval, allowed: Interval) -> float:
+    """Eq. 6: the fraction of the output region provably inside ``allowed``.
+
+    * 1.0 when the output region is entirely inside the allowed region,
+    * 0.0 when it is entirely inside the undesired region ``Y``,
+    * otherwise the relative volume of the overlap.
+    """
+    if allowed.contains_interval(output):
+        return 1.0
+    if not output.intersects(allowed):
+        return 0.0
+    return output.overlap_fraction(allowed)
+
+
+@dataclass(frozen=True)
+class ComponentCertificate:
+    """Certification outcome for one input component ``X_n``."""
+
+    index: int
+    input_lo: np.ndarray
+    input_hi: np.ndarray
+    output_lo: float
+    output_hi: float
+    satisfied: bool
+    feedback: float
+
+    @property
+    def output_interval(self) -> Interval:
+        return Interval(self.output_lo, self.output_hi)
+
+
+@dataclass
+class QuantitativeCertificate:
+    """The QC for one property at one decision step."""
+
+    property_name: str
+    allowed_lo: float
+    allowed_hi: float
+    components: List[ComponentCertificate] = field(default_factory=list)
+    applicable: bool = True
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_components(self) -> int:
+        return len(self.components)
+
+    @property
+    def feedback(self) -> float:
+        """QC feedback: mean of the per-component smoothed feedback (Eq. 6)."""
+        if not self.components:
+            return 1.0
+        return float(np.mean([c.feedback for c in self.components]))
+
+    @property
+    def satisfied_fraction(self) -> float:
+        """Fraction of components whose certification is a full (boolean) proof."""
+        if not self.components:
+            return 1.0
+        return float(np.mean([1.0 if c.satisfied else 0.0 for c in self.components]))
+
+    @property
+    def proof(self) -> bool:
+        """True iff every component provably satisfies the property.
+
+        When this holds the QC coincides with the boolean certificate of prior
+        verification work: ``π ⊢_c φ`` on the whole input region ``X``.
+        """
+        return all(c.satisfied for c in self.components) if self.components else True
+
+    @property
+    def allowed_interval(self) -> Interval:
+        return Interval(self.allowed_lo, self.allowed_hi)
+
+    def output_bounds(self) -> np.ndarray:
+        """Per-component ``(lo, hi)`` output bounds — the data behind Figs. 6/8."""
+        return np.array([[c.output_lo, c.output_hi] for c in self.components], dtype=np.float64)
+
+    def summary(self) -> dict:
+        return {
+            "property": self.property_name,
+            "feedback": self.feedback,
+            "satisfied_fraction": self.satisfied_fraction,
+            "proof": self.proof,
+            "n_components": self.n_components,
+            "applicable": self.applicable,
+        }

@@ -1,0 +1,68 @@
+"""QC-shaped reward (the unconstrained objective of Eq. 10).
+
+The Canopy trainer replaces the raw Orca reward ``R`` with::
+
+    r_total = (1 − λ) · r_raw + λ · r_verifier
+
+where ``r_verifier`` is the weighted-average QC feedback over the trained
+property set (Eq. 7).  ``λ = 0`` recovers plain Orca; ``λ → 1`` trains purely
+for worst-case property adherence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.properties import PropertySet
+from repro.core.verifier import Verifier
+
+__all__ = ["ShapedReward", "CanopyRewardShaper"]
+
+
+@dataclass(frozen=True)
+class ShapedReward:
+    """The decomposition of one shaped reward value."""
+
+    total: float
+    raw: float
+    verifier: float
+    lam: float
+    per_property: Dict[str, float]
+
+
+class CanopyRewardShaper:
+    """Combines the raw reward with verifier feedback at every decision step."""
+
+    def __init__(self, verifier: Verifier, properties: PropertySet, lam: float = 0.25,
+                 n_components: Optional[int] = None) -> None:
+        if not 0.0 <= lam <= 1.0:
+            raise ValueError("lambda must be in [0, 1]")
+        self.verifier = verifier
+        self.properties = properties
+        self.lam = float(lam)
+        self.n_components = n_components
+
+    def shape(self, raw_reward: float, state: np.ndarray, cwnd_tcp: float, cwnd_prev: float) -> ShapedReward:
+        """Compute Eq. 10 for one step and return the decomposition."""
+        per_property: Dict[str, float] = {}
+        total_feedback = 0.0
+        weight_sum = 0.0
+        for prop in self.properties:
+            certificate = self.verifier.certify(
+                prop, state, cwnd_tcp, cwnd_prev, n_components=self.n_components
+            )
+            per_property[prop.name] = certificate.feedback
+            total_feedback += prop.weight * certificate.feedback
+            weight_sum += prop.weight
+        verifier_reward = total_feedback / weight_sum if weight_sum > 0 else 1.0
+        total = (1.0 - self.lam) * raw_reward + self.lam * verifier_reward
+        return ShapedReward(
+            total=float(total),
+            raw=float(raw_reward),
+            verifier=float(verifier_reward),
+            lam=self.lam,
+            per_property=per_property,
+        )

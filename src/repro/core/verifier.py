@@ -1,0 +1,211 @@
+"""The Canopy verifier: IBP certification of controller behaviour.
+
+Given a property, a concrete decision context (the current state, the
+TCP-suggested window, the previously enforced window) and the controller's
+actor network, the verifier:
+
+1. builds the abstract input region ``X`` prescribed by the property
+   (Section 4.3.1), keeping non-abstracted features at their observed values,
+2. partitions it into ``N`` components along the abstracted dimensions,
+3. propagates each component through the actor with interval bound propagation
+   and through the cwnd map ``2^(2a) · cwnd_TCP`` (Eq. 5),
+4. compares the derived action (Δcwnd or the fractional cwnd change) with the
+   allowed region and computes the per-component proof and smoothed feedback
+   (Eq. 6).
+
+The result is a :class:`repro.core.qc.QuantitativeCertificate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.abstract import transformers
+from repro.abstract.box import Box
+from repro.abstract.propagate import propagate_mlp
+from repro.core.properties import ActionKind, PropertySet, PropertySpec
+from repro.core.qc import ComponentCertificate, QuantitativeCertificate, interval_feedback
+from repro.orca.agent import cwnd_from_action
+from repro.orca.observations import ObservationBuilder, ObservationConfig
+
+__all__ = ["VerifierConfig", "Verifier"]
+
+
+@dataclass
+class VerifierConfig:
+    """Verifier settings.
+
+    Attributes:
+        n_components: Number of QC input partitions N (the paper uses 5 during
+            training and 50 during evaluation).
+        check_applicability: When True, a property whose precondition side
+            conditions on past Δcwnd do not hold at the current state is
+            reported as non-applicable with neutral feedback 1.0.  The default
+            (False) matches the paper's worst-case reading: the Δcwnd
+            precondition is abstracted over its full range, so the QC covers
+            every history consistent with the precondition.
+    """
+
+    n_components: int = 5
+    check_applicability: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_components <= 0:
+            raise ValueError("n_components must be positive")
+
+
+@dataclass(frozen=True)
+class DecisionContext:
+    """Concrete quantities surrounding one coarse-grained decision."""
+
+    state: np.ndarray
+    cwnd_tcp: float
+    cwnd_prev: float
+
+    def __post_init__(self) -> None:
+        if self.cwnd_tcp <= 0:
+            raise ValueError("cwnd_tcp must be positive")
+
+
+class Verifier:
+    """Computes quantitative certificates for a (learned) controller."""
+
+    def __init__(
+        self,
+        actor,
+        observation_config: ObservationConfig | None = None,
+        config: VerifierConfig | None = None,
+    ) -> None:
+        self.actor = actor
+        self.observer = ObservationBuilder(observation_config)
+        self.config = config or VerifierConfig()
+
+    # ------------------------------------------------------------------ #
+    # Concrete helpers
+    # ------------------------------------------------------------------ #
+    def concrete_action(self, state: np.ndarray) -> float:
+        """The controller's concrete action for ``state`` (clipped to [-1, 1])."""
+        output = self.actor.forward(np.asarray(state, dtype=np.float64).reshape(1, -1))
+        return float(np.clip(output.reshape(-1)[0], -1.0, 1.0))
+
+    def concrete_cwnd(self, state: np.ndarray, cwnd_tcp: float) -> float:
+        """The concrete enforced window for ``state`` (Eq. 1)."""
+        return cwnd_from_action(self.concrete_action(state), cwnd_tcp)
+
+    # ------------------------------------------------------------------ #
+    # Certification
+    # ------------------------------------------------------------------ #
+    def certify(
+        self,
+        prop: PropertySpec,
+        state: np.ndarray,
+        cwnd_tcp: float,
+        cwnd_prev: float,
+        n_components: Optional[int] = None,
+        observer: Optional[ObservationBuilder] = None,
+    ) -> QuantitativeCertificate:
+        """Produce the QC for one property at one decision step."""
+        observer = observer or self.observer
+        n = n_components or self.config.n_components
+        context = DecisionContext(np.asarray(state, dtype=np.float64), float(cwnd_tcp), float(cwnd_prev))
+        allowed = prop.allowed_interval()
+        certificate = QuantitativeCertificate(
+            property_name=prop.name,
+            allowed_lo=float(allowed.lo),
+            allowed_hi=float(allowed.hi),
+        )
+
+        if self.config.check_applicability:
+            # The sign conditions on past Δcwnd are concrete (not abstracted);
+            # when they do not hold the property is vacuously satisfied here.
+            history_observer = observer
+            if not self._applicability_from_state(prop, context.state, history_observer):
+                certificate.applicable = False
+                return certificate
+
+        region = prop.input_region(context.state, observer)
+        dims = prop.partition_dims(observer)
+        components = region.split(n, dims=dims if dims else None)
+
+        cwnd_reference = None
+        if prop.kind is ActionKind.CWND_CHANGE_FRACTION:
+            cwnd_reference = self.concrete_cwnd(context.state, context.cwnd_tcp)
+
+        for index, component in enumerate(components):
+            output_interval = self._checked_action_bounds(prop, component, context, cwnd_reference)
+            satisfied = allowed.contains_interval(output_interval)
+            feedback = interval_feedback(output_interval, allowed)
+            certificate.components.append(ComponentCertificate(
+                index=index,
+                input_lo=component.lo.copy(),
+                input_hi=component.hi.copy(),
+                output_lo=float(output_interval.lo),
+                output_hi=float(output_interval.hi),
+                satisfied=bool(satisfied),
+                feedback=float(feedback),
+            ))
+        return certificate
+
+    def _applicability_from_state(self, prop: PropertySpec, state: np.ndarray, observer: ObservationBuilder) -> bool:
+        """Check the concrete Δcwnd side-condition directly on the state vector."""
+        if prop.dcwnd_sign is None:
+            return True
+        dcwnd_history = state[observer.feature_indices("dcwnd")]
+        if prop.dcwnd_sign < 0:
+            return bool(np.all(dcwnd_history <= 1e-6))
+        return bool(np.all(dcwnd_history >= -1e-6))
+
+    def _checked_action_bounds(self, prop, component: Box, context: DecisionContext, cwnd_reference):
+        action_box = propagate_mlp(self.actor, component)
+        cwnd_box = transformers.cwnd_from_action(action_box, context.cwnd_tcp)
+        if prop.kind is ActionKind.DELTA_CWND:
+            checked = transformers.delta_cwnd(cwnd_box, context.cwnd_prev)
+        else:
+            checked = transformers.cwnd_change_fraction(cwnd_box, cwnd_reference)
+        interval = checked.to_interval()
+        # The action (and hence the checked quantity) is scalar; collapse the
+        # 1-element vector interval into a scalar interval.
+        lo = np.asarray(interval.lo).reshape(-1)[0]
+        hi = np.asarray(interval.hi).reshape(-1)[0]
+        from repro.abstract.interval import Interval
+        return Interval(float(lo), float(hi))
+
+    # ------------------------------------------------------------------ #
+    # Aggregate feedback (Eq. 7)
+    # ------------------------------------------------------------------ #
+    def verifier_feedback(
+        self,
+        properties: PropertySet | Sequence[PropertySpec],
+        state: np.ndarray,
+        cwnd_tcp: float,
+        cwnd_prev: float,
+        n_components: Optional[int] = None,
+    ) -> float:
+        """Weighted average QC feedback over a set of properties (r_verifier)."""
+        props = list(properties)
+        if not props:
+            raise ValueError("need at least one property")
+        total = 0.0
+        weight_sum = 0.0
+        for prop in props:
+            certificate = self.certify(prop, state, cwnd_tcp, cwnd_prev, n_components=n_components)
+            total += prop.weight * certificate.feedback
+            weight_sum += prop.weight
+        return total / weight_sum
+
+    def certify_all(
+        self,
+        properties: PropertySet | Sequence[PropertySpec],
+        state: np.ndarray,
+        cwnd_tcp: float,
+        cwnd_prev: float,
+        n_components: Optional[int] = None,
+    ) -> dict:
+        """QCs for every property in the set, keyed by property name."""
+        return {
+            prop.name: self.certify(prop, state, cwnd_tcp, cwnd_prev, n_components=n_components)
+            for prop in properties
+        }

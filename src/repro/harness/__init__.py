@@ -1,0 +1,38 @@
+"""Evaluation harness regenerating the paper's tables and figures.
+
+* :mod:`repro.harness.models` — trains (and caches) the Canopy / Orca models
+  used across experiments.
+* :mod:`repro.harness.evaluate` — runs a congestion-control scheme over a
+  trace and computes the empirical metrics and QC_sat.
+* :mod:`repro.harness.experiments` — one driver function per figure/table of
+  the single-flow evaluation (Figures 1, 2, 5–13, 16, 17 and Table 4).
+* :mod:`repro.harness.fairness` — the multi-flow friendliness and fairness
+  experiments (Figures 14 and 15).
+* :mod:`repro.harness.reporting` — plain-text rendering of result tables.
+"""
+
+from repro.harness.evaluate import (
+    EvaluationSettings,
+    QCSatResult,
+    SchemeResult,
+    evaluate_qcsat,
+    run_scheme_on_trace,
+    scheme_factory,
+)
+from repro.harness.models import TrainedModel, get_trained_model, clear_model_cache
+from repro.harness.checkpoints import SavedModel, load_model, save_model
+
+__all__ = [
+    "SavedModel",
+    "save_model",
+    "load_model",
+    "EvaluationSettings",
+    "QCSatResult",
+    "SchemeResult",
+    "evaluate_qcsat",
+    "run_scheme_on_trace",
+    "scheme_factory",
+    "TrainedModel",
+    "get_trained_model",
+    "clear_model_cache",
+]

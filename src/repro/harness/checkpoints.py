@@ -1,0 +1,122 @@
+"""Persisting trained models to disk.
+
+The in-process model zoo (:mod:`repro.harness.models`) retrains per process;
+these helpers let long examples and users keep a trained Canopy/Orca policy
+around: the actor (and, optionally, the full TD3 agent) is stored as ``.npz``
+next to a small JSON metadata file describing the model kind and the trained
+property set, enough to rebuild a usable :class:`TrainedModel`-like handle for
+evaluation and certification.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.config import CanopyConfig
+from repro.core.properties import (
+    PropertySet,
+    deep_buffer_properties,
+    robustness_properties,
+    shallow_buffer_properties,
+)
+from repro.core.verifier import Verifier, VerifierConfig
+from repro.nn.mlp import MLP
+from repro.nn.serialization import load_mlp, save_mlp
+from repro.orca.observations import ObservationConfig
+
+__all__ = ["SavedModel", "save_model", "load_model"]
+
+_PROPERTY_SETS = {
+    "shallow": shallow_buffer_properties,
+    "deep": deep_buffer_properties,
+    "robustness": robustness_properties,
+}
+
+
+@dataclass
+class SavedModel:
+    """A trained policy restored from disk, usable by the evaluation harness."""
+
+    kind: str
+    actor: MLP
+    observation_config: ObservationConfig
+    properties: PropertySet
+    metadata: dict
+
+    @property
+    def policy(self) -> Callable[[np.ndarray], np.ndarray]:
+        def _policy(state: np.ndarray) -> np.ndarray:
+            output = self.actor.forward(np.asarray(state, dtype=np.float64).reshape(1, -1))
+            return np.clip(output[0], -1.0, 1.0)
+
+        return _policy
+
+    def make_verifier(self, n_components: int = 50) -> Verifier:
+        return Verifier(self.actor, self.observation_config, VerifierConfig(n_components=n_components))
+
+
+def save_model(model, directory: str | Path, name: Optional[str] = None) -> Path:
+    """Persist a trained model (from the model zoo or a trainer run).
+
+    ``model`` is any object exposing ``kind``, ``actor``, ``observation_config``
+    and ``properties`` (both :class:`repro.harness.models.TrainedModel` and
+    :class:`SavedModel` qualify).  Returns the directory containing the
+    checkpoint files.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    name = name or model.kind
+    actor_path = save_mlp(model.actor, directory / f"{name}-actor.npz")
+    obs = model.observation_config
+    metadata = {
+        "kind": model.kind,
+        "property_set": model.properties.name,
+        "property_names": [p.name for p in model.properties],
+        "actor_file": actor_path.name,
+        "observation": {
+            "history_len": obs.history_len,
+            "delay_scale": obs.delay_scale,
+            "ack_scale": obs.ack_scale,
+            "monitor_interval": obs.monitor_interval,
+            "dcwnd_scale": obs.dcwnd_scale,
+        },
+    }
+    (directory / f"{name}.json").write_text(json.dumps(metadata, indent=2))
+    return directory
+
+
+def load_model(directory: str | Path, name: str) -> SavedModel:
+    """Load a checkpoint written by :func:`save_model`."""
+    directory = Path(directory)
+    metadata_path = directory / f"{name}.json"
+    if not metadata_path.exists():
+        raise FileNotFoundError(f"no checkpoint named {name!r} under {directory}")
+    metadata = json.loads(metadata_path.read_text())
+    actor = load_mlp(directory / metadata["actor_file"])
+    obs_meta = metadata["observation"]
+    observation_config = ObservationConfig(
+        history_len=obs_meta["history_len"],
+        delay_scale=obs_meta["delay_scale"],
+        ack_scale=obs_meta["ack_scale"],
+        monitor_interval=obs_meta["monitor_interval"],
+        dcwnd_scale=obs_meta["dcwnd_scale"],
+    )
+    property_factory = _PROPERTY_SETS.get(metadata["property_set"])
+    if property_factory is not None:
+        properties = property_factory()
+    else:
+        # Unknown / custom property set: default to the shallow family, which
+        # only affects which properties certification defaults to.
+        properties = shallow_buffer_properties()
+    return SavedModel(
+        kind=metadata["kind"],
+        actor=actor,
+        observation_config=observation_config,
+        properties=properties,
+        metadata=metadata,
+    )

@@ -1,0 +1,262 @@
+"""Running congestion-control schemes over traces and scoring them.
+
+This module is the workhorse behind every evaluation figure: it builds fresh
+controllers (classical or learned), runs them over a bandwidth trace on an
+emulated bottleneck link, summarizes the empirical metrics (utilization,
+average and p95 queuing delay), and — for learned controllers — computes the
+per-decision quantitative certificates that make up QC_sat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cc.base import CongestionController
+from repro.cc.bbr import BBRController
+from repro.cc.cubic import CubicController
+from repro.cc.flow import Flow
+from repro.cc.link import BottleneckLink
+from repro.cc.metrics import PerformanceSummary, summarize_result
+from repro.cc.netsim import NetworkSimulator, SimulationResult
+from repro.cc.newreno import NewRenoController
+from repro.cc.vegas import VegasController
+from repro.core.properties import PropertySet
+from repro.core.qc import QuantitativeCertificate
+from repro.core.verifier import Verifier, VerifierConfig
+from repro.harness.models import TrainedModel
+from repro.orca.agent import DecisionRecord, LearnedController
+from repro.traces.trace import BandwidthTrace
+
+__all__ = [
+    "EvaluationSettings",
+    "SchemeResult",
+    "QCSatResult",
+    "scheme_factory",
+    "run_scheme_on_trace",
+    "run_schemes",
+    "evaluate_qcsat",
+    "certificates_for_decisions",
+]
+
+CLASSICAL_SCHEMES = ("cubic", "vegas", "bbr", "newreno")
+
+
+@dataclass
+class EvaluationSettings:
+    """Link and run parameters shared by an evaluation sweep."""
+
+    duration: float = 20.0
+    dt: float = 0.01
+    min_rtt: float = 0.04
+    buffer_bdp: float = 1.0
+    monitor_interval: float = 0.2
+    skip_seconds: float = 1.0
+    observation_noise: float = 0.0
+    random_loss_rate: float = 0.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0 or self.dt <= 0 or self.min_rtt <= 0:
+            raise ValueError("duration, dt and min_rtt must be positive")
+        if self.buffer_bdp <= 0:
+            raise ValueError("buffer_bdp must be positive")
+
+
+@dataclass
+class SchemeResult:
+    """Outcome of one (scheme, trace) run."""
+
+    scheme: str
+    trace: str
+    summary: PerformanceSummary
+    controller: CongestionController
+    simulation: SimulationResult
+    decisions: List[DecisionRecord] = field(default_factory=list)
+
+    def as_row(self) -> Dict[str, float]:
+        row = {"scheme": self.scheme, "trace": self.trace}
+        row.update(self.summary.as_dict())
+        return row
+
+
+@dataclass
+class QCSatResult:
+    """QC_sat statistics for one (model, property set, trace) combination."""
+
+    scheme: str
+    trace: str
+    property_names: List[str]
+    mean: float
+    std: float
+    n_decisions: int
+    n_applicable: int
+    per_decision: List[float] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------- #
+# Scheme construction
+# ---------------------------------------------------------------------- #
+def scheme_factory(
+    name: str,
+    model: Optional[TrainedModel] = None,
+    observation_noise: float = 0.0,
+    decision_filter=None,
+    monitor_interval: float = 0.2,
+    seed: int | None = None,
+) -> Callable[[], CongestionController]:
+    """A zero-argument factory producing a fresh controller per run.
+
+    ``name`` is either one of the classical schemes (``cubic``, ``vegas``,
+    ``bbr``, ``newreno``) or a label for a learned scheme, in which case a
+    trained ``model`` must be supplied.
+    """
+    lowered = name.lower()
+    if lowered in CLASSICAL_SCHEMES:
+        classical = {
+            "cubic": CubicController,
+            "vegas": VegasController,
+            "bbr": BBRController,
+            "newreno": NewRenoController,
+        }[lowered]
+        return lambda: classical()
+    if model is None:
+        raise ValueError(f"scheme {name!r} is not classical, so a trained model is required")
+
+    def build() -> CongestionController:
+        return LearnedController(
+            policy=model.policy,
+            observation_config=model.observation_config,
+            monitor_interval=monitor_interval,
+            observation_noise=observation_noise,
+            decision_filter=decision_filter,
+            noise_seed=seed,
+            name=name,
+        )
+
+    return build
+
+
+# ---------------------------------------------------------------------- #
+# Running schemes
+# ---------------------------------------------------------------------- #
+def run_scheme_on_trace(
+    factory: Callable[[], CongestionController],
+    trace: BandwidthTrace,
+    settings: EvaluationSettings,
+    scheme_name: str | None = None,
+) -> SchemeResult:
+    """Run one scheme over one trace and summarize the outcome."""
+    controller = factory()
+    link = BottleneckLink(
+        trace,
+        min_rtt=settings.min_rtt,
+        buffer_bdp=settings.buffer_bdp,
+        random_loss_rate=settings.random_loss_rate,
+        seed=settings.seed,
+    )
+    flow = Flow(0, controller)
+    simulator = NetworkSimulator(link, [flow], dt=settings.dt)
+    result = simulator.run(settings.duration)
+    summary = summarize_result(result, flow_id=0, skip_seconds=settings.skip_seconds)
+    decisions = list(getattr(controller, "decisions", []))
+    return SchemeResult(
+        scheme=scheme_name or getattr(controller, "name", type(controller).__name__),
+        trace=trace.name,
+        summary=summary,
+        controller=controller,
+        simulation=result,
+        decisions=decisions,
+    )
+
+
+def run_schemes(
+    schemes: Dict[str, Callable[[], CongestionController]],
+    traces: Sequence[BandwidthTrace],
+    settings: EvaluationSettings,
+) -> List[SchemeResult]:
+    """Cartesian product of schemes × traces."""
+    results = []
+    for trace in traces:
+        for scheme_name, factory in schemes.items():
+            results.append(run_scheme_on_trace(factory, trace, settings, scheme_name=scheme_name))
+    return results
+
+
+# ---------------------------------------------------------------------- #
+# QC_sat evaluation
+# ---------------------------------------------------------------------- #
+def certificates_for_decisions(
+    verifier: Verifier,
+    properties: PropertySet,
+    decisions: Sequence[DecisionRecord],
+    n_components: int = 50,
+) -> List[Dict[str, QuantitativeCertificate]]:
+    """Per-decision certificates for every property in the set.
+
+    The previous enforced window for decision ``i`` is decision ``i-1``'s
+    enforced window (the controller's initial window for the first decision),
+    matching the Δcwnd definition of Table 3.
+    """
+    all_certificates: List[Dict[str, QuantitativeCertificate]] = []
+    for index, decision in enumerate(decisions):
+        cwnd_prev = decisions[index - 1].cwnd_after if index > 0 else decision.cwnd_before
+        per_property = {}
+        for prop in properties:
+            per_property[prop.name] = verifier.certify(
+                prop, decision.state, decision.cwnd_tcp, cwnd_prev, n_components=n_components
+            )
+        all_certificates.append(per_property)
+    return all_certificates
+
+
+def evaluate_qcsat(
+    model: TrainedModel,
+    trace: BandwidthTrace,
+    settings: EvaluationSettings,
+    properties: Optional[PropertySet] = None,
+    n_components: int = 50,
+    scheme_name: str | None = None,
+) -> QCSatResult:
+    """Run the learned model over a trace and compute QC_sat.
+
+    QC_sat is the mean QC feedback (Eq. 6/7) over all decision steps where the
+    property's concrete side conditions apply; when a property never applies
+    during the run its vacuous (1.0) certificates are excluded from the mean.
+    """
+    properties = properties or model.properties
+    factory = scheme_factory(scheme_name or model.kind, model=model,
+                             observation_noise=settings.observation_noise,
+                             monitor_interval=settings.monitor_interval, seed=settings.seed)
+    run = run_scheme_on_trace(factory, trace, settings, scheme_name=scheme_name or model.kind)
+    verifier = model.make_verifier(n_components=n_components)
+    certificates = certificates_for_decisions(verifier, properties, run.decisions, n_components=n_components)
+
+    per_decision: List[float] = []
+    n_applicable = 0
+    for per_property in certificates:
+        applicable = [cert for cert in per_property.values() if cert.applicable]
+        if applicable:
+            n_applicable += 1
+            per_decision.append(float(np.mean([cert.feedback for cert in applicable])))
+    if not per_decision:
+        # The side conditions never held during this run; report the
+        # unconditioned feedback so the result is still informative.
+        per_decision = [
+            float(np.mean([cert.feedback for cert in per_property.values()]))
+            for per_property in certificates
+        ]
+    mean = float(np.mean(per_decision)) if per_decision else 1.0
+    std = float(np.std(per_decision)) if per_decision else 0.0
+    return QCSatResult(
+        scheme=scheme_name or model.kind,
+        trace=trace.name,
+        property_names=[prop.name for prop in properties],
+        mean=mean,
+        std=std,
+        n_decisions=len(certificates),
+        n_applicable=n_applicable,
+        per_decision=per_decision,
+    )

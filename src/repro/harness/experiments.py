@@ -1,0 +1,554 @@
+"""Experiment drivers — one function per figure/table of the evaluation.
+
+Every driver accepts scale knobs (training steps, run duration, number of
+traces, number of QC components) so the same code can run at CI scale inside
+the benchmark suite or at larger scale from the example scripts.  Each driver
+returns plain dictionaries / lists so the reporting module (and the
+benchmarks) can render them as the rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.monitor import QCRuntimeMonitor
+from repro.core.properties import (
+    PropertySet,
+    deep_buffer_properties,
+    robustness_properties,
+    shallow_buffer_properties,
+)
+from repro.core.trainer import CanopyTrainer, TrainerConfig
+from repro.core.config import CanopyConfig
+from repro.harness.evaluate import (
+    EvaluationSettings,
+    certificates_for_decisions,
+    evaluate_qcsat,
+    run_scheme_on_trace,
+    scheme_factory,
+)
+from repro.harness.models import TrainedModel, get_trained_model
+from repro.traces.cellular import cellular_trace_suite
+from repro.traces.realworld import WANProfile, intercontinental_profiles, intracontinental_profiles
+from repro.traces.synthetic import make_synthetic_trace, synthetic_trace_suite
+from repro.traces.trace import BandwidthTrace
+
+__all__ = [
+    "motivation_noise",
+    "motivation_bad_state",
+    "qcsat_buffers",
+    "certified_components",
+    "qcsat_robustness",
+    "performance_sweep",
+    "noise_sensitivity",
+    "realworld_deployment",
+    "fallback_runtime",
+    "sensitivity",
+    "training_curves",
+    "verification_overhead",
+]
+
+
+def _trace_subset(kind: str, count: int) -> List[BandwidthTrace]:
+    if kind == "synthetic":
+        return synthetic_trace_suite(subset=count)
+    if kind == "cellular":
+        return cellular_trace_suite()[:count]
+    raise ValueError(f"unknown trace kind {kind!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Figure 1 — Orca vs Canopy under observation noise (motivation)
+# ---------------------------------------------------------------------- #
+def motivation_noise(
+    training_steps: int = 400,
+    duration: float = 12.0,
+    noise: float = 0.05,
+    seed: int = 1,
+) -> Dict:
+    """Sending rate of Orca and Canopy with and without ±5% delay noise (Fig. 1)."""
+    orca = get_trained_model("orca", training_steps=training_steps, seed=seed)
+    canopy = get_trained_model("canopy-robust", training_steps=training_steps, seed=seed)
+    trace = make_synthetic_trace("step-12-48")
+    settings_clean = EvaluationSettings(duration=duration, buffer_bdp=2.0, observation_noise=0.0, seed=seed)
+    settings_noisy = EvaluationSettings(duration=duration, buffer_bdp=2.0, observation_noise=noise, seed=seed)
+
+    rows = []
+    series = {}
+    for label, model, settings in (
+        ("orca", orca, settings_clean),
+        ("orca-noise", orca, settings_noisy),
+        ("canopy", canopy, settings_clean),
+        ("canopy-noise", canopy, settings_noisy),
+    ):
+        result = run_scheme_on_trace(
+            scheme_factory(label, model=model, observation_noise=settings.observation_noise, seed=seed),
+            trace, settings, scheme_name=label,
+        )
+        stats = result.simulation.stats_for(0)
+        series[label] = {
+            "time": stats.times.tolist(),
+            "throughput_pps": (stats.acked / result.simulation.dt).tolist(),
+            "cwnd": stats.cwnd.tolist(),
+        }
+        rows.append({"scheme": label, **result.summary.as_dict()})
+
+    def _util(name: str) -> float:
+        return next(r["utilization"] for r in rows if r["scheme"] == name)
+
+    return {
+        "figure": "1",
+        "trace": trace.name,
+        "rows": rows,
+        "series": series,
+        "orca_noise_drop": _util("orca") - _util("orca-noise"),
+        "canopy_noise_drop": _util("canopy") - _util("canopy-noise"),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Figure 2 — Orca entering bad states on a high-BDP path (motivation)
+# ---------------------------------------------------------------------- #
+def motivation_bad_state(
+    training_steps: int = 400,
+    duration: float = 15.0,
+    seed: int = 1,
+) -> Dict:
+    """Orca vs Canopy (deep-buffer model) on a high-BDP trace (Fig. 2)."""
+    orca = get_trained_model("orca", training_steps=training_steps, seed=seed)
+    canopy = get_trained_model("canopy-deep", training_steps=training_steps, seed=seed)
+    trace = make_synthetic_trace("square-48-96")
+    settings = EvaluationSettings(duration=duration, buffer_bdp=5.0, min_rtt=0.08, seed=seed)
+
+    rows = []
+    series = {}
+    for label, model in (("orca", orca), ("canopy", canopy)):
+        result = run_scheme_on_trace(
+            scheme_factory(label, model=model, seed=seed), trace, settings, scheme_name=label
+        )
+        stats = result.simulation.stats_for(0)
+        decisions = result.decisions
+        series[label] = {
+            "time": stats.times.tolist(),
+            "throughput_pps": (stats.acked / result.simulation.dt).tolist(),
+            "cwnd": stats.cwnd.tolist(),
+            "decision_time": [d.time for d in decisions],
+            "cwnd_tcp": [d.cwnd_tcp for d in decisions],
+            "cwnd_enforced": [d.cwnd_after for d in decisions],
+        }
+        rows.append({"scheme": label, **result.summary.as_dict()})
+    return {"figure": "2", "trace": trace.name, "rows": rows, "series": series}
+
+
+# ---------------------------------------------------------------------- #
+# Figure 5 — QC_sat for the shallow/deep buffer properties
+# ---------------------------------------------------------------------- #
+def qcsat_buffers(
+    training_steps: int = 400,
+    duration: float = 10.0,
+    n_components: int = 50,
+    n_synthetic: int = 3,
+    n_cellular: int = 2,
+    seed: int = 1,
+) -> Dict:
+    """Mean/std of QC_sat for Canopy vs Orca, shallow & deep properties (Fig. 5)."""
+    orca = get_trained_model("orca", training_steps=training_steps, seed=seed)
+    canopy_shallow = get_trained_model("canopy-shallow", training_steps=training_steps, seed=seed)
+    canopy_deep = get_trained_model("canopy-deep", training_steps=training_steps, seed=seed)
+
+    cases = [
+        ("shallow", shallow_buffer_properties(), 0.5, canopy_shallow),
+        ("deep", deep_buffer_properties(), 5.0, canopy_deep),
+    ]
+    rows = []
+    for family, properties, buffer_bdp, canopy_model in cases:
+        for trace_kind, count in (("synthetic", n_synthetic), ("cellular", n_cellular)):
+            traces = _trace_subset(trace_kind, count)
+            settings = EvaluationSettings(duration=duration, buffer_bdp=buffer_bdp, seed=seed)
+            for scheme_label, model in (("canopy", canopy_model), ("orca", orca)):
+                values = []
+                for trace in traces:
+                    qcsat = evaluate_qcsat(model, trace, settings, properties=properties,
+                                           n_components=n_components, scheme_name=scheme_label)
+                    values.append(qcsat.mean)
+                rows.append({
+                    "property_family": family,
+                    "trace_kind": trace_kind,
+                    "scheme": scheme_label,
+                    "qcsat_mean": float(np.mean(values)),
+                    "qcsat_std": float(np.std(values)),
+                    "n_traces": len(traces),
+                })
+    return {"figure": "5", "rows": rows}
+
+
+# ---------------------------------------------------------------------- #
+# Figures 6 & 8 — certified-component distributions
+# ---------------------------------------------------------------------- #
+def certified_components(
+    model_kind: str = "canopy-shallow",
+    property_family: str = "shallow",
+    trace_name: str = "step-12-48",
+    training_steps: int = 400,
+    duration: float = 10.0,
+    n_components: int = 50,
+    max_steps: int = 50,
+    buffer_bdp: float = 0.5,
+    seed: int = 1,
+) -> Dict:
+    """Per-component output bounds over the first ``max_steps`` decisions (Figs. 6/8)."""
+    families = {
+        "shallow": shallow_buffer_properties(),
+        "deep": deep_buffer_properties(),
+        "robustness": robustness_properties(),
+    }
+    properties = families[property_family]
+    model = get_trained_model(model_kind, training_steps=training_steps, seed=seed)
+    trace = make_synthetic_trace(trace_name)
+    settings = EvaluationSettings(duration=duration, buffer_bdp=buffer_bdp, seed=seed)
+
+    run = run_scheme_on_trace(scheme_factory(model_kind, model=model, seed=seed), trace, settings,
+                              scheme_name=model_kind)
+    verifier = model.make_verifier(n_components=n_components)
+    certificates = certificates_for_decisions(verifier, properties, run.decisions[:max_steps],
+                                              n_components=n_components)
+
+    steps = []
+    for step_index, per_property in enumerate(certificates):
+        for name, certificate in per_property.items():
+            steps.append({
+                "step": step_index,
+                "property": name,
+                "applicable": certificate.applicable,
+                "feedback": certificate.feedback,
+                "satisfied_fraction": certificate.satisfied_fraction,
+                "output_bounds": certificate.output_bounds().tolist(),
+            })
+    mean_feedback = float(np.mean([s["feedback"] for s in steps])) if steps else 1.0
+    return {
+        "figure": "6/8",
+        "model": model_kind,
+        "trace": trace.name,
+        "steps": steps,
+        "mean_feedback": mean_feedback,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Figure 7 — QC_sat for the robustness property
+# ---------------------------------------------------------------------- #
+def qcsat_robustness(
+    training_steps: int = 400,
+    duration: float = 10.0,
+    n_components: int = 50,
+    n_synthetic: int = 3,
+    n_cellular: int = 2,
+    noise: float = 0.05,
+    seed: int = 1,
+) -> Dict:
+    """QC_sat of Canopy-robust vs Orca for P5 on 2 BDP buffers (Fig. 7)."""
+    orca = get_trained_model("orca", training_steps=training_steps, seed=seed)
+    canopy = get_trained_model("canopy-robust", training_steps=training_steps, seed=seed)
+    properties = robustness_properties()
+    rows = []
+    for trace_kind, count in (("synthetic", n_synthetic), ("cellular", n_cellular)):
+        traces = _trace_subset(trace_kind, count)
+        settings = EvaluationSettings(duration=duration, buffer_bdp=2.0, observation_noise=noise, seed=seed)
+        for scheme_label, model in (("canopy", canopy), ("orca", orca)):
+            values = []
+            for trace in traces:
+                qcsat = evaluate_qcsat(model, trace, settings, properties=properties,
+                                       n_components=n_components, scheme_name=scheme_label)
+                values.append(qcsat.mean)
+            rows.append({
+                "trace_kind": trace_kind,
+                "scheme": scheme_label,
+                "qcsat_mean": float(np.mean(values)),
+                "qcsat_std": float(np.std(values)),
+                "n_traces": len(traces),
+            })
+    return {"figure": "7", "rows": rows}
+
+
+# ---------------------------------------------------------------------- #
+# Figures 9, 10 — empirical performance sweeps
+# ---------------------------------------------------------------------- #
+def performance_sweep(
+    buffer_bdp: float = 1.0,
+    canopy_kind: str = "canopy-shallow",
+    training_steps: int = 400,
+    duration: float = 15.0,
+    n_synthetic: int = 3,
+    n_cellular: int = 2,
+    seed: int = 1,
+) -> Dict:
+    """Utilization vs avg/p95 delay for all schemes (Fig. 9 shallow, Fig. 10 deep)."""
+    orca = get_trained_model("orca", training_steps=training_steps, seed=seed)
+    canopy = get_trained_model(canopy_kind, training_steps=training_steps, seed=seed)
+    schemes = {
+        "canopy": scheme_factory("canopy", model=canopy, seed=seed),
+        "orca": scheme_factory("orca", model=orca, seed=seed),
+        "cubic": scheme_factory("cubic"),
+        "vegas": scheme_factory("vegas"),
+        "bbr": scheme_factory("bbr"),
+    }
+    rows = []
+    for trace_kind, count in (("synthetic", n_synthetic), ("cellular", n_cellular)):
+        traces = _trace_subset(trace_kind, count)
+        settings = EvaluationSettings(duration=duration, buffer_bdp=buffer_bdp, seed=seed)
+        per_scheme: Dict[str, List[Dict]] = {name: [] for name in schemes}
+        for trace in traces:
+            for name, factory in schemes.items():
+                result = run_scheme_on_trace(factory, trace, settings, scheme_name=name)
+                per_scheme[name].append(result.summary.as_dict())
+        for name, summaries in per_scheme.items():
+            rows.append({
+                "trace_kind": trace_kind,
+                "scheme": name,
+                "utilization": float(np.mean([s["utilization"] for s in summaries])),
+                "avg_delay_ms": float(np.mean([s["avg_queuing_delay_ms"] for s in summaries])),
+                "p95_delay_ms": float(np.mean([s["p95_queuing_delay_ms"] for s in summaries])),
+                "loss_rate": float(np.mean([s["loss_rate"] for s in summaries])),
+                "n_traces": len(summaries),
+            })
+    figure = "9" if buffer_bdp <= 1.0 else "10"
+    return {"figure": figure, "buffer_bdp": buffer_bdp, "rows": rows}
+
+
+# ---------------------------------------------------------------------- #
+# Figure 11 — robustness to observation noise
+# ---------------------------------------------------------------------- #
+def noise_sensitivity(
+    training_steps: int = 400,
+    duration: float = 12.0,
+    noise: float = 0.05,
+    n_traces: int = 3,
+    seed: int = 1,
+) -> Dict:
+    """Percentage change of metrics when ±5% delay noise is added (Fig. 11)."""
+    orca = get_trained_model("orca", training_steps=training_steps, seed=seed)
+    canopy = get_trained_model("canopy-robust", training_steps=training_steps, seed=seed)
+    traces = _trace_subset("synthetic", n_traces)
+    rows = []
+    for scheme_label, model in (("orca", orca), ("canopy", canopy)):
+        changes = {"utilization": [], "avg_delay": [], "p95_delay": []}
+        for trace in traces:
+            base_settings = EvaluationSettings(duration=duration, buffer_bdp=2.0, seed=seed)
+            noisy_settings = EvaluationSettings(duration=duration, buffer_bdp=2.0,
+                                                observation_noise=noise, seed=seed)
+            base = run_scheme_on_trace(scheme_factory(scheme_label, model=model, seed=seed),
+                                       trace, base_settings, scheme_name=scheme_label).summary
+            noisy = run_scheme_on_trace(
+                scheme_factory(scheme_label, model=model, observation_noise=noise, seed=seed),
+                trace, noisy_settings, scheme_name=scheme_label).summary
+
+            def pct(new: float, old: float) -> float:
+                return 100.0 * (new - old) / old if old > 0 else 0.0
+
+            changes["utilization"].append(pct(noisy.utilization, base.utilization))
+            changes["avg_delay"].append(pct(noisy.avg_queuing_delay_ms, base.avg_queuing_delay_ms))
+            changes["p95_delay"].append(pct(noisy.p95_queuing_delay_ms, base.p95_queuing_delay_ms))
+        rows.append({
+            "scheme": scheme_label,
+            "utilization_change_pct": float(np.mean(changes["utilization"])),
+            "avg_delay_change_pct": float(np.mean(changes["avg_delay"])),
+            "p95_delay_change_pct": float(np.mean(changes["p95_delay"])),
+            "max_abs_utilization_change_pct": float(np.max(np.abs(changes["utilization"]))),
+        })
+    return {"figure": "11", "noise": noise, "rows": rows}
+
+
+# ---------------------------------------------------------------------- #
+# Figure 12 — wide-area ("real world") deployment
+# ---------------------------------------------------------------------- #
+def realworld_deployment(
+    training_steps: int = 400,
+    duration: float = 12.0,
+    profiles_per_category: int = 2,
+    seed: int = 1,
+) -> Dict:
+    """Normalized throughput/delay over emulated WAN paths (Fig. 12)."""
+    orca = get_trained_model("orca", training_steps=training_steps, seed=seed)
+    canopy_shallow = get_trained_model("canopy-shallow", training_steps=training_steps, seed=seed)
+    canopy_deep = get_trained_model("canopy-deep", training_steps=training_steps, seed=seed)
+    schemes = {
+        "canopy-shallow": scheme_factory("canopy-shallow", model=canopy_shallow, seed=seed),
+        "canopy-deep": scheme_factory("canopy-deep", model=canopy_deep, seed=seed),
+        "orca": scheme_factory("orca", model=orca, seed=seed),
+        "cubic": scheme_factory("cubic"),
+    }
+    categories = {
+        "intra": intracontinental_profiles()[:profiles_per_category],
+        "inter": intercontinental_profiles()[:profiles_per_category],
+    }
+    rows = []
+    for category, profiles in categories.items():
+        normalized: Dict[str, Dict[str, List[float]]] = {name: {"throughput": [], "delay": []} for name in schemes}
+        for profile in profiles:
+            trace = profile.make_trace(duration=duration)
+            settings = EvaluationSettings(
+                duration=duration, min_rtt=profile.min_rtt_s, buffer_bdp=profile.buffer_bdp,
+                random_loss_rate=profile.loss_rate, seed=seed,
+            )
+            summaries = {}
+            for name, factory in schemes.items():
+                summaries[name] = run_scheme_on_trace(factory, trace, settings, scheme_name=name).summary
+            max_throughput = max(s.throughput_mbps for s in summaries.values()) or 1.0
+            min_delay = min(s.avg_rtt_ms for s in summaries.values()) or 1.0
+            for name, summary in summaries.items():
+                normalized[name]["throughput"].append(summary.throughput_mbps / max_throughput)
+                normalized[name]["delay"].append(summary.avg_rtt_ms / max(min_delay, 1e-6))
+        for name, values in normalized.items():
+            rows.append({
+                "category": category,
+                "scheme": name,
+                "normalized_throughput": float(np.mean(values["throughput"])),
+                "normalized_delay": float(np.mean(values["delay"])),
+                "n_paths": len(values["throughput"]),
+            })
+    return {"figure": "12", "rows": rows}
+
+
+# ---------------------------------------------------------------------- #
+# Figure 13 — runtime fallback guided by QC_sat
+# ---------------------------------------------------------------------- #
+def fallback_runtime(
+    training_steps: int = 400,
+    duration: float = 12.0,
+    thresholds: Sequence[float] = (0.0, 0.5, 0.8),
+    n_components: int = 10,
+    n_traces: int = 2,
+    seed: int = 1,
+) -> Dict:
+    """Performance of Orca and Canopy with the QC_sat-guided fallback (Fig. 13)."""
+    orca = get_trained_model("orca", training_steps=training_steps, seed=seed)
+    canopy_shallow = get_trained_model("canopy-shallow", training_steps=training_steps, seed=seed)
+    canopy_deep = get_trained_model("canopy-deep", training_steps=training_steps, seed=seed)
+    cases = [
+        ("shallow", 1.0, shallow_buffer_properties(), canopy_shallow),
+        ("deep", 5.0, deep_buffer_properties(), canopy_deep),
+    ]
+    traces = _trace_subset("synthetic", n_traces)
+    rows = []
+    for family, buffer_bdp, properties, canopy_model in cases:
+        settings = EvaluationSettings(duration=duration, buffer_bdp=buffer_bdp, seed=seed)
+        for scheme_label, model in (("orca", orca), ("canopy", canopy_model)):
+            for threshold in thresholds:
+                summaries = []
+                fallback_fractions = []
+                for trace in traces:
+                    monitor = QCRuntimeMonitor(
+                        model.make_verifier(n_components=n_components), properties,
+                        threshold=threshold, n_components=n_components,
+                        enabled=threshold > 0.0,
+                    )
+                    factory = scheme_factory(scheme_label, model=model,
+                                             decision_filter=monitor.decision_filter, seed=seed)
+                    result = run_scheme_on_trace(factory, trace, settings, scheme_name=scheme_label)
+                    summaries.append(result.summary.as_dict())
+                    fallback_fractions.append(monitor.fallback_fraction)
+                rows.append({
+                    "buffer_family": family,
+                    "scheme": scheme_label,
+                    "threshold": threshold,
+                    "utilization": float(np.mean([s["utilization"] for s in summaries])),
+                    "avg_delay_ms": float(np.mean([s["avg_queuing_delay_ms"] for s in summaries])),
+                    "p95_delay_ms": float(np.mean([s["p95_queuing_delay_ms"] for s in summaries])),
+                    "fallback_fraction": float(np.mean(fallback_fractions)),
+                })
+    return {"figure": "13", "rows": rows}
+
+
+# ---------------------------------------------------------------------- #
+# Figure 16 — sensitivity to N and λ
+# ---------------------------------------------------------------------- #
+def sensitivity(
+    n_values: Sequence[int] = (1, 5, 10),
+    lambda_values: Sequence[float] = (0.25, 0.5, 0.75),
+    training_steps: int = 300,
+    duration: float = 10.0,
+    n_traces: int = 2,
+    seed: int = 1,
+) -> Dict:
+    """Performance of Canopy-shallow for different N and λ (Fig. 16)."""
+    traces = _trace_subset("synthetic", n_traces)
+    settings = EvaluationSettings(duration=duration, buffer_bdp=1.0, seed=seed)
+    rows = []
+
+    configurations = [("N", n, 0.25) for n in n_values] + [("lambda", 5, lam) for lam in lambda_values]
+    seen = set()
+    for axis, n_components, lam in configurations:
+        key = (n_components, lam)
+        if key in seen:
+            continue
+        seen.add(key)
+        model = get_trained_model("canopy-shallow", training_steps=training_steps, seed=seed,
+                                  lam=lam, n_components=n_components)
+        summaries = []
+        for trace in traces:
+            result = run_scheme_on_trace(scheme_factory("canopy", model=model, seed=seed),
+                                         trace, settings, scheme_name="canopy")
+            summaries.append(result.summary.as_dict())
+        rows.append({
+            "label": f"N{n_components}-lam{lam:g}",
+            "n_components": n_components,
+            "lambda": lam,
+            "utilization": float(np.mean([s["utilization"] for s in summaries])),
+            "avg_delay_ms": float(np.mean([s["avg_queuing_delay_ms"] for s in summaries])),
+            "p95_delay_ms": float(np.mean([s["p95_queuing_delay_ms"] for s in summaries])),
+        })
+    return {"figure": "16", "rows": rows}
+
+
+# ---------------------------------------------------------------------- #
+# Figure 17 — training curves (appendix A.1)
+# ---------------------------------------------------------------------- #
+def training_curves(training_steps: int = 400, seed: int = 1) -> Dict:
+    """Raw / verifier / total reward over training for Orca and Canopy (Fig. 17)."""
+    canopy = get_trained_model("canopy-shallow", training_steps=training_steps, seed=seed)
+    orca = get_trained_model("orca", training_steps=training_steps, seed=seed)
+    curves = {
+        "canopy": {k: v.tolist() for k, v in canopy.training.reward_curves().items()},
+        "orca": {k: v.tolist() for k, v in orca.training.reward_curves().items()},
+    }
+    return {
+        "figure": "17",
+        "curves": curves,
+        "final": {
+            "canopy": canopy.training.final_metrics(),
+            "orca": orca.training.final_metrics(),
+        },
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Table 4 — training overhead of verification (appendix A.2)
+# ---------------------------------------------------------------------- #
+def verification_overhead(
+    n_values: Sequence[int] = (1, 5, 10),
+    training_steps: int = 150,
+    seed: int = 1,
+) -> Dict:
+    """Environment-step rate with and without in-loop verification (Table 4)."""
+    rows = []
+
+    orca_config = CanopyConfig.orca_baseline(seed=seed)
+    orca_trainer = CanopyTrainer(orca_config, TrainerConfig(
+        total_steps=training_steps, log_every=training_steps,
+        use_verifier_reward=False, verifier_every=10 ** 9,
+    ))
+    orca_result = orca_trainer.train()
+    rows.append({"scheme": "orca", "n_components": 0, "steps_per_second": orca_result.steps_per_second,
+                 "verifier_seconds": orca_result.verifier_seconds})
+
+    for n in n_values:
+        config = CanopyConfig.shallow(n_components=n, seed=seed)
+        trainer = CanopyTrainer(config, TrainerConfig(total_steps=training_steps, log_every=training_steps))
+        result = trainer.train()
+        rows.append({"scheme": f"canopy-N{n}", "n_components": n,
+                     "steps_per_second": result.steps_per_second,
+                     "verifier_seconds": result.verifier_seconds})
+    return {"table": "4", "rows": rows}

@@ -1,0 +1,146 @@
+"""Multi-flow experiments: friendliness (Fig. 14) and fairness (Fig. 15).
+
+Friendliness runs the scheme under test against an increasing number of
+competing CUBIC flows (and, separately, against one CUBIC flow while the
+propagation delay varies), reporting the ratio of the scheme's throughput to
+the average CUBIC throughput.  Fairness starts homogeneous flows of the same
+scheme staggered in time and reports per-flow throughput convergence plus
+Jain's index.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cc.base import CongestionController
+from repro.cc.cubic import CubicController
+from repro.cc.flow import Flow
+from repro.cc.link import BottleneckLink
+from repro.cc.metrics import jain_fairness_index, throughput_ratio
+from repro.cc.netsim import NetworkSimulator
+from repro.traces.trace import BandwidthTrace, pps_to_mbps
+
+__all__ = ["friendliness", "rtt_friendliness", "fairness_convergence"]
+
+
+def _flow_throughput_mbps(simulator: NetworkSimulator, flow_id: int, start: float, dt: float) -> float:
+    stats = simulator.stats[flow_id]
+    mask = stats.times >= start
+    acked = stats.acked[mask]
+    if acked.size == 0:
+        return 0.0
+    return pps_to_mbps(acked.sum() / (acked.size * dt))
+
+
+def friendliness(
+    scheme_factory: Callable[[], CongestionController],
+    scheme_name: str,
+    competing_flows: Sequence[int] = (1, 2, 4),
+    bandwidth_mbps: float = 48.0,
+    min_rtt: float = 0.02,
+    buffer_bdp: float = 1.0,
+    duration: float = 20.0,
+    dt: float = 0.01,
+    skip_seconds: float = 2.0,
+    seed: int = 3,
+) -> Dict:
+    """Throughput ratio of the scheme to competing CUBIC flows (Fig. 14)."""
+    rows: List[Dict] = []
+    for n_cubic in competing_flows:
+        trace = BandwidthTrace.constant(bandwidth_mbps, duration=duration)
+        link = BottleneckLink(trace, min_rtt=min_rtt, buffer_bdp=buffer_bdp, seed=seed)
+        flows = [Flow(0, scheme_factory())]
+        flows.extend(Flow(i + 1, CubicController()) for i in range(n_cubic))
+        simulator = NetworkSimulator(link, flows, dt=dt)
+        simulator.run(duration)
+        scheme_throughput = _flow_throughput_mbps(simulator, 0, skip_seconds, dt)
+        cubic_throughputs = [
+            _flow_throughput_mbps(simulator, i + 1, skip_seconds, dt) for i in range(n_cubic)
+        ]
+        rows.append({
+            "scheme": scheme_name,
+            "competing_cubic_flows": n_cubic,
+            "scheme_throughput_mbps": scheme_throughput,
+            "mean_cubic_throughput_mbps": float(np.mean(cubic_throughputs)),
+            "throughput_ratio": throughput_ratio(scheme_throughput, cubic_throughputs),
+        })
+    return {"figure": "14", "mode": "flow-count", "rows": rows}
+
+
+def rtt_friendliness(
+    scheme_factory: Callable[[], CongestionController],
+    scheme_name: str,
+    rtts_ms: Sequence[float] = (20.0, 50.0, 100.0),
+    bandwidth_mbps: float = 48.0,
+    buffer_bdp: float = 1.0,
+    duration: float = 20.0,
+    dt: float = 0.01,
+    skip_seconds: float = 2.0,
+    seed: int = 3,
+) -> Dict:
+    """Throughput ratio against one CUBIC flow while the propagation delay varies."""
+    rows: List[Dict] = []
+    for rtt_ms in rtts_ms:
+        trace = BandwidthTrace.constant(bandwidth_mbps, duration=duration)
+        link = BottleneckLink(trace, min_rtt=rtt_ms / 1000.0, buffer_bdp=buffer_bdp, seed=seed)
+        flows = [Flow(0, scheme_factory()), Flow(1, CubicController())]
+        simulator = NetworkSimulator(link, flows, dt=dt)
+        simulator.run(duration)
+        scheme_throughput = _flow_throughput_mbps(simulator, 0, skip_seconds, dt)
+        cubic_throughput = _flow_throughput_mbps(simulator, 1, skip_seconds, dt)
+        rows.append({
+            "scheme": scheme_name,
+            "rtt_ms": rtt_ms,
+            "scheme_throughput_mbps": scheme_throughput,
+            "cubic_throughput_mbps": cubic_throughput,
+            "throughput_ratio": throughput_ratio(scheme_throughput, [cubic_throughput]),
+        })
+    return {"figure": "14", "mode": "rtt", "rows": rows}
+
+
+def fairness_convergence(
+    scheme_factory: Callable[[], CongestionController],
+    scheme_name: str,
+    n_flows: int = 3,
+    join_interval: float = 12.0,
+    bandwidth_mbps: float = 48.0,
+    min_rtt: float = 0.02,
+    buffer_bdp: float = 1.0,
+    duration: Optional[float] = None,
+    dt: float = 0.01,
+    seed: int = 3,
+) -> Dict:
+    """Homogeneous flows joining every ``join_interval`` seconds (Fig. 15)."""
+    duration = duration if duration is not None else n_flows * join_interval + join_interval
+    trace = BandwidthTrace.constant(bandwidth_mbps, duration=duration)
+    link = BottleneckLink(trace, min_rtt=min_rtt, buffer_bdp=buffer_bdp, seed=seed)
+    flows = [Flow(i, scheme_factory(), start_time=i * join_interval) for i in range(n_flows)]
+    simulator = NetworkSimulator(link, flows, dt=dt)
+    simulator.run(duration)
+
+    # Per-flow throughput time series (1-second buckets) for the convergence plot.
+    bucket = 1.0
+    n_buckets = int(duration / bucket)
+    series: Dict[int, List[float]] = {}
+    for flow_id in range(n_flows):
+        stats = simulator.stats[flow_id]
+        per_bucket = []
+        for b in range(n_buckets):
+            mask = (stats.times >= b * bucket) & (stats.times < (b + 1) * bucket)
+            per_bucket.append(pps_to_mbps(stats.acked[mask].sum() / bucket))
+        series[flow_id] = per_bucket
+
+    # Fairness over the final window where every flow is active.
+    final_start = (n_flows - 1) * join_interval + 2.0
+    final_throughputs = [
+        _flow_throughput_mbps(simulator, flow_id, final_start, dt) for flow_id in range(n_flows)
+    ]
+    return {
+        "figure": "15",
+        "scheme": scheme_name,
+        "series_mbps": series,
+        "final_throughputs_mbps": final_throughputs,
+        "jain_index": jain_fairness_index(final_throughputs),
+    }

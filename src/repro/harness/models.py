@@ -1,0 +1,116 @@
+"""Training and caching of the learned models used across experiments.
+
+The paper trains three Canopy models (shallow-buffer, deep-buffer, robustness)
+and an Orca baseline.  Every experiment driver needs one or more of them, so
+this module trains each model once per process at a configurable (CI-scale)
+budget and memoizes the result.  Models are identified by
+``(kind, training_steps, seed)``; the default budget is intentionally small —
+large enough for the qualitative trends of the paper (Canopy's verifier reward
+rises, Orca's does not; QC_sat ordering) to emerge, small enough for the whole
+benchmark suite to run in minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.core.config import CanopyConfig
+from repro.core.properties import PropertySet
+from repro.core.trainer import CanopyTrainer, TrainerConfig, TrainingResult
+from repro.core.verifier import Verifier, VerifierConfig
+from repro.orca.observations import ObservationConfig
+
+__all__ = ["TrainedModel", "get_trained_model", "clear_model_cache", "DEFAULT_TRAINING_STEPS", "MODEL_KINDS"]
+
+DEFAULT_TRAINING_STEPS = 800
+
+MODEL_KINDS = ("canopy-shallow", "canopy-deep", "canopy-robust", "orca")
+
+
+@dataclass
+class TrainedModel:
+    """A trained policy plus everything needed to evaluate it."""
+
+    kind: str
+    config: CanopyConfig
+    training: TrainingResult
+
+    @property
+    def policy(self) -> Callable[[np.ndarray], np.ndarray]:
+        return self.training.policy()
+
+    @property
+    def actor(self):
+        return self.training.agent.actor
+
+    @property
+    def properties(self) -> PropertySet:
+        return self.config.properties
+
+    @property
+    def observation_config(self) -> ObservationConfig:
+        return self.config.observation
+
+    def make_verifier(self, n_components: int = 50) -> Verifier:
+        return Verifier(self.actor, self.observation_config, VerifierConfig(n_components=n_components))
+
+
+def _make_config(kind: str, lam: float | None, n_components: int | None, seed: int) -> CanopyConfig:
+    if kind == "canopy-shallow":
+        config = CanopyConfig.shallow(seed=seed)
+    elif kind == "canopy-deep":
+        config = CanopyConfig.deep(seed=seed)
+    elif kind == "canopy-robust":
+        config = CanopyConfig.robustness(seed=seed)
+    elif kind == "orca":
+        config = CanopyConfig.orca_baseline(seed=seed)
+    else:
+        raise ValueError(f"unknown model kind {kind!r}; known: {MODEL_KINDS}")
+    if lam is not None:
+        config = config.with_lambda(lam)
+    if n_components is not None:
+        config = config.with_components(n_components)
+    return config
+
+
+_CACHE: Dict[Tuple, TrainedModel] = {}
+
+
+def get_trained_model(
+    kind: str,
+    training_steps: int = DEFAULT_TRAINING_STEPS,
+    seed: int = 1,
+    lam: float | None = None,
+    n_components: int | None = None,
+) -> TrainedModel:
+    """Train (or fetch a cached) model of the requested kind.
+
+    Args:
+        kind: One of :data:`MODEL_KINDS`.
+        training_steps: Number of environment (monitor-interval) steps.
+        seed: Seed for the environment and networks.
+        lam: Override of the verifier-reward weight λ (None keeps the preset).
+        n_components: Override of the number of QC partitions N.
+    """
+    key = (kind, training_steps, seed, lam, n_components)
+    if key in _CACHE:
+        return _CACHE[key]
+    config = _make_config(kind, lam, n_components, seed)
+    trainer_config = TrainerConfig(
+        total_steps=training_steps,
+        log_every=max(10, training_steps // 20),
+        use_verifier_reward=(kind != "orca"),
+    )
+    trainer = CanopyTrainer(config, trainer_config)
+    training = trainer.train()
+    model = TrainedModel(kind=kind, config=config, training=training)
+    _CACHE[key] = model
+    return model
+
+
+def clear_model_cache() -> None:
+    """Drop every cached model (used by tests that need fresh training)."""
+    _CACHE.clear()

@@ -1,0 +1,28 @@
+"""Weight initializers for the numpy neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_uniform", "uniform", "zeros"]
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialization, suited to tanh layers."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_out, fan_in))
+
+
+def he_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He uniform initialization, suited to ReLU layers."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_out, fan_in))
+
+
+def uniform(rng: np.random.Generator, fan_in: int, fan_out: int, scale: float = 3e-3) -> np.ndarray:
+    """Small uniform initialization, used for output layers in DDPG/TD3."""
+    return rng.uniform(-scale, scale, size=(fan_out, fan_in))
+
+
+def zeros(fan_out: int) -> np.ndarray:
+    return np.zeros(fan_out)

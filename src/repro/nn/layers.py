@@ -1,0 +1,181 @@
+"""Feed-forward layers with explicit forward/backward passes.
+
+Each layer exposes:
+
+* ``forward(x)`` — batched forward pass (``x`` has shape ``(batch, features)``),
+  caching whatever is needed for the backward pass.
+* ``backward(grad_output)`` — propagates gradients back to the input and
+  accumulates parameter gradients in ``layer.grads``.
+* ``parameters()`` / ``grads()`` — flat lists used by the optimizers in
+  :mod:`repro.nn.optim`.
+
+The layer set intentionally mirrors what the Canopy verifier knows how to lift
+to the box abstract domain: affine (Dense), ReLU and Tanh.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.nn import init as initializers
+
+__all__ = ["Layer", "Dense", "ReLU", "Tanh", "Identity", "Sequential"]
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> List[np.ndarray]:
+        return []
+
+    def grads(self) -> List[np.ndarray]:
+        return []
+
+    def zero_grad(self) -> None:
+        for grad in self.grads():
+            grad[...] = 0.0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W.T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+        weight_init: str = "glorot",
+        init_scale: float = 3e-3,
+    ) -> None:
+        rng = rng if rng is not None else np.random.default_rng()
+        if weight_init == "glorot":
+            self.weight = initializers.glorot_uniform(rng, in_features, out_features)
+        elif weight_init == "he":
+            self.weight = initializers.he_uniform(rng, in_features, out_features)
+        elif weight_init == "uniform":
+            self.weight = initializers.uniform(rng, in_features, out_features, scale=init_scale)
+        else:
+            raise ValueError(f"unknown weight_init {weight_init!r}")
+        self.bias = initializers.zeros(out_features)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cached_input: np.ndarray | None = None
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[0]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        self._cached_input = x
+        return x @ self.weight.T + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_input is None:
+            raise RuntimeError("backward() called before forward()")
+        grad_output = np.atleast_2d(grad_output)
+        self.grad_weight += grad_output.T @ self._cached_input
+        self.grad_bias += grad_output.sum(axis=0)
+        return grad_output @ self.weight
+
+    def parameters(self) -> List[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def grads(self) -> List[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+class ReLU(Layer):
+    """Element-wise rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward() called before forward()")
+        return grad_output * self._mask
+
+
+class Tanh(Layer):
+    """Element-wise hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(np.asarray(x, dtype=np.float64))
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward() called before forward()")
+        return grad_output * (1.0 - self._output ** 2)
+
+
+class Identity(Layer):
+    """No-op layer (linear output head)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output
+
+
+class Sequential(Layer):
+    """Container applying layers in order."""
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        self.layers: List[Layer] = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> List[np.ndarray]:
+        params: List[np.ndarray] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def grads(self) -> List[np.ndarray]:
+        grads: List[np.ndarray] = []
+        for layer in self.layers:
+            grads.extend(layer.grads())
+        return grads
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def __iter__(self) -> Iterable[Layer]:
+        return iter(self.layers)

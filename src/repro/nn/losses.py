@@ -1,0 +1,43 @@
+"""Loss functions for the numpy neural-network substrate."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["mse_loss", "huber_loss"]
+
+
+def mse_loss(prediction: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean-squared error and its gradient with respect to ``prediction``.
+
+    Returns ``(loss, grad)`` where ``grad`` has the same shape as
+    ``prediction`` and already includes the ``1/N`` averaging factor so it can
+    be fed straight into ``model.backward``.
+    """
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if prediction.shape != target.shape:
+        raise ValueError(f"shape mismatch: {prediction.shape} vs {target.shape}")
+    diff = prediction - target
+    loss = float(np.mean(diff ** 2))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def huber_loss(prediction: np.ndarray, target: np.ndarray, delta: float = 1.0) -> Tuple[float, np.ndarray]:
+    """Huber loss and gradient; more robust to outlier TD errors than MSE."""
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if prediction.shape != target.shape:
+        raise ValueError(f"shape mismatch: {prediction.shape} vs {target.shape}")
+    diff = prediction - target
+    abs_diff = np.abs(diff)
+    quadratic = np.minimum(abs_diff, delta)
+    linear = abs_diff - quadratic
+    loss = float(np.mean(0.5 * quadratic ** 2 + delta * linear))
+    grad = np.where(abs_diff <= delta, diff, delta * np.sign(diff)) / diff.size
+    return loss, grad

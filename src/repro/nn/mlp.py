@@ -1,0 +1,132 @@
+"""Multi-layer perceptrons used by the TD3 actor and critics.
+
+The architectures follow Orca's agent: two hidden layers with ReLU
+activations; the actor ends with a tanh squashing the coarse-grained action
+into ``[-1, 1]`` (Eq. 1 of the paper then maps it to a cwnd multiplier), and
+the critics end with a linear head producing a scalar Q-value.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Dense, Identity, Layer, ReLU, Sequential, Tanh
+
+__all__ = ["MLP", "make_actor", "make_critic"]
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "tanh": Tanh,
+    "linear": Identity,
+    "identity": Identity,
+}
+
+
+class MLP(Sequential):
+    """A fully-connected network built from a list of hidden sizes."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_sizes: Sequence[int],
+        out_features: int,
+        hidden_activation: str = "relu",
+        output_activation: str = "linear",
+        rng: np.random.Generator | None = None,
+        output_init_scale: float = 3e-3,
+    ) -> None:
+        rng = rng if rng is not None else np.random.default_rng()
+        if hidden_activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown hidden activation {hidden_activation!r}")
+        if output_activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown output activation {output_activation!r}")
+
+        layers: List[Layer] = []
+        prev = in_features
+        weight_init = "he" if hidden_activation == "relu" else "glorot"
+        for size in hidden_sizes:
+            layers.append(Dense(prev, size, rng=rng, weight_init=weight_init))
+            layers.append(_ACTIVATIONS[hidden_activation]())
+            prev = size
+        layers.append(Dense(prev, out_features, rng=rng, weight_init="uniform", init_scale=output_init_scale))
+        layers.append(_ACTIVATIONS[output_activation]())
+        super().__init__(layers)
+
+        self.in_features = in_features
+        self.out_features = out_features
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.hidden_activation = hidden_activation
+        self.output_activation = output_activation
+
+    # ------------------------------------------------------------------ #
+    # Parameter (de)serialization — used for target-network updates.
+    # ------------------------------------------------------------------ #
+    def get_weights(self) -> List[np.ndarray]:
+        return [p.copy() for p in self.parameters()]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        params = self.parameters()
+        if len(weights) != len(params):
+            raise ValueError(f"expected {len(params)} arrays, got {len(weights)}")
+        for param, new in zip(params, weights):
+            if param.shape != np.asarray(new).shape:
+                raise ValueError("weight shape mismatch")
+            param[...] = new
+
+    def soft_update_from(self, source: "MLP", tau: float) -> None:
+        """Polyak averaging ``θ ← τ θ_src + (1−τ) θ`` (target network update)."""
+        if not 0.0 <= tau <= 1.0:
+            raise ValueError("tau must be in [0, 1]")
+        for target_param, source_param in zip(self.parameters(), source.parameters()):
+            target_param[...] = tau * source_param + (1.0 - tau) * target_param
+
+    def copy_from(self, source: "MLP") -> None:
+        self.soft_update_from(source, tau=1.0)
+
+    def clone(self) -> "MLP":
+        """A structural copy with identical weights (independent storage)."""
+        other = MLP(
+            self.in_features,
+            self.hidden_sizes,
+            self.out_features,
+            hidden_activation=self.hidden_activation,
+            output_activation=self.output_activation,
+        )
+        other.set_weights(self.get_weights())
+        return other
+
+
+def make_actor(
+    state_dim: int,
+    action_dim: int = 1,
+    hidden_sizes: Sequence[int] = (64, 32),
+    rng: np.random.Generator | None = None,
+) -> MLP:
+    """The Orca/Canopy actor: ReLU hidden layers, tanh output in [-1, 1]."""
+    return MLP(
+        state_dim,
+        hidden_sizes,
+        action_dim,
+        hidden_activation="relu",
+        output_activation="tanh",
+        rng=rng,
+    )
+
+
+def make_critic(
+    state_dim: int,
+    action_dim: int = 1,
+    hidden_sizes: Sequence[int] = (64, 32),
+    rng: np.random.Generator | None = None,
+) -> MLP:
+    """A Q-network taking the concatenated (state, action) and returning a scalar."""
+    return MLP(
+        state_dim + action_dim,
+        hidden_sizes,
+        1,
+        hidden_activation="relu",
+        output_activation="linear",
+        rng=rng,
+    )

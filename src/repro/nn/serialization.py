@@ -1,0 +1,90 @@
+"""Saving and loading network weights.
+
+Models are persisted as ``.npz`` archives containing the flat list of
+parameter arrays plus the metadata needed to rebuild the architecture.  This
+is what the model zoo uses to cache trained Canopy/Orca policies on disk so
+evaluation scripts do not have to retrain between processes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.mlp import MLP
+
+__all__ = ["save_mlp", "load_mlp", "save_weight_dict", "load_weight_dict"]
+
+_META_KEY = "__architecture__"
+
+
+def save_mlp(model: MLP, path: str | Path) -> Path:
+    """Persist an MLP (architecture + weights) to a ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    architecture = {
+        "in_features": model.in_features,
+        "hidden_sizes": list(model.hidden_sizes),
+        "out_features": model.out_features,
+        "hidden_activation": model.hidden_activation,
+        "output_activation": model.output_activation,
+    }
+    arrays = {f"param_{i}": weight for i, weight in enumerate(model.get_weights())}
+    arrays[_META_KEY] = np.frombuffer(json.dumps(architecture).encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **arrays)
+    # np.savez appends ".npz" when the target does not already end with it.
+    return path if path.suffix == ".npz" else Path(str(path) + ".npz")
+
+
+def load_mlp(path: str | Path) -> MLP:
+    """Rebuild an MLP previously stored with :func:`save_mlp`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise ValueError(f"{path} does not look like a saved MLP (missing architecture metadata)")
+        architecture = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        weights = []
+        index = 0
+        while f"param_{index}" in archive:
+            weights.append(archive[f"param_{index}"])
+            index += 1
+    model = MLP(
+        architecture["in_features"],
+        architecture["hidden_sizes"],
+        architecture["out_features"],
+        hidden_activation=architecture["hidden_activation"],
+        output_activation=architecture["output_activation"],
+    )
+    model.set_weights(weights)
+    return model
+
+
+def save_weight_dict(weights: Dict[str, list], path: str | Path) -> Path:
+    """Persist a named collection of weight lists (e.g. a TD3 agent's networks)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {}
+    layout = {}
+    for name, parameter_list in weights.items():
+        layout[name] = len(parameter_list)
+        for i, parameter in enumerate(parameter_list):
+            arrays[f"{name}__{i}"] = np.asarray(parameter)
+    arrays[_META_KEY] = np.frombuffer(json.dumps(layout).encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **arrays)
+    return path if path.suffix == ".npz" else Path(str(path) + ".npz")
+
+
+def load_weight_dict(path: str | Path) -> Dict[str, list]:
+    """Load a collection stored with :func:`save_weight_dict`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise ValueError(f"{path} does not look like a saved weight collection")
+        layout = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        return {
+            name: [archive[f"{name}__{i}"] for i in range(count)]
+            for name, count in layout.items()
+        }

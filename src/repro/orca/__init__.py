@@ -1,0 +1,33 @@
+"""The Orca learned congestion controller (the base LCC of Canopy).
+
+Orca performs two-level control (Section 3.1 of the paper): TCP CUBIC makes
+fine-grained per-ack adjustments while a deep-RL (TD3) agent periodically
+observes aggregated network statistics and overrides the window via
+``cwnd = 2^(2a) * cwnd_TCP`` (Eq. 1).
+
+* :mod:`repro.orca.observations` — the Table-1 feature pipeline, normalization
+  and ``k``-step history stacking.
+* :mod:`repro.orca.reward` — the power-metric raw reward (Eqs. 2–3).
+* :mod:`repro.orca.agent` — :class:`LearnedController`, a drop-in
+  :class:`repro.cc.base.CongestionController` combining CUBIC with a learned
+  policy (used for evaluation), with optional runtime QC fallback.
+* :mod:`repro.orca.env` — :class:`OrcaNetworkEnv`, the RL environment whose
+  steps are monitor intervals (used for training).
+"""
+
+from repro.orca.observations import FEATURE_NAMES, ObservationBuilder, ObservationConfig
+from repro.orca.reward import OrcaRewardConfig, orca_reward
+from repro.orca.agent import LearnedController, cwnd_from_action
+from repro.orca.env import OrcaEnvConfig, OrcaNetworkEnv
+
+__all__ = [
+    "FEATURE_NAMES",
+    "ObservationBuilder",
+    "ObservationConfig",
+    "OrcaRewardConfig",
+    "orca_reward",
+    "LearnedController",
+    "cwnd_from_action",
+    "OrcaEnvConfig",
+    "OrcaNetworkEnv",
+]

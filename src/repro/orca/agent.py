@@ -1,0 +1,216 @@
+"""The Orca two-level controller usable directly inside the network simulator.
+
+:class:`LearnedController` is a :class:`repro.cc.base.CongestionController`
+that contains:
+
+* an inner fine-grained controller (TCP CUBIC by default) that reacts every
+  tick, and
+* a learned coarse-grained policy that fires once per monitor interval,
+  observes the aggregated statistics (Table 1), and overrides the window via
+  ``cwnd = 2^(2a) · cwnd_TCP`` (Eq. 1).
+
+An optional *decision filter* implements Canopy's runtime fallback
+(Section 4.4): before the learned override is applied, the filter can inspect
+the state and veto the learned action, in which case the CUBIC window is kept
+as-is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.cc.base import MIN_CWND, CongestionController, TickFeedback
+from repro.cc.cubic import CubicController
+from repro.cc.netsim import MonitorReport
+from repro.orca.observations import ObservationBuilder, ObservationConfig
+
+__all__ = ["cwnd_from_action", "DecisionRecord", "LearnedController"]
+
+#: Policy signature: maps a stacked state vector to an action in [-1, 1].
+Policy = Callable[[np.ndarray], np.ndarray]
+
+#: Decision-filter signature: (state, cwnd_tcp, cwnd_prev) -> (allow_learned, qc_value)
+DecisionFilter = Callable[[np.ndarray, float, float], tuple]
+
+
+def cwnd_from_action(action: float, cwnd_tcp: float) -> float:
+    """Eq. 1: ``cwnd = 2^(2a) · cwnd_TCP`` with the action clipped to [-1, 1]."""
+    action = float(np.clip(action, -1.0, 1.0))
+    return max(MIN_CWND, float(2.0 ** (2.0 * action) * cwnd_tcp))
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One coarse-grained decision made by the learned controller."""
+
+    time: float
+    state: np.ndarray
+    action: float
+    cwnd_tcp: float
+    cwnd_before: float
+    cwnd_after: float
+    used_fallback: bool
+    qc_value: float
+
+
+class LearnedController(CongestionController):
+    """Two-level Orca/Canopy controller: CUBIC plus a learned override."""
+
+    name = "orca"
+
+    def __init__(
+        self,
+        policy: Policy,
+        inner: CongestionController | None = None,
+        observation_config: ObservationConfig | None = None,
+        monitor_interval: float = 0.2,
+        decision_filter: Optional[DecisionFilter] = None,
+        observation_noise: float = 0.0,
+        noise_seed: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        inner = inner or CubicController()
+        super().__init__(inner.cwnd)
+        if monitor_interval <= 0:
+            raise ValueError("monitor_interval must be positive")
+        self.policy = policy
+        self.inner = inner
+        self.monitor_interval = float(monitor_interval)
+        self.observer = ObservationBuilder(observation_config)
+        self.decision_filter = decision_filter
+        self.observation_noise = float(observation_noise)
+        self._noise_rng = np.random.default_rng(noise_seed)
+        if name:
+            self.name = name
+
+        self._last_decision_time = 0.0
+        self._prev_decision_cwnd = inner.cwnd
+        self.decisions: List[DecisionRecord] = []
+        self._acc = self._fresh_acc()
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _fresh_acc() -> dict:
+        return {
+            "acked": 0.0, "lost": 0.0, "sent": 0.0,
+            "delay_weighted": 0.0, "rtt_weighted": 0.0, "ack_weight": 0.0,
+            "start": None, "last_srtt": 0.0, "last_min_rtt": 0.0,
+        }
+
+    @property
+    def cwnd(self) -> float:
+        return self.inner.cwnd
+
+    def set_cwnd(self, value: float) -> None:
+        self.inner.set_cwnd(value)
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.observer.reset()
+        self._last_decision_time = 0.0
+        self._prev_decision_cwnd = self.inner.cwnd
+        self.decisions = []
+        self._acc = self._fresh_acc()
+
+    # ------------------------------------------------------------------ #
+    def _accumulate(self, feedback: TickFeedback) -> None:
+        acc = self._acc
+        if acc["start"] is None:
+            acc["start"] = feedback.now - feedback.dt
+        acc["acked"] += feedback.acked
+        acc["lost"] += feedback.lost
+        acc["sent"] += feedback.acked + feedback.lost
+        if feedback.acked > 0:
+            acc["delay_weighted"] += feedback.queuing_delay * feedback.acked
+            acc["rtt_weighted"] += feedback.rtt * feedback.acked
+            acc["ack_weight"] += feedback.acked
+        acc["last_srtt"] = feedback.rtt if feedback.rtt > 0 else acc["last_srtt"]
+        acc["last_min_rtt"] = feedback.min_rtt
+
+    def _build_report(self, now: float) -> MonitorReport:
+        acc = self._acc
+        start = acc["start"] if acc["start"] is not None else now - self.monitor_interval
+        interval = max(now - start, 1e-3)
+        acked = acc["acked"]
+        lost = acc["lost"]
+        weight = acc["ack_weight"]
+        avg_delay = acc["delay_weighted"] / weight if weight > 0 else 0.0
+        if self.observation_noise > 0:
+            # Uniform multiplicative noise on the observed queuing delay — the
+            # perturbation studied in Section 2 / Figure 11.
+            noise = self._noise_rng.uniform(-self.observation_noise, self.observation_noise)
+            avg_delay = max(0.0, avg_delay * (1.0 + noise))
+        return MonitorReport(
+            throughput_pps=acked / interval,
+            loss_rate=lost / (acked + lost) if (acked + lost) > 0 else 0.0,
+            avg_queuing_delay=avg_delay,
+            n_acks=acked,
+            interval=interval,
+            srtt=acc["last_srtt"],
+            min_rtt=acc["last_min_rtt"],
+            avg_rtt=acc["rtt_weighted"] / weight if weight > 0 else acc["last_srtt"],
+            cwnd=self.inner.cwnd,
+            sent_pps=acc["sent"] / interval,
+        )
+
+    def _coarse_grained_step(self, now: float) -> None:
+        report = self._build_report(now)
+        state = self.observer.observe(report)
+        cwnd_tcp = self.inner.cwnd
+        cwnd_before = cwnd_tcp
+
+        action = float(np.asarray(self.policy(state)).reshape(-1)[0])
+        action = float(np.clip(action, -1.0, 1.0))
+
+        allow_learned = True
+        qc_value = 1.0
+        if self.decision_filter is not None:
+            allow_learned, qc_value = self.decision_filter(state, cwnd_tcp, self._prev_decision_cwnd)
+
+        if allow_learned:
+            new_cwnd = cwnd_from_action(action, cwnd_tcp)
+            self.inner.set_cwnd(new_cwnd)
+        else:
+            new_cwnd = cwnd_tcp  # fall back to pure CUBIC
+
+        self.decisions.append(DecisionRecord(
+            time=now,
+            state=state,
+            action=action,
+            cwnd_tcp=cwnd_tcp,
+            cwnd_before=cwnd_before,
+            cwnd_after=new_cwnd,
+            used_fallback=not allow_learned,
+            qc_value=float(qc_value),
+        ))
+        self._prev_decision_cwnd = new_cwnd
+        self._acc = self._fresh_acc()
+
+    # ------------------------------------------------------------------ #
+    def on_tick(self, feedback: TickFeedback) -> None:
+        self.inner.on_tick(feedback)
+        self._accumulate(feedback)
+        if feedback.now - self._last_decision_time >= self.monitor_interval - 1e-9:
+            self._coarse_grained_step(feedback.now)
+            self._last_decision_time = feedback.now
+
+    def pacing_rate(self, feedback: TickFeedback | None = None) -> float | None:
+        return self.inner.pacing_rate(feedback)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def fallback_fraction(self) -> float:
+        """Fraction of coarse-grained decisions that fell back to CUBIC."""
+        if not self.decisions:
+            return 0.0
+        return sum(1 for d in self.decisions if d.used_fallback) / len(self.decisions)
+
+    @property
+    def mean_qc(self) -> float:
+        """Mean runtime QC value across decisions (1.0 when no filter installed)."""
+        if not self.decisions:
+            return 1.0
+        return float(np.mean([d.qc_value for d in self.decisions]))

@@ -1,0 +1,76 @@
+"""Orca's raw reward function (Eqs. 2–3 of the paper).
+
+The reward is the Power metric (throughput over delay), penalized by losses
+and normalized by the best power achievable on the path
+(``thr_max / d_min``)::
+
+    R_orca = (thr - ζ · l) / delay'   /   (thr_max / d_min)
+
+with the delay floored to ``d_min`` whenever it is within ``β · d_min``
+(Eq. 3), so the controller is not punished for operating at (or near) the
+propagation delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cc.netsim import MonitorReport
+
+__all__ = ["OrcaRewardConfig", "orca_reward"]
+
+
+@dataclass
+class OrcaRewardConfig:
+    """Coefficients for the Orca power reward."""
+
+    zeta: float = 10.0      # loss penalty coefficient (ζ in Eq. 2)
+    beta: float = 1.25      # delay tolerance factor (β in Eq. 3), must be > 1
+    min_delay_floor: float = 1e-3  # numerical floor for d_min (seconds)
+
+    def __post_init__(self) -> None:
+        if self.zeta < 0:
+            raise ValueError("zeta must be non-negative")
+        if self.beta <= 1.0:
+            raise ValueError("beta must exceed 1")
+        if self.min_delay_floor <= 0:
+            raise ValueError("min_delay_floor must be positive")
+
+
+def orca_reward(
+    report: MonitorReport,
+    max_throughput_pps: float,
+    config: OrcaRewardConfig | None = None,
+) -> float:
+    """Compute the normalized Orca power reward for one monitor interval.
+
+    Args:
+        report: Aggregated statistics for the interval.
+        max_throughput_pps: Largest delivery rate observed so far (thr_max).
+        config: Reward coefficients.
+
+    Returns:
+        The normalized reward; roughly in ``[-ζ, 1]`` and equal to 1.0 when the
+        flow fills the observed maximum throughput at minimum delay with no
+        loss.
+    """
+    config = config or OrcaRewardConfig()
+    d_min = max(report.min_rtt, config.min_delay_floor)
+    delay = report.avg_rtt if report.avg_rtt > 0 else d_min
+    if d_min <= delay <= config.beta * d_min:
+        effective_delay = d_min
+    else:
+        effective_delay = delay
+    effective_delay = max(effective_delay, config.min_delay_floor)
+
+    throughput = report.throughput_pps
+    loss = report.loss_rate * throughput  # loss expressed in the same units as thr
+    power = (throughput - config.zeta * loss) / effective_delay
+
+    max_throughput = max(max_throughput_pps, 1.0)
+    best_power = max_throughput / d_min
+    if best_power <= 0:
+        return 0.0
+    return float(np.clip(power / best_power, -config.zeta, 1.5))

@@ -1,0 +1,147 @@
+"""Actor pool: collecting experience from many environments with one learner.
+
+The paper trains with 256 actors, each interacting with a distinct emulated
+link, and a single learner synchronizing neural parameters (Section 5).  This
+module reproduces that architecture in-process: an :class:`ActorPool` owns a
+set of environments (typically :class:`repro.orca.env.OrcaNetworkEnv`
+instances with different seeds, i.e. different sampled links), steps them
+round-robin with the shared agent's exploration policy, and feeds every
+transition to the shared replay buffer.
+
+The pool is deliberately sequential — the goal is the *diversity of
+experience* the paper's actor fleet provides (many links per learner update),
+not wall-clock parallelism, which a pure-Python reproduction cannot deliver
+anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.rl.env import Environment
+from repro.rl.td3 import TD3Agent
+
+__all__ = ["ActorState", "ActorPool"]
+
+
+@dataclass
+class ActorState:
+    """Bookkeeping for one actor (one environment instance)."""
+
+    env: Environment
+    observation: Optional[np.ndarray] = None
+    episode_reward: float = 0.0
+    episodes_completed: int = 0
+    steps: int = 0
+    last_info: Dict = field(default_factory=dict)
+
+
+class ActorPool:
+    """Round-robin experience collection from many environments.
+
+    Typical use with the TD3 agent::
+
+        envs = [OrcaNetworkEnv(OrcaEnvConfig(seed=i)) for i in range(16)]
+        pool = ActorPool(envs, agent)
+        for _ in range(total_steps):
+            pool.collect(steps=1)       # one transition from the next actor
+            agent.update()
+
+    A ``reward_hook`` can rewrite the reward before it reaches the replay
+    buffer — the Canopy trainer uses this to inject the QC-shaped reward
+    (Eq. 10) while still logging the raw value.
+    """
+
+    def __init__(
+        self,
+        envs: Sequence[Environment],
+        agent: TD3Agent,
+        reward_hook: Optional[Callable[[float, np.ndarray, Dict], float]] = None,
+        explore: bool = True,
+    ) -> None:
+        if not envs:
+            raise ValueError("need at least one environment")
+        self.agent = agent
+        self.reward_hook = reward_hook
+        self.explore = explore
+        self.actors: List[ActorState] = [ActorState(env=env) for env in envs]
+        self._cursor = 0
+        self.total_steps = 0
+        self.total_episodes = 0
+        self._reward_log: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_actors(self) -> int:
+        return len(self.actors)
+
+    def reset_all(self) -> None:
+        """(Re)start every actor's environment."""
+        for actor in self.actors:
+            actor.observation = actor.env.reset()
+            actor.episode_reward = 0.0
+
+    def _ensure_started(self, actor: ActorState) -> None:
+        if actor.observation is None:
+            actor.observation = actor.env.reset()
+            actor.episode_reward = 0.0
+
+    def collect(self, steps: int = 1) -> List[Dict]:
+        """Collect ``steps`` transitions, cycling through the actors.
+
+        Returns one info record per collected transition (the environment's
+        info dict augmented with the actor index and the stored reward).
+        """
+        if steps <= 0:
+            raise ValueError("steps must be positive")
+        records: List[Dict] = []
+        for _ in range(steps):
+            actor = self.actors[self._cursor]
+            self._cursor = (self._cursor + 1) % len(self.actors)
+            self._ensure_started(actor)
+
+            state = actor.observation
+            action = self.agent.act(state, explore=self.explore)
+            next_state, reward, done, info = actor.env.step(action)
+
+            stored_reward = reward
+            if self.reward_hook is not None:
+                stored_reward = float(self.reward_hook(reward, state, info))
+            self.agent.observe(state, action, stored_reward, next_state, done)
+
+            actor.steps += 1
+            actor.episode_reward += reward
+            actor.last_info = info
+            self.total_steps += 1
+            self._reward_log.append(reward)
+
+            if done:
+                actor.episodes_completed += 1
+                self.total_episodes += 1
+                actor.observation = actor.env.reset()
+                actor.episode_reward = 0.0
+            else:
+                actor.observation = next_state
+
+            records.append({"actor": self.actors.index(actor), "reward": reward,
+                            "stored_reward": stored_reward, "done": done, **info})
+        return records
+
+    # ------------------------------------------------------------------ #
+    def mean_recent_reward(self, window: int = 100) -> float:
+        """Mean raw environment reward over the most recent transitions."""
+        if not self._reward_log:
+            return 0.0
+        recent = self._reward_log[-window:]
+        return float(np.mean(recent))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "n_actors": float(self.n_actors),
+            "total_steps": float(self.total_steps),
+            "total_episodes": float(self.total_episodes),
+            "mean_recent_reward": self.mean_recent_reward(),
+        }

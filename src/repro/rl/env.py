@@ -1,0 +1,63 @@
+"""The minimal environment protocol used by the RL substrate.
+
+An environment models the MDP ``M = (S, A, r, P, S_0)`` of Section 4.1: the
+agent observes a state, emits an action, and receives the next state, a scalar
+reward, a termination flag and an info dictionary.  The interface mirrors the
+classic ``reset()/step()`` convention so the TD3 agent and the Canopy trainer
+can drive any environment, in particular
+:class:`repro.orca.env.OrcaNetworkEnv`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.rl.spaces import BoxSpace
+
+__all__ = ["Environment"]
+
+
+class Environment(ABC):
+    """Abstract base class for episodic environments."""
+
+    observation_space: BoxSpace
+    action_space: BoxSpace
+
+    @abstractmethod
+    def reset(self, seed: int | None = None) -> np.ndarray:
+        """Start a new episode and return the initial observation."""
+
+    @abstractmethod
+    def step(self, action: np.ndarray) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        """Apply ``action``; return ``(observation, reward, done, info)``."""
+
+    def close(self) -> None:  # pragma: no cover - optional hook
+        """Release any resources held by the environment."""
+
+    def rollout(self, policy, max_steps: int = 1000) -> Dict[str, Any]:
+        """Unroll ``policy`` for one episode and return the trajectory summary.
+
+        ``policy`` is any callable mapping an observation to an action.  The
+        summary contains per-step rewards and the final info dict — enough for
+        the evaluation harness without storing full transition tensors.
+        """
+        observation = self.reset()
+        rewards = []
+        infos = []
+        done = False
+        steps = 0
+        while not done and steps < max_steps:
+            action = np.asarray(policy(observation), dtype=np.float64)
+            observation, reward, done, info = self.step(action)
+            rewards.append(float(reward))
+            infos.append(info)
+            steps += 1
+        return {
+            "rewards": rewards,
+            "total_reward": float(np.sum(rewards)) if rewards else 0.0,
+            "steps": steps,
+            "infos": infos,
+        }

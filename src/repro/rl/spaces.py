@@ -1,0 +1,47 @@
+"""Observation / action spaces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BoxSpace"]
+
+
+@dataclass
+class BoxSpace:
+    """A bounded continuous space, element-wise ``[low, high]``."""
+
+    low: np.ndarray
+    high: np.ndarray
+
+    def __post_init__(self) -> None:
+        low = np.asarray(self.low, dtype=np.float64)
+        high = np.asarray(self.high, dtype=np.float64)
+        low, high = np.broadcast_arrays(low, high)
+        if np.any(low > high):
+            raise ValueError("low must not exceed high")
+        self.low = np.array(low, dtype=np.float64)
+        self.high = np.array(high, dtype=np.float64)
+
+    @property
+    def shape(self) -> tuple:
+        return self.low.shape
+
+    @property
+    def dim(self) -> int:
+        return int(np.prod(self.low.shape)) if self.low.shape else 1
+
+    def contains(self, value, tol: float = 1e-9) -> bool:
+        arr = np.asarray(value, dtype=np.float64)
+        if arr.shape != self.low.shape:
+            return False
+        return bool(np.all(arr >= self.low - tol) and np.all(arr <= self.high + tol))
+
+    def clip(self, value) -> np.ndarray:
+        return np.clip(np.asarray(value, dtype=np.float64), self.low, self.high)
+
+    def sample(self, rng: np.random.Generator | None = None) -> np.ndarray:
+        rng = rng if rng is not None else np.random.default_rng()
+        return rng.uniform(self.low, self.high)

@@ -1,0 +1,227 @@
+"""Twin-Delayed Deep Deterministic policy gradient (TD3).
+
+TD3 (Fujimoto et al., 2018) is the learning algorithm behind Orca's
+coarse-grained controller and therefore behind Canopy.  The implementation is
+self-contained on top of :mod:`repro.nn`:
+
+* a deterministic tanh actor ``π(s) ∈ [-1, 1]^action_dim``,
+* twin critics ``Q1, Q2`` with clipped double-Q targets,
+* target networks updated by Polyak averaging,
+* target-policy smoothing noise,
+* delayed (every ``policy_delay`` steps) actor and target updates.
+
+The agent is agnostic to where the reward comes from — Canopy simply feeds it
+the QC-shaped reward of Eq. 10 instead of the raw Orca reward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.nn.losses import mse_loss
+from repro.nn.mlp import MLP, make_actor, make_critic
+from repro.nn.optim import Adam
+from repro.rl.noise import GaussianNoise
+from repro.rl.replay import ReplayBuffer
+
+__all__ = ["TD3Config", "TD3Agent"]
+
+
+@dataclass
+class TD3Config:
+    """Hyperparameters for :class:`TD3Agent`."""
+
+    state_dim: int
+    action_dim: int = 1
+    hidden_sizes: tuple = (64, 32)
+    actor_lr: float = 1e-3
+    critic_lr: float = 1e-3
+    gamma: float = 0.99
+    tau: float = 0.005
+    policy_delay: int = 2
+    exploration_sigma: float = 0.1
+    target_noise_sigma: float = 0.2
+    target_noise_clip: float = 0.5
+    batch_size: int = 64
+    buffer_capacity: int = 100_000
+    warmup_steps: int = 100
+    max_action: float = 1.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.state_dim <= 0 or self.action_dim <= 0:
+            raise ValueError("state_dim and action_dim must be positive")
+        if not 0.0 < self.gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        if not 0.0 < self.tau <= 1.0:
+            raise ValueError("tau must be in (0, 1]")
+        if self.policy_delay <= 0:
+            raise ValueError("policy_delay must be positive")
+
+
+class TD3Agent:
+    """TD3 with numpy networks.
+
+    Typical use::
+
+        agent = TD3Agent(TD3Config(state_dim=21))
+        action = agent.act(state, explore=True)
+        agent.observe(state, action, reward, next_state, done)
+        metrics = agent.update()
+    """
+
+    def __init__(self, config: TD3Config) -> None:
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self._rng = rng
+
+        self.actor = make_actor(config.state_dim, config.action_dim, config.hidden_sizes, rng=rng)
+        self.critic1 = make_critic(config.state_dim, config.action_dim, config.hidden_sizes, rng=rng)
+        self.critic2 = make_critic(config.state_dim, config.action_dim, config.hidden_sizes, rng=rng)
+
+        self.target_actor = self.actor.clone()
+        self.target_critic1 = self.critic1.clone()
+        self.target_critic2 = self.critic2.clone()
+
+        self.actor_optimizer = Adam.for_model(self.actor, lr=config.actor_lr)
+        self.critic1_optimizer = Adam.for_model(self.critic1, lr=config.critic_lr)
+        self.critic2_optimizer = Adam.for_model(self.critic2, lr=config.critic_lr)
+
+        self.replay = ReplayBuffer(
+            config.buffer_capacity, config.state_dim, config.action_dim, seed=config.seed
+        )
+        self.exploration_noise = GaussianNoise(
+            config.action_dim, sigma=config.exploration_sigma, seed=config.seed
+        )
+        self.total_updates = 0
+        self.total_env_steps = 0
+
+    # ------------------------------------------------------------------ #
+    # Acting
+    # ------------------------------------------------------------------ #
+    def act(self, state: np.ndarray, explore: bool = False) -> np.ndarray:
+        """Deterministic policy action, optionally with exploration noise."""
+        state = np.asarray(state, dtype=np.float64).reshape(1, -1)
+        action = self.actor.forward(state)[0]
+        if explore:
+            action = action + self.exploration_noise.sample()
+        return np.clip(action, -self.config.max_action, self.config.max_action)
+
+    def policy(self, state: np.ndarray) -> np.ndarray:
+        """Greedy policy callable (no exploration), convenient for rollouts."""
+        return self.act(state, explore=False)
+
+    # ------------------------------------------------------------------ #
+    # Experience collection
+    # ------------------------------------------------------------------ #
+    def observe(self, state, action, reward: float, next_state, done: bool) -> None:
+        self.replay.add(state, action, reward, next_state, done)
+        self.total_env_steps += 1
+
+    def ready_to_update(self) -> bool:
+        return len(self.replay) >= max(self.config.batch_size, self.config.warmup_steps)
+
+    # ------------------------------------------------------------------ #
+    # Learning
+    # ------------------------------------------------------------------ #
+    def update(self) -> Dict[str, float]:
+        """Run one TD3 gradient step; returns loss diagnostics.
+
+        Returns an empty dict when the replay buffer has not yet collected
+        enough experience.
+        """
+        if not self.ready_to_update():
+            return {}
+        batch = self.replay.sample(self.config.batch_size)
+        metrics = self._update_critics(batch)
+        self.total_updates += 1
+        if self.total_updates % self.config.policy_delay == 0:
+            metrics.update(self._update_actor(batch))
+            self._update_targets()
+        return metrics
+
+    def _update_critics(self, batch: Dict[str, np.ndarray]) -> Dict[str, float]:
+        cfg = self.config
+        next_states = batch["next_states"]
+
+        # Target-policy smoothing.
+        next_actions = self.target_actor.forward(next_states)
+        noise = np.clip(
+            self._rng.normal(0.0, cfg.target_noise_sigma, size=next_actions.shape),
+            -cfg.target_noise_clip,
+            cfg.target_noise_clip,
+        )
+        next_actions = np.clip(next_actions + noise, -cfg.max_action, cfg.max_action)
+
+        target_inputs = np.concatenate([next_states, next_actions], axis=1)
+        target_q1 = self.target_critic1.forward(target_inputs)
+        target_q2 = self.target_critic2.forward(target_inputs)
+        target_q = np.minimum(target_q1, target_q2).reshape(-1)
+        targets = batch["rewards"] + cfg.gamma * (1.0 - batch["dones"]) * target_q
+        targets = targets.reshape(-1, 1)
+
+        inputs = np.concatenate([batch["states"], batch["actions"]], axis=1)
+
+        self.critic1.zero_grad()
+        q1 = self.critic1.forward(inputs)
+        loss1, grad1 = mse_loss(q1, targets)
+        self.critic1.backward(grad1)
+        self.critic1_optimizer.step()
+
+        self.critic2.zero_grad()
+        q2 = self.critic2.forward(inputs)
+        loss2, grad2 = mse_loss(q2, targets)
+        self.critic2.backward(grad2)
+        self.critic2_optimizer.step()
+
+        return {"critic1_loss": loss1, "critic2_loss": loss2, "target_q_mean": float(targets.mean())}
+
+    def _update_actor(self, batch: Dict[str, np.ndarray]) -> Dict[str, float]:
+        states = batch["states"]
+        batch_size = states.shape[0]
+
+        self.actor.zero_grad()
+        actions = self.actor.forward(states)
+        inputs = np.concatenate([states, actions], axis=1)
+
+        # Deterministic policy gradient: maximize Q1(s, π(s)); the critic is a
+        # fixed differentiable function here, so we zero its parameter grads
+        # after extracting the input gradient.
+        self.critic1.zero_grad()
+        q_values = self.critic1.forward(inputs)
+        grad_q = -np.ones_like(q_values) / batch_size
+        grad_inputs = self.critic1.backward(grad_q)
+        self.critic1.zero_grad()
+
+        grad_actions = grad_inputs[:, self.config.state_dim:]
+        self.actor.backward(grad_actions)
+        self.actor_optimizer.step()
+
+        return {"actor_loss": float(-q_values.mean())}
+
+    def _update_targets(self) -> None:
+        tau = self.config.tau
+        self.target_actor.soft_update_from(self.actor, tau)
+        self.target_critic1.soft_update_from(self.critic1, tau)
+        self.target_critic2.soft_update_from(self.critic2, tau)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def get_weights(self) -> Dict[str, List[np.ndarray]]:
+        return {
+            "actor": self.actor.get_weights(),
+            "critic1": self.critic1.get_weights(),
+            "critic2": self.critic2.get_weights(),
+        }
+
+    def set_weights(self, weights: Dict[str, List[np.ndarray]]) -> None:
+        self.actor.set_weights(weights["actor"])
+        self.critic1.set_weights(weights["critic1"])
+        self.critic2.set_weights(weights["critic2"])
+        self.target_actor.copy_from(self.actor)
+        self.target_critic1.copy_from(self.critic1)
+        self.target_critic2.copy_from(self.critic2)

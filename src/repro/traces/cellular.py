@@ -1,0 +1,83 @@
+"""Cellular-like bandwidth traces.
+
+The paper uses three commercial LTE traces (AT&T, Verizon, T-Mobile) recorded
+by Sprout (Winstein et al., NSDI'13).  Those traces are not redistributable
+here, so we generate stochastic stand-ins that reproduce their load-bearing
+characteristics for congestion control evaluation:
+
+* strong short-timescale capacity variability (100 ms granularity),
+* occasional near-outages (capacity dropping close to zero),
+* bursts well above the mean,
+* long-run mean capacities in the handful-to-tens of Mbps range.
+
+The generator is an AR(1) process in log-capacity with outage and burst
+mixtures; each named carrier uses fixed parameters and a fixed seed, so the
+suite is deterministic across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.traces.trace import BandwidthTrace
+
+__all__ = ["CELLULAR_TRACE_NAMES", "make_cellular_trace", "cellular_trace_suite"]
+
+
+@dataclass(frozen=True)
+class _CarrierProfile:
+    mean_mbps: float
+    volatility: float
+    outage_prob: float
+    burst_prob: float
+    burst_scale: float
+    seed: int
+
+
+_PROFILES: Dict[str, _CarrierProfile] = {
+    # Parameters loosely follow the published statistics of the Sprout traces:
+    # highly variable capacity with means in the 5-25 Mbps range.
+    "cellular-att": _CarrierProfile(mean_mbps=9.0, volatility=0.35, outage_prob=0.02,
+                                    burst_prob=0.05, burst_scale=2.5, seed=101),
+    "cellular-verizon": _CarrierProfile(mean_mbps=16.0, volatility=0.30, outage_prob=0.015,
+                                        burst_prob=0.04, burst_scale=2.0, seed=202),
+    "cellular-tmobile": _CarrierProfile(mean_mbps=22.0, volatility=0.40, outage_prob=0.03,
+                                        burst_prob=0.06, burst_scale=2.2, seed=303),
+}
+
+#: Names of the three cellular-like traces standing in for the LTE traces.
+CELLULAR_TRACE_NAMES = tuple(_PROFILES.keys())
+
+
+def make_cellular_trace(name: str, duration: float = 30.0, sample_ms: float = 100.0) -> BandwidthTrace:
+    """Generate one cellular-like trace by carrier name."""
+    try:
+        profile = _PROFILES[name]
+    except KeyError:
+        raise KeyError(f"unknown cellular trace {name!r}; known: {sorted(_PROFILES)}") from None
+    rng = np.random.default_rng(profile.seed)
+    n = int(np.ceil(duration * 1000.0 / sample_ms))
+    log_mean = np.log(profile.mean_mbps)
+    # AR(1) in log space keeps capacities positive and gives temporal correlation.
+    phi = 0.9
+    noise_scale = profile.volatility * np.sqrt(1 - phi ** 2)
+    log_cap = np.empty(n)
+    log_cap[0] = log_mean
+    for i in range(1, n):
+        log_cap[i] = log_mean + phi * (log_cap[i - 1] - log_mean) + rng.normal(0.0, noise_scale)
+    capacity = np.exp(log_cap)
+
+    outages = rng.random(n) < profile.outage_prob
+    bursts = rng.random(n) < profile.burst_prob
+    capacity = np.where(outages, capacity * 0.05, capacity)
+    capacity = np.where(bursts, capacity * profile.burst_scale, capacity)
+    capacity = np.clip(capacity, 0.1, 200.0)
+    return BandwidthTrace.from_samples(capacity, sample_ms / 1000.0, name)
+
+
+def cellular_trace_suite(duration: float = 30.0) -> List[BandwidthTrace]:
+    """All three cellular-like traces."""
+    return [make_cellular_trace(name, duration=duration) for name in CELLULAR_TRACE_NAMES]

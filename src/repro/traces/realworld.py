@@ -1,0 +1,77 @@
+"""Wide-area link profiles standing in for the global Azure/CloudLab testbed.
+
+Section 6.4 deploys a sender on CloudLab (Wisconsin) and receivers in nine
+Azure regions, with ping latencies from 20 ms to 237 ms.  We reproduce the
+experiment over emulated links: each :class:`WANProfile` names a region,
+carries a base RTT, a mean capacity, a jitter level and a random loss rate,
+and can materialize itself into a bandwidth trace plus link parameters for the
+simulator.
+
+Capacities and jitter are representative of wide-area cloud paths; what the
+experiment needs is *heterogeneity across paths*, which the profile set
+provides, not the specific numbers of the original testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.traces.trace import BandwidthTrace
+
+__all__ = ["WANProfile", "intracontinental_profiles", "intercontinental_profiles"]
+
+
+@dataclass(frozen=True)
+class WANProfile:
+    """An emulated wide-area path between the sender and one receiver region."""
+
+    region: str
+    category: str              # "intra" or "inter" continental
+    rtt_ms: float              # base (propagation) round-trip time
+    mean_mbps: float           # mean bottleneck capacity
+    jitter: float              # relative capacity variability (0..1)
+    loss_rate: float           # random (non-congestion) loss probability
+    buffer_bdp: float = 1.0    # bottleneck buffer in BDP multiples
+    seed: int = 0
+
+    def make_trace(self, duration: float = 30.0, sample_ms: float = 200.0) -> BandwidthTrace:
+        """Materialize the capacity schedule for this path."""
+        rng = np.random.default_rng(self.seed or abs(hash(self.region)) % (2 ** 31))
+        n = int(np.ceil(duration * 1000.0 / sample_ms))
+        phi = 0.85
+        noise_scale = self.jitter * np.sqrt(1 - phi ** 2)
+        log_mean = np.log(self.mean_mbps)
+        log_cap = np.empty(n)
+        log_cap[0] = log_mean
+        for i in range(1, n):
+            log_cap[i] = log_mean + phi * (log_cap[i - 1] - log_mean) + rng.normal(0.0, noise_scale)
+        capacity = np.clip(np.exp(log_cap), 1.0, 500.0)
+        return BandwidthTrace.from_samples(capacity, sample_ms / 1000.0, f"wan-{self.region}")
+
+    @property
+    def min_rtt_s(self) -> float:
+        return self.rtt_ms / 1000.0
+
+
+def intracontinental_profiles() -> List[WANProfile]:
+    """Receiver regions on the same continent as the sender (US/Canada)."""
+    return [
+        WANProfile("east-us", "intra", rtt_ms=22.0, mean_mbps=90.0, jitter=0.10, loss_rate=0.0002, seed=11),
+        WANProfile("west-us-2", "intra", rtt_ms=48.0, mean_mbps=75.0, jitter=0.12, loss_rate=0.0003, seed=13),
+        WANProfile("canada-central", "intra", rtt_ms=30.0, mean_mbps=85.0, jitter=0.10, loss_rate=0.0002, seed=17),
+        WANProfile("south-central-us", "intra", rtt_ms=35.0, mean_mbps=80.0, jitter=0.11, loss_rate=0.0002, seed=19),
+    ]
+
+
+def intercontinental_profiles() -> List[WANProfile]:
+    """Receiver regions on other continents."""
+    return [
+        WANProfile("sweden-central", "inter", rtt_ms=110.0, mean_mbps=60.0, jitter=0.15, loss_rate=0.0008, seed=23),
+        WANProfile("australia-east", "inter", rtt_ms=205.0, mean_mbps=45.0, jitter=0.18, loss_rate=0.0012, seed=29),
+        WANProfile("central-india", "inter", rtt_ms=237.0, mean_mbps=40.0, jitter=0.20, loss_rate=0.0015, seed=31),
+        WANProfile("brazil-south", "inter", rtt_ms=150.0, mean_mbps=55.0, jitter=0.16, loss_rate=0.0010, seed=37),
+        WANProfile("south-africa-north", "inter", rtt_ms=230.0, mean_mbps=42.0, jitter=0.20, loss_rate=0.0015, seed=41),
+    ]

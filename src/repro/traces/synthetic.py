@@ -1,0 +1,136 @@
+"""Synthetic bandwidth traces with controlled, fine-grained variation.
+
+Section 6.1 of the paper uses 18 hand-constructed synthetic traces "similar
+to, but richer than, the traces used in SAGE", with frequent but controlled
+bandwidth changes.  We generate an equivalent suite of 18 named traces from a
+small set of parameterized shapes:
+
+* ``step-*`` — abrupt up/down capacity steps,
+* ``square-*`` — periodic square waves,
+* ``sawtooth-*`` — linear ramps with resets,
+* ``pulse-*`` — short capacity spikes or dips on a flat baseline,
+* ``ramp-*`` — slow monotone ramps,
+* ``staircase-*`` — multi-level staircases,
+* ``flux-*`` — pseudo-random walks with bounded increments (seeded, so the
+  suite is fully deterministic).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.traces.trace import BandwidthTrace
+
+__all__ = ["SYNTHETIC_TRACE_NAMES", "make_synthetic_trace", "synthetic_trace_suite"]
+
+
+def _step_trace(low: float, high: float, period: float, duration: float, name: str) -> BandwidthTrace:
+    segments = []
+    elapsed = 0.0
+    level_high = False
+    while elapsed < duration:
+        seg = min(period, duration - elapsed)
+        segments.append((seg, high if level_high else low))
+        level_high = not level_high
+        elapsed += seg
+    return BandwidthTrace(name, segments)
+
+
+def _sawtooth_trace(low: float, high: float, period: float, duration: float, name: str, steps: int = 8) -> BandwidthTrace:
+    segments = []
+    elapsed = 0.0
+    while elapsed < duration:
+        for i in range(steps):
+            if elapsed >= duration:
+                break
+            seg = min(period / steps, duration - elapsed)
+            capacity = low + (high - low) * i / (steps - 1)
+            segments.append((seg, capacity))
+            elapsed += seg
+    return BandwidthTrace(name, segments)
+
+
+def _pulse_trace(base: float, pulse: float, pulse_width: float, gap: float, duration: float, name: str) -> BandwidthTrace:
+    segments = []
+    elapsed = 0.0
+    while elapsed < duration:
+        seg = min(gap, duration - elapsed)
+        segments.append((seg, base))
+        elapsed += seg
+        if elapsed >= duration:
+            break
+        seg = min(pulse_width, duration - elapsed)
+        segments.append((seg, pulse))
+        elapsed += seg
+    return BandwidthTrace(name, segments)
+
+
+def _ramp_trace(start: float, end: float, duration: float, name: str, steps: int = 24) -> BandwidthTrace:
+    segments = []
+    for i in range(steps):
+        capacity = start + (end - start) * i / (steps - 1)
+        segments.append((duration / steps, capacity))
+    return BandwidthTrace(name, segments)
+
+
+def _staircase_trace(levels: List[float], step_duration: float, name: str) -> BandwidthTrace:
+    segments = [(step_duration, level) for level in levels]
+    return BandwidthTrace(name, segments)
+
+
+def _flux_trace(low: float, high: float, duration: float, name: str, seed: int, dwell: float = 0.5) -> BandwidthTrace:
+    rng = np.random.default_rng(seed)
+    segments = []
+    elapsed = 0.0
+    capacity = (low + high) / 2.0
+    while elapsed < duration:
+        step = rng.uniform(-0.25, 0.25) * (high - low)
+        capacity = float(np.clip(capacity + step, low, high))
+        seg = min(dwell, duration - elapsed)
+        segments.append((seg, capacity))
+        elapsed += seg
+    return BandwidthTrace(name, segments)
+
+
+_DURATION = 30.0
+
+_BUILDERS: Dict[str, Callable[[], BandwidthTrace]] = {
+    "step-12-48": lambda: _step_trace(12, 48, 3.0, _DURATION, "step-12-48"),
+    "step-24-96": lambda: _step_trace(24, 96, 4.0, _DURATION, "step-24-96"),
+    "step-6-24-fast": lambda: _step_trace(6, 24, 1.0, _DURATION, "step-6-24-fast"),
+    "square-12-36": lambda: _step_trace(12, 36, 2.0, _DURATION, "square-12-36"),
+    "square-48-96": lambda: _step_trace(48, 96, 2.5, _DURATION, "square-48-96"),
+    "sawtooth-12-60": lambda: _sawtooth_trace(12, 60, 6.0, _DURATION, "sawtooth-12-60"),
+    "sawtooth-24-96": lambda: _sawtooth_trace(24, 96, 5.0, _DURATION, "sawtooth-24-96"),
+    "pulse-drop-48-12": lambda: _pulse_trace(48, 12, 1.0, 4.0, _DURATION, "pulse-drop-48-12"),
+    "pulse-spike-24-96": lambda: _pulse_trace(24, 96, 1.0, 4.0, _DURATION, "pulse-spike-24-96"),
+    "pulse-drop-96-24": lambda: _pulse_trace(96, 24, 1.5, 5.0, _DURATION, "pulse-drop-96-24"),
+    "ramp-up-6-96": lambda: _ramp_trace(6, 96, _DURATION, "ramp-up-6-96"),
+    "ramp-down-96-6": lambda: _ramp_trace(96, 6, _DURATION, "ramp-down-96-6"),
+    "staircase-up": lambda: _staircase_trace([12, 24, 36, 48, 72, 96], 5.0, "staircase-up"),
+    "staircase-down": lambda: _staircase_trace([96, 72, 48, 36, 24, 12], 5.0, "staircase-down"),
+    "flux-low": lambda: _flux_trace(6, 48, _DURATION, "flux-low", seed=11),
+    "flux-mid": lambda: _flux_trace(24, 96, _DURATION, "flux-mid", seed=23),
+    "flux-high": lambda: _flux_trace(48, 192, _DURATION, "flux-high", seed=37),
+    "flux-wide": lambda: _flux_trace(6, 192, _DURATION, "flux-wide", seed=53),
+}
+
+#: Names of the 18 synthetic traces in the evaluation suite.
+SYNTHETIC_TRACE_NAMES = tuple(_BUILDERS.keys())
+
+
+def make_synthetic_trace(name: str) -> BandwidthTrace:
+    """Build one synthetic trace by name (see :data:`SYNTHETIC_TRACE_NAMES`)."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown synthetic trace {name!r}; known: {sorted(_BUILDERS)}") from None
+    return builder()
+
+
+def synthetic_trace_suite(subset: int | None = None) -> List[BandwidthTrace]:
+    """The full 18-trace synthetic suite (or its first ``subset`` traces)."""
+    names = SYNTHETIC_TRACE_NAMES if subset is None else SYNTHETIC_TRACE_NAMES[:subset]
+    return [make_synthetic_trace(name) for name in names]

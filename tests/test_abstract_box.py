@@ -1,0 +1,156 @@
+"""Tests for the box abstract domain."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abstract.box import Box
+from repro.abstract.interval import Interval
+
+
+class TestConstruction:
+    def test_point_box(self):
+        box = Box.point([1.0, 2.0])
+        assert np.allclose(box.deviation, 0.0)
+        assert box.contains([1.0, 2.0])
+
+    def test_negative_deviation_rejected(self):
+        with pytest.raises(ValueError):
+            Box([0.0], [-1.0])
+
+    def test_from_bounds_round_trip(self):
+        box = Box.from_bounds([0.0, -1.0], [2.0, 3.0])
+        assert np.allclose(box.lo, [0.0, -1.0])
+        assert np.allclose(box.hi, [2.0, 3.0])
+
+    def test_interval_round_trip(self):
+        iv = Interval([0.0, 1.0], [2.0, 5.0])
+        box = Box.from_interval(iv)
+        back = box.to_interval()
+        assert np.allclose(back.lo, iv.lo)
+        assert np.allclose(back.hi, iv.hi)
+
+    def test_abstraction_function_covers_states(self):
+        states = [np.array([0.0, 1.0]), np.array([2.0, -1.0]), np.array([1.0, 0.5])]
+        box = Box.abstraction(states)
+        for state in states:
+            assert box.contains(state)
+
+    def test_abstraction_empty_raises(self):
+        with pytest.raises(ValueError):
+            Box.abstraction([])
+
+
+class TestTransformers:
+    def test_affine_exactness_on_point(self):
+        box = Box.point([1.0, -1.0])
+        weight = np.array([[2.0, 0.5], [1.0, -1.0]])
+        bias = np.array([0.1, -0.2])
+        result = box.affine(weight, bias)
+        expected = weight @ np.array([1.0, -1.0]) + bias
+        assert np.allclose(result.center, expected)
+        assert np.allclose(result.deviation, 0.0)
+
+    def test_affine_deviation_uses_abs_weight(self):
+        box = Box([0.0, 0.0], [1.0, 2.0])
+        weight = np.array([[1.0, -1.0]])
+        result = box.affine(weight)
+        assert result.deviation[0] == pytest.approx(3.0)
+
+    def test_relu_matches_paper_formula(self):
+        box = Box([0.0], [2.0])  # concretization [-2, 2]
+        result = box.relu()
+        assert result.lo[0] == pytest.approx(0.0)
+        assert result.hi[0] == pytest.approx(2.0)
+
+    def test_relu_all_negative(self):
+        result = Box([-3.0], [1.0]).relu()
+        assert result.lo[0] == pytest.approx(0.0)
+        assert result.hi[0] == pytest.approx(0.0)
+
+    def test_tanh_bounds(self):
+        result = Box([0.0], [1.0]).tanh()
+        assert result.lo[0] == pytest.approx(np.tanh(-1.0))
+        assert result.hi[0] == pytest.approx(np.tanh(1.0))
+
+    def test_add_elements(self):
+        box = Box.point([1.0, 2.0, 3.0])
+        result = box.add_elements(target=0, lhs=1, rhs=2)
+        assert result.center[0] == pytest.approx(5.0)
+        assert result.center[1] == pytest.approx(2.0)
+
+    def test_scale_negative_factor(self):
+        box = Box([1.0], [0.5])
+        result = box.scale(-2.0)
+        assert result.lo[0] == pytest.approx(-3.0)
+        assert result.hi[0] == pytest.approx(-1.0)
+
+    def test_shift(self):
+        box = Box([1.0], [0.5])
+        result = box.shift(2.0)
+        assert result.center[0] == pytest.approx(3.0)
+        assert result.deviation[0] == pytest.approx(0.5)
+
+    def test_join_is_upper_bound(self):
+        a = Box.from_bounds([0.0], [1.0])
+        b = Box.from_bounds([2.0], [3.0])
+        joined = a.join(b)
+        assert joined.contains_box(a)
+        assert joined.contains_box(b)
+
+
+class TestSplit:
+    def test_split_covers_volume(self):
+        box = Box.from_bounds([0.0, 0.0], [1.0, 1.0])
+        pieces = box.split(4, dims=[0])
+        assert len(pieces) == 4
+        total = sum(piece.to_interval().width[0] for piece in pieces)
+        assert total == pytest.approx(1.0)
+
+    def test_split_scalar_box(self):
+        box = Box.from_bounds(np.array(0.0), np.array(1.0))
+        pieces = box.split(2)
+        assert len(pieces) == 2
+
+
+# ---------------------------------------------------------------------- #
+# Soundness: for random points in the box, the concrete image of each
+# transformer lies inside the abstract image.
+# ---------------------------------------------------------------------- #
+coord = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def box_and_point(draw, dim=3):
+    center = np.array([draw(coord) for _ in range(dim)])
+    deviation = np.array([abs(draw(coord)) / 2.0 for _ in range(dim)])
+    box = Box(center, deviation)
+    t = np.array([draw(st.floats(0.0, 1.0)) for _ in range(dim)])
+    point = box.lo + t * (box.hi - box.lo)
+    return box, point
+
+
+@given(box_and_point())
+@settings(max_examples=50, deadline=None)
+def test_affine_soundness(data):
+    box, point = data
+    weight = np.array([[1.0, -2.0, 0.5], [0.0, 3.0, -1.0]])
+    bias = np.array([0.5, -0.5])
+    abstract = box.affine(weight, bias)
+    concrete = weight @ point + bias
+    assert abstract.contains(concrete, tol=1e-6)
+
+
+@given(box_and_point())
+@settings(max_examples=50, deadline=None)
+def test_relu_soundness(data):
+    box, point = data
+    assert box.relu().contains(np.maximum(point, 0.0), tol=1e-9)
+
+
+@given(box_and_point())
+@settings(max_examples=50, deadline=None)
+def test_tanh_soundness(data):
+    box, point = data
+    assert box.tanh().contains(np.tanh(point), tol=1e-9)

@@ -1,0 +1,219 @@
+"""Tests for the interval domain: construction, arithmetic soundness, geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abstract.interval import Interval
+
+
+class TestConstruction:
+    def test_point_interval_has_zero_width(self):
+        iv = Interval.point([1.0, -2.0])
+        assert np.allclose(iv.width, 0.0)
+        assert iv.is_point()
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            Interval(1.0, 0.0)
+
+    def test_from_center_rejects_negative_deviation(self):
+        with pytest.raises(ValueError):
+            Interval.from_center(0.0, -1.0)
+
+    def test_from_center_matches_bounds(self):
+        iv = Interval.from_center([1.0, 2.0], [0.5, 1.0])
+        assert np.allclose(iv.lo, [0.5, 1.0])
+        assert np.allclose(iv.hi, [1.5, 3.0])
+
+    def test_hull_contains_all(self):
+        a = Interval(0.0, 1.0)
+        b = Interval(2.0, 3.0)
+        hull = Interval.hull([a, b])
+        assert hull.contains_interval(a)
+        assert hull.contains_interval(b)
+
+    def test_hull_empty_raises(self):
+        with pytest.raises(ValueError):
+            Interval.hull([])
+
+
+class TestGeometry:
+    def test_contains_point(self):
+        iv = Interval([0.0, 0.0], [1.0, 2.0])
+        assert iv.contains([0.5, 1.5])
+        assert not iv.contains([0.5, 2.5])
+
+    def test_intersection(self):
+        a = Interval(0.0, 2.0)
+        b = Interval(1.0, 3.0)
+        inter = a.intersection(b)
+        assert inter is not None
+        assert inter.lo == pytest.approx(1.0)
+        assert inter.hi == pytest.approx(2.0)
+
+    def test_disjoint_intersection_is_none(self):
+        assert Interval(0.0, 1.0).intersection(Interval(2.0, 3.0)) is None
+
+    def test_volume_1d(self):
+        assert Interval(0.0, 2.0).volume() == pytest.approx(2.0)
+
+    def test_volume_multidim(self):
+        iv = Interval([0.0, 0.0], [2.0, 3.0])
+        assert iv.volume() == pytest.approx(6.0)
+
+    def test_overlap_fraction_full(self):
+        assert Interval(0.0, 1.0).overlap_fraction(Interval(-1.0, 2.0)) == pytest.approx(1.0)
+
+    def test_overlap_fraction_none(self):
+        assert Interval(0.0, 1.0).overlap_fraction(Interval(2.0, 3.0)) == pytest.approx(0.0)
+
+    def test_overlap_fraction_partial(self):
+        assert Interval(0.0, 2.0).overlap_fraction(Interval(1.0, 5.0)) == pytest.approx(0.5)
+
+    def test_overlap_fraction_degenerate_point(self):
+        point = Interval.point(1.0)
+        assert point.overlap_fraction(Interval(0.0, 2.0)) == pytest.approx(1.0)
+        assert point.overlap_fraction(Interval(2.0, 3.0)) == pytest.approx(0.0)
+
+
+class TestArithmetic:
+    def test_add_intervals(self):
+        result = Interval(0.0, 1.0) + Interval(2.0, 3.0)
+        assert result.lo == pytest.approx(2.0)
+        assert result.hi == pytest.approx(4.0)
+
+    def test_add_scalar(self):
+        result = Interval(0.0, 1.0) + 5.0
+        assert result.lo == pytest.approx(5.0)
+
+    def test_negation_flips_bounds(self):
+        result = -Interval(1.0, 2.0)
+        assert result.lo == pytest.approx(-2.0)
+        assert result.hi == pytest.approx(-1.0)
+
+    def test_subtract_intervals(self):
+        result = Interval(0.0, 1.0) - Interval(2.0, 3.0)
+        assert result.lo == pytest.approx(-3.0)
+        assert result.hi == pytest.approx(-1.0)
+
+    def test_multiply_negative_scalar(self):
+        result = Interval(1.0, 2.0) * -3.0
+        assert result.lo == pytest.approx(-6.0)
+        assert result.hi == pytest.approx(-3.0)
+
+    def test_multiply_intervals_spanning_zero(self):
+        result = Interval(-1.0, 2.0) * Interval(-3.0, 1.0)
+        assert result.lo == pytest.approx(-6.0)
+        assert result.hi == pytest.approx(3.0)
+
+    def test_divide_by_zero_interval_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Interval(1.0, 2.0) / Interval(-1.0, 1.0)
+
+    def test_divide_by_scalar(self):
+        result = Interval(2.0, 4.0) / 2.0
+        assert result.lo == pytest.approx(1.0)
+        assert result.hi == pytest.approx(2.0)
+
+    def test_abs_spanning_zero(self):
+        result = Interval(-2.0, 1.0).abs()
+        assert result.lo == pytest.approx(0.0)
+        assert result.hi == pytest.approx(2.0)
+
+    def test_clip(self):
+        result = Interval(-2.0, 3.0).clip(0.0, 1.0)
+        assert result.lo == pytest.approx(0.0)
+        assert result.hi == pytest.approx(1.0)
+
+
+class TestMonotoneFunctions:
+    def test_relu(self):
+        result = Interval(-1.0, 2.0).relu()
+        assert result.lo == pytest.approx(0.0)
+        assert result.hi == pytest.approx(2.0)
+
+    def test_tanh_preserves_order(self):
+        result = Interval(-1.0, 1.0).tanh()
+        assert result.lo == pytest.approx(np.tanh(-1.0))
+        assert result.hi == pytest.approx(np.tanh(1.0))
+
+    def test_exp2(self):
+        result = Interval(0.0, 1.0).exp2()
+        assert result.lo == pytest.approx(1.0)
+        assert result.hi == pytest.approx(2.0)
+
+
+class TestSplitting:
+    def test_split_scalar_covers_range(self):
+        pieces = Interval(0.0, 1.0).split(4)
+        assert len(pieces) == 4
+        assert pieces[0].lo == pytest.approx(0.0)
+        assert pieces[-1].hi == pytest.approx(1.0)
+        total = sum(p.volume() for p in pieces)
+        assert total == pytest.approx(1.0)
+
+    def test_split_dims_only_touches_selected(self):
+        iv = Interval([0.0, 0.0], [1.0, 4.0])
+        pieces = iv.split_dims(2, [1])
+        assert len(pieces) == 2
+        for piece in pieces:
+            assert piece.lo[0] == pytest.approx(0.0)
+            assert piece.hi[0] == pytest.approx(1.0)
+        assert pieces[0].hi[1] == pytest.approx(2.0)
+        assert pieces[1].lo[1] == pytest.approx(2.0)
+
+    def test_split_invalid_n_raises(self):
+        with pytest.raises(ValueError):
+            Interval(0.0, 1.0).split(0)
+
+    def test_select(self):
+        iv = Interval([0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        sub = iv.select([0, 2])
+        assert np.allclose(sub.lo, [0.0, 2.0])
+        assert np.allclose(sub.hi, [1.0, 3.0])
+
+
+# ---------------------------------------------------------------------- #
+# Property-based soundness: concrete results stay inside interval results.
+# ---------------------------------------------------------------------- #
+finite = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def scalar_interval(draw):
+    a = draw(finite)
+    b = draw(finite)
+    return Interval(min(a, b), max(a, b))
+
+
+@given(scalar_interval(), scalar_interval(), st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_addition_soundness(x, y, tx, ty):
+    px = float(x.lo + tx * (x.hi - x.lo))
+    py = float(y.lo + ty * (y.hi - y.lo))
+    assert (x + y).contains(px + py, tol=1e-6)
+
+
+@given(scalar_interval(), scalar_interval(), st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_multiplication_soundness(x, y, tx, ty):
+    px = float(x.lo + tx * (x.hi - x.lo))
+    py = float(y.lo + ty * (y.hi - y.lo))
+    assert (x * y).contains(px * py, tol=1e-5)
+
+
+@given(scalar_interval(), st.floats(0.0, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_tanh_soundness(x, t):
+    p = float(x.lo + t * (x.hi - x.lo))
+    assert x.tanh().contains(np.tanh(p), tol=1e-9)
+
+
+@given(scalar_interval(), st.integers(1, 10), st.floats(0.0, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_split_covers_every_point(x, n, t):
+    p = float(x.lo + t * (x.hi - x.lo))
+    pieces = x.split(n)
+    assert any(piece.contains(p, tol=1e-9) for piece in pieces)

@@ -1,0 +1,186 @@
+"""Tests for the classical congestion controllers (Cubic, NewReno, Vegas, BBR)."""
+
+import numpy as np
+import pytest
+
+from repro.cc.base import MIN_CWND, TickFeedback
+from repro.cc.bbr import BBRController
+from repro.cc.cubic import CubicController
+from repro.cc.flow import Flow
+from repro.cc.link import BottleneckLink
+from repro.cc.netsim import NetworkSimulator
+from repro.cc.newreno import NewRenoController
+from repro.cc.vegas import VegasController
+from repro.traces.trace import BandwidthTrace, mbps_to_pps
+
+ALL_CONTROLLERS = [CubicController, NewRenoController, VegasController, BBRController]
+
+
+def feedback(now=1.0, acked=5.0, lost=0.0, rtt=0.05, min_rtt=0.05, delay=0.0,
+             inflight=10.0, rate=100.0, dt=0.01):
+    return TickFeedback(now=now, dt=dt, acked=acked, lost=lost, rtt=rtt, min_rtt=min_rtt,
+                        queuing_delay=delay, inflight=inflight, delivery_rate=rate)
+
+
+def run_on_link(controller, mbps=24.0, min_rtt=0.04, buffer_bdp=1.0, duration=10.0):
+    trace = BandwidthTrace.constant(mbps, duration=duration + 5)
+    link = BottleneckLink(trace, min_rtt=min_rtt, buffer_bdp=buffer_bdp)
+    sim = NetworkSimulator(link, [Flow(0, controller)], dt=0.01)
+    return sim.run(duration)
+
+
+class TestGenericBehaviour:
+    @pytest.mark.parametrize("controller_cls", ALL_CONTROLLERS)
+    def test_acks_grow_window_from_start(self, controller_cls):
+        controller = controller_cls(initial_cwnd=10.0)
+        start = controller.cwnd
+        now = 0.0
+        for _ in range(50):
+            now += 0.01
+            # A healthy delivery rate (500 pkt/s at 50 ms RTT => BDP of 25
+            # packets) so rate-based controllers also have room to grow.
+            controller.on_tick(feedback(now=now, acked=5.0, rate=500.0))
+        assert controller.cwnd > start
+
+    @pytest.mark.parametrize("controller_cls", ALL_CONTROLLERS)
+    def test_window_never_below_minimum(self, controller_cls):
+        controller = controller_cls(initial_cwnd=2.0)
+        now = 0.0
+        for _ in range(100):
+            now += 0.05
+            controller.on_tick(feedback(now=now, acked=1.0, lost=5.0, rtt=0.5, delay=0.4))
+        assert controller.cwnd >= MIN_CWND
+
+    @pytest.mark.parametrize("controller_cls", ALL_CONTROLLERS)
+    def test_reset_restores_initial_window(self, controller_cls):
+        controller = controller_cls(initial_cwnd=10.0)
+        for i in range(20):
+            controller.on_tick(feedback(now=0.01 * (i + 1), acked=10.0))
+        controller.reset()
+        assert controller.cwnd == pytest.approx(10.0)
+
+    @pytest.mark.parametrize("controller_cls", ALL_CONTROLLERS)
+    def test_reasonable_utilization_on_simulated_link(self, controller_cls):
+        result = run_on_link(controller_cls(), mbps=24.0, buffer_bdp=1.0)
+        stats = result.stats_for(0)
+        delivered = stats.acked[300:].sum() / (stats.acked[300:].size * result.dt)
+        assert delivered > 0.5 * mbps_to_pps(24.0)
+
+
+class TestNewReno:
+    def test_loss_halves_window(self):
+        controller = NewRenoController(initial_cwnd=40.0, ssthresh=20.0)
+        controller.on_tick(feedback(now=1.0, acked=0.0, lost=3.0))
+        assert controller.cwnd == pytest.approx(20.0)
+
+    def test_loss_reaction_cooldown(self):
+        controller = NewRenoController(initial_cwnd=40.0, ssthresh=20.0)
+        controller.on_tick(feedback(now=1.0, lost=3.0, rtt=0.1))
+        after_first = controller.cwnd
+        controller.on_tick(feedback(now=1.05, acked=0.0, lost=3.0, rtt=0.1))  # within one RTT
+        assert controller.cwnd == pytest.approx(after_first)
+
+    def test_slow_start_exponential_vs_ca_linear(self):
+        slow = NewRenoController(initial_cwnd=10.0, ssthresh=1000.0)
+        ca = NewRenoController(initial_cwnd=10.0, ssthresh=5.0)
+        slow.on_tick(feedback(acked=10.0))
+        ca.on_tick(feedback(acked=10.0))
+        assert slow.cwnd - 10.0 > ca.cwnd - 10.0
+
+
+class TestCubic:
+    def test_loss_applies_beta(self):
+        controller = CubicController(initial_cwnd=100.0, ssthresh=50.0)
+        controller.on_tick(feedback(now=1.0, lost=2.0))
+        assert controller.cwnd == pytest.approx(100.0 * CubicController.BETA)
+
+    def test_fast_convergence_lowers_w_last_max(self):
+        controller = CubicController(initial_cwnd=100.0, ssthresh=50.0)
+        controller._w_last_max = 200.0
+        controller.on_tick(feedback(now=1.0, lost=2.0))
+        assert controller._w_last_max < 200.0
+
+    def test_cubic_growth_accelerates_away_from_wmax(self):
+        controller = CubicController(initial_cwnd=50.0, ssthresh=10.0)
+        controller.on_tick(feedback(now=1.0, lost=2.0))  # sets w_max = 50
+        window_after_loss = controller.cwnd
+        now = 1.0
+        early_growth = None
+        for i in range(200):
+            now += 0.01
+            controller.on_tick(feedback(now=now, acked=5.0, rtt=0.05))
+            if i == 20:
+                early_growth = controller.cwnd - window_after_loss
+        late_growth = controller.cwnd - window_after_loss
+        assert late_growth > early_growth > 0
+
+    def test_set_cwnd_reanchors_epoch(self):
+        controller = CubicController(initial_cwnd=50.0, ssthresh=10.0)
+        controller.on_tick(feedback(now=1.0, acked=5.0))
+        controller.set_cwnd(80.0)
+        assert controller.cwnd == pytest.approx(80.0)
+        assert controller._epoch_start is None
+
+
+class TestVegas:
+    def test_invalid_alpha_beta(self):
+        with pytest.raises(ValueError):
+            VegasController(alpha=3.0, beta=2.0)
+
+    def test_increases_when_queue_below_alpha(self):
+        controller = VegasController(initial_cwnd=20.0, ssthresh=10.0)
+        before = controller.cwnd
+        controller.on_tick(feedback(now=1.0, acked=20.0, rtt=0.05, min_rtt=0.05))
+        assert controller.cwnd > before
+
+    def test_decreases_when_queue_above_beta(self):
+        controller = VegasController(initial_cwnd=50.0, ssthresh=10.0)
+        controller.on_tick(feedback(now=0.5, acked=1.0, rtt=0.05, min_rtt=0.05))  # learn base RTT
+        before = controller.cwnd
+        # RTT doubled => about cwnd/2 packets queued, far above beta.
+        controller.on_tick(feedback(now=1.0, acked=50.0, rtt=0.10, min_rtt=0.05))
+        assert controller.cwnd < before
+
+    def test_keeps_low_delay_on_deep_buffer_link(self):
+        result = run_on_link(VegasController(), mbps=24.0, buffer_bdp=5.0)
+        stats = result.stats_for(0)
+        mask = stats.acked > 0
+        avg_delay = np.average(stats.queuing_delay[mask], weights=stats.acked[mask])
+        # Vegas targets a few packets of queue: delay stays well below the 5 BDP bound.
+        assert avg_delay < 5 * 0.04 * 0.5
+
+
+class TestBBR:
+    def test_startup_grows_quickly(self):
+        controller = BBRController(initial_cwnd=10.0)
+        now = 0.0
+        for _ in range(30):
+            now += 0.01
+            controller.on_tick(feedback(now=now, acked=10.0, rate=500.0))
+        assert controller.cwnd > 10.0
+        assert controller._mode in ("startup", "probe_bw")
+
+    def test_exits_startup_when_bandwidth_plateaus(self):
+        controller = BBRController(initial_cwnd=10.0)
+        now = 0.0
+        for _ in range(100):
+            now += 0.05
+            controller.on_tick(feedback(now=now, acked=10.0, rate=300.0, rtt=0.05))
+        assert controller._mode != "startup"
+
+    def test_cwnd_tracks_bdp_in_probe_bw(self):
+        controller = BBRController(initial_cwnd=10.0)
+        now = 0.0
+        for _ in range(200):
+            now += 0.05
+            controller.on_tick(feedback(now=now, acked=10.0, rate=200.0, rtt=0.1, min_rtt=0.1))
+        if controller._mode == "probe_bw":
+            assert controller.cwnd == pytest.approx(BBRController.CWND_GAIN * 200.0 * 0.1, rel=0.3)
+
+    def test_pacing_rate_none_before_estimate(self):
+        assert BBRController().pacing_rate() is None
+
+    def test_pacing_rate_positive_after_samples(self):
+        controller = BBRController()
+        controller.on_tick(feedback(now=0.05, acked=10.0, rate=100.0))
+        assert controller.pacing_rate() > 0.0

@@ -1,0 +1,186 @@
+"""Tests for Flow and NetworkSimulator: windowing, ack delay, stats, reports."""
+
+import numpy as np
+import pytest
+
+from repro.cc.base import MIN_CWND, CongestionController, TickFeedback
+from repro.cc.cubic import CubicController
+from repro.cc.flow import Flow
+from repro.cc.link import BottleneckLink
+from repro.cc.netsim import NetworkSimulator
+from repro.traces.trace import BandwidthTrace, mbps_to_pps
+
+
+class FixedWindowController(CongestionController):
+    """Keeps a constant congestion window (for deterministic tests)."""
+
+    name = "fixed"
+
+    def on_tick(self, feedback: TickFeedback) -> None:  # pragma: no cover - trivial
+        pass
+
+
+def make_sim(mbps=12.0, min_rtt=0.05, buffer_bdp=2.0, cwnd=20.0, dt=0.01, n_flows=1,
+             start_times=None, controller_factory=None):
+    trace = BandwidthTrace.constant(mbps, duration=120.0)
+    link = BottleneckLink(trace, min_rtt=min_rtt, buffer_bdp=buffer_bdp)
+    flows = []
+    for i in range(n_flows):
+        controller = controller_factory() if controller_factory else FixedWindowController(cwnd)
+        start = start_times[i] if start_times else 0.0
+        flows.append(Flow(i, controller, start_time=start))
+    return NetworkSimulator(link, flows, dt=dt)
+
+
+class TestFlow:
+    def test_invalid_times(self):
+        with pytest.raises(ValueError):
+            Flow(0, FixedWindowController(), start_time=-1.0)
+        with pytest.raises(ValueError):
+            Flow(0, FixedWindowController(), start_time=5.0, stop_time=5.0)
+
+    def test_is_active_window(self):
+        flow = Flow(0, FixedWindowController(), start_time=1.0, stop_time=2.0)
+        assert not flow.is_active(0.5)
+        assert flow.is_active(1.5)
+        assert not flow.is_active(2.5)
+
+    def test_send_allowance_respects_window(self):
+        flow = Flow(0, FixedWindowController(10.0))
+        flow.inflight = 10.0
+        assert flow.send_allowance(0.0, 0.01, 0.05) == pytest.approx(0.0)
+
+    def test_inactive_flow_sends_nothing(self):
+        flow = Flow(0, FixedWindowController(10.0), start_time=5.0)
+        assert flow.send_allowance(0.0, 0.01, 0.05) == 0.0
+
+    def test_reset_restores_initial_state(self):
+        flow = Flow(0, FixedWindowController(10.0))
+        flow.inflight = 5.0
+        flow.total_sent = 100.0
+        flow.reset()
+        assert flow.inflight == 0.0
+        assert flow.total_sent == 0.0
+
+
+class TestSimulator:
+    def test_requires_flows_and_unique_ids(self):
+        trace = BandwidthTrace.constant(12.0)
+        link = BottleneckLink(trace, min_rtt=0.05)
+        with pytest.raises(ValueError):
+            NetworkSimulator(link, [], dt=0.01)
+        with pytest.raises(ValueError):
+            NetworkSimulator(link, [Flow(0, FixedWindowController()), Flow(0, FixedWindowController())])
+
+    def test_time_advances_by_dt(self):
+        sim = make_sim(dt=0.02)
+        sim.tick()
+        sim.tick()
+        assert sim.now == pytest.approx(0.04)
+
+    def test_acks_arrive_after_propagation_rtt(self):
+        sim = make_sim(min_rtt=0.1, cwnd=5.0, dt=0.01)
+        first_ack_time = None
+        for _ in range(40):
+            records = sim.tick()
+            if records[0].acked > 0 and first_ack_time is None:
+                first_ack_time = sim.now
+        assert first_ack_time is not None
+        assert first_ack_time >= 0.1 - 1e-6  # cannot beat the propagation delay
+
+    def test_throughput_matches_capacity_when_window_large(self):
+        sim = make_sim(mbps=12.0, cwnd=1000.0, buffer_bdp=5.0)
+        result = sim.run(5.0)
+        stats = result.stats_for(0)
+        delivered_pps = stats.acked[200:].sum() / (stats.acked[200:].size * result.dt)
+        assert delivered_pps == pytest.approx(mbps_to_pps(12.0), rel=0.1)
+
+    def test_throughput_window_limited(self):
+        # With a tiny window the flow cannot fill the pipe: thr ≈ cwnd / RTT.
+        sim = make_sim(mbps=96.0, cwnd=10.0, min_rtt=0.1, buffer_bdp=5.0)
+        result = sim.run(5.0)
+        stats = result.stats_for(0)
+        delivered_pps = stats.acked[200:].sum() / (stats.acked[200:].size * result.dt)
+        assert delivered_pps == pytest.approx(10.0 / 0.1, rel=0.2)
+        assert delivered_pps < mbps_to_pps(96.0) * 0.5
+
+    def test_queue_builds_and_drops_when_overdriven(self):
+        sim = make_sim(mbps=6.0, cwnd=10_000.0, buffer_bdp=0.5)
+        sim.run(3.0)
+        assert sim.link.total_dropped > 0.0
+        stats = sim.stats[0]
+        assert stats.lost.sum() > 0.0
+
+    def test_queuing_delay_bounded_by_buffer(self):
+        buffer_bdp = 2.0
+        min_rtt = 0.05
+        sim = make_sim(mbps=12.0, cwnd=10_000.0, buffer_bdp=buffer_bdp, min_rtt=min_rtt)
+        result = sim.run(5.0)
+        stats = result.stats_for(0)
+        max_delay = stats.queuing_delay.max()
+        # Max queuing delay is roughly buffer / capacity = buffer_bdp * min_rtt.
+        assert max_delay <= buffer_bdp * min_rtt * 1.5 + 0.05
+
+    def test_conservation_acked_plus_lost_le_sent(self):
+        sim = make_sim(mbps=12.0, cwnd=200.0, buffer_bdp=0.5)
+        sim.run(5.0)
+        flow = sim.flows[0]
+        assert flow.total_acked + flow.total_lost <= flow.total_sent + 1e-6
+
+    def test_flow_stats_columns_aligned(self):
+        sim = make_sim()
+        result = sim.run(1.0)
+        stats = result.stats_for(0)
+        n = stats.times.size
+        for column in (stats.acked, stats.lost, stats.sent, stats.rtt, stats.queuing_delay,
+                       stats.cwnd, stats.inflight):
+            assert column.size == n
+
+    def test_delayed_start_flow_stays_idle(self):
+        sim = make_sim(n_flows=2, start_times=[0.0, 2.0], cwnd=50.0)
+        sim.run(1.0)
+        assert sim.flows[1].total_sent == 0.0
+        sim.run_more = None
+
+    def test_two_flows_share_capacity(self):
+        sim = make_sim(mbps=24.0, n_flows=2, cwnd=500.0, buffer_bdp=2.0)
+        result = sim.run(6.0)
+        thr0 = result.stats_for(0).acked[200:].sum()
+        thr1 = result.stats_for(1).acked[200:].sum()
+        total_pps = (thr0 + thr1) / ((result.stats_for(0).acked.size - 200) * result.dt)
+        assert total_pps == pytest.approx(mbps_to_pps(24.0), rel=0.15)
+        assert thr0 == pytest.approx(thr1, rel=0.35)  # roughly fair under FIFO
+
+    def test_monitor_report_aggregates(self):
+        sim = make_sim(mbps=12.0, cwnd=100.0, buffer_bdp=2.0)
+        for _ in range(50):
+            sim.tick()
+        report = sim.monitor_report(0)
+        assert report.interval == pytest.approx(0.5, rel=1e-6)
+        assert report.throughput_pps > 0.0
+        assert 0.0 <= report.loss_rate <= 1.0
+        assert report.cwnd == pytest.approx(100.0)
+        # After the report the accumulators reset.
+        report2 = sim.monitor_report(0)
+        assert report2.n_acks == pytest.approx(0.0)
+
+    def test_rtt_includes_queuing_delay(self):
+        sim = make_sim(mbps=6.0, cwnd=10_000.0, buffer_bdp=3.0, min_rtt=0.05)
+        sim.run(4.0)
+        report = sim.monitor_report(0)
+        assert report.avg_rtt > 0.05
+        assert report.min_rtt >= 0.05 - 1e-9
+
+
+def test_cubic_in_simulator_reaches_high_utilization():
+    sim = make_sim(mbps=24.0, buffer_bdp=1.0, controller_factory=CubicController)
+    result = sim.run(10.0)
+    stats = result.stats_for(0)
+    delivered_pps = stats.acked[300:].sum() / (stats.acked[300:].size * result.dt)
+    assert delivered_pps > 0.7 * mbps_to_pps(24.0)
+
+
+def test_min_cwnd_enforced():
+    controller = FixedWindowController(10.0)
+    controller.set_cwnd(0.001)
+    assert controller.cwnd == pytest.approx(MIN_CWND)

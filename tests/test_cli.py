@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import FIGURE_DRIVERS, build_parser, main
+from repro.nn.serialization import load_weight_dict
+
+
+def test_parser_requires_subcommand():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_list_traces(capsys):
+    assert main(["list-traces"]) == 0
+    out = capsys.readouterr().out
+    assert "step-12-48" in out
+    assert "cellular-att" in out
+
+
+def test_unknown_trace_errors():
+    with pytest.raises(SystemExit):
+        main(["evaluate", "--trace", "not-a-trace", "--steps", "30"])
+
+
+def test_train_command_saves_weights(tmp_path, capsys):
+    out_path = tmp_path / "agent.npz"
+    code = main(["train", "--kind", "orca", "--steps", "30", "--seed", "51",
+                 "--out", str(out_path)])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "trained orca" in output
+    weights = load_weight_dict(out_path)
+    assert "actor" in weights and "critic1" in weights
+
+
+def test_evaluate_command_prints_table(capsys):
+    code = main(["evaluate", "--kind", "canopy-shallow", "--steps", "30", "--seed", "52",
+                 "--trace", "step-12-48", "--duration", "3.0"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "canopy-shallow" in out and "cubic" in out and "utilization" in out
+
+
+def test_certify_command_reports_qcsat(capsys):
+    code = main(["certify", "--kind", "canopy-shallow", "--steps", "30", "--seed", "52",
+                 "--trace", "step-12-48", "--duration", "3.0", "--components", "5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "QC_sat" in out
+
+
+def test_figure_command_unknown_id():
+    with pytest.raises(SystemExit):
+        main(["figure", "99"])
+
+
+def test_figure_command_runs_driver(capsys):
+    code = main(["figure", "17", "--steps", "40", "--seed", "53"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figure/table 17" in out
+
+
+def test_figure_driver_registry_covers_evaluation():
+    expected = {"1", "2", "5", "6", "7", "9", "10", "11", "12", "13", "16", "17", "table4"}
+    assert expected <= set(FIGURE_DRIVERS)
+
+
+def test_compare_classical_command(capsys):
+    code = main(["compare-classical", "--traces", "1", "--duration", "3.0"])
+    assert code == 0
+    out = capsys.readouterr().out
+    for scheme in ("cubic", "newreno", "vegas", "bbr"):
+        assert scheme in out

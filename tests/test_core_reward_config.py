@@ -1,0 +1,89 @@
+"""Tests for the QC-shaped reward (Eq. 10) and the CanopyConfig presets."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CanopyConfig
+from repro.core.properties import shallow_buffer_properties
+from repro.core.reward import CanopyRewardShaper
+from repro.core.verifier import Verifier, VerifierConfig
+from repro.nn import make_actor
+from repro.orca.observations import ObservationConfig
+
+
+@pytest.fixture
+def shaper_setup():
+    obs_config = ObservationConfig()
+    actor = make_actor(obs_config.state_dim, hidden_sizes=(16, 8), rng=np.random.default_rng(0))
+    verifier = Verifier(actor, obs_config, VerifierConfig(n_components=5))
+    state = np.clip(np.random.default_rng(1).uniform(0, 1, obs_config.state_dim), 0, 1)
+    return verifier, state
+
+
+class TestRewardShaper:
+    def test_invalid_lambda(self, shaper_setup):
+        verifier, _ = shaper_setup
+        with pytest.raises(ValueError):
+            CanopyRewardShaper(verifier, shallow_buffer_properties(), lam=1.5)
+
+    def test_lambda_zero_returns_raw(self, shaper_setup):
+        verifier, state = shaper_setup
+        shaper = CanopyRewardShaper(verifier, shallow_buffer_properties(), lam=0.0)
+        shaped = shaper.shape(0.7, state, 20.0, 20.0)
+        assert shaped.total == pytest.approx(0.7)
+
+    def test_lambda_one_returns_verifier(self, shaper_setup):
+        verifier, state = shaper_setup
+        shaper = CanopyRewardShaper(verifier, shallow_buffer_properties(), lam=1.0)
+        shaped = shaper.shape(0.7, state, 20.0, 20.0)
+        assert shaped.total == pytest.approx(shaped.verifier)
+
+    def test_equation_ten_mixing(self, shaper_setup):
+        verifier, state = shaper_setup
+        shaper = CanopyRewardShaper(verifier, shallow_buffer_properties(), lam=0.25)
+        shaped = shaper.shape(0.8, state, 20.0, 20.0)
+        assert shaped.total == pytest.approx(0.75 * 0.8 + 0.25 * shaped.verifier)
+        assert shaped.raw == pytest.approx(0.8)
+        assert shaped.lam == pytest.approx(0.25)
+
+    def test_per_property_breakdown(self, shaper_setup):
+        verifier, state = shaper_setup
+        shaper = CanopyRewardShaper(verifier, shallow_buffer_properties(), lam=0.5)
+        shaped = shaper.shape(0.0, state, 20.0, 20.0)
+        assert set(shaped.per_property) == {"P1", "P2"}
+        assert all(0.0 <= v <= 1.0 for v in shaped.per_property.values())
+
+
+class TestCanopyConfig:
+    def test_presets_match_paper_setup(self):
+        shallow = CanopyConfig.shallow()
+        deep = CanopyConfig.deep()
+        robust = CanopyConfig.robustness()
+        assert shallow.buffer_bdp == pytest.approx(0.5)
+        assert deep.buffer_bdp == pytest.approx(5.0)
+        assert robust.buffer_bdp == pytest.approx(2.0)
+        assert shallow.lam == pytest.approx(0.25)
+        assert shallow.n_components == 5
+        assert {p.name for p in deep.properties} == {"P3", "P4i", "P4ii"}
+        assert robust.observation_noise == pytest.approx(0.05)
+
+    def test_orca_baseline_has_zero_lambda(self):
+        assert CanopyConfig.orca_baseline().lam == pytest.approx(0.0)
+
+    def test_env_and_td3_autoconfigured(self):
+        config = CanopyConfig.shallow()
+        assert config.env.buffer_bdp == pytest.approx(0.5)
+        assert config.td3.state_dim == config.observation.state_dim
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            CanopyConfig(name="bad", properties=shallow_buffer_properties(), lam=2.0)
+
+    def test_with_lambda_rebuilds(self):
+        config = CanopyConfig.shallow().with_lambda(0.75)
+        assert config.lam == pytest.approx(0.75)
+        assert config.env is not None and config.td3 is not None
+
+    def test_with_components(self):
+        config = CanopyConfig.shallow().with_components(10)
+        assert config.n_components == 10

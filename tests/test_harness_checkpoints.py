@@ -1,0 +1,49 @@
+"""Tests for model checkpointing (save/load to disk)."""
+
+import numpy as np
+import pytest
+
+from repro.harness.checkpoints import SavedModel, load_model, save_model
+from repro.harness.evaluate import EvaluationSettings, evaluate_qcsat, run_scheme_on_trace, scheme_factory
+from repro.traces.trace import BandwidthTrace
+
+
+def test_save_and_load_round_trip(tmp_path, quick_model):
+    directory = save_model(quick_model, tmp_path, name="checkpoint")
+    loaded = load_model(directory, "checkpoint")
+
+    assert isinstance(loaded, SavedModel)
+    assert loaded.kind == quick_model.kind
+    assert [p.name for p in loaded.properties] == [p.name for p in quick_model.properties]
+    assert loaded.observation_config.history_len == quick_model.observation_config.history_len
+
+    state = np.clip(np.random.default_rng(0).uniform(0, 1, quick_model.observation_config.state_dim), 0, 1)
+    assert np.allclose(loaded.policy(state), quick_model.policy(state))
+
+
+def test_load_missing_checkpoint_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_model(tmp_path, "nothing-here")
+
+
+def test_loaded_model_drives_evaluation(tmp_path, quick_model):
+    directory = save_model(quick_model, tmp_path)
+    loaded = load_model(directory, quick_model.kind)
+    trace = BandwidthTrace.constant(24.0, duration=20.0, name="const-24")
+    settings = EvaluationSettings(duration=3.0, buffer_bdp=1.0, seed=2)
+
+    run = run_scheme_on_trace(scheme_factory("canopy", model=loaded, seed=2), trace, settings,
+                              scheme_name="canopy")
+    assert run.summary.utilization > 0.0
+
+    qcsat = evaluate_qcsat(loaded, trace, settings, n_components=4)
+    assert 0.0 <= qcsat.mean <= 1.0
+
+
+def test_saved_model_verifier(tmp_path, quick_model):
+    directory = save_model(quick_model, tmp_path)
+    loaded = load_model(directory, quick_model.kind)
+    verifier = loaded.make_verifier(n_components=3)
+    state = np.zeros(loaded.observation_config.state_dim)
+    cert = verifier.certify(loaded.properties.by_name("P1"), state, cwnd_tcp=20.0, cwnd_prev=20.0)
+    assert cert.n_components == 3

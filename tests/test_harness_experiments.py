@@ -1,0 +1,114 @@
+"""Smoke tests for the experiment drivers (at very small scale).
+
+These tests verify the structural contract of every figure/table driver —
+the benchmark suite exercises them at the reporting scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import experiments
+
+QUICK = dict(training_steps=60, seed=31)
+
+
+@pytest.mark.slow
+class TestMotivation:
+    def test_fig1_noise(self):
+        result = experiments.motivation_noise(duration=4.0, **QUICK)
+        assert result["figure"] == "1"
+        assert {r["scheme"] for r in result["rows"]} == {"orca", "orca-noise", "canopy", "canopy-noise"}
+        assert "orca_noise_drop" in result and "canopy_noise_drop" in result
+        assert len(result["series"]["orca"]["time"]) > 0
+
+    def test_fig2_bad_state(self):
+        result = experiments.motivation_bad_state(duration=4.0, **QUICK)
+        assert result["figure"] == "2"
+        assert {r["scheme"] for r in result["rows"]} == {"orca", "canopy"}
+        assert len(result["series"]["canopy"]["decision_time"]) > 0
+
+
+@pytest.mark.slow
+class TestQCSatFigures:
+    def test_fig5_structure(self):
+        result = experiments.qcsat_buffers(duration=3.0, n_components=5,
+                                           n_synthetic=1, n_cellular=1, **QUICK)
+        rows = result["rows"]
+        assert len(rows) == 8  # 2 families x 2 trace kinds x 2 schemes
+        for row in rows:
+            assert 0.0 <= row["qcsat_mean"] <= 1.0
+
+    def test_fig6_components(self):
+        result = experiments.certified_components(duration=3.0, n_components=6, max_steps=5, **QUICK)
+        assert result["figure"] == "6/8"
+        assert len(result["steps"]) > 0
+        first = result["steps"][0]
+        assert np.asarray(first["output_bounds"]).shape == (6, 2)
+
+    def test_fig7_robustness(self):
+        result = experiments.qcsat_robustness(duration=3.0, n_components=5,
+                                              n_synthetic=1, n_cellular=1, **QUICK)
+        assert len(result["rows"]) == 4
+        for row in result["rows"]:
+            assert row["scheme"] in ("canopy", "orca")
+
+
+@pytest.mark.slow
+class TestPerformanceFigures:
+    def test_fig9_shallow_sweep(self):
+        result = experiments.performance_sweep(buffer_bdp=1.0, duration=4.0,
+                                                n_synthetic=1, n_cellular=1, **QUICK)
+        assert result["figure"] == "9"
+        schemes = {row["scheme"] for row in result["rows"]}
+        assert schemes == {"canopy", "orca", "cubic", "vegas", "bbr"}
+
+    def test_fig10_deep_sweep(self):
+        result = experiments.performance_sweep(buffer_bdp=5.0, canopy_kind="canopy-deep",
+                                                duration=4.0, n_synthetic=1, n_cellular=0 or 1, **QUICK)
+        assert result["figure"] == "10"
+
+    def test_fig11_noise_sensitivity(self):
+        result = experiments.noise_sensitivity(duration=4.0, n_traces=1, **QUICK)
+        assert {row["scheme"] for row in result["rows"]} == {"orca", "canopy"}
+        for row in result["rows"]:
+            assert np.isfinite(row["utilization_change_pct"])
+
+    def test_fig12_realworld(self):
+        result = experiments.realworld_deployment(duration=4.0, profiles_per_category=1, **QUICK)
+        categories = {row["category"] for row in result["rows"]}
+        assert categories == {"intra", "inter"}
+        for row in result["rows"]:
+            assert 0.0 < row["normalized_throughput"] <= 1.0 + 1e-9
+            assert row["normalized_delay"] >= 1.0 - 1e-9
+
+    def test_fig13_fallback(self):
+        result = experiments.fallback_runtime(duration=3.0, thresholds=(0.0, 0.8),
+                                              n_components=4, n_traces=1, **QUICK)
+        assert len(result["rows"]) == 8  # 2 families x 2 schemes x 2 thresholds
+        for row in result["rows"]:
+            assert 0.0 <= row["fallback_fraction"] <= 1.0
+
+
+@pytest.mark.slow
+class TestSensitivityAndTraining:
+    def test_fig16_sensitivity(self):
+        result = experiments.sensitivity(n_values=(1, 2), lambda_values=(0.25,),
+                                         training_steps=40, duration=3.0, n_traces=1, seed=31)
+        labels = {row["label"] for row in result["rows"]}
+        assert "N1-lam0.25" in labels and "N2-lam0.25" in labels
+
+    def test_fig17_training_curves(self):
+        result = experiments.training_curves(training_steps=60, seed=32)
+        assert set(result["curves"]) == {"canopy", "orca"}
+        assert len(result["curves"]["canopy"]["step"]) > 0
+        assert set(result["final"]["canopy"]) == {"raw_reward", "verifier_reward", "total_reward"}
+
+    def test_table4_overhead(self):
+        result = experiments.verification_overhead(n_values=(1, 5), training_steps=40, seed=33)
+        rows = result["rows"]
+        assert rows[0]["scheme"] == "orca"
+        assert len(rows) == 3
+        for row in rows:
+            assert row["steps_per_second"] > 0.0
+        # Verification adds measurable time compared to the Orca baseline.
+        assert rows[0]["verifier_seconds"] <= min(r["verifier_seconds"] for r in rows[1:]) + 1e-9

@@ -1,0 +1,51 @@
+"""Tests for the model zoo (training + caching)."""
+
+import pytest
+
+from repro.harness.models import MODEL_KINDS, TrainedModel, clear_model_cache, get_trained_model
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        get_trained_model("canopy-unknown", training_steps=10)
+
+
+def test_model_is_cached_and_reused():
+    first = get_trained_model("canopy-shallow", training_steps=40, seed=21)
+    second = get_trained_model("canopy-shallow", training_steps=40, seed=21)
+    assert first is second
+
+
+def test_different_budget_trains_new_model():
+    a = get_trained_model("canopy-shallow", training_steps=40, seed=22)
+    b = get_trained_model("canopy-shallow", training_steps=41, seed=22)
+    assert a is not b
+
+
+def test_lambda_and_components_overrides():
+    model = get_trained_model("canopy-shallow", training_steps=40, seed=23, lam=0.5, n_components=2)
+    assert model.config.lam == pytest.approx(0.5)
+    assert model.config.n_components == 2
+
+
+def test_trained_model_accessors(quick_model):
+    assert isinstance(quick_model, TrainedModel)
+    assert quick_model.kind == "canopy-shallow"
+    assert quick_model.actor is quick_model.training.agent.actor
+    assert {p.name for p in quick_model.properties} == {"P1", "P2"}
+    verifier = quick_model.make_verifier(n_components=7)
+    assert verifier.config.n_components == 7
+    policy = quick_model.policy
+    action = policy(quick_model.observation_config.state_dim * [0.0])
+    assert -1.0 <= float(action[0]) <= 1.0
+
+
+def test_all_kinds_listed():
+    assert set(MODEL_KINDS) == {"canopy-shallow", "canopy-deep", "canopy-robust", "orca"}
+
+
+def test_clear_cache_forces_retraining():
+    a = get_trained_model("orca", training_steps=30, seed=24)
+    clear_model_cache()
+    b = get_trained_model("orca", training_steps=30, seed=24)
+    assert a is not b

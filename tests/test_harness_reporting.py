@@ -1,0 +1,40 @@
+"""Tests for the plain-text reporting helpers."""
+
+from repro.harness.reporting import format_rows, format_table, print_experiment
+
+
+def test_format_table_alignment():
+    table = format_table(["name", "value"], [["cubic", 1.23456], ["bbr", 2.0]])
+    lines = table.splitlines()
+    assert lines[0].startswith("name")
+    assert "1.235" in table
+    assert len(lines) == 4
+
+
+def test_format_table_empty_rows():
+    table = format_table(["a", "b"], [])
+    assert "a" in table and "-" in table
+
+
+def test_format_rows_uses_dict_keys():
+    rows = [{"scheme": "cubic", "utilization": 0.9}, {"scheme": "orca", "utilization": 0.8}]
+    rendered = format_rows(rows)
+    assert "scheme" in rendered and "cubic" in rendered and "0.900" in rendered
+
+
+def test_format_rows_empty():
+    assert format_rows([]) == "(no rows)"
+
+
+def test_format_rows_column_subset():
+    rows = [{"a": 1, "b": 2}]
+    rendered = format_rows(rows, columns=["b"])
+    assert "b" in rendered and "a" not in rendered.splitlines()[0]
+
+
+def test_print_experiment_outputs_rows_and_scalars(capsys):
+    print_experiment("Demo", {"rows": [{"x": 1.0}], "figure": "5", "series": {"ignored": []}})
+    out = capsys.readouterr().out
+    assert "Demo" in out
+    assert "figure: 5" in out
+    assert "ignored" not in out

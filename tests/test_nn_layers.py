@@ -1,0 +1,164 @@
+"""Tests for the neural-network layers: forward correctness and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Identity, ReLU, Sequential, Tanh
+
+
+def numerical_gradient(f, x, eps=1e-6):
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = f(x)
+        flat[i] = original - eps
+        minus = f(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestDense:
+    def test_forward_shape_and_value(self):
+        layer = Dense(3, 2, rng=np.random.default_rng(0))
+        x = np.array([[1.0, 2.0, 3.0]])
+        out = layer.forward(x)
+        assert out.shape == (1, 2)
+        assert np.allclose(out, x @ layer.weight.T + layer.bias)
+
+    def test_forward_promotes_1d_input(self):
+        layer = Dense(3, 2, rng=np.random.default_rng(0))
+        out = layer.forward(np.array([1.0, 2.0, 3.0]))
+        assert out.shape == (1, 2)
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense(2, 2)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_weight_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+
+        def loss_fn(_w):
+            return float(np.sum(layer.forward(x) ** 2))
+
+        layer.zero_grad()
+        out = layer.forward(x)
+        layer.backward(2.0 * out)
+        numerical = numerical_gradient(loss_fn, layer.weight)
+        assert np.allclose(layer.grad_weight, numerical, atol=1e-4)
+
+    def test_bias_gradient_matches_numerical(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+
+        def loss_fn(_b):
+            return float(np.sum(layer.forward(x) ** 2))
+
+        layer.zero_grad()
+        out = layer.forward(x)
+        layer.backward(2.0 * out)
+        numerical = numerical_gradient(loss_fn, layer.bias)
+        assert np.allclose(layer.grad_bias, numerical, atol=1e-4)
+
+    def test_input_gradient_matches_numerical(self):
+        rng = np.random.default_rng(3)
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(1, 3))
+
+        def loss_fn(arr):
+            return float(np.sum(layer.forward(arr) ** 2))
+
+        out = layer.forward(x)
+        grad_input = layer.backward(2.0 * out)
+        numerical = numerical_gradient(loss_fn, x)
+        assert np.allclose(grad_input, numerical, atol=1e-4)
+
+    def test_invalid_init_name_raises(self):
+        with pytest.raises(ValueError):
+            Dense(2, 2, weight_init="nonsense")
+
+    def test_zero_grad_clears_accumulators(self):
+        layer = Dense(2, 2, rng=np.random.default_rng(0))
+        out = layer.forward(np.ones((1, 2)))
+        layer.backward(np.ones_like(out))
+        assert np.any(layer.grad_weight != 0)
+        layer.zero_grad()
+        assert np.all(layer.grad_weight == 0)
+
+
+class TestActivations:
+    def test_relu_forward_and_backward(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 0.5, 2.0]])
+        out = layer.forward(x)
+        assert np.allclose(out, [[0.0, 0.5, 2.0]])
+        grad = layer.backward(np.ones_like(out))
+        assert np.allclose(grad, [[0.0, 1.0, 1.0]])
+
+    def test_tanh_gradient_matches_numerical(self):
+        layer = Tanh()
+        x = np.array([[0.3, -0.7]])
+
+        def loss_fn(arr):
+            return float(np.sum(np.tanh(arr) ** 2))
+
+        out = layer.forward(x)
+        grad = layer.backward(2.0 * out)
+        numerical = numerical_gradient(loss_fn, x.copy())
+        assert np.allclose(grad, numerical, atol=1e-5)
+
+    def test_identity_passthrough(self):
+        layer = Identity()
+        x = np.array([[1.0, 2.0]])
+        assert np.allclose(layer.forward(x), x)
+        assert np.allclose(layer.backward(x), x)
+
+    def test_activation_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.ones((1, 2)))
+        with pytest.raises(RuntimeError):
+            Tanh().backward(np.ones((1, 2)))
+
+
+class TestSequential:
+    def test_forward_composition(self):
+        rng = np.random.default_rng(4)
+        d1, d2 = Dense(3, 4, rng=rng), Dense(4, 2, rng=rng)
+        model = Sequential([d1, ReLU(), d2])
+        x = rng.normal(size=(2, 3))
+        manual = np.maximum(x @ d1.weight.T + d1.bias, 0.0) @ d2.weight.T + d2.bias
+        assert np.allclose(model.forward(x), manual)
+
+    def test_parameters_and_grads_alignment(self):
+        model = Sequential([Dense(2, 3), ReLU(), Dense(3, 1)])
+        params = model.parameters()
+        grads = model.grads()
+        assert len(params) == len(grads) == 4
+        for p, g in zip(params, grads):
+            assert p.shape == g.shape
+
+    def test_end_to_end_gradient_matches_numerical(self):
+        rng = np.random.default_rng(5)
+        model = Sequential([Dense(3, 5, rng=rng), Tanh(), Dense(5, 1, rng=rng)])
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 1))
+
+        def loss_fn(_):
+            prediction = model.forward(x)
+            return float(np.mean((prediction - target) ** 2))
+
+        model.zero_grad()
+        prediction = model.forward(x)
+        grad = 2.0 * (prediction - target) / prediction.size
+        model.backward(grad)
+        first_dense = model.layers[0]
+        numerical = numerical_gradient(loss_fn, first_dense.weight)
+        assert np.allclose(first_dense.grad_weight, numerical, atol=1e-4)

@@ -1,0 +1,88 @@
+"""Tests for the MLP container, actor/critic builders, and weight management."""
+
+import numpy as np
+import pytest
+
+from repro.nn.mlp import MLP, make_actor, make_critic
+
+
+def test_mlp_output_shape():
+    model = MLP(6, (8, 4), 2, rng=np.random.default_rng(0))
+    out = model.forward(np.zeros((3, 6)))
+    assert out.shape == (3, 2)
+
+
+def test_invalid_activation_names():
+    with pytest.raises(ValueError):
+        MLP(2, (4,), 1, hidden_activation="sigmoidish")
+    with pytest.raises(ValueError):
+        MLP(2, (4,), 1, output_activation="wrong")
+
+
+def test_actor_output_in_unit_range():
+    actor = make_actor(5, hidden_sizes=(8, 8), rng=np.random.default_rng(1))
+    x = np.random.default_rng(2).normal(size=(10, 5)) * 100.0
+    out = actor.forward(x)
+    assert np.all(out >= -1.0) and np.all(out <= 1.0)
+
+
+def test_critic_takes_state_action_concatenation():
+    critic = make_critic(5, 1, rng=np.random.default_rng(3))
+    out = critic.forward(np.zeros((2, 6)))
+    assert out.shape == (2, 1)
+
+
+def test_get_set_weights_round_trip():
+    model = MLP(4, (6,), 1, rng=np.random.default_rng(4))
+    weights = model.get_weights()
+    clone = MLP(4, (6,), 1, rng=np.random.default_rng(99))
+    clone.set_weights(weights)
+    x = np.random.default_rng(5).normal(size=(3, 4))
+    assert np.allclose(model.forward(x), clone.forward(x))
+
+
+def test_set_weights_wrong_count_raises():
+    model = MLP(4, (6,), 1)
+    with pytest.raises(ValueError):
+        model.set_weights(model.get_weights()[:-1])
+
+
+def test_set_weights_wrong_shape_raises():
+    model = MLP(4, (6,), 1)
+    weights = model.get_weights()
+    weights[0] = np.zeros((2, 2))
+    with pytest.raises(ValueError):
+        model.set_weights(weights)
+
+
+def test_clone_is_independent():
+    model = MLP(3, (4,), 1, rng=np.random.default_rng(6))
+    clone = model.clone()
+    x = np.ones((1, 3))
+    assert np.allclose(model.forward(x), clone.forward(x))
+    clone.parameters()[0][...] += 1.0
+    assert not np.allclose(model.forward(x), clone.forward(x))
+
+
+def test_soft_update_interpolates():
+    source = MLP(3, (4,), 1, rng=np.random.default_rng(7))
+    target = MLP(3, (4,), 1, rng=np.random.default_rng(8))
+    original = [p.copy() for p in target.parameters()]
+    target.soft_update_from(source, tau=0.5)
+    for orig, src, updated in zip(original, source.parameters(), target.parameters()):
+        assert np.allclose(updated, 0.5 * src + 0.5 * orig)
+
+
+def test_soft_update_invalid_tau():
+    source = MLP(3, (4,), 1)
+    target = MLP(3, (4,), 1)
+    with pytest.raises(ValueError):
+        target.soft_update_from(source, tau=1.5)
+
+
+def test_copy_from_makes_exact_copy():
+    source = MLP(3, (4,), 1, rng=np.random.default_rng(9))
+    target = MLP(3, (4,), 1, rng=np.random.default_rng(10))
+    target.copy_from(source)
+    x = np.random.default_rng(11).normal(size=(2, 3))
+    assert np.allclose(source.forward(x), target.forward(x))

@@ -1,0 +1,92 @@
+"""Tests for the SGD and Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Sequential
+from repro.nn.losses import mse_loss
+from repro.nn.mlp import MLP
+from repro.nn.optim import SGD, Adam
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValueError):
+        SGD([np.zeros(2)], [], lr=0.1)
+
+
+def test_nonpositive_lr_rejected():
+    with pytest.raises(ValueError):
+        Adam([np.zeros(2)], [np.zeros(2)], lr=0.0)
+
+
+def test_sgd_step_moves_against_gradient():
+    param = np.array([1.0, -1.0])
+    grad = np.array([0.5, -0.5])
+    opt = SGD([param], [grad], lr=0.1)
+    opt.step()
+    assert np.allclose(param, [0.95, -0.95])
+
+
+def test_sgd_momentum_accumulates():
+    param = np.array([0.0])
+    grad = np.array([1.0])
+    opt = SGD([param], [grad], lr=0.1, momentum=0.9)
+    opt.step()
+    first = param.copy()
+    opt.step()
+    second_step = param - first
+    assert abs(second_step[0]) > 0.1  # momentum makes the second step larger
+
+
+def test_sgd_invalid_momentum():
+    with pytest.raises(ValueError):
+        SGD([np.zeros(1)], [np.zeros(1)], lr=0.1, momentum=1.5)
+
+
+def test_adam_invalid_betas():
+    with pytest.raises(ValueError):
+        Adam([np.zeros(1)], [np.zeros(1)], lr=0.1, beta1=1.0)
+
+
+def test_zero_grad_clears_buffers():
+    param = np.array([1.0])
+    grad = np.array([2.0])
+    opt = SGD([param], [grad], lr=0.1)
+    opt.zero_grad()
+    assert np.all(grad == 0.0)
+
+
+def test_adam_minimizes_quadratic():
+    param = np.array([5.0, -3.0])
+    grad = np.zeros_like(param)
+    opt = Adam([param], [grad], lr=0.1)
+    for _ in range(500):
+        grad[...] = 2.0 * param  # d/dx of ||x||^2
+        opt.step()
+    assert np.allclose(param, 0.0, atol=1e-2)
+
+
+def test_adam_trains_regression_model():
+    rng = np.random.default_rng(0)
+    true_weight = np.array([[2.0, -1.0]])
+    x = rng.normal(size=(256, 2))
+    y = x @ true_weight.T
+
+    model = MLP(2, (), 1, rng=rng)  # a single linear layer
+    opt = Adam.for_model(model, lr=0.05)
+    initial_loss = None
+    for _ in range(300):
+        model.zero_grad()
+        prediction = model.forward(x)
+        loss, grad = mse_loss(prediction, y)
+        if initial_loss is None:
+            initial_loss = loss
+        model.backward(grad)
+        opt.step()
+    assert loss < initial_loss * 0.01
+
+
+def test_for_model_binds_model_buffers():
+    model = Sequential([Dense(2, 2, rng=np.random.default_rng(1))])
+    opt = Adam.for_model(model, lr=0.01)
+    assert opt.parameters[0] is model.layers[0].weight

@@ -1,0 +1,54 @@
+"""Tests for network weight serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.mlp import MLP, make_actor
+from repro.nn.serialization import load_mlp, load_weight_dict, save_mlp, save_weight_dict
+from repro.rl.td3 import TD3Agent, TD3Config
+
+
+def test_mlp_round_trip(tmp_path):
+    model = make_actor(6, hidden_sizes=(8, 4), rng=np.random.default_rng(0))
+    path = save_mlp(model, tmp_path / "actor.npz")
+    loaded = load_mlp(path)
+    x = np.random.default_rng(1).normal(size=(5, 6))
+    assert np.allclose(model.forward(x), loaded.forward(x))
+    assert loaded.hidden_sizes == model.hidden_sizes
+    assert loaded.output_activation == model.output_activation
+
+
+def test_mlp_save_appends_npz_suffix(tmp_path):
+    model = MLP(3, (4,), 1, rng=np.random.default_rng(2))
+    path = save_mlp(model, tmp_path / "weights")
+    assert path.suffix == ".npz"
+    assert path.exists()
+
+
+def test_load_rejects_foreign_archive(tmp_path):
+    path = tmp_path / "foreign.npz"
+    np.savez(path, data=np.zeros(3))
+    with pytest.raises(ValueError):
+        load_mlp(path)
+    with pytest.raises(ValueError):
+        load_weight_dict(path)
+
+
+def test_weight_dict_round_trip_through_td3_agent(tmp_path):
+    agent = TD3Agent(TD3Config(state_dim=5, hidden_sizes=(8, 8), seed=0))
+    path = save_weight_dict(agent.get_weights(), tmp_path / "agent.npz")
+    restored = load_weight_dict(path)
+
+    other = TD3Agent(TD3Config(state_dim=5, hidden_sizes=(8, 8), seed=99))
+    other.set_weights(restored)
+    state = np.linspace(0.0, 1.0, 5)
+    assert np.allclose(agent.act(state), other.act(state))
+
+
+def test_weight_dict_preserves_structure(tmp_path):
+    weights = {"a": [np.ones((2, 2)), np.zeros(2)], "b": [np.full(3, 7.0)]}
+    path = save_weight_dict(weights, tmp_path / "mix.npz")
+    loaded = load_weight_dict(path)
+    assert set(loaded) == {"a", "b"}
+    assert len(loaded["a"]) == 2
+    assert np.allclose(loaded["b"][0], 7.0)

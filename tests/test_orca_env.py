@@ -1,0 +1,107 @@
+"""Tests for the Orca RL training environment."""
+
+import numpy as np
+import pytest
+
+from repro.orca.env import OrcaEnvConfig, OrcaNetworkEnv
+from repro.traces.trace import BandwidthTrace
+
+
+def make_env(**overrides):
+    defaults = dict(episode_intervals=6, seed=5)
+    defaults.update(overrides)
+    return OrcaNetworkEnv(OrcaEnvConfig(**defaults))
+
+
+class TestConfigValidation:
+    def test_invalid_bandwidth_range(self):
+        with pytest.raises(ValueError):
+            OrcaEnvConfig(bandwidth_range_mbps=(10.0, 5.0))
+
+    def test_invalid_rtt_range(self):
+        with pytest.raises(ValueError):
+            OrcaEnvConfig(rtt_range_s=(0.0, 0.1))
+
+    def test_invalid_buffer(self):
+        with pytest.raises(ValueError):
+            OrcaEnvConfig(buffer_bdp=0.0)
+
+    def test_monitor_interval_smaller_than_tick(self):
+        with pytest.raises(ValueError):
+            OrcaEnvConfig(monitor_interval=0.001, tick=0.01)
+
+
+class TestEnvironment:
+    def test_step_before_reset_raises(self):
+        env = make_env()
+        with pytest.raises(RuntimeError):
+            env.step(np.array([0.0]))
+
+    def test_reset_returns_state_of_right_dim(self):
+        env = make_env()
+        state = env.reset()
+        assert state.shape == (env.state_dim,)
+
+    def test_episode_terminates_after_configured_intervals(self):
+        env = make_env(episode_intervals=4)
+        env.reset()
+        done = False
+        steps = 0
+        while not done:
+            _, _, done, _ = env.step(np.array([0.0]))
+            steps += 1
+            assert steps <= 10
+        assert steps == 4
+
+    def test_info_contains_decision_context(self):
+        env = make_env()
+        env.reset()
+        _, _, _, info = env.step(np.array([0.3]))
+        for key in ("report", "cwnd_tcp", "cwnd_prev", "cwnd_enforced", "action", "raw_reward"):
+            assert key in info
+        assert info["cwnd_enforced"] == pytest.approx(2 ** (2 * 0.3) * info["cwnd_tcp"], rel=1e-6)
+
+    def test_action_clipping(self):
+        env = make_env()
+        env.reset()
+        _, _, _, info = env.step(np.array([5.0]))
+        assert info["action"] == pytest.approx(1.0)
+
+    def test_rewards_are_finite(self):
+        env = make_env(episode_intervals=8)
+        env.reset()
+        for _ in range(8):
+            _, reward, done, _ = env.step(np.array([0.0]))
+            assert np.isfinite(reward)
+
+    def test_seeded_reset_is_reproducible(self):
+        env_a = make_env(seed=9)
+        env_b = make_env(seed=9)
+        state_a = env_a.reset()
+        state_b = env_b.reset()
+        assert np.allclose(state_a, state_b)
+
+    def test_explicit_trace_list_is_used(self):
+        trace = BandwidthTrace.constant(24.0, duration=60.0, name="fixed-24")
+        env = make_env(traces=[trace])
+        env.reset()
+        _, _, _, info = env.step(np.array([0.0]))
+        assert info["link_capacity_mbps"] == pytest.approx(24.0)
+
+    def test_observation_noise_option(self):
+        env = make_env(observation_noise=0.05)
+        state = env.reset()
+        assert state.shape == (env.state_dim,)
+
+    def test_cubic_property_requires_reset(self):
+        env = make_env()
+        with pytest.raises(RuntimeError):
+            _ = env.cubic
+        env.reset()
+        assert env.cubic.cwnd >= 2.0
+
+    def test_aggressive_action_raises_enforced_window(self):
+        env = make_env()
+        env.reset()
+        _, _, _, info_up = env.step(np.array([1.0]))
+        assert info_up["cwnd_enforced"] == pytest.approx(4.0 * info_up["cwnd_tcp"], rel=1e-6)

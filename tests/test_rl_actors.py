@@ -1,0 +1,85 @@
+"""Tests for the actor pool (multi-environment experience collection)."""
+
+import numpy as np
+import pytest
+
+from repro.orca.env import OrcaEnvConfig, OrcaNetworkEnv
+from repro.rl.actors import ActorPool
+from repro.rl.td3 import TD3Agent, TD3Config
+
+
+def make_pool(n_envs=3, reward_hook=None, episode_intervals=4):
+    envs = [OrcaNetworkEnv(OrcaEnvConfig(seed=100 + i, episode_intervals=episode_intervals))
+            for i in range(n_envs)]
+    obs_dim = envs[0].state_dim
+    agent = TD3Agent(TD3Config(state_dim=obs_dim, hidden_sizes=(16, 8), warmup_steps=8,
+                               batch_size=8, seed=0))
+    return ActorPool(envs, agent, reward_hook=reward_hook), agent
+
+
+def test_empty_pool_rejected():
+    agent = TD3Agent(TD3Config(state_dim=4, hidden_sizes=(8,), seed=0))
+    with pytest.raises(ValueError):
+        ActorPool([], agent)
+
+
+def test_collect_requires_positive_steps():
+    pool, _ = make_pool()
+    with pytest.raises(ValueError):
+        pool.collect(steps=0)
+
+
+def test_round_robin_distributes_steps():
+    pool, _ = make_pool(n_envs=3)
+    pool.collect(steps=9)
+    assert [actor.steps for actor in pool.actors] == [3, 3, 3]
+    assert pool.total_steps == 9
+
+
+def test_transitions_reach_replay_buffer():
+    pool, agent = make_pool(n_envs=2)
+    pool.collect(steps=10)
+    assert len(agent.replay) == 10
+
+
+def test_episode_boundaries_reset_actors():
+    pool, _ = make_pool(n_envs=2, episode_intervals=3)
+    pool.collect(steps=12)
+    assert pool.total_episodes >= 2
+    for actor in pool.actors:
+        assert actor.episodes_completed >= 1
+        assert actor.observation is not None
+
+
+def test_reward_hook_rewrites_stored_reward():
+    calls = []
+
+    def hook(reward, state, info):
+        calls.append(reward)
+        return 42.0
+
+    pool, agent = make_pool(n_envs=2, reward_hook=hook)
+    pool.collect(steps=6)
+    assert len(calls) == 6
+    batch = agent.replay.sample(6)
+    assert np.allclose(batch["rewards"], 42.0)
+
+
+def test_records_and_summary():
+    pool, _ = make_pool(n_envs=2)
+    records = pool.collect(steps=4)
+    assert len(records) == 4
+    assert {"reward", "stored_reward", "done", "actor"} <= set(records[0])
+    summary = pool.summary()
+    assert summary["n_actors"] == 2.0
+    assert summary["total_steps"] == 4.0
+    assert np.isfinite(summary["mean_recent_reward"])
+
+
+def test_training_through_pool_updates_agent():
+    pool, agent = make_pool(n_envs=4)
+    for _ in range(40):
+        pool.collect(steps=1)
+        agent.update()
+    assert agent.total_updates > 0
+    assert pool.mean_recent_reward() != 0.0

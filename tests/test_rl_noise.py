@@ -1,0 +1,52 @@
+"""Tests for exploration noise processes."""
+
+import numpy as np
+import pytest
+
+from repro.rl.noise import GaussianNoise, OrnsteinUhlenbeckNoise
+
+
+def test_gaussian_noise_statistics():
+    noise = GaussianNoise(dim=2, sigma=0.5, seed=0)
+    samples = np.array([noise.sample() for _ in range(4000)])
+    assert samples.shape == (4000, 2)
+    assert abs(samples.mean()) < 0.05
+    assert abs(samples.std() - 0.5) < 0.05
+
+
+def test_gaussian_zero_sigma_is_deterministic():
+    noise = GaussianNoise(dim=3, sigma=0.0, seed=1)
+    assert np.allclose(noise.sample(), 0.0)
+
+
+def test_gaussian_negative_sigma_rejected():
+    with pytest.raises(ValueError):
+        GaussianNoise(dim=1, sigma=-0.1)
+
+
+def test_ou_noise_reverts_to_mean():
+    noise = OrnsteinUhlenbeckNoise(dim=1, mu=0.0, theta=0.5, sigma=0.0, seed=0)
+    noise._state = np.array([10.0])
+    for _ in range(50):
+        value = noise.sample()
+    assert abs(value[0]) < 0.1
+
+
+def test_ou_noise_reset():
+    noise = OrnsteinUhlenbeckNoise(dim=2, mu=1.0, seed=0)
+    noise.sample()
+    noise.reset()
+    assert np.allclose(noise._state, 1.0)
+
+
+def test_ou_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        OrnsteinUhlenbeckNoise(dim=1, sigma=-1.0)
+    with pytest.raises(ValueError):
+        OrnsteinUhlenbeckNoise(dim=1, dt=0.0)
+
+
+def test_noise_is_reproducible_with_seed():
+    a = GaussianNoise(dim=2, sigma=1.0, seed=42)
+    b = GaussianNoise(dim=2, sigma=1.0, seed=42)
+    assert np.allclose(a.sample(), b.sample())

@@ -1,0 +1,84 @@
+"""Tests for the replay buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rl.replay import ReplayBuffer, Transition
+
+
+def _fill(buffer: ReplayBuffer, n: int, state_dim: int = 3, action_dim: int = 1) -> None:
+    for i in range(n):
+        buffer.add(np.full(state_dim, i, dtype=float), np.full(action_dim, i, dtype=float),
+                   float(i), np.full(state_dim, i + 1, dtype=float), done=(i % 5 == 0))
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        ReplayBuffer(0, 3, 1)
+    with pytest.raises(ValueError):
+        ReplayBuffer(10, 0, 1)
+
+
+def test_len_grows_until_capacity():
+    buffer = ReplayBuffer(5, 3, 1)
+    _fill(buffer, 3)
+    assert len(buffer) == 3
+    _fill(buffer, 5)
+    assert len(buffer) == 5
+    assert buffer.is_full
+
+
+def test_ring_overwrite_keeps_most_recent():
+    buffer = ReplayBuffer(3, 1, 1, seed=0)
+    for i in range(6):
+        buffer.add([float(i)], [0.0], float(i), [float(i)], False)
+    batch = buffer.sample(3)
+    # Only rewards 3, 4, 5 can remain after wrap-around.
+    assert np.all(batch["rewards"] >= 3.0)
+
+
+def test_sample_too_many_raises():
+    buffer = ReplayBuffer(10, 2, 1)
+    _fill(buffer, 4, state_dim=2)
+    with pytest.raises(ValueError):
+        buffer.sample(5)
+    with pytest.raises(ValueError):
+        buffer.sample(0)
+
+
+def test_sample_shapes():
+    buffer = ReplayBuffer(20, 4, 2, seed=1)
+    for i in range(10):
+        buffer.add(np.zeros(4), np.zeros(2), 0.0, np.zeros(4), False)
+    batch = buffer.sample(6)
+    assert batch["states"].shape == (6, 4)
+    assert batch["actions"].shape == (6, 2)
+    assert batch["rewards"].shape == (6,)
+    assert batch["next_states"].shape == (6, 4)
+    assert batch["dones"].shape == (6,)
+
+
+def test_add_transition_dataclass():
+    buffer = ReplayBuffer(5, 2, 1)
+    buffer.add_transition(Transition(np.zeros(2), np.zeros(1), 1.0, np.ones(2), True))
+    assert len(buffer) == 1
+    batch = buffer.sample(1)
+    assert batch["dones"][0] == pytest.approx(1.0)
+    assert batch["rewards"][0] == pytest.approx(1.0)
+
+
+def test_clear_resets():
+    buffer = ReplayBuffer(5, 2, 1)
+    _fill(buffer, 4, state_dim=2)
+    buffer.clear()
+    assert len(buffer) == 0
+
+
+@given(st.integers(1, 40), st.integers(1, 15))
+@settings(max_examples=30, deadline=None)
+def test_size_never_exceeds_capacity(n_items, capacity):
+    buffer = ReplayBuffer(capacity, 2, 1, seed=0)
+    _fill(buffer, n_items, state_dim=2)
+    assert len(buffer) == min(n_items, capacity)

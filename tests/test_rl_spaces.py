@@ -1,0 +1,44 @@
+"""Tests for BoxSpace."""
+
+import numpy as np
+import pytest
+
+from repro.rl.spaces import BoxSpace
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(ValueError):
+        BoxSpace(np.array([1.0]), np.array([0.0]))
+
+
+def test_contains_and_clip():
+    space = BoxSpace(np.array([-1.0, 0.0]), np.array([1.0, 2.0]))
+    assert space.contains(np.array([0.0, 1.0]))
+    assert not space.contains(np.array([0.0, 3.0]))
+    clipped = space.clip(np.array([5.0, -5.0]))
+    assert np.allclose(clipped, [1.0, 0.0])
+
+
+def test_contains_rejects_wrong_shape():
+    space = BoxSpace(np.zeros(3), np.ones(3))
+    assert not space.contains(np.zeros(2))
+
+
+def test_dim_and_shape():
+    space = BoxSpace(np.zeros(4), np.ones(4))
+    assert space.dim == 4
+    assert space.shape == (4,)
+
+
+def test_sample_within_bounds():
+    space = BoxSpace(np.array([-2.0, 0.0]), np.array([2.0, 1.0]))
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        sample = space.sample(rng)
+        assert space.contains(sample)
+
+
+def test_broadcast_scalar_bounds():
+    space = BoxSpace(np.zeros(3), np.array(1.0))
+    assert space.shape == (3,)
+    assert space.contains(np.array([0.5, 0.5, 0.5]))

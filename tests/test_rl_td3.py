@@ -1,0 +1,136 @@
+"""Tests for the TD3 agent: configuration, acting, updates, and learning."""
+
+import numpy as np
+import pytest
+
+from repro.rl.env import Environment
+from repro.rl.spaces import BoxSpace
+from repro.rl.td3 import TD3Agent, TD3Config
+
+
+def make_agent(**overrides) -> TD3Agent:
+    defaults = dict(state_dim=4, action_dim=1, hidden_sizes=(16, 16), warmup_steps=16,
+                    batch_size=16, seed=0)
+    defaults.update(overrides)
+    return TD3Agent(TD3Config(**defaults))
+
+
+class TestConfig:
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            TD3Config(state_dim=0)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            TD3Config(state_dim=2, gamma=0.0)
+
+    def test_invalid_policy_delay(self):
+        with pytest.raises(ValueError):
+            TD3Config(state_dim=2, policy_delay=0)
+
+
+class TestActing:
+    def test_action_within_bounds(self):
+        agent = make_agent()
+        for _ in range(20):
+            action = agent.act(np.random.default_rng(0).normal(size=4), explore=True)
+            assert np.all(np.abs(action) <= 1.0)
+
+    def test_deterministic_without_exploration(self):
+        agent = make_agent()
+        state = np.ones(4)
+        assert np.allclose(agent.act(state), agent.act(state))
+
+    def test_policy_callable_matches_act(self):
+        agent = make_agent()
+        state = np.ones(4) * 0.3
+        assert np.allclose(agent.policy(state), agent.act(state, explore=False))
+
+
+class TestUpdates:
+    def test_update_skipped_before_warmup(self):
+        agent = make_agent()
+        assert agent.update() == {}
+
+    def test_update_returns_losses_after_warmup(self):
+        agent = make_agent()
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            s = rng.normal(size=4)
+            a = agent.act(s, explore=True)
+            agent.observe(s, a, rng.normal(), rng.normal(size=4), False)
+        metrics = agent.update()
+        assert "critic1_loss" in metrics and "critic2_loss" in metrics
+
+    def test_actor_updated_only_on_policy_delay(self):
+        agent = make_agent(policy_delay=2)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            s = rng.normal(size=4)
+            agent.observe(s, agent.act(s, explore=True), 0.0, rng.normal(size=4), False)
+        first = agent.update()
+        second = agent.update()
+        assert "actor_loss" not in first
+        assert "actor_loss" in second
+
+    def test_target_networks_move_towards_online(self):
+        agent = make_agent(policy_delay=1, tau=0.5)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            s = rng.normal(size=4)
+            agent.observe(s, agent.act(s, explore=True), rng.normal(), rng.normal(size=4), False)
+        before = agent.target_actor.get_weights()[0].copy()
+        agent.actor.parameters()[0][...] += 1.0
+        agent.update()
+        after = agent.target_actor.get_weights()[0]
+        assert not np.allclose(before, after)
+
+    def test_weights_round_trip(self):
+        agent = make_agent()
+        other = make_agent(seed=99)
+        other.set_weights(agent.get_weights())
+        state = np.ones(4) * 0.2
+        assert np.allclose(agent.act(state), other.act(state))
+
+
+class _GoalEnv(Environment):
+    """Tiny environment: reward is highest when the action equals +1."""
+
+    def __init__(self) -> None:
+        self.observation_space = BoxSpace(np.zeros(2), np.ones(2))
+        self.action_space = BoxSpace(np.array([-1.0]), np.array([1.0]))
+        self._steps = 0
+
+    def reset(self, seed=None):
+        self._steps = 0
+        return np.zeros(2)
+
+    def step(self, action):
+        self._steps += 1
+        reward = float(-(1.0 - float(action[0])) ** 2)
+        done = self._steps >= 10
+        return np.zeros(2), reward, done, {}
+
+
+def test_td3_learns_trivial_bandit():
+    env = _GoalEnv()
+    agent = make_agent(state_dim=2, warmup_steps=32, batch_size=32,
+                       exploration_sigma=0.3, policy_delay=1, actor_lr=3e-3, critic_lr=3e-3)
+    state = env.reset()
+    for _ in range(600):
+        action = agent.act(state, explore=True)
+        next_state, reward, done, _ = env.step(action)
+        agent.observe(state, action, reward, next_state, done)
+        agent.update()
+        state = env.reset() if done else next_state
+    final_action = agent.act(np.zeros(2))
+    assert final_action[0] > 0.3  # moved decisively toward the optimum (+1)
+
+
+def test_rollout_helper_reports_rewards():
+    env = _GoalEnv()
+    agent = make_agent(state_dim=2)
+    summary = env.rollout(agent.policy, max_steps=20)
+    assert summary["steps"] == 10
+    assert len(summary["rewards"]) == 10
+    assert summary["total_reward"] <= 0.0
