@@ -7,7 +7,7 @@ muted (see EXPERIMENTS.md); the benchmark asserts the ordering
 Canopy >= Orca and prints the absolute values.
 """
 
-from benchconfig import DURATION, EVAL_COMPONENTS, N_CELLULAR, N_SYNTHETIC, run_once
+from benchconfig import DURATION, EVAL_COMPONENTS, N_CELLULAR, N_JOBS, N_SYNTHETIC, run_once
 
 from repro.harness import experiments
 from repro.harness.reporting import print_experiment
@@ -17,7 +17,7 @@ def test_fig07_qcsat_robustness(benchmark, bench_scale):
     result = run_once(
         benchmark, experiments.qcsat_robustness,
         duration=DURATION, n_components=EVAL_COMPONENTS,
-        n_synthetic=N_SYNTHETIC, n_cellular=N_CELLULAR, noise=0.05, **bench_scale,
+        n_synthetic=N_SYNTHETIC, n_cellular=N_CELLULAR, noise=0.05, n_jobs=N_JOBS, **bench_scale,
     )
     print_experiment(
         "Figure 7: QC_sat for the robustness property (P5), 2 BDP buffers, 5% noise",

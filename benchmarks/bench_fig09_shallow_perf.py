@@ -7,7 +7,7 @@ of BBR's utilization.  The benchmark prints the utilization / avg-delay /
 p95-delay rows for every scheme on synthetic and cellular traces.
 """
 
-from benchconfig import DURATION, N_CELLULAR, N_SYNTHETIC, run_once
+from benchconfig import DURATION, N_CELLULAR, N_JOBS, N_SYNTHETIC, run_once
 
 from repro.harness import experiments
 from repro.harness.reporting import print_experiment
@@ -17,7 +17,8 @@ def test_fig09_shallow_buffer_performance(benchmark, bench_scale):
     result = run_once(
         benchmark, experiments.performance_sweep,
         buffer_bdp=1.0, canopy_kind="canopy-shallow",
-        duration=DURATION, n_synthetic=N_SYNTHETIC, n_cellular=N_CELLULAR, **bench_scale,
+        duration=DURATION, n_synthetic=N_SYNTHETIC, n_cellular=N_CELLULAR, n_jobs=N_JOBS,
+        **bench_scale,
     )
     print_experiment(
         "Figure 9: shallow buffer (1 BDP) — utilization vs delay",

@@ -7,7 +7,7 @@ delays than CUBIC (whose cubic growth fills the deep buffer).  The benchmark
 prints the same rows and asserts the delay ordering Canopy <= CUBIC.
 """
 
-from benchconfig import DURATION, N_CELLULAR, N_SYNTHETIC, run_once
+from benchconfig import DURATION, N_CELLULAR, N_JOBS, N_SYNTHETIC, run_once
 
 from repro.harness import experiments
 from repro.harness.reporting import print_experiment
@@ -17,7 +17,8 @@ def test_fig10_deep_buffer_performance(benchmark, bench_scale):
     result = run_once(
         benchmark, experiments.performance_sweep,
         buffer_bdp=5.0, canopy_kind="canopy-deep",
-        duration=DURATION, n_synthetic=N_SYNTHETIC, n_cellular=N_CELLULAR, **bench_scale,
+        duration=DURATION, n_synthetic=N_SYNTHETIC, n_cellular=N_CELLULAR, n_jobs=N_JOBS,
+        **bench_scale,
     )
     print_experiment(
         "Figure 10: deep buffer (5 BDP) — utilization vs delay",

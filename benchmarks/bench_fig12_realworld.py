@@ -8,7 +8,7 @@ substituted by the heterogeneous WAN profile set in
 ``repro.traces.realworld`` (see DESIGN.md).
 """
 
-from benchconfig import DURATION, run_once
+from benchconfig import DURATION, N_JOBS, run_once
 
 from repro.harness import experiments
 from repro.harness.reporting import print_experiment
@@ -17,7 +17,7 @@ from repro.harness.reporting import print_experiment
 def test_fig12_realworld_deployment(benchmark, bench_scale):
     result = run_once(
         benchmark, experiments.realworld_deployment,
-        duration=DURATION, profiles_per_category=2, **bench_scale,
+        duration=DURATION, profiles_per_category=2, n_jobs=N_JOBS, **bench_scale,
     )
     print_experiment(
         "Figure 12: emulated wide-area deployment (normalized per path)",

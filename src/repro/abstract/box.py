@@ -12,6 +12,19 @@ propagation through affine layers because
     f#(s#) = (M @ b_c + b, |M| @ b_e)
 
 is exact for affine ``f``.
+
+Batched convention
+------------------
+
+A Box may carry a leading batch axis: ``center``/``deviation`` (and hence
+``lo``/``hi``) of shape ``(N, d)`` represent ``N`` independent ``d``-dimensional
+boxes.  Every element-wise transformer (:meth:`Box.relu`, :meth:`Box.tanh`,
+:meth:`Box.scale`, :meth:`Box.shift`) applies unchanged to the whole stack, and
+:meth:`Box.affine` contracts the trailing feature axis, so one numpy call
+propagates all ``N`` boxes at once.  :meth:`Box.stack` builds a batched box
+from per-component boxes, :meth:`Box.split_batched` partitions a 1-d box into
+its ``N`` QC components directly in batched form, and :meth:`Box.unstack`
+recovers the per-component view.
 """
 
 from __future__ import annotations
@@ -57,6 +70,17 @@ class Box:
     @classmethod
     def from_bounds(cls, lo, hi) -> "Box":
         return cls.from_interval(Interval(lo, hi))
+
+    @classmethod
+    def stack(cls, boxes: Sequence["Box"]) -> "Box":
+        """Stack same-shape boxes along a new leading batch axis."""
+        boxes = list(boxes)
+        if not boxes:
+            raise ValueError("cannot stack an empty sequence of boxes")
+        return cls(
+            np.stack([box.center for box in boxes], axis=0),
+            np.stack([box.deviation for box in boxes], axis=0),
+        )
 
     @classmethod
     def abstraction(cls, concrete_states: Sequence[np.ndarray]) -> "Box":
@@ -105,10 +129,19 @@ class Box:
     # Abstract transformers (box-native forms; see paper Section 3.2)
     # ------------------------------------------------------------------ #
     def affine(self, weight: np.ndarray, bias: np.ndarray | None = None) -> "Box":
-        """``f(x) = W x + b`` lifted to the box domain: ``(W b_c + b, |W| b_e)``."""
+        """``f(x) = W x + b`` lifted to the box domain: ``(W b_c + b, |W| b_e)``.
+
+        Works on single boxes (``center`` of shape ``(d,)``) and batched boxes
+        (``center`` of shape ``(N, d)``): the feature axis is always the last
+        one, so a batched box propagates through the layer in one matmul.
+        """
         weight = np.asarray(weight, dtype=np.float64)
-        center = weight @ self.center
-        deviation = np.abs(weight) @ self.deviation
+        if self.center.ndim >= 2:
+            center = self.center @ weight.T
+            deviation = self.deviation @ np.abs(weight).T
+        else:
+            center = weight @ self.center
+            deviation = np.abs(weight) @ self.deviation
         if bias is not None:
             center = center + np.asarray(bias, dtype=np.float64)
         return Box(center, deviation)
@@ -119,12 +152,12 @@ class Box:
         Replaces element ``target`` with the sum of elements ``lhs`` and
         ``rhs``; implemented through the selector matrix M of Section 3.2.
         """
-        m = self.center.shape[0]
+        m = self.center.shape[-1]
         matrix = np.eye(m)
         matrix[target, :] = 0.0
         matrix[target, lhs] = 1.0
         matrix[target, rhs] = 1.0
-        return Box(matrix @ self.center, matrix @ self.deviation)
+        return self.affine(matrix)
 
     def relu(self) -> "Box":
         """ReLU transformer from Section 3.2 (midpoint/half-width of end-point images)."""
@@ -158,6 +191,39 @@ class Box:
         if dims is None:
             dims = list(range(interval.lo.shape[0]))
         return [Box.from_interval(piece) for piece in interval.split_dims(n, dims)]
+
+    def split_batched(self, n: int, dims: Sequence[int] | None = None) -> "Box":
+        """Partition a 1-d box into ``n`` components as one batched Box.
+
+        Row ``i`` of the result is numerically identical to ``self.split(n,
+        dims)[i]`` — the slicing arithmetic mirrors
+        :meth:`repro.abstract.interval.Interval.split_dims` exactly — but the
+        components come back stacked along a leading batch axis of size ``n``,
+        ready for one-shot propagation.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if self.ndim != 1:
+            raise ValueError("split_batched requires a 1-d box")
+        lo = self.lo
+        hi = self.hi
+        if dims is None:
+            dims = list(range(lo.shape[0]))
+        dims = np.asarray(list(dims), dtype=int)
+        lo_batched = np.tile(lo, (n, 1))
+        hi_batched = np.tile(hi, (n, 1))
+        if dims.size:
+            index = np.arange(n, dtype=np.float64)[:, None]
+            width = hi[dims] - lo[dims]
+            lo_batched[:, dims] = lo[dims] + width * index / n
+            hi_batched[:, dims] = lo[dims] + width * (index + 1) / n
+        return Box.from_bounds(lo_batched, hi_batched)
+
+    def unstack(self) -> list:
+        """The per-component boxes of a batched box (inverse of :meth:`stack`)."""
+        if self.ndim < 2:
+            raise ValueError("unstack requires a batched box")
+        return [Box(self.center[i], self.deviation[i]) for i in range(self.center.shape[0])]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Box(center={self.center!r}, deviation={self.deviation!r})"

@@ -9,6 +9,13 @@ a sound abstract counterpart from :mod:`repro.abstract.transformers`, and
 The output box over-approximates the set of actions the controller can emit
 for any concrete input in the box — the object ``a# = π#(s#)`` of
 Section 4.3.1.
+
+Every propagation function also accepts *batched* boxes (``lo``/``hi`` of
+shape ``(N, d)``, see :mod:`repro.abstract.box`): the affine transformer
+contracts the trailing feature axis and the element-wise transformers apply
+per element, so all ``N`` component boxes move through the network in a single
+numpy call per layer.  :func:`propagate_mlp_batched` is the explicit entry
+point used by the batched verifier.
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from typing import Iterable
 from repro.abstract.box import Box
 from repro.abstract import transformers
 
-__all__ = ["propagate_layer", "propagate_sequential", "propagate_mlp"]
+__all__ = ["propagate_layer", "propagate_sequential", "propagate_mlp", "propagate_mlp_batched"]
 
 
 def propagate_layer(layer, box: Box) -> Box:
@@ -52,6 +59,23 @@ def propagate_mlp(model, box: Box) -> Box:
 
     The input box dimensionality must match the model's input features.
     """
+    in_features = getattr(model, "in_features", None)
+    if in_features is not None and box.center.shape[-1] != in_features:
+        raise ValueError(
+            f"input box has {box.center.shape[-1]} dims but model expects {in_features}"
+        )
+    return propagate_sequential(model.layers, box)
+
+
+def propagate_mlp_batched(model, box: Box) -> Box:
+    """Push a batched box of shape ``(N, d)`` through an MLP in one pass.
+
+    The result is a batched box of shape ``(N, out_features)`` whose row ``i``
+    equals ``propagate_mlp(model, box.unstack()[i])`` up to floating-point
+    associativity (the differential test suite pins them to within 1e-12).
+    """
+    if box.ndim != 2:
+        raise ValueError(f"batched propagation expects lo/hi of shape (N, d), got ndim={box.ndim}")
     in_features = getattr(model, "in_features", None)
     if in_features is not None and box.center.shape[-1] != in_features:
         raise ValueError(

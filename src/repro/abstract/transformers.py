@@ -9,6 +9,11 @@ Beyond the neural-network layers (affine, ReLU, tanh) described in Section 3.2
 of the paper, Canopy needs a transformer for the post-network cwnd computation
 (Eq. 1): ``cwnd = 2^(2a) · cwnd_TCP``, and for the derived actions used in the
 property postconditions (Δcwnd and the fractional cwnd change of P5).
+
+All transformers are batch-transparent: handed a batched box (``lo``/``hi`` of
+shape ``(N, d)``, see :mod:`repro.abstract.box`) they transform all ``N``
+component boxes in the same numpy calls, which is what makes the batched
+verifier a single-propagation-per-property engine.
 """
 
 from __future__ import annotations

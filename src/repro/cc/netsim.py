@@ -124,6 +124,9 @@ class NetworkSimulator:
             raise ValueError("flow ids must be unique")
         self.link = link
         self.flows: Dict[int, Flow] = {flow.flow_id: flow for flow in flows}
+        # Flow membership is fixed for the simulator's lifetime; cache the
+        # iteration list so the per-tick hot path does not rebuild it.
+        self._flow_list: List[Flow] = list(self.flows.values())
         self.dt = float(dt)
         self.now = 0.0
         self.stats: Dict[int, FlowStats] = {fid: FlowStats(fid) for fid in self.flows}
@@ -151,11 +154,11 @@ class NetworkSimulator:
         # 1. Senders put packets on the bottleneck queue.  The service order is
         # rotated every tick so no flow systematically wins the race for the
         # last buffer slot (real links interleave packets from different flows).
-        flow_list = list(self.flows.values())
-        if flow_list:
-            offset = self._tick_count % len(flow_list)
-            flow_list = flow_list[offset:] + flow_list[:offset]
-        for flow in flow_list:
+        flow_list = self._flow_list
+        n_flows = len(flow_list)
+        offset = self._tick_count % n_flows
+        for position in range(n_flows):
+            flow = flow_list[(offset + position) % n_flows]
             allowance = flow.send_allowance(now, dt, prop_rtt)
             if allowance > 0:
                 accepted, dropped, random_lost = self.link.enqueue(flow.flow_id, allowance, now)

@@ -7,7 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro evaluate --kind canopy-shallow --steps 400 --trace step-12-48
     python -m repro certify --kind canopy-shallow --steps 400 --trace step-12-48
     python -m repro figure 5          # regenerate one evaluation figure
-    python -m repro compare-classical --buffer-bdp 1.0
+    python -m repro figure 9 --jobs 4 # shard the grid over 4 worker processes
+    python -m repro compare-classical --buffer-bdp 1.0 --jobs 0
 
 Every subcommand is a thin wrapper over the public library API, so anything
 the CLI does can also be done programmatically (see the examples/ scripts).
@@ -16,11 +17,16 @@ the CLI does can also be done programmatically (see the examples/ scripts).
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.harness import experiments
-from repro.harness.evaluate import EvaluationSettings, evaluate_qcsat, run_scheme_on_trace, scheme_factory
+from repro.harness.evaluate import (
+    EvaluationSettings,
+    evaluate_qcsat,
+    run_schemes_sharded,
+)
 from repro.harness.models import DEFAULT_TRAINING_STEPS, MODEL_KINDS, get_trained_model
 from repro.harness.reporting import format_rows, print_experiment
 from repro.nn.serialization import save_weight_dict
@@ -41,11 +47,13 @@ FIGURE_DRIVERS: Dict[str, Callable[..., dict]] = {
     "11": experiments.noise_sensitivity,
     "12": experiments.realworld_deployment,
     "13": experiments.fallback_runtime,
-    "16": lambda **kw: experiments.sensitivity(seed=kw.get("seed", 1),
-                                               training_steps=kw.get("training_steps", 300)),
+    # These wrappers take named kwargs only (no **kw) so cmd_figure's
+    # signature check correctly sees that they cannot use --jobs.
+    "16": lambda training_steps=300, seed=1: experiments.sensitivity(
+        seed=seed, training_steps=training_steps),
     "17": experiments.training_curves,
-    "table4": lambda **kw: experiments.verification_overhead(
-        training_steps=kw.get("training_steps", 150), seed=kw.get("seed", 1)),
+    "table4": lambda training_steps=150, seed=1: experiments.verification_overhead(
+        training_steps=training_steps, seed=seed),
 }
 
 
@@ -86,17 +94,12 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     trace = _get_trace(args.trace)
     settings = EvaluationSettings(duration=args.duration, buffer_bdp=args.buffer_bdp,
                                   min_rtt=args.rtt, seed=args.seed)
-    rows = []
-    model = get_trained_model(args.kind, training_steps=args.steps, seed=args.seed)
-    factories = {
-        args.kind: scheme_factory(args.kind, model=model, seed=args.seed),
-        "cubic": scheme_factory("cubic"),
-    }
-    for name, factory in factories.items():
-        result = run_scheme_on_trace(factory, trace, settings, scheme_name=name)
-        rows.append({"scheme": name, **result.summary.as_dict()})
-    print(format_rows(rows, columns=["scheme", "utilization", "avg_queuing_delay_ms",
-                                     "p95_queuing_delay_ms", "loss_rate"]))
+    # Train in-process first so pool workers inherit the warm model cache.
+    get_trained_model(args.kind, training_steps=args.steps, seed=args.seed)
+    grid = run_schemes_sharded({args.kind: args.kind, "cubic": None}, [trace], settings,
+                               n_jobs=args.jobs, training_steps=args.steps, model_seed=args.seed)
+    print(format_rows(grid.rows, columns=["scheme", "utilization", "avg_queuing_delay_ms",
+                                          "p95_queuing_delay_ms", "loss_rate"]))
     return 0
 
 
@@ -116,7 +119,15 @@ def cmd_figure(args: argparse.Namespace) -> int:
     if driver is None:
         raise SystemExit(f"no driver for figure {args.figure_id!r}; "
                          f"known: {', '.join(sorted(FIGURE_DRIVERS))}")
-    result = driver(training_steps=args.steps, seed=args.seed)
+    kwargs = {"training_steps": args.steps, "seed": args.seed}
+    # Grid-shaped drivers shard over a process pool; pass --jobs through to
+    # the ones that support it and stay serial for the rest.
+    parameters = inspect.signature(driver).parameters
+    if "n_jobs" in parameters or any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD for parameter in parameters.values()
+    ):
+        kwargs["n_jobs"] = args.jobs
+    result = driver(**kwargs)
     print_experiment(f"Figure/table {args.figure_id}", result)
     return 0
 
@@ -124,12 +135,10 @@ def cmd_figure(args: argparse.Namespace) -> int:
 def cmd_compare_classical(args: argparse.Namespace) -> int:
     traces = [make_synthetic_trace(name) for name in SYNTHETIC_TRACE_NAMES[:args.traces]]
     settings = EvaluationSettings(duration=args.duration, buffer_bdp=args.buffer_bdp, seed=args.seed)
-    rows = []
-    for scheme in ("cubic", "newreno", "vegas", "bbr"):
-        factory = scheme_factory(scheme)
-        for trace in traces:
-            result = run_scheme_on_trace(factory, trace, settings, scheme_name=scheme)
-            rows.append({"scheme": scheme, "trace": trace.name, **result.summary.as_dict()})
+    scheme_kinds = {scheme: None for scheme in ("cubic", "newreno", "vegas", "bbr")}
+    grid = run_schemes_sharded(scheme_kinds, traces, settings, n_jobs=args.jobs)
+    # Present grouped by scheme (the grid enumerates trace-major).
+    rows = sorted(grid.rows, key=lambda row: list(scheme_kinds).index(row["scheme"]))
     print(format_rows(rows, columns=["scheme", "trace", "utilization",
                                      "avg_queuing_delay_ms", "p95_queuing_delay_ms", "loss_rate"]))
     return 0
@@ -153,6 +162,11 @@ def _add_common_eval_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--rtt", type=float, default=0.04, help="propagation RTT in seconds")
 
 
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for grid experiments (1 = serial, 0 = one per CPU)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro",
                                      description="Canopy reproduction command-line interface")
@@ -171,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
     eval_parser = subparsers.add_parser("evaluate", help="run a model (and CUBIC) over a trace")
     _add_common_model_arguments(eval_parser)
     _add_common_eval_arguments(eval_parser)
+    _add_jobs_argument(eval_parser)
     eval_parser.set_defaults(handler=cmd_evaluate)
 
     certify_parser = subparsers.add_parser("certify", help="compute QC_sat over a trace")
@@ -183,6 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("figure_id", help="1, 2, 5, 6, 7, 9, 10, 11, 12, 13, 16, 17 or table4")
     figure_parser.add_argument("--steps", type=int, default=400)
     figure_parser.add_argument("--seed", type=int, default=1)
+    _add_jobs_argument(figure_parser)
     figure_parser.set_defaults(handler=cmd_figure)
 
     classical_parser = subparsers.add_parser("compare-classical",
@@ -191,6 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
     classical_parser.add_argument("--duration", type=float, default=15.0)
     classical_parser.add_argument("--buffer-bdp", dest="buffer_bdp", type=float, default=1.0)
     classical_parser.add_argument("--seed", type=int, default=1)
+    _add_jobs_argument(classical_parser)
     classical_parser.set_defaults(handler=cmd_compare_classical)
 
     return parser

@@ -21,7 +21,16 @@ import numpy as np
 
 from repro.abstract.interval import Interval
 
-__all__ = ["interval_feedback", "ComponentCertificate", "QuantitativeCertificate"]
+__all__ = [
+    "interval_feedback",
+    "interval_feedback_batch",
+    "ComponentCertificate",
+    "QuantitativeCertificate",
+]
+
+#: Containment tolerance shared by the scalar and batched feedback paths
+#: (matches the defaults of Interval.contains / contains_interval).
+_CONTAIN_TOL = 1e-9
 
 
 def interval_feedback(output: Interval, allowed: Interval) -> float:
@@ -36,6 +45,37 @@ def interval_feedback(output: Interval, allowed: Interval) -> float:
     if not output.intersects(allowed):
         return 0.0
     return output.overlap_fraction(allowed)
+
+
+def interval_feedback_batch(
+    output_lo: np.ndarray,
+    output_hi: np.ndarray,
+    allowed: Interval,
+) -> tuple:
+    """Vectorized proof + Eq. 6 feedback over ``N`` scalar output intervals.
+
+    Takes the per-component checked-action bounds as flat ``(N,)`` arrays and
+    the (scalar) allowed region; returns ``(satisfied, feedback)`` boolean and
+    float arrays of shape ``(N,)``.  Component ``i`` matches the scalar path
+    ``(allowed.contains_interval(out_i), interval_feedback(out_i, allowed))``
+    exactly, including the containment tolerance and the degenerate
+    (zero-width) interval rule.
+    """
+    output_lo = np.asarray(output_lo, dtype=np.float64).reshape(-1)
+    output_hi = np.asarray(output_hi, dtype=np.float64).reshape(-1)
+    allowed_lo = float(np.asarray(allowed.lo).reshape(-1)[0])
+    allowed_hi = float(np.asarray(allowed.hi).reshape(-1)[0])
+
+    satisfied = (output_lo >= allowed_lo - _CONTAIN_TOL) & (output_hi <= allowed_hi + _CONTAIN_TOL)
+    intersects = (output_lo <= allowed_hi) & (allowed_lo <= output_hi)
+    width = output_hi - output_lo
+    overlap = np.minimum(output_hi, allowed_hi) - np.maximum(output_lo, allowed_lo)
+    fraction = np.clip(overlap / np.where(width > 0, width, 1.0), 0.0, 1.0)
+    center = (output_lo + output_hi) / 2.0
+    center_inside = (center >= allowed_lo - _CONTAIN_TOL) & (center <= allowed_hi + _CONTAIN_TOL)
+    fraction = np.where(width > 0, fraction, np.where(center_inside, 1.0, 0.0))
+    feedback = np.where(satisfied, 1.0, np.where(intersects, fraction, 0.0))
+    return satisfied, feedback
 
 
 @dataclass(frozen=True)

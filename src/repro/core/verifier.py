@@ -7,13 +7,25 @@ actor network, the verifier:
 1. builds the abstract input region ``X`` prescribed by the property
    (Section 4.3.1), keeping non-abstracted features at their observed values,
 2. partitions it into ``N`` components along the abstracted dimensions,
-3. propagates each component through the actor with interval bound propagation
+3. propagates the components through the actor with interval bound propagation
    and through the cwnd map ``2^(2a) · cwnd_TCP`` (Eq. 5),
 4. compares the derived action (Δcwnd or the fractional cwnd change) with the
    allowed region and computes the per-component proof and smoothed feedback
    (Eq. 6).
 
 The result is a :class:`repro.core.qc.QuantitativeCertificate`.
+
+Batched engine
+--------------
+
+:meth:`Verifier.certify` stacks all ``N`` components into one batched box
+(:meth:`repro.abstract.box.Box.split_batched`) and runs a *single* IBP
+propagation per property — the cwnd map, the Δcwnd / fractional-change
+transformers, the containment check and the Eq. 6 feedback are all vectorized
+over the component axis.  The original one-component-at-a-time path is
+retained as :meth:`Verifier.certify_reference` (plus ``certify_all_reference``
+and ``verifier_feedback_reference``); the differential test suite pins the two
+implementations to each other within 1e-12.
 """
 
 from __future__ import annotations
@@ -25,9 +37,15 @@ import numpy as np
 
 from repro.abstract import transformers
 from repro.abstract.box import Box
-from repro.abstract.propagate import propagate_mlp
+from repro.abstract.interval import Interval
+from repro.abstract.propagate import propagate_mlp, propagate_mlp_batched
 from repro.core.properties import ActionKind, PropertySet, PropertySpec
-from repro.core.qc import ComponentCertificate, QuantitativeCertificate, interval_feedback
+from repro.core.qc import (
+    ComponentCertificate,
+    QuantitativeCertificate,
+    interval_feedback,
+    interval_feedback_batch,
+)
 from repro.orca.agent import cwnd_from_action
 from repro.orca.observations import ObservationBuilder, ObservationConfig
 
@@ -96,7 +114,7 @@ class Verifier:
         return cwnd_from_action(self.concrete_action(state), cwnd_tcp)
 
     # ------------------------------------------------------------------ #
-    # Certification
+    # Certification (batched engine)
     # ------------------------------------------------------------------ #
     def certify(
         self,
@@ -107,32 +125,116 @@ class Verifier:
         n_components: Optional[int] = None,
         observer: Optional[ObservationBuilder] = None,
     ) -> QuantitativeCertificate:
-        """Produce the QC for one property at one decision step."""
+        """Produce the QC for one property at one decision step.
+
+        All ``N`` components are propagated through the actor as one batched
+        box, so the per-property cost is a single IBP pass regardless of N.
+        """
         observer = observer or self.observer
         n = n_components or self.config.n_components
         context = DecisionContext(np.asarray(state, dtype=np.float64), float(cwnd_tcp), float(cwnd_prev))
+        certificate = self._empty_certificate(prop)
+
+        if self.config.check_applicability:
+            if not self._applicability_from_state(prop, context.state, observer):
+                certificate.applicable = False
+                return certificate
+
+        components = self._components_batched(prop, context, observer, n)
+        cwnd_reference = self._cwnd_reference(prop, context)
+        output_lo, output_hi = self._checked_action_bounds_batched(prop, components, context, cwnd_reference)
+        satisfied, feedback = interval_feedback_batch(output_lo, output_hi, prop.allowed_interval())
+
+        input_lo = components.lo
+        input_hi = components.hi
+        for index in range(n):
+            certificate.components.append(ComponentCertificate(
+                index=index,
+                input_lo=input_lo[index].copy(),
+                input_hi=input_hi[index].copy(),
+                output_lo=float(output_lo[index]),
+                output_hi=float(output_hi[index]),
+                satisfied=bool(satisfied[index]),
+                feedback=float(feedback[index]),
+            ))
+        return certificate
+
+    def _empty_certificate(self, prop: PropertySpec) -> QuantitativeCertificate:
         allowed = prop.allowed_interval()
-        certificate = QuantitativeCertificate(
+        return QuantitativeCertificate(
             property_name=prop.name,
             allowed_lo=float(allowed.lo),
             allowed_hi=float(allowed.hi),
         )
 
+    def _components_batched(
+        self, prop: PropertySpec, context: DecisionContext, observer: ObservationBuilder, n: int
+    ) -> Box:
+        region = prop.input_region(context.state, observer)
+        dims = prop.partition_dims(observer)
+        return region.split_batched(n, dims=dims if dims else None)
+
+    def _cwnd_reference(self, prop: PropertySpec, context: DecisionContext) -> Optional[float]:
+        if prop.kind is ActionKind.CWND_CHANGE_FRACTION:
+            return self.concrete_cwnd(context.state, context.cwnd_tcp)
+        return None
+
+    def _applicability_from_state(self, prop: PropertySpec, state: np.ndarray, observer: ObservationBuilder) -> bool:
+        """Check the concrete Δcwnd side-condition directly on the state vector."""
+        if prop.dcwnd_sign is None:
+            return True
+        dcwnd_history = state[observer.feature_indices("dcwnd")]
+        if prop.dcwnd_sign < 0:
+            return bool(np.all(dcwnd_history <= 1e-6))
+        return bool(np.all(dcwnd_history >= -1e-6))
+
+    def _checked_action_bounds_batched(
+        self, prop, components: Box, context: DecisionContext, cwnd_reference
+    ) -> tuple:
+        """Flat ``(N,)`` lower/upper bounds on the checked action, one IBP pass."""
+        action_box = propagate_mlp_batched(self.actor, components)
+        cwnd_box = transformers.cwnd_from_action(action_box, context.cwnd_tcp)
+        if prop.kind is ActionKind.DELTA_CWND:
+            checked = transformers.delta_cwnd(cwnd_box, context.cwnd_prev)
+        else:
+            checked = transformers.cwnd_change_fraction(cwnd_box, cwnd_reference)
+        # The action (and hence the checked quantity) is scalar per component;
+        # collapse the trailing 1-element axis.
+        return checked.lo.reshape(-1), checked.hi.reshape(-1)
+
+    # ------------------------------------------------------------------ #
+    # Certification (scalar reference path, retained for differential tests)
+    # ------------------------------------------------------------------ #
+    def certify_reference(
+        self,
+        prop: PropertySpec,
+        state: np.ndarray,
+        cwnd_tcp: float,
+        cwnd_prev: float,
+        n_components: Optional[int] = None,
+        observer: Optional[ObservationBuilder] = None,
+    ) -> QuantitativeCertificate:
+        """One-component-at-a-time reference implementation of :meth:`certify`.
+
+        Kept as the independently simple ground truth: the differential test
+        suite asserts the batched engine reproduces its certificates within
+        1e-12 over randomized actors, properties and decision contexts.
+        """
+        observer = observer or self.observer
+        n = n_components or self.config.n_components
+        context = DecisionContext(np.asarray(state, dtype=np.float64), float(cwnd_tcp), float(cwnd_prev))
+        allowed = prop.allowed_interval()
+        certificate = self._empty_certificate(prop)
+
         if self.config.check_applicability:
-            # The sign conditions on past Δcwnd are concrete (not abstracted);
-            # when they do not hold the property is vacuously satisfied here.
-            history_observer = observer
-            if not self._applicability_from_state(prop, context.state, history_observer):
+            if not self._applicability_from_state(prop, context.state, observer):
                 certificate.applicable = False
                 return certificate
 
         region = prop.input_region(context.state, observer)
         dims = prop.partition_dims(observer)
         components = region.split(n, dims=dims if dims else None)
-
-        cwnd_reference = None
-        if prop.kind is ActionKind.CWND_CHANGE_FRACTION:
-            cwnd_reference = self.concrete_cwnd(context.state, context.cwnd_tcp)
+        cwnd_reference = self._cwnd_reference(prop, context)
 
         for index, component in enumerate(components):
             output_interval = self._checked_action_bounds(prop, component, context, cwnd_reference)
@@ -149,16 +251,7 @@ class Verifier:
             ))
         return certificate
 
-    def _applicability_from_state(self, prop: PropertySpec, state: np.ndarray, observer: ObservationBuilder) -> bool:
-        """Check the concrete Δcwnd side-condition directly on the state vector."""
-        if prop.dcwnd_sign is None:
-            return True
-        dcwnd_history = state[observer.feature_indices("dcwnd")]
-        if prop.dcwnd_sign < 0:
-            return bool(np.all(dcwnd_history <= 1e-6))
-        return bool(np.all(dcwnd_history >= -1e-6))
-
-    def _checked_action_bounds(self, prop, component: Box, context: DecisionContext, cwnd_reference):
+    def _checked_action_bounds(self, prop, component: Box, context: DecisionContext, cwnd_reference) -> Interval:
         action_box = propagate_mlp(self.actor, component)
         cwnd_box = transformers.cwnd_from_action(action_box, context.cwnd_tcp)
         if prop.kind is ActionKind.DELTA_CWND:
@@ -170,8 +263,34 @@ class Verifier:
         # 1-element vector interval into a scalar interval.
         lo = np.asarray(interval.lo).reshape(-1)[0]
         hi = np.asarray(interval.hi).reshape(-1)[0]
-        from repro.abstract.interval import Interval
         return Interval(float(lo), float(hi))
+
+    def certify_all_reference(
+        self,
+        properties: PropertySet | Sequence[PropertySpec],
+        state: np.ndarray,
+        cwnd_tcp: float,
+        cwnd_prev: float,
+        n_components: Optional[int] = None,
+    ) -> dict:
+        """Scalar-path counterpart of :meth:`certify_all`."""
+        return {
+            prop.name: self.certify_reference(prop, state, cwnd_tcp, cwnd_prev, n_components=n_components)
+            for prop in properties
+        }
+
+    def verifier_feedback_reference(
+        self,
+        properties: PropertySet | Sequence[PropertySpec],
+        state: np.ndarray,
+        cwnd_tcp: float,
+        cwnd_prev: float,
+        n_components: Optional[int] = None,
+    ) -> float:
+        """Scalar-path counterpart of :meth:`verifier_feedback`."""
+        return self._aggregate_feedback(
+            properties, state, cwnd_tcp, cwnd_prev, n_components, self.certify_reference
+        )
 
     # ------------------------------------------------------------------ #
     # Aggregate feedback (Eq. 7)
@@ -185,13 +304,16 @@ class Verifier:
         n_components: Optional[int] = None,
     ) -> float:
         """Weighted average QC feedback over a set of properties (r_verifier)."""
+        return self._aggregate_feedback(properties, state, cwnd_tcp, cwnd_prev, n_components, self.certify)
+
+    def _aggregate_feedback(self, properties, state, cwnd_tcp, cwnd_prev, n_components, certify) -> float:
         props = list(properties)
         if not props:
             raise ValueError("need at least one property")
         total = 0.0
         weight_sum = 0.0
         for prop in props:
-            certificate = self.certify(prop, state, cwnd_tcp, cwnd_prev, n_components=n_components)
+            certificate = certify(prop, state, cwnd_tcp, cwnd_prev, n_components=n_components)
             total += prop.weight * certificate.feedback
             weight_sum += prop.weight
         return total / weight_sum

@@ -6,6 +6,9 @@
   trace and computes the empirical metrics and QC_sat.
 * :mod:`repro.harness.experiments` — one driver function per figure/table of
   the single-flow evaluation (Figures 1, 2, 5–13, 16, 17 and Table 4).
+* :mod:`repro.harness.parallel` — :class:`~repro.harness.parallel.ParallelRunner`,
+  which shards (scheme × trace × seed) experiment grids across a process pool
+  with deterministic seeding and in-order merged reporting.
 * :mod:`repro.harness.fairness` — the multi-flow friendliness and fairness
   experiments (Figures 14 and 15).
 * :mod:`repro.harness.reporting` — plain-text rendering of result tables.
@@ -17,10 +20,12 @@ from repro.harness.evaluate import (
     SchemeResult,
     evaluate_qcsat,
     run_scheme_on_trace,
+    run_schemes_sharded,
     scheme_factory,
 )
 from repro.harness.models import TrainedModel, get_trained_model, clear_model_cache
 from repro.harness.checkpoints import SavedModel, load_model, save_model
+from repro.harness.parallel import ExperimentTask, GridResult, ParallelRunner, derive_seed
 
 __all__ = [
     "SavedModel",
@@ -31,8 +36,13 @@ __all__ = [
     "SchemeResult",
     "evaluate_qcsat",
     "run_scheme_on_trace",
+    "run_schemes_sharded",
     "scheme_factory",
     "TrainedModel",
     "get_trained_model",
     "clear_model_cache",
+    "ExperimentTask",
+    "GridResult",
+    "ParallelRunner",
+    "derive_seed",
 ]

@@ -9,7 +9,7 @@ per-decision quantitative certificates that make up QC_sat.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -37,6 +37,7 @@ __all__ = [
     "scheme_factory",
     "run_scheme_on_trace",
     "run_schemes",
+    "run_schemes_sharded",
     "evaluate_qcsat",
     "certificates_for_decisions",
 ]
@@ -177,12 +178,54 @@ def run_schemes(
     traces: Sequence[BandwidthTrace],
     settings: EvaluationSettings,
 ) -> List[SchemeResult]:
-    """Cartesian product of schemes × traces."""
+    """Cartesian product of schemes × traces (in-process, full SchemeResults)."""
     results = []
     for trace in traces:
         for scheme_name, factory in schemes.items():
             results.append(run_scheme_on_trace(factory, trace, settings, scheme_name=scheme_name))
     return results
+
+
+def run_schemes_sharded(
+    scheme_kinds: Dict[str, Optional[str]],
+    traces: Sequence[BandwidthTrace],
+    settings: EvaluationSettings,
+    n_jobs: int = 1,
+    training_steps: int = 800,
+    model_seed: int = 1,
+    n_seeds: int = 1,
+):
+    """Cartesian product of schemes × traces (× seeds) sharded over a pool.
+
+    ``scheme_kinds`` maps the display label of each scheme to the model kind
+    that backs it (``None`` for classical schemes).  Learned models should be
+    trained in the calling process first so forked workers inherit the warm
+    cache.  With ``n_seeds > 1`` every (scheme, trace) cell is replicated
+    under distinct link/noise seeds derived deterministically from
+    ``settings.seed`` and the cell coordinates, and rows carry a
+    ``replicate`` tag.  Returns a :class:`repro.harness.parallel.GridResult`
+    of plain summary rows (one per cell, in grid order) — identical for
+    serial and parallel runs.
+    """
+    # Imported lazily: parallel imports this module for its worker helpers.
+    from repro.harness.parallel import ExperimentTask, ParallelRunner, derive_seed
+
+    if n_seeds < 1:
+        raise ValueError("n_seeds must be >= 1")
+    tasks = []
+    for replicate in range(n_seeds):
+        for trace in traces:
+            for label, kind in scheme_kinds.items():
+                if n_seeds == 1:
+                    cell_settings, tags = settings, {}
+                else:
+                    cell_settings = replace(
+                        settings, seed=derive_seed(settings.seed, trace.name, label, replicate))
+                    tags = {"replicate": replicate}
+                tasks.append(ExperimentTask(
+                    scheme=label, trace=trace, settings=cell_settings, model_kind=kind,
+                    training_steps=training_steps, model_seed=model_seed, tags=tags))
+    return ParallelRunner(n_jobs).run(tasks)
 
 
 # ---------------------------------------------------------------------- #

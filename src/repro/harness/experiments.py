@@ -5,6 +5,14 @@ traces, number of QC components) so the same code can run at CI scale inside
 the benchmark suite or at larger scale from the example scripts.  Each driver
 returns plain dictionaries / lists so the reporting module (and the
 benchmarks) can render them as the rows/series the paper reports.
+
+The grid-shaped drivers (``qcsat_buffers``, ``qcsat_robustness``,
+``performance_sweep``, ``realworld_deployment``) shard their (scheme × trace)
+cells through :class:`repro.harness.parallel.ParallelRunner` and accept an
+``n_jobs`` knob (default 1 = serial; parallel and serial runs produce
+identical rows).  They also report the grid wall-clock — and, for the
+certificate grids, certificates/sec — so the benchmark JSON captures
+verification throughput alongside the figures.
 """
 
 from __future__ import annotations
@@ -26,11 +34,11 @@ from repro.core.config import CanopyConfig
 from repro.harness.evaluate import (
     EvaluationSettings,
     certificates_for_decisions,
-    evaluate_qcsat,
     run_scheme_on_trace,
     scheme_factory,
 )
 from repro.harness.models import TrainedModel, get_trained_model
+from repro.harness.parallel import ExperimentTask, ParallelRunner
 from repro.traces.cellular import cellular_trace_suite
 from repro.traces.realworld import WANProfile, intercontinental_profiles, intracontinental_profiles
 from repro.traces.synthetic import make_synthetic_trace, synthetic_trace_suite
@@ -58,6 +66,20 @@ def _trace_subset(kind: str, count: int) -> List[BandwidthTrace]:
     if kind == "cellular":
         return cellular_trace_suite()[:count]
     raise ValueError(f"unknown trace kind {kind!r}")
+
+
+def _qc_grid_summary(figure: str, rows: List[Dict], grid) -> Dict:
+    """Figure payload plus the certificate-throughput accounting shared by the
+    QC_sat grids (certificates/sec and grid wall-clock land in the bench JSON)."""
+    certificates = int(sum(cell["n_certificates"] for cell in grid.rows))
+    return {
+        "figure": figure,
+        "rows": rows,
+        "wall_clock_s": grid.wall_clock_s,
+        "n_jobs": grid.n_jobs,
+        "certificates": certificates,
+        "certificates_per_sec": certificates / grid.wall_clock_s if grid.wall_clock_s > 0 else 0.0,
+    }
 
 
 # ---------------------------------------------------------------------- #
@@ -153,36 +175,33 @@ def qcsat_buffers(
     n_synthetic: int = 3,
     n_cellular: int = 2,
     seed: int = 1,
+    n_jobs: int = 1,
 ) -> Dict:
     """Mean/std of QC_sat for Canopy vs Orca, shallow & deep properties (Fig. 5)."""
-    orca = get_trained_model("orca", training_steps=training_steps, seed=seed)
-    canopy_shallow = get_trained_model("canopy-shallow", training_steps=training_steps, seed=seed)
-    canopy_deep = get_trained_model("canopy-deep", training_steps=training_steps, seed=seed)
+    # Train in-process first so pool workers inherit the warm model cache.
+    for kind in ("orca", "canopy-shallow", "canopy-deep"):
+        get_trained_model(kind, training_steps=training_steps, seed=seed)
 
-    cases = [
-        ("shallow", shallow_buffer_properties(), 0.5, canopy_shallow),
-        ("deep", deep_buffer_properties(), 5.0, canopy_deep),
-    ]
-    rows = []
-    for family, properties, buffer_bdp, canopy_model in cases:
+    cases = [("shallow", 0.5, "canopy-shallow"), ("deep", 5.0, "canopy-deep")]
+    tasks = []
+    for family, buffer_bdp, canopy_kind in cases:
         for trace_kind, count in (("synthetic", n_synthetic), ("cellular", n_cellular)):
-            traces = _trace_subset(trace_kind, count)
             settings = EvaluationSettings(duration=duration, buffer_bdp=buffer_bdp, seed=seed)
-            for scheme_label, model in (("canopy", canopy_model), ("orca", orca)):
-                values = []
-                for trace in traces:
-                    qcsat = evaluate_qcsat(model, trace, settings, properties=properties,
-                                           n_components=n_components, scheme_name=scheme_label)
-                    values.append(qcsat.mean)
-                rows.append({
-                    "property_family": family,
-                    "trace_kind": trace_kind,
-                    "scheme": scheme_label,
-                    "qcsat_mean": float(np.mean(values)),
-                    "qcsat_std": float(np.std(values)),
-                    "n_traces": len(traces),
-                })
-    return {"figure": "5", "rows": rows}
+            for scheme_label, model_kind in (("canopy", canopy_kind), ("orca", "orca")):
+                for trace in _trace_subset(trace_kind, count):
+                    tasks.append(ExperimentTask(
+                        scheme=scheme_label, trace=trace, settings=settings,
+                        model_kind=model_kind, training_steps=training_steps, model_seed=seed,
+                        certify=True, property_family=family, n_components=n_components,
+                        tags={"property_family": family, "trace_kind": trace_kind},
+                    ))
+    grid = ParallelRunner(n_jobs).run(tasks)
+
+    # Mean/std across traces of the per-trace QC_sat means, per grid cell group.
+    rows = grid.aggregate(group_by=["property_family", "trace_kind", "scheme"], metrics=["qcsat"])
+    for row in rows:
+        row["n_traces"] = row.pop("n_cells")
+    return _qc_grid_summary("5", rows, grid)
 
 
 # ---------------------------------------------------------------------- #
@@ -248,29 +267,29 @@ def qcsat_robustness(
     n_cellular: int = 2,
     noise: float = 0.05,
     seed: int = 1,
+    n_jobs: int = 1,
 ) -> Dict:
     """QC_sat of Canopy-robust vs Orca for P5 on 2 BDP buffers (Fig. 7)."""
-    orca = get_trained_model("orca", training_steps=training_steps, seed=seed)
-    canopy = get_trained_model("canopy-robust", training_steps=training_steps, seed=seed)
-    properties = robustness_properties()
-    rows = []
+    for kind in ("orca", "canopy-robust"):
+        get_trained_model(kind, training_steps=training_steps, seed=seed)
+
+    tasks = []
     for trace_kind, count in (("synthetic", n_synthetic), ("cellular", n_cellular)):
-        traces = _trace_subset(trace_kind, count)
         settings = EvaluationSettings(duration=duration, buffer_bdp=2.0, observation_noise=noise, seed=seed)
-        for scheme_label, model in (("canopy", canopy), ("orca", orca)):
-            values = []
-            for trace in traces:
-                qcsat = evaluate_qcsat(model, trace, settings, properties=properties,
-                                       n_components=n_components, scheme_name=scheme_label)
-                values.append(qcsat.mean)
-            rows.append({
-                "trace_kind": trace_kind,
-                "scheme": scheme_label,
-                "qcsat_mean": float(np.mean(values)),
-                "qcsat_std": float(np.std(values)),
-                "n_traces": len(traces),
-            })
-    return {"figure": "7", "rows": rows}
+        for scheme_label, model_kind in (("canopy", "canopy-robust"), ("orca", "orca")):
+            for trace in _trace_subset(trace_kind, count):
+                tasks.append(ExperimentTask(
+                    scheme=scheme_label, trace=trace, settings=settings,
+                    model_kind=model_kind, training_steps=training_steps, model_seed=seed,
+                    certify=True, property_family="robustness", n_components=n_components,
+                    tags={"trace_kind": trace_kind},
+                ))
+    grid = ParallelRunner(n_jobs).run(tasks)
+
+    rows = grid.aggregate(group_by=["trace_kind", "scheme"], metrics=["qcsat"])
+    for row in rows:
+        row["n_traces"] = row.pop("n_cells")
+    return _qc_grid_summary("7", rows, grid)
 
 
 # ---------------------------------------------------------------------- #
@@ -284,38 +303,46 @@ def performance_sweep(
     n_synthetic: int = 3,
     n_cellular: int = 2,
     seed: int = 1,
+    n_jobs: int = 1,
 ) -> Dict:
     """Utilization vs avg/p95 delay for all schemes (Fig. 9 shallow, Fig. 10 deep)."""
-    orca = get_trained_model("orca", training_steps=training_steps, seed=seed)
-    canopy = get_trained_model(canopy_kind, training_steps=training_steps, seed=seed)
-    schemes = {
-        "canopy": scheme_factory("canopy", model=canopy, seed=seed),
-        "orca": scheme_factory("orca", model=orca, seed=seed),
-        "cubic": scheme_factory("cubic"),
-        "vegas": scheme_factory("vegas"),
-        "bbr": scheme_factory("bbr"),
+    for kind in ("orca", canopy_kind):
+        get_trained_model(kind, training_steps=training_steps, seed=seed)
+    scheme_kinds: Dict[str, Optional[str]] = {
+        "canopy": canopy_kind,
+        "orca": "orca",
+        "cubic": None,
+        "vegas": None,
+        "bbr": None,
     }
-    rows = []
+    tasks = []
     for trace_kind, count in (("synthetic", n_synthetic), ("cellular", n_cellular)):
-        traces = _trace_subset(trace_kind, count)
         settings = EvaluationSettings(duration=duration, buffer_bdp=buffer_bdp, seed=seed)
-        per_scheme: Dict[str, List[Dict]] = {name: [] for name in schemes}
-        for trace in traces:
-            for name, factory in schemes.items():
-                result = run_scheme_on_trace(factory, trace, settings, scheme_name=name)
-                per_scheme[name].append(result.summary.as_dict())
-        for name, summaries in per_scheme.items():
+        for trace in _trace_subset(trace_kind, count):
+            for label, model_kind in scheme_kinds.items():
+                tasks.append(ExperimentTask(
+                    scheme=label, trace=trace, settings=settings,
+                    model_kind=model_kind, training_steps=training_steps, model_seed=seed,
+                    tags={"trace_kind": trace_kind},
+                ))
+    grid = ParallelRunner(n_jobs).run(tasks)
+
+    rows = []
+    for trace_kind, _count in (("synthetic", n_synthetic), ("cellular", n_cellular)):
+        for label in scheme_kinds:
+            cells = grid.select(trace_kind=trace_kind, scheme=label)
             rows.append({
                 "trace_kind": trace_kind,
-                "scheme": name,
-                "utilization": float(np.mean([s["utilization"] for s in summaries])),
-                "avg_delay_ms": float(np.mean([s["avg_queuing_delay_ms"] for s in summaries])),
-                "p95_delay_ms": float(np.mean([s["p95_queuing_delay_ms"] for s in summaries])),
-                "loss_rate": float(np.mean([s["loss_rate"] for s in summaries])),
-                "n_traces": len(summaries),
+                "scheme": label,
+                "utilization": float(np.mean([c["utilization"] for c in cells])),
+                "avg_delay_ms": float(np.mean([c["avg_queuing_delay_ms"] for c in cells])),
+                "p95_delay_ms": float(np.mean([c["p95_queuing_delay_ms"] for c in cells])),
+                "loss_rate": float(np.mean([c["loss_rate"] for c in cells])),
+                "n_traces": len(cells),
             })
     figure = "9" if buffer_bdp <= 1.0 else "10"
-    return {"figure": figure, "buffer_bdp": buffer_bdp, "rows": rows}
+    return {"figure": figure, "buffer_bdp": buffer_bdp, "rows": rows,
+            "wall_clock_s": grid.wall_clock_s, "n_jobs": grid.n_jobs}
 
 
 # ---------------------------------------------------------------------- #
@@ -369,38 +396,55 @@ def realworld_deployment(
     duration: float = 12.0,
     profiles_per_category: int = 2,
     seed: int = 1,
+    n_jobs: int = 1,
 ) -> Dict:
-    """Normalized throughput/delay over emulated WAN paths (Fig. 12)."""
-    orca = get_trained_model("orca", training_steps=training_steps, seed=seed)
-    canopy_shallow = get_trained_model("canopy-shallow", training_steps=training_steps, seed=seed)
-    canopy_deep = get_trained_model("canopy-deep", training_steps=training_steps, seed=seed)
-    schemes = {
-        "canopy-shallow": scheme_factory("canopy-shallow", model=canopy_shallow, seed=seed),
-        "canopy-deep": scheme_factory("canopy-deep", model=canopy_deep, seed=seed),
-        "orca": scheme_factory("orca", model=orca, seed=seed),
-        "cubic": scheme_factory("cubic"),
+    """Normalized throughput/delay over emulated WAN paths (Fig. 12).
+
+    Every (scheme, path) cell runs independently on the pool; the per-path
+    normalization (best throughput / lowest delay across schemes) happens at
+    merge time on the collected rows.
+    """
+    for kind in ("orca", "canopy-shallow", "canopy-deep"):
+        get_trained_model(kind, training_steps=training_steps, seed=seed)
+    scheme_kinds: Dict[str, Optional[str]] = {
+        "canopy-shallow": "canopy-shallow",
+        "canopy-deep": "canopy-deep",
+        "orca": "orca",
+        "cubic": None,
     }
     categories = {
         "intra": intracontinental_profiles()[:profiles_per_category],
         "inter": intercontinental_profiles()[:profiles_per_category],
     }
-    rows = []
+    tasks = []
     for category, profiles in categories.items():
-        normalized: Dict[str, Dict[str, List[float]]] = {name: {"throughput": [], "delay": []} for name in schemes}
         for profile in profiles:
             trace = profile.make_trace(duration=duration)
             settings = EvaluationSettings(
                 duration=duration, min_rtt=profile.min_rtt_s, buffer_bdp=profile.buffer_bdp,
                 random_loss_rate=profile.loss_rate, seed=seed,
             )
-            summaries = {}
-            for name, factory in schemes.items():
-                summaries[name] = run_scheme_on_trace(factory, trace, settings, scheme_name=name).summary
-            max_throughput = max(s.throughput_mbps for s in summaries.values()) or 1.0
-            min_delay = min(s.avg_rtt_ms for s in summaries.values()) or 1.0
-            for name, summary in summaries.items():
-                normalized[name]["throughput"].append(summary.throughput_mbps / max_throughput)
-                normalized[name]["delay"].append(summary.avg_rtt_ms / max(min_delay, 1e-6))
+            for label, model_kind in scheme_kinds.items():
+                tasks.append(ExperimentTask(
+                    scheme=label, trace=trace, settings=settings,
+                    model_kind=model_kind, training_steps=training_steps, model_seed=seed,
+                    tags={"category": category, "path": profile.region},
+                ))
+    grid = ParallelRunner(n_jobs).run(tasks)
+
+    rows = []
+    for category, profiles in categories.items():
+        normalized: Dict[str, Dict[str, List[float]]] = {
+            name: {"throughput": [], "delay": []} for name in scheme_kinds
+        }
+        for profile in profiles:
+            cells = {cell["scheme"]: cell
+                     for cell in grid.select(category=category, path=profile.region)}
+            max_throughput = max(c["throughput_mbps"] for c in cells.values()) or 1.0
+            min_delay = min(c["avg_rtt_ms"] for c in cells.values()) or 1.0
+            for name, cell in cells.items():
+                normalized[name]["throughput"].append(cell["throughput_mbps"] / max_throughput)
+                normalized[name]["delay"].append(cell["avg_rtt_ms"] / max(min_delay, 1e-6))
         for name, values in normalized.items():
             rows.append({
                 "category": category,
@@ -409,7 +453,8 @@ def realworld_deployment(
                 "normalized_delay": float(np.mean(values["delay"])),
                 "n_paths": len(values["throughput"]),
             })
-    return {"figure": "12", "rows": rows}
+    return {"figure": "12", "rows": rows,
+            "wall_clock_s": grid.wall_clock_s, "n_jobs": grid.n_jobs}
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,297 @@
+"""Parallel experiment sharding: a process pool over (scheme, trace, seed) grids.
+
+The benchmark harness evaluates Cartesian grids of (scheme × trace × seed)
+cells; every cell is independent, so the grid shards naturally across worker
+processes.  This module provides the three pieces the experiment drivers and
+the CLI build on:
+
+* :class:`ExperimentTask` — one picklable grid cell: which scheme to run, on
+  which trace, with which :class:`~repro.harness.evaluate.EvaluationSettings`
+  and seed, and whether to additionally compute QC_sat certificates.
+* :func:`run_task` — the module-level worker: builds the controller (fetching
+  the trained model from the per-process model zoo), runs the cell, and
+  returns a plain-dict row, so nothing non-picklable crosses the process
+  boundary.
+* :class:`ParallelRunner` — shards a task list over a
+  ``concurrent.futures.ProcessPoolExecutor`` and merges the rows back **in
+  task order**, so serial (``n_jobs=1``) and parallel runs produce identical
+  reports.
+
+Determinism
+-----------
+
+Each task carries its own seeds (the link/noise seed inside ``settings`` and
+the model-training seed) — worker identity never influences results, and rows
+come back ordered by task index regardless of completion order.  Use
+:func:`derive_seed` to derive stable per-cell seeds from a base seed and the
+cell coordinates.  Learned models are trained in the parent process first
+(the drivers call :func:`~repro.harness.models.get_trained_model` up front),
+so forked workers inherit the warm model cache instead of retraining.
+
+Usage::
+
+    tasks = [ExperimentTask(scheme="cubic", trace=trace, settings=settings)
+             for trace in traces]
+    result = ParallelRunner(n_jobs=4).run(tasks)
+    rows = result.rows           # one dict per task, in task order
+    result.wall_clock_s          # grid wall-clock, recorded in bench JSON
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import get_all_start_methods, get_context
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.properties import (
+    PropertySet,
+    deep_buffer_properties,
+    robustness_properties,
+    shallow_buffer_properties,
+)
+from repro.harness.evaluate import (
+    EvaluationSettings,
+    evaluate_qcsat,
+    run_scheme_on_trace,
+    scheme_factory,
+)
+from repro.traces.trace import BandwidthTrace
+
+__all__ = [
+    "ExperimentTask",
+    "GridResult",
+    "ParallelRunner",
+    "run_task",
+    "derive_seed",
+    "PROPERTY_FAMILIES",
+]
+
+#: Property families reconstructable by name inside worker processes.
+PROPERTY_FAMILIES: Dict[str, Callable[[], PropertySet]] = {
+    "shallow": shallow_buffer_properties,
+    "deep": deep_buffer_properties,
+    "robustness": robustness_properties,
+}
+
+
+def derive_seed(base_seed: int, *coordinates) -> int:
+    """A stable, collision-resistant seed for one grid cell.
+
+    Hashes the cell coordinates (any reprable values: trace name, scheme,
+    replicate index, ...) together with ``base_seed`` via CRC32, so the same
+    cell always gets the same seed no matter which worker runs it or in what
+    order the grid is traversed.
+    """
+    digest = zlib.crc32(repr((int(base_seed),) + coordinates).encode("utf-8"))
+    return int(digest % (2 ** 31 - 1))
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One (scheme, trace, seed) cell of an experiment grid.
+
+    For classical schemes leave ``model_kind`` as None; for learned schemes the
+    worker fetches ``model_kind`` from the model zoo (instant when the parent
+    trained it before forking).  With ``certify=True`` the cell additionally
+    runs the verifier over every decision and reports QC_sat columns.
+    """
+
+    scheme: str
+    trace: BandwidthTrace
+    settings: EvaluationSettings
+    model_kind: Optional[str] = None
+    training_steps: int = 800
+    model_seed: int = 1
+    lam: Optional[float] = None
+    model_components: Optional[int] = None
+    certify: bool = False
+    property_family: Optional[str] = None
+    n_components: int = 50
+    tags: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.certify and self.model_kind is None:
+            raise ValueError("certify=True requires a learned model_kind")
+        if self.property_family is not None and self.property_family not in PROPERTY_FAMILIES:
+            raise ValueError(f"unknown property family {self.property_family!r}; "
+                             f"known: {sorted(PROPERTY_FAMILIES)}")
+
+
+@dataclass
+class GridResult:
+    """Rows for every task (in task order) plus grid-level accounting."""
+
+    rows: List[Dict]
+    wall_clock_s: float
+    n_tasks: int
+    n_jobs: int
+
+    def select(self, **tags) -> List[Dict]:
+        """Rows whose tag columns match every given key/value."""
+        return [row for row in self.rows
+                if all(row.get(key) == value for key, value in tags.items())]
+
+    def aggregate(self, group_by: Sequence[str], metrics: Sequence[str]) -> List[Dict]:
+        """Mean/std of ``metrics`` per distinct ``group_by`` tuple (in first-seen order)."""
+        groups: Dict[tuple, List[Dict]] = {}
+        order: List[tuple] = []
+        for row in self.rows:
+            key = tuple(row.get(column) for column in group_by)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        aggregated = []
+        for key in order:
+            members = groups[key]
+            entry = dict(zip(group_by, key))
+            for metric in metrics:
+                values = [row[metric] for row in members]
+                entry[f"{metric}_mean"] = float(np.mean(values))
+                entry[f"{metric}_std"] = float(np.std(values))
+            entry["n_cells"] = len(members)
+            aggregated.append(entry)
+        return aggregated
+
+
+def _task_model(task: ExperimentTask):
+    # Imported here (not at module top) to keep the worker import graph slim
+    # and avoid a models<->parallel cycle if the zoo ever grows runner hooks.
+    from repro.harness.models import get_trained_model
+
+    return get_trained_model(
+        task.model_kind,
+        training_steps=task.training_steps,
+        seed=task.model_seed,
+        lam=task.lam,
+        n_components=task.model_components,
+    )
+
+
+def run_task(task: ExperimentTask) -> Dict:
+    """Run one grid cell and return its report row (module-level: picklable)."""
+    model = _task_model(task) if task.model_kind is not None else None
+    row: Dict = {"scheme": task.scheme, "trace": task.trace.name, "seed": task.settings.seed}
+    row.update(task.tags)
+
+    if task.certify:
+        properties = None
+        if task.property_family is not None:
+            properties = PROPERTY_FAMILIES[task.property_family]()
+        qcsat = evaluate_qcsat(model, task.trace, task.settings, properties=properties,
+                               n_components=task.n_components, scheme_name=task.scheme)
+        row.update({
+            "qcsat": qcsat.mean,                  # per-trace mean over decisions
+            "qcsat_decision_std": qcsat.std,      # per-trace std over decisions
+            "n_decisions": qcsat.n_decisions,
+            "n_applicable": qcsat.n_applicable,
+            "n_certificates": qcsat.n_decisions * len(qcsat.property_names),
+        })
+        return row
+
+    if model is None:
+        factory = scheme_factory(task.scheme)
+    else:
+        factory = scheme_factory(task.scheme, model=model,
+                                 observation_noise=task.settings.observation_noise,
+                                 monitor_interval=task.settings.monitor_interval,
+                                 seed=task.settings.seed)
+    result = run_scheme_on_trace(factory, task.trace, task.settings, scheme_name=task.scheme)
+    row.update(result.summary.as_dict())
+    return row
+
+
+class ParallelRunner:
+    """Shards independent experiment tasks across a process pool.
+
+    ``n_jobs`` resolution: an explicit value wins; ``None`` reads the
+    ``REPRO_JOBS`` environment variable (default 1, i.e. serial); any value
+    <= 0 means "one worker per CPU".  With one job (or one task) everything
+    runs in-process — no pool, no pickling — which is also the fallback when a
+    pool cannot be created or a task does not survive the process boundary.
+    """
+
+    def __init__(self, n_jobs: Optional[int] = None):
+        if n_jobs is None:
+            n_jobs = int(os.environ.get("REPRO_JOBS", "1"))
+        if n_jobs <= 0:
+            n_jobs = os.cpu_count() or 1
+        self.n_jobs = int(n_jobs)
+
+    # ------------------------------------------------------------------ #
+    def map(self, fn: Callable, items: Iterable) -> List:
+        """``[fn(x) for x in items]`` sharded over the pool, results in order.
+
+        ``fn`` must be a module-level callable and every item picklable when
+        the pool is used; the serial path has no such requirement.  Only pool
+        *infrastructure* failures (unpicklable work, no fork permission, the
+        pool dying mid-run) degrade to the serial path — an exception raised
+        by ``fn`` itself propagates immediately, exactly as it would serially.
+        """
+        items = list(items)
+        if self.n_jobs <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        if not self._picklable(fn, items):
+            return [fn(item) for item in items]
+        # Prefer fork so workers inherit the parent's trained-model cache.
+        context = get_context("fork") if "fork" in get_all_start_methods() else get_context()
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(self.n_jobs, len(items)),
+                                       mp_context=context)
+        except OSError:
+            return [fn(item) for item in items]
+        try:
+            # Executor.map submits eagerly, so worker spawn failures (fork
+            # denied in sandboxes, process limits) raise OSError *here* —
+            # before any task runs — and select the serial path.  An OSError
+            # raised by a task itself surfaces later, from the result
+            # iteration below, and propagates to the caller.
+            results = pool.map(fn, items)
+        except OSError:
+            pool.shutdown(wait=False, cancel_futures=True)
+            return [fn(item) for item in items]
+        try:
+            with pool:
+                return list(results)
+        except (BrokenProcessPool, pickle.PicklingError):
+            # The pool died mid-run (OOM, kill) or a straggler task defeated
+            # the pre-flight pickle check; retry the whole grid serially
+            # instead of failing the experiment.
+            return [fn(item) for item in items]
+
+    @staticmethod
+    def _picklable(fn: Callable, items: List) -> bool:
+        """Whether the work survives the process boundary.
+
+        A cheap pre-flight: serializes the callable and one representative
+        item (grids are homogeneous) rather than re-pickling the entire task
+        list the pool is about to pickle anyway.  Heterogeneous stragglers
+        that slip through are caught at result time and fall back serially.
+        """
+        try:
+            pickle.dumps(fn)
+            if items:
+                pickle.dumps(items[0])
+            return True
+        except (pickle.PicklingError, AttributeError, TypeError):
+            return False
+
+    def run(self, tasks: Iterable[ExperimentTask]) -> GridResult:
+        """Run a grid of tasks and merge the rows in task order."""
+        tasks = list(tasks)
+        start = time.perf_counter()
+        rows = self.map(run_task, tasks)
+        return GridResult(
+            rows=rows,
+            wall_clock_s=time.perf_counter() - start,
+            n_tasks=len(tasks),
+            n_jobs=self.n_jobs,
+        )

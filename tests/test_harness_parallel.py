@@ -1,0 +1,147 @@
+"""Tests for the ParallelRunner: determinism, sharding, merged reporting."""
+
+import numpy as np
+import pytest
+
+from repro.harness.evaluate import EvaluationSettings, run_schemes_sharded
+from repro.harness.parallel import (
+    ExperimentTask,
+    GridResult,
+    ParallelRunner,
+    derive_seed,
+    run_task,
+)
+from repro.traces.trace import BandwidthTrace
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+def make_tasks(duration=2.0, seed=7):
+    trace = BandwidthTrace.constant(12.0, duration=30.0, name="const-12")
+    settings = EvaluationSettings(duration=duration, buffer_bdp=1.0, seed=seed)
+    return [
+        ExperimentTask(scheme=scheme, trace=trace, settings=settings, tags={"cell": index})
+        for index, scheme in enumerate(("cubic", "vegas", "newreno"))
+    ]
+
+
+class TestRunnerBasics:
+    def test_map_preserves_order_serial_and_parallel(self):
+        items = list(range(10))
+        expected = [x * x for x in items]
+        assert ParallelRunner(1).map(_square, items) == expected
+        assert ParallelRunner(2).map(_square, items) == expected
+
+    def test_map_unpicklable_callable_falls_back_to_serial(self):
+        items = [1, 2, 3]
+        assert ParallelRunner(2).map(lambda x: x + 1, items) == [2, 3, 4]
+
+    def test_task_exceptions_propagate_instead_of_serial_retry(self):
+        with pytest.raises(ValueError, match="boom"):
+            ParallelRunner(1).map(_boom, [1, 2])
+        with pytest.raises(ValueError, match="boom"):
+            ParallelRunner(2).map(_boom, [1, 2])
+
+    def test_n_jobs_resolution(self, monkeypatch):
+        assert ParallelRunner(3).n_jobs == 3
+        assert ParallelRunner(0).n_jobs >= 1  # one worker per CPU
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert ParallelRunner().n_jobs == 5
+
+    def test_derive_seed_stable_and_distinct(self):
+        assert derive_seed(1, "trace-a", "cubic") == derive_seed(1, "trace-a", "cubic")
+        seeds = {derive_seed(1, trace, scheme)
+                 for trace in ("a", "b", "c") for scheme in ("cubic", "vegas")}
+        assert len(seeds) == 6
+        assert all(0 <= seed < 2 ** 31 - 1 for seed in seeds)
+
+
+class TestExperimentTask:
+    def test_certify_requires_model(self):
+        task = make_tasks()[0]
+        with pytest.raises(ValueError):
+            ExperimentTask(scheme="cubic", trace=task.trace, settings=task.settings, certify=True)
+
+    def test_unknown_property_family_rejected(self):
+        task = make_tasks()[0]
+        with pytest.raises(ValueError):
+            ExperimentTask(scheme="canopy", trace=task.trace, settings=task.settings,
+                           model_kind="canopy-shallow", certify=True, property_family="nope")
+
+    def test_run_task_classical_row(self):
+        row = run_task(make_tasks()[0])
+        assert row["scheme"] == "cubic"
+        assert row["trace"] == "const-12"
+        assert row["cell"] == 0
+        assert 0.0 < row["utilization"] <= 1.5
+
+
+class TestGridDeterminism:
+    def test_serial_and_parallel_grids_identical(self):
+        tasks = make_tasks()
+        serial = ParallelRunner(1).run(tasks)
+        parallel = ParallelRunner(2).run(tasks)
+        assert serial.n_tasks == parallel.n_tasks == len(tasks)
+        assert serial.rows == parallel.rows
+        assert [row["cell"] for row in serial.rows] == [0, 1, 2]
+        assert serial.wall_clock_s > 0.0
+
+    def test_run_schemes_sharded_matches_manual_grid(self):
+        tasks = make_tasks()
+        trace = tasks[0].trace
+        settings = tasks[0].settings
+        grid = run_schemes_sharded({"cubic": None, "vegas": None}, [trace], settings, n_jobs=1)
+        assert [row["scheme"] for row in grid.rows] == ["cubic", "vegas"]
+        direct = run_task(ExperimentTask(scheme="cubic", trace=trace, settings=settings))
+        assert grid.rows[0]["utilization"] == direct["utilization"]
+
+    def test_run_schemes_sharded_seed_replicates(self):
+        tasks = make_tasks()
+        trace = tasks[0].trace
+        settings = tasks[0].settings
+        grid = run_schemes_sharded({"cubic": None}, [trace], settings, n_jobs=1, n_seeds=3)
+        assert grid.n_tasks == 3
+        assert [row["replicate"] for row in grid.rows] == [0, 1, 2]
+        # Replicates get distinct derived seeds, deterministically.
+        assert [row["seed"] for row in grid.rows] == [
+            derive_seed(settings.seed, trace.name, "cubic", replicate) for replicate in range(3)
+        ]
+        assert len(set(row["seed"] for row in grid.rows)) == 3
+        again = run_schemes_sharded({"cubic": None}, [trace], settings, n_jobs=1, n_seeds=3)
+        assert again.rows == grid.rows
+        with pytest.raises(ValueError):
+            run_schemes_sharded({"cubic": None}, [trace], settings, n_seeds=0)
+
+
+class TestGridResultReporting:
+    def make_grid(self):
+        rows = [
+            {"scheme": "a", "kind": "x", "metric": 1.0},
+            {"scheme": "a", "kind": "x", "metric": 3.0},
+            {"scheme": "b", "kind": "x", "metric": 5.0},
+        ]
+        return GridResult(rows=rows, wall_clock_s=1.0, n_tasks=3, n_jobs=1)
+
+    def test_select(self):
+        grid = self.make_grid()
+        assert len(grid.select(scheme="a")) == 2
+        assert grid.select(scheme="b", kind="x")[0]["metric"] == 5.0
+        assert grid.select(scheme="missing") == []
+
+    def test_aggregate(self):
+        grid = self.make_grid()
+        aggregated = grid.aggregate(group_by=["scheme"], metrics=["metric"])
+        assert aggregated[0] == {
+            "scheme": "a",
+            "metric_mean": 2.0,
+            "metric_std": pytest.approx(np.std([1.0, 3.0])),
+            "n_cells": 2,
+        }
+        assert aggregated[1]["scheme"] == "b"
+        assert aggregated[1]["n_cells"] == 1
