@@ -6,40 +6,53 @@ Orca's and to CUBIC-vs-CUBIC, on both shallow (1 BDP) and deep (5 BDP)
 bottlenecks, and across propagation delays.  The benchmark prints the
 throughput ratios for an increasing number of competing CUBIC flows and for
 a range of RTTs.
+
+Every sweep point is a declarative :class:`MultiFlowTask` (scheme label +
+model kind, no factory closures), so the whole grid shards across a process
+pool via ``REPRO_BENCH_JOBS`` with rows identical to a serial run.
 """
 
-from benchconfig import SCALE, TRAINING_STEPS, SEED, run_once
+from benchconfig import N_JOBS, SEED, TRAINING_STEPS, run_once
 
-from repro.cc.cubic import CubicController
-from repro.harness.evaluate import scheme_factory
-from repro.harness.fairness import friendliness, rtt_friendliness
+from repro.harness.fairness import MultiFlowTask, run_multiflow_grid
 from repro.harness.models import get_trained_model
 from repro.harness.reporting import format_rows
+
+CASES = [
+    ("shallow", "canopy", "canopy-shallow", 1.0),
+    ("shallow", "orca", "orca", 1.0),
+    ("shallow", "cubic", None, 1.0),
+    ("deep", "canopy", "canopy-deep", 5.0),
+    ("deep", "orca", "orca", 5.0),
+    ("deep", "cubic", None, 5.0),
+]
 
 
 def test_fig14_friendliness(benchmark):
     def run_experiment():
-        canopy_shallow = get_trained_model("canopy-shallow", training_steps=TRAINING_STEPS, seed=SEED)
-        canopy_deep = get_trained_model("canopy-deep", training_steps=TRAINING_STEPS, seed=SEED)
-        orca = get_trained_model("orca", training_steps=TRAINING_STEPS, seed=SEED)
-        cases = {
-            ("shallow", "canopy"): (scheme_factory("canopy", model=canopy_shallow, seed=SEED), 1.0),
-            ("shallow", "orca"): (scheme_factory("orca", model=orca, seed=SEED), 1.0),
-            ("shallow", "cubic"): (lambda: CubicController(), 1.0),
-            ("deep", "canopy"): (scheme_factory("canopy", model=canopy_deep, seed=SEED), 5.0),
-            ("deep", "orca"): (scheme_factory("orca", model=orca, seed=SEED), 5.0),
-            ("deep", "cubic"): (lambda: CubicController(), 5.0),
-        }
-        flow_rows, rtt_rows = [], []
-        for (family, scheme_name), (factory, buffer_bdp) in cases.items():
-            flow_result = friendliness(factory, scheme_name, competing_flows=(1, 2, 4),
-                                       buffer_bdp=buffer_bdp, duration=15.0)
-            for row in flow_result["rows"]:
-                flow_rows.append({"buffer_family": family, **row})
-            if family == "shallow":
-                rtt_result = rtt_friendliness(factory, scheme_name, rtts_ms=(20.0, 50.0, 100.0),
-                                              buffer_bdp=buffer_bdp, duration=15.0)
-                rtt_rows.extend(rtt_result["rows"])
+        # Train in-process first so pool workers inherit the warm model cache.
+        for kind in ("canopy-shallow", "canopy-deep", "orca"):
+            get_trained_model(kind, training_steps=TRAINING_STEPS, seed=SEED)
+        tasks = []
+        for family, scheme, model_kind, buffer_bdp in CASES:
+            for n_cubic in (1, 2, 4):
+                tasks.append(MultiFlowTask(
+                    mode="friendliness", scheme=scheme, value=n_cubic,
+                    model_kind=model_kind, training_steps=TRAINING_STEPS, model_seed=SEED,
+                    buffer_bdp=buffer_bdp, duration=15.0,
+                    tags={"buffer_family": family}))
+        for family, scheme, model_kind, buffer_bdp in CASES:
+            if family != "shallow":
+                continue
+            for rtt_ms in (20.0, 50.0, 100.0):
+                tasks.append(MultiFlowTask(
+                    mode="rtt_friendliness", scheme=scheme, value=rtt_ms,
+                    model_kind=model_kind, training_steps=TRAINING_STEPS, model_seed=SEED,
+                    buffer_bdp=buffer_bdp, duration=15.0,
+                    tags={"buffer_family": family}))
+        grid = run_multiflow_grid(tasks, n_jobs=N_JOBS)
+        flow_rows = [row for row in grid.rows if row["mode"] == "friendliness"]
+        rtt_rows = [row for row in grid.rows if row["mode"] == "rtt_friendliness"]
         return flow_rows, rtt_rows
 
     flow_rows, rtt_rows = run_once(benchmark, run_experiment)

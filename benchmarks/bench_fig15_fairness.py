@@ -3,48 +3,55 @@
 Paper claim: when flows of the same scheme join every 12 s on a 48 Mbps /
 20 ms / 1 BDP link, the Canopy shallow model converges like Orca (which in
 turn behaves like CUBIC); the deep-buffer model converges more slowly but
-eventually.  The benchmark prints per-flow throughputs over time buckets and
-the final Jain fairness index per scheme.
+eventually.  The benchmark prints the per-flow final throughputs and the
+Jain fairness index per scheme.
+
+Every scheme is a declarative :class:`MultiFlowTask` (scheme label + model
+kind, no factory closures), so the grid shards across a process pool via
+``REPRO_BENCH_JOBS`` with rows identical to a serial run.
 """
 
-from benchconfig import SCALE, SEED, TRAINING_STEPS, run_once
+from benchconfig import N_JOBS, SEED, TRAINING_STEPS, run_once
 
-from repro.cc.cubic import CubicController
-from repro.harness.evaluate import scheme_factory
-from repro.harness.fairness import fairness_convergence
+from repro.harness.fairness import MultiFlowTask, run_multiflow_grid
 from repro.harness.models import get_trained_model
 from repro.harness.reporting import format_rows
+
+SCHEMES = [
+    ("cubic", None),
+    ("orca", "orca"),
+    ("canopy-shallow", "canopy-shallow"),
+    ("canopy-deep", "canopy-deep"),
+]
 
 
 def test_fig15_fairness_convergence(benchmark):
     def run_experiment():
-        canopy_shallow = get_trained_model("canopy-shallow", training_steps=TRAINING_STEPS, seed=SEED)
-        canopy_deep = get_trained_model("canopy-deep", training_steps=TRAINING_STEPS, seed=SEED)
-        orca = get_trained_model("orca", training_steps=TRAINING_STEPS, seed=SEED)
-        schemes = {
-            "cubic": lambda: CubicController(),
-            "orca": scheme_factory("orca", model=orca, seed=SEED),
-            "canopy-shallow": scheme_factory("canopy-shallow", model=canopy_shallow, seed=SEED),
-            "canopy-deep": scheme_factory("canopy-deep", model=canopy_deep, seed=SEED),
-        }
-        results = {}
-        for name, factory in schemes.items():
-            results[name] = fairness_convergence(factory, name, n_flows=3, join_interval=12.0,
-                                                 bandwidth_mbps=48.0, min_rtt=0.02, buffer_bdp=1.0)
-        return results
+        # Train in-process first so pool workers inherit the warm model cache.
+        for _, kind in SCHEMES:
+            if kind is not None:
+                get_trained_model(kind, training_steps=TRAINING_STEPS, seed=SEED)
+        tasks = [
+            MultiFlowTask(mode="fairness_convergence", scheme=scheme, value=3,
+                          model_kind=kind, training_steps=TRAINING_STEPS, model_seed=SEED,
+                          join_interval=12.0, bandwidth_mbps=48.0, min_rtt=0.02,
+                          buffer_bdp=1.0)
+            for scheme, kind in SCHEMES
+        ]
+        return run_multiflow_grid(tasks, n_jobs=N_JOBS).rows
 
-    results = run_once(benchmark, run_experiment)
+    grid_rows = run_once(benchmark, run_experiment)
 
     print("\nFigure 15: fairness convergence (3 flows joining every 12 s, 48 Mbps / 20 ms / 1 BDP)")
     rows = []
-    for name, result in results.items():
-        throughputs = result["final_throughputs_mbps"]
+    for grid_row in grid_rows:
+        throughputs = grid_row["final_throughputs_mbps"]
         rows.append({
-            "scheme": name,
+            "scheme": grid_row["scheme"],
             "flow0_mbps": throughputs[0],
             "flow1_mbps": throughputs[1],
             "flow2_mbps": throughputs[2],
-            "jain_index": result["jain_index"],
+            "jain_index": grid_row["jain_index"],
         })
     print(format_rows(rows))
 

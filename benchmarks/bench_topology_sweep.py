@@ -1,0 +1,79 @@
+"""Topology-family sweep — multi-bottleneck scenarios and simulator throughput.
+
+The paper evaluates every scheme over a single shared bottleneck; this
+benchmark drives the classical schemes over the multi-bottleneck family
+catalog (``single_bottleneck``, ``chain(n)``, ``parking_lot(n)``,
+``dumbbell``) and records, in the bench JSON (``extra_info``):
+
+* the simulator tick throughput of the grid (ticks/sec — the hot-path number
+  that bounds how many scenarios a CI run can cover), and
+* one utilization / avg-delay / p95-delay / loss row per (family, scheme).
+
+Families can be overridden through ``REPRO_BENCH_TOPOLOGIES`` (comma
+separated), e.g. the CI smoke job runs a small chain(3) sweep.  The
+differential suite (``tests/test_topology_differential.py``) pins
+``single_bottleneck`` to the legacy single-link trajectory, so the
+single-bottleneck rows here are directly comparable with every historical
+figure.
+"""
+
+import os
+
+from benchconfig import DURATION, N_JOBS, SEED, run_once
+
+from repro.harness import experiments
+from repro.harness.reporting import format_rows
+
+FAMILIES = tuple(
+    spec.strip()
+    for spec in os.environ.get(
+        "REPRO_BENCH_TOPOLOGIES",
+        "single_bottleneck,chain(3),parking_lot(3),dumbbell",
+    ).split(",")
+    if spec.strip()
+)
+
+SCHEMES = ("cubic", "vegas", "bbr")
+
+
+def test_topology_sweep_families(benchmark):
+    result = run_once(
+        benchmark, experiments.topology_sweep,
+        families=FAMILIES, schemes=SCHEMES,
+        duration=DURATION, n_synthetic=2, seed=SEED, n_jobs=N_JOBS,
+    )
+
+    print("\nTopology-family sweep: utilization vs delay per family")
+    print(format_rows(result["rows"], columns=["topology", "scheme", "utilization",
+                                               "avg_delay_ms", "p95_delay_ms", "loss_rate"]))
+    print(f"simulator throughput: {result['ticks_per_sec']:,.0f} ticks/s "
+          f"({result['ticks']} ticks over {result['wall_clock_s']:.2f}s, "
+          f"n_jobs={result['n_jobs']})")
+
+    # Per-family rows land in the bench JSON alongside the tick throughput.
+    benchmark.extra_info["families"] = list(FAMILIES)
+    benchmark.extra_info["rows"] = result["rows"]
+
+    assert len(FAMILIES) >= 3, "the sweep must cover at least 3 topology families"
+    assert result["ticks_per_sec"] > 0.0
+    by_family = {}
+    for row in result["rows"]:
+        by_family.setdefault(row["topology"], []).append(row)
+    assert set(by_family) == set(FAMILIES)
+    for family, rows in by_family.items():
+        for row in rows:
+            assert 0.0 < row["utilization"] <= 1.5, (family, row["scheme"])
+            assert row["avg_delay_ms"] >= 0.0
+
+    # Shape: cross traffic (parking lot) costs the scheme under test capacity
+    # relative to an uncontended single bottleneck.
+    if "single_bottleneck" in by_family:
+        single_util = {row["scheme"]: row["utilization"]
+                       for row in by_family["single_bottleneck"]}
+        for family, rows in by_family.items():
+            if not family.startswith("parking_lot"):
+                continue
+            for row in rows:
+                assert row["utilization"] <= single_util[row["scheme"]] + 0.05, (
+                    f"{row['scheme']} on {family} should not beat the "
+                    f"uncontended single bottleneck")

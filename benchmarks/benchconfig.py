@@ -45,7 +45,8 @@ def run_once(benchmark, fn, *args, **kwargs):
     result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
     benchmark.extra_info["wall_clock_s"] = time.perf_counter() - start
     if isinstance(result, dict):
-        for key in ("n_jobs", "certificates", "certificates_per_sec"):
+        for key in ("n_jobs", "certificates", "certificates_per_sec",
+                    "ticks", "ticks_per_sec"):
             if key in result:
                 benchmark.extra_info[key] = result[key]
         if "wall_clock_s" in result:

@@ -5,13 +5,15 @@ package substitutes a time-stepped fluid-flow simulator:
 
 * :class:`~repro.cc.link.BottleneckLink` — a FIFO bottleneck queue fed by a
   bandwidth trace, with a finite buffer (expressed in BDP multiples) and a
-  fixed propagation delay.
+  fixed propagation delay.  It doubles as the per-hop queue engine of the
+  multi-bottleneck topologies in :mod:`repro.topology`.
 * :class:`~repro.cc.flow.Flow` — a sender whose in-flight data is limited by
   the congestion window chosen by its controller; acks and loss notifications
-  return one RTT later.
-* :class:`~repro.cc.netsim.NetworkSimulator` — steps the link and flows in
-  lockstep, aggregates per-monitor-interval statistics, and exposes the whole
-  run as :class:`~repro.cc.netsim.FlowStats`.
+  return one path-RTT later.
+* :class:`~repro.cc.netsim.NetworkSimulator` — steps a topology of hops (or a
+  single wrapped link) and the flows in lockstep, aggregates
+  per-monitor-interval statistics, and exposes the whole run as
+  :class:`~repro.cc.netsim.FlowStats`.
 * Classic controllers: :class:`~repro.cc.cubic.CubicController`,
   :class:`~repro.cc.newreno.NewRenoController`,
   :class:`~repro.cc.vegas.VegasController`, :class:`~repro.cc.bbr.BBRController`.

@@ -149,6 +149,18 @@ class Flow:
             rtt_estimate = self.srtt if self.srtt > 0 else prop_rtt
             self._loss_events.append(_LossEvent(now + rtt_estimate, lost))
 
+    def record_transit_drop(self, packets: float, now: float, prop_rtt: float) -> None:
+        """Packets of this flow were dropped at a downstream hop of its path.
+
+        The packets were already counted as sent (and in flight) when they
+        entered the first hop; like a send-time drop, the sender only learns
+        about the loss roughly one RTT later.
+        """
+        if packets <= 0:
+            return
+        rtt_estimate = self.srtt if self.srtt > 0 else prop_rtt
+        self._loss_events.append(_LossEvent(now + rtt_estimate, packets))
+
     def record_delivery(self, packets: float, queuing_delay: float, now: float, prop_rtt: float) -> None:
         """A chunk of this flow left the bottleneck; the ack arrives one RTT later."""
         if packets <= 0:

@@ -4,7 +4,11 @@ The link is a fluid model: packet amounts are real numbers, the queue is a
 FIFO of (flow, amount, enqueue-time) chunks, and every tick the link drains up
 to ``capacity(t) * dt`` packets.  Packets that arrive when the buffer is full
 are dropped (tail drop); an optional random loss rate models non-congestion
-losses on wide-area paths.
+losses on wide-area paths — deterministically (an exact ``rate`` fraction of
+every arrival, the historical fluid behaviour) or, with
+``stochastic_loss=True``, by binomial thinning at whole-packet granularity
+drawn from the link's seeded RNG, so repeated runs vary per seed but remain
+bit-reproducible for a given seed.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ class _QueuedChunk:
     flow_id: int
     packets: float
     enqueue_time: float
+    carried_delay: float = 0.0
 
 
 class BottleneckLink:
@@ -46,6 +51,7 @@ class BottleneckLink:
         buffer_bdp: float = 1.0,
         buffer_packets: float | None = None,
         random_loss_rate: float = 0.0,
+        stochastic_loss: bool = False,
         seed: int | None = None,
     ) -> None:
         if min_rtt <= 0:
@@ -62,6 +68,7 @@ class BottleneckLink:
         else:
             self.buffer_packets = max(2.0, buffer_bdp * trace.bdp_packets(min_rtt))
         self.random_loss_rate = float(random_loss_rate)
+        self.stochastic_loss = bool(stochastic_loss)
         self._rng = np.random.default_rng(seed)
         self._queue: Deque[_QueuedChunk] = deque()
         self._occupancy = 0.0
@@ -100,8 +107,34 @@ class BottleneckLink:
     # ------------------------------------------------------------------ #
     # Dynamics
     # ------------------------------------------------------------------ #
-    def enqueue(self, flow_id: int, packets: float, now: float) -> Tuple[float, float, float]:
+    def _sample_random_loss(self, packets: float) -> float:
+        """Amount of an arriving fluid chunk removed by the random-loss process.
+
+        Deterministic mode (the default) thins every arrival by exactly
+        ``random_loss_rate``.  Stochastic mode draws binomial losses over the
+        chunk's whole packets (plus a Bernoulli trial for the fractional
+        remainder) from the link's seeded RNG — same expectation, per-seed
+        variability.
+        """
+        if not self.stochastic_loss:
+            return packets * self.random_loss_rate
+        whole = int(packets)
+        lost = float(self._rng.binomial(whole, self.random_loss_rate)) if whole > 0 else 0.0
+        fraction = packets - whole
+        if fraction > 0 and self._rng.random() < self.random_loss_rate:
+            lost += fraction
+        return lost
+
+    def enqueue(
+        self, flow_id: int, packets: float, now: float, carried_delay: float = 0.0
+    ) -> Tuple[float, float, float]:
         """Offer ``packets`` from ``flow_id`` to the queue.
+
+        ``carried_delay`` is the queuing delay the packets already accumulated
+        on upstream hops of a multi-hop path; it is added to this queue's own
+        waiting time when the packets are eventually drained.  Single-link
+        callers leave it at 0.0, which reproduces the legacy behaviour
+        exactly.
 
         Returns ``(accepted, tail_dropped, random_lost)``: the amount admitted
         to the buffer, the amount dropped because the buffer was full, and the
@@ -113,13 +146,13 @@ class BottleneckLink:
             return 0.0, 0.0, 0.0
         random_lost = 0.0
         if self.random_loss_rate > 0:
-            random_lost = packets * self.random_loss_rate
+            random_lost = self._sample_random_loss(packets)
             packets -= random_lost
         free = max(0.0, self.buffer_packets - self._occupancy)
         accepted = min(packets, free)
         dropped = packets - accepted
         if accepted > 0:
-            self._queue.append(_QueuedChunk(flow_id, accepted, now))
+            self._queue.append(_QueuedChunk(flow_id, accepted, now, carried_delay))
             self._occupancy += accepted
         self.total_enqueued += accepted
         self.total_dropped += dropped + random_lost
@@ -134,7 +167,7 @@ class BottleneckLink:
         while budget > 1e-12 and self._queue:
             chunk = self._queue[0]
             take = min(chunk.packets, budget)
-            queuing_delay = max(0.0, now - chunk.enqueue_time)
+            queuing_delay = chunk.carried_delay + max(0.0, now - chunk.enqueue_time)
             delivered.append(DeliveredChunk(chunk.flow_id, take, queuing_delay))
             chunk.packets -= take
             self._occupancy = max(0.0, self._occupancy - take)

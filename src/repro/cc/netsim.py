@@ -1,9 +1,17 @@
-"""Time-stepped network simulator coordinating the bottleneck link and flows.
+"""Time-stepped network simulator driving a topology of bottleneck hops.
 
 This is the Mahimahi substitute: it advances simulation time in fixed ticks,
-moves packets from every active flow into the shared bottleneck queue, drains
-the queue at the trace-driven capacity, routes deliveries back to their flows
-(as ack events one propagation RTT later), and records per-tick statistics.
+moves packets from every active flow onto the first hop of its route, drains
+every hop at its trace-driven capacity in upstream→downstream order (so
+packets advance hop-by-hop, with per-hop FIFO queuing, within a tick), routes
+deliveries that leave the last hop back to their flows (as ack events one
+path-RTT later), and records per-tick statistics.
+
+The network can be a full :class:`repro.topology.graph.Topology` — multi-hop
+chains, parking lots, dumbbells, with declarative cross-traffic sources — or
+a bare :class:`repro.cc.link.BottleneckLink`, which is wrapped as a one-hop
+topology and reproduces the legacy single-link trajectory exactly (pinned by
+``tests/test_topology_differential.py``).
 
 Two consumption styles are supported:
 
@@ -17,7 +25,7 @@ Two consumption styles are supported:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -107,14 +115,26 @@ class SimulationResult:
 
 
 class NetworkSimulator:
-    """Drives the link and a set of flows over a shared bottleneck."""
+    """Drives a topology of hops and a set of flows in lockstep.
+
+    ``network`` is either a :class:`~repro.topology.graph.Topology` or a bare
+    :class:`~repro.cc.link.BottleneckLink` (wrapped as a one-hop topology for
+    backward compatibility).  ``self.link`` always refers to the designated
+    bottleneck hop's queue, so callers that only care about the reference
+    capacity — the Orca environment, the evaluation metrics — work unchanged
+    on any topology.
+    """
 
     def __init__(
         self,
-        link: BottleneckLink,
+        network: Union[BottleneckLink, "Topology"],
         flows: Sequence[Flow],
         dt: float = DEFAULT_TICK,
     ) -> None:
+        # Imported here (not at module top): repro.topology builds on
+        # repro.cc.link / repro.traces, so a module-level import would cycle.
+        from repro.topology.graph import Topology
+
         if dt <= 0:
             raise ValueError("dt must be positive")
         if not flows:
@@ -122,7 +142,17 @@ class NetworkSimulator:
         ids = [flow.flow_id for flow in flows]
         if len(set(ids)) != len(ids):
             raise ValueError("flow ids must be unique")
-        self.link = link
+        if any(fid < 0 for fid in ids):
+            raise ValueError("flow ids must be non-negative (negative ids are "
+                             "reserved for cross traffic)")
+        if isinstance(network, Topology):
+            self.topology = network
+        else:
+            self.topology = Topology.single(network)
+        #: Back-compat alias: the bottleneck hop's queue (the only hop for
+        #: legacy single-link simulations).
+        self.link = self.topology.bottleneck.queue
+
         self.flows: Dict[int, Flow] = {flow.flow_id: flow for flow in flows}
         # Flow membership is fixed for the simulator's lifetime; cache the
         # iteration list so the per-tick hot path does not rebuild it.
@@ -137,10 +167,46 @@ class NetworkSimulator:
         self._last_report_time: Dict[int, float] = {fid: 0.0 for fid in self.flows}
         self._tick_count = 0
 
+        # Route resolution, fixed for the simulator's lifetime: entry hop and
+        # path RTT per flow, plus a (flow, hop) -> successor map used by the
+        # drain loop to forward or deliver each chunk.
+        self._ordered_links = self.topology.ordered_links
+        self._bottleneck_trace = self.topology.bottleneck.queue.trace
+        self._entry_link: Dict[int, "Link"] = {}
+        self._route_rtt: Dict[int, float] = {}
+        self._next_hop: Dict[Tuple[int, str], Optional["Link"]] = {}
+        for fid in self.flows:
+            self._register_route(fid, self.topology.route_links(fid))
+        self._cross_sources = list(self.topology.cross_traffic)
+        #: Offered / delivered / dropped totals per cross-traffic source id.
+        self.cross_stats: Dict[int, Dict[str, float]] = {}
+        for source in self._cross_sources:
+            self._register_route(source.flow_id,
+                                 [self.topology.links[name] for name in source.path])
+            self.cross_stats[source.flow_id] = {"offered": 0.0, "delivered": 0.0, "dropped": 0.0}
+
+    def _register_route(self, flow_id: int, route) -> None:
+        self._entry_link[flow_id] = route[0]
+        self._route_rtt[flow_id] = sum(link.delay for link in route)
+        for index, link in enumerate(route):
+            successor = route[index + 1] if index + 1 < len(route) else None
+            self._next_hop[(flow_id, link.name)] = successor
+
     @staticmethod
     def _fresh_acc() -> Dict[str, float]:
         return {"acked": 0.0, "lost": 0.0, "sent": 0.0, "delay_weighted": 0.0,
                 "rtt_weighted": 0.0, "ack_weight": 0.0}
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def path_rtt(self, flow_id: int) -> float:
+        """End-to-end propagation RTT of ``flow_id``'s route (seconds)."""
+        return self._route_rtt[flow_id]
+
+    def hop_occupancy(self) -> Dict[str, float]:
+        """Queued packets per hop (for multi-bottleneck diagnostics)."""
+        return {link.name: link.queue.queue_occupancy for link in self._ordered_links}
 
     # ------------------------------------------------------------------ #
     # Core stepping
@@ -149,25 +215,68 @@ class NetworkSimulator:
         """Advance the simulation by one tick and return per-flow records."""
         now = self.now
         dt = self.dt
-        prop_rtt = self.link.min_rtt
 
-        # 1. Senders put packets on the bottleneck queue.  The service order is
-        # rotated every tick so no flow systematically wins the race for the
-        # last buffer slot (real links interleave packets from different flows).
+        # 0. Cross-traffic sources offer their load at their entry hops (they
+        # are already "on the wire", so they contend before this tick's
+        # sender packets).
+        for source in self._cross_sources:
+            offered = source.generator.rate_pps(now) * dt
+            if offered > 0:
+                _, dropped, random_lost = self._entry_link[source.flow_id].queue.enqueue(
+                    source.flow_id, offered, now)
+                counters = self.cross_stats[source.flow_id]
+                counters["offered"] += offered
+                counters["dropped"] += dropped + random_lost
+
+        # 1. Senders put packets on the first hop of their route.  The service
+        # order is rotated every tick so no flow systematically wins the race
+        # for the last buffer slot (real links interleave packets from
+        # different flows).
         flow_list = self._flow_list
         n_flows = len(flow_list)
         offset = self._tick_count % n_flows
         for position in range(n_flows):
             flow = flow_list[(offset + position) % n_flows]
+            fid = flow.flow_id
+            prop_rtt = self._route_rtt[fid]
             allowance = flow.send_allowance(now, dt, prop_rtt)
             if allowance > 0:
-                accepted, dropped, random_lost = self.link.enqueue(flow.flow_id, allowance, now)
+                accepted, dropped, random_lost = self._entry_link[fid].queue.enqueue(
+                    fid, allowance, now)
                 flow.record_sent(accepted, dropped, random_lost, now, prop_rtt)
         self._tick_count += 1
 
-        # 2. The bottleneck drains at trace capacity; deliveries turn into acks.
-        for chunk in self.link.drain(now, dt):
-            self.flows[chunk.flow_id].record_delivery(chunk.packets, chunk.queuing_delay, now, prop_rtt)
+        # 2. Every hop drains at its trace capacity in upstream→downstream
+        # order; chunks leaving a hop are forwarded to the next hop on their
+        # flow's route (accumulating queuing delay, possibly being dropped at
+        # a full downstream buffer) or, at the last hop, turn into acks after
+        # the summed path delay.
+        flows = self.flows
+        next_hop = self._next_hop
+        for link in self._ordered_links:
+            deliveries = link.queue.drain(now, dt)
+            if not deliveries:
+                continue
+            link_name = link.name
+            for chunk in deliveries:
+                successor = next_hop[(chunk.flow_id, link_name)]
+                if successor is None:
+                    flow = flows.get(chunk.flow_id)
+                    if flow is not None:
+                        flow.record_delivery(chunk.packets, chunk.queuing_delay, now,
+                                             self._route_rtt[chunk.flow_id])
+                    else:
+                        self.cross_stats[chunk.flow_id]["delivered"] += chunk.packets
+                else:
+                    _, dropped, random_lost = successor.queue.enqueue(
+                        chunk.flow_id, chunk.packets, now, carried_delay=chunk.queuing_delay)
+                    lost = dropped + random_lost
+                    if lost > 0:
+                        flow = flows.get(chunk.flow_id)
+                        if flow is not None:
+                            flow.record_transit_drop(lost, now, self._route_rtt[chunk.flow_id])
+                        else:
+                            self.cross_stats[chunk.flow_id]["dropped"] += lost
 
         # 3. Each flow consumes due ack/loss events and updates its controller.
         end_of_tick = now + dt
@@ -186,7 +295,7 @@ class NetworkSimulator:
                 acc["rtt_weighted"] += record.rtt * record.acked
                 acc["ack_weight"] += record.acked
 
-        self._capacity_log.append(self.link.trace.capacity_mbps(now))
+        self._capacity_log.append(self._bottleneck_trace.capacity_mbps(now))
         self._time_log.append(end_of_tick)
         self.now = end_of_tick
         return records
@@ -217,7 +326,8 @@ class NetworkSimulator:
 
         Called by the Orca environment once per monitor interval; the report
         fields correspond to the observed network states in Table 1 of the
-        paper.
+        paper.  All statistics are end-to-end: queuing delays accumulate over
+        every hop of the flow's route and RTTs include the summed path delay.
         """
         flow = self.flows[flow_id]
         acc = self._monitor_acc[flow_id]

@@ -8,7 +8,9 @@ Usage (after ``pip install -e .``)::
     python -m repro certify --kind canopy-shallow --steps 400 --trace step-12-48
     python -m repro figure 5          # regenerate one evaluation figure
     python -m repro figure 9 --jobs 4 # shard the grid over 4 worker processes
+    python -m repro figure topology   # sweep the multi-bottleneck families
     python -m repro compare-classical --buffer-bdp 1.0 --jobs 0
+    python -m repro evaluate --topology "chain(3)" --trace step-12-48
 
 Every subcommand is a thin wrapper over the public library API, so anything
 the CLI does can also be done programmatically (see the examples/ scripts).
@@ -30,6 +32,7 @@ from repro.harness.evaluate import (
 from repro.harness.models import DEFAULT_TRAINING_STEPS, MODEL_KINDS, get_trained_model
 from repro.harness.reporting import format_rows, print_experiment
 from repro.nn.serialization import save_weight_dict
+from repro.topology.families import topology_family_specs
 from repro.traces.cellular import CELLULAR_TRACE_NAMES, make_cellular_trace
 from repro.traces.synthetic import SYNTHETIC_TRACE_NAMES, make_synthetic_trace
 
@@ -51,6 +54,7 @@ FIGURE_DRIVERS: Dict[str, Callable[..., dict]] = {
     # signature check correctly sees that they cannot use --jobs.
     "16": lambda training_steps=300, seed=1: experiments.sensitivity(
         seed=seed, training_steps=training_steps),
+    "topology": experiments.topology_sweep,
     "17": experiments.training_curves,
     "table4": lambda training_steps=150, seed=1: experiments.verification_overhead(
         training_steps=training_steps, seed=seed),
@@ -75,6 +79,9 @@ def cmd_list_traces(_args: argparse.Namespace) -> int:
     print("Cellular-like traces (3):")
     for name in CELLULAR_TRACE_NAMES:
         print(f"  {name}")
+    print("Topology families (pass to --topology, e.g. chain(3)):")
+    for spec in topology_family_specs():
+        print(f"  {spec}")
     return 0
 
 
@@ -93,7 +100,7 @@ def cmd_train(args: argparse.Namespace) -> int:
 def cmd_evaluate(args: argparse.Namespace) -> int:
     trace = _get_trace(args.trace)
     settings = EvaluationSettings(duration=args.duration, buffer_bdp=args.buffer_bdp,
-                                  min_rtt=args.rtt, seed=args.seed)
+                                  min_rtt=args.rtt, topology=args.topology, seed=args.seed)
     # Train in-process first so pool workers inherit the warm model cache.
     get_trained_model(args.kind, training_steps=args.steps, seed=args.seed)
     grid = run_schemes_sharded({args.kind: args.kind, "cubic": None}, [trace], settings,
@@ -106,7 +113,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 def cmd_certify(args: argparse.Namespace) -> int:
     trace = _get_trace(args.trace)
     settings = EvaluationSettings(duration=args.duration, buffer_bdp=args.buffer_bdp,
-                                  min_rtt=args.rtt, seed=args.seed)
+                                  min_rtt=args.rtt, topology=args.topology, seed=args.seed)
     model = get_trained_model(args.kind, training_steps=args.steps, seed=args.seed)
     qcsat = evaluate_qcsat(model, trace, settings, n_components=args.components or 50)
     print(f"QC_sat for {args.kind} on {trace.name}: {qcsat.mean:.3f} +/- {qcsat.std:.3f} "
@@ -134,7 +141,8 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 def cmd_compare_classical(args: argparse.Namespace) -> int:
     traces = [make_synthetic_trace(name) for name in SYNTHETIC_TRACE_NAMES[:args.traces]]
-    settings = EvaluationSettings(duration=args.duration, buffer_bdp=args.buffer_bdp, seed=args.seed)
+    settings = EvaluationSettings(duration=args.duration, buffer_bdp=args.buffer_bdp,
+                                  topology=args.topology, seed=args.seed)
     scheme_kinds = {scheme: None for scheme in ("cubic", "newreno", "vegas", "bbr")}
     grid = run_schemes_sharded(scheme_kinds, traces, settings, n_jobs=args.jobs)
     # Present grouped by scheme (the grid enumerates trace-major).
@@ -159,7 +167,14 @@ def _add_common_eval_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", default="step-12-48", help="trace name (see list-traces)")
     parser.add_argument("--duration", type=float, default=15.0)
     parser.add_argument("--buffer-bdp", dest="buffer_bdp", type=float, default=1.0)
-    parser.add_argument("--rtt", type=float, default=0.04, help="propagation RTT in seconds")
+    parser.add_argument("--rtt", type=float, default=0.04, help="end-to-end propagation RTT in seconds")
+    _add_topology_argument(parser)
+
+
+def _add_topology_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", default="single_bottleneck",
+                        help="topology family spec, e.g. single_bottleneck, chain(3), "
+                             "parking_lot(3), dumbbell (see list-traces)")
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
@@ -195,7 +210,8 @@ def build_parser() -> argparse.ArgumentParser:
     certify_parser.set_defaults(handler=cmd_certify)
 
     figure_parser = subparsers.add_parser("figure", help="regenerate one evaluation figure/table")
-    figure_parser.add_argument("figure_id", help="1, 2, 5, 6, 7, 9, 10, 11, 12, 13, 16, 17 or table4")
+    figure_parser.add_argument("figure_id",
+                               help="1, 2, 5, 6, 7, 9, 10, 11, 12, 13, 16, 17, table4 or topology")
     figure_parser.add_argument("--steps", type=int, default=400)
     figure_parser.add_argument("--seed", type=int, default=1)
     _add_jobs_argument(figure_parser)
@@ -206,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     classical_parser.add_argument("--traces", type=int, default=3)
     classical_parser.add_argument("--duration", type=float, default=15.0)
     classical_parser.add_argument("--buffer-bdp", dest="buffer_bdp", type=float, default=1.0)
+    _add_topology_argument(classical_parser)
     classical_parser.add_argument("--seed", type=int, default=1)
     _add_jobs_argument(classical_parser)
     classical_parser.set_defaults(handler=cmd_compare_classical)

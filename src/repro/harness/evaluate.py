@@ -18,7 +18,6 @@ from repro.cc.base import CongestionController
 from repro.cc.bbr import BBRController
 from repro.cc.cubic import CubicController
 from repro.cc.flow import Flow
-from repro.cc.link import BottleneckLink
 from repro.cc.metrics import PerformanceSummary, summarize_result
 from repro.cc.netsim import NetworkSimulator, SimulationResult
 from repro.cc.newreno import NewRenoController
@@ -28,6 +27,7 @@ from repro.core.qc import QuantitativeCertificate
 from repro.core.verifier import Verifier, VerifierConfig
 from repro.harness.models import TrainedModel
 from repro.orca.agent import DecisionRecord, LearnedController
+from repro.topology.families import DEFAULT_TOPOLOGY, build_topology, parse_topology
 from repro.traces.trace import BandwidthTrace
 
 __all__ = [
@@ -47,7 +47,14 @@ CLASSICAL_SCHEMES = ("cubic", "vegas", "bbr", "newreno")
 
 @dataclass
 class EvaluationSettings:
-    """Link and run parameters shared by an evaluation sweep."""
+    """Link/topology and run parameters shared by an evaluation sweep.
+
+    ``topology`` is a family spec (``single_bottleneck``, ``chain(3)``,
+    ``parking_lot(3)``, ``dumbbell``; see :mod:`repro.topology.families`)
+    expanded around the trace at run time.  ``min_rtt`` is the end-to-end
+    path RTT and ``buffer_bdp`` sizes every hop's buffer, so results stay
+    comparable across families.
+    """
 
     duration: float = 20.0
     dt: float = 0.01
@@ -57,6 +64,10 @@ class EvaluationSettings:
     skip_seconds: float = 1.0
     observation_noise: float = 0.0
     random_loss_rate: float = 0.0
+    #: False = deterministic fluid thinning (historical behaviour); True =
+    #: per-hop seeded binomial loss sampling (reproducible per seed).
+    stochastic_loss: bool = False
+    topology: str = DEFAULT_TOPOLOGY
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -64,6 +75,7 @@ class EvaluationSettings:
             raise ValueError("duration, dt and min_rtt must be positive")
         if self.buffer_bdp <= 0:
             raise ValueError("buffer_bdp must be positive")
+        parse_topology(self.topology)  # fail fast on malformed specs
 
 
 @dataclass
@@ -149,17 +161,19 @@ def run_scheme_on_trace(
     settings: EvaluationSettings,
     scheme_name: str | None = None,
 ) -> SchemeResult:
-    """Run one scheme over one trace and summarize the outcome."""
+    """Run one scheme over one trace (on ``settings.topology``) and summarize it."""
     controller = factory()
-    link = BottleneckLink(
+    topology = build_topology(
+        settings.topology,
         trace,
         min_rtt=settings.min_rtt,
         buffer_bdp=settings.buffer_bdp,
         random_loss_rate=settings.random_loss_rate,
+        stochastic_loss=settings.stochastic_loss,
         seed=settings.seed,
     )
     flow = Flow(0, controller)
-    simulator = NetworkSimulator(link, [flow], dt=settings.dt)
+    simulator = NetworkSimulator(topology, [flow], dt=settings.dt)
     result = simulator.run(settings.duration)
     summary = summarize_result(result, flow_id=0, skip_seconds=settings.skip_seconds)
     decisions = list(getattr(controller, "decisions", []))

@@ -7,22 +7,20 @@ returns plain dictionaries / lists so the reporting module (and the
 benchmarks) can render them as the rows/series the paper reports.
 
 The grid-shaped drivers (``qcsat_buffers``, ``qcsat_robustness``,
-``performance_sweep``, ``realworld_deployment``) shard their (scheme × trace)
-cells through :class:`repro.harness.parallel.ParallelRunner` and accept an
-``n_jobs`` knob (default 1 = serial; parallel and serial runs produce
-identical rows).  They also report the grid wall-clock — and, for the
+``performance_sweep``, ``topology_sweep``, ``realworld_deployment``,
+``fallback_runtime``) shard their (scheme × trace) cells through
+:class:`repro.harness.parallel.ParallelRunner` and accept an ``n_jobs`` knob
+(default 1 = serial; parallel and serial runs produce identical rows).  They also report the grid wall-clock — and, for the
 certificate grids, certificates/sec — so the benchmark JSON captures
 verification throughput alongside the figures.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.monitor import QCRuntimeMonitor
 from repro.core.properties import (
     PropertySet,
     deep_buffer_properties,
@@ -39,6 +37,7 @@ from repro.harness.evaluate import (
 )
 from repro.harness.models import TrainedModel, get_trained_model
 from repro.harness.parallel import ExperimentTask, ParallelRunner
+from repro.topology.families import topology_family_specs
 from repro.traces.cellular import cellular_trace_suite
 from repro.traces.realworld import WANProfile, intercontinental_profiles, intracontinental_profiles
 from repro.traces.synthetic import make_synthetic_trace, synthetic_trace_suite
@@ -51,6 +50,7 @@ __all__ = [
     "certified_components",
     "qcsat_robustness",
     "performance_sweep",
+    "topology_sweep",
     "noise_sensitivity",
     "realworld_deployment",
     "fallback_runtime",
@@ -304,8 +304,15 @@ def performance_sweep(
     n_cellular: int = 2,
     seed: int = 1,
     n_jobs: int = 1,
+    topologies: Sequence[str] = ("single_bottleneck",),
 ) -> Dict:
-    """Utilization vs avg/p95 delay for all schemes (Fig. 9 shallow, Fig. 10 deep)."""
+    """Utilization vs avg/p95 delay for all schemes (Fig. 9 shallow, Fig. 10 deep).
+
+    ``topologies`` adds a topology axis to the grid: every (trace, scheme)
+    cell is replicated per family spec, and — when more than one family is
+    swept — the report rows carry a ``topology`` column.  The default single
+    family reproduces the paper's single-bottleneck figures unchanged.
+    """
     for kind in ("orca", canopy_kind):
         get_trained_model(kind, training_steps=training_steps, seed=seed)
     scheme_kinds: Dict[str, Optional[str]] = {
@@ -315,24 +322,94 @@ def performance_sweep(
         "vegas": None,
         "bbr": None,
     }
+    topologies = list(topologies)
     tasks = []
-    for trace_kind, count in (("synthetic", n_synthetic), ("cellular", n_cellular)):
-        settings = EvaluationSettings(duration=duration, buffer_bdp=buffer_bdp, seed=seed)
-        for trace in _trace_subset(trace_kind, count):
+    for topology in topologies:
+        for trace_kind, count in (("synthetic", n_synthetic), ("cellular", n_cellular)):
+            settings = EvaluationSettings(duration=duration, buffer_bdp=buffer_bdp,
+                                          topology=topology, seed=seed)
+            for trace in _trace_subset(trace_kind, count):
+                for label, model_kind in scheme_kinds.items():
+                    tasks.append(ExperimentTask(
+                        scheme=label, trace=trace, settings=settings,
+                        model_kind=model_kind, training_steps=training_steps, model_seed=seed,
+                        tags={"trace_kind": trace_kind},
+                    ))
+    grid = ParallelRunner(n_jobs).run(tasks)
+
+    rows = []
+    for topology in topologies:
+        for trace_kind, _count in (("synthetic", n_synthetic), ("cellular", n_cellular)):
+            for label in scheme_kinds:
+                cells = grid.select(topology=topology, trace_kind=trace_kind, scheme=label)
+                row = {
+                    "trace_kind": trace_kind,
+                    "scheme": label,
+                    "utilization": float(np.mean([c["utilization"] for c in cells])),
+                    "avg_delay_ms": float(np.mean([c["avg_queuing_delay_ms"] for c in cells])),
+                    "p95_delay_ms": float(np.mean([c["p95_queuing_delay_ms"] for c in cells])),
+                    "loss_rate": float(np.mean([c["loss_rate"] for c in cells])),
+                    "n_traces": len(cells),
+                }
+                if len(topologies) > 1:
+                    row = {"topology": topology, **row}
+                rows.append(row)
+    figure = "9" if buffer_bdp <= 1.0 else "10"
+    return {"figure": figure, "buffer_bdp": buffer_bdp, "rows": rows,
+            "topologies": topologies,
+            "wall_clock_s": grid.wall_clock_s, "n_jobs": grid.n_jobs}
+
+
+# ---------------------------------------------------------------------- #
+# Topology-family sweep — multi-bottleneck scenarios (beyond the paper)
+# ---------------------------------------------------------------------- #
+def topology_sweep(
+    families: Optional[Sequence[str]] = None,
+    schemes: Sequence[str] = ("cubic", "vegas", "bbr"),
+    canopy_kind: Optional[str] = None,
+    training_steps: int = 400,
+    duration: float = 10.0,
+    n_synthetic: int = 2,
+    buffer_bdp: float = 1.0,
+    seed: int = 1,
+    n_jobs: int = 1,
+) -> Dict:
+    """Every scheme on every topology family (chains, parking lots, dumbbells).
+
+    The paper evaluates a single shared bottleneck; this sweep drives the same
+    schemes over the multi-bottleneck family catalog — per-hop buffers,
+    parking-lot cross traffic, dumbbell bursts — and reports per-family
+    utilization/delay rows plus the simulator tick throughput (grid ticks per
+    wall-clock second, recorded in the bench JSON).
+
+    ``canopy_kind`` optionally adds a learned scheme (trained up front so pool
+    workers inherit the warm model cache) under the label ``canopy``.
+    """
+    families = list(families) if families is not None else topology_family_specs()
+    scheme_kinds: Dict[str, Optional[str]] = {name: None for name in schemes}
+    if canopy_kind is not None:
+        get_trained_model(canopy_kind, training_steps=training_steps, seed=seed)
+        scheme_kinds["canopy"] = canopy_kind
+
+    traces = _trace_subset("synthetic", n_synthetic)
+    tasks = []
+    for family in families:
+        settings = EvaluationSettings(duration=duration, buffer_bdp=buffer_bdp,
+                                      topology=family, seed=seed)
+        for trace in traces:
             for label, model_kind in scheme_kinds.items():
                 tasks.append(ExperimentTask(
                     scheme=label, trace=trace, settings=settings,
                     model_kind=model_kind, training_steps=training_steps, model_seed=seed,
-                    tags={"trace_kind": trace_kind},
                 ))
     grid = ParallelRunner(n_jobs).run(tasks)
 
     rows = []
-    for trace_kind, _count in (("synthetic", n_synthetic), ("cellular", n_cellular)):
+    for family in families:
         for label in scheme_kinds:
-            cells = grid.select(trace_kind=trace_kind, scheme=label)
+            cells = grid.select(topology=family, scheme=label)
             rows.append({
-                "trace_kind": trace_kind,
+                "topology": family,
                 "scheme": label,
                 "utilization": float(np.mean([c["utilization"] for c in cells])),
                 "avg_delay_ms": float(np.mean([c["avg_queuing_delay_ms"] for c in cells])),
@@ -340,9 +417,19 @@ def performance_sweep(
                 "loss_rate": float(np.mean([c["loss_rate"] for c in cells])),
                 "n_traces": len(cells),
             })
-    figure = "9" if buffer_bdp <= 1.0 else "10"
-    return {"figure": figure, "buffer_bdp": buffer_bdp, "rows": rows,
-            "wall_clock_s": grid.wall_clock_s, "n_jobs": grid.n_jobs}
+
+    # Derived from the settings the tasks actually ran with, so the reported
+    # tick throughput stays in sync with the simulated work.
+    ticks = sum(int(round(task.settings.duration / task.settings.dt)) for task in tasks)
+    return {
+        "figure": "topology",
+        "families": families,
+        "rows": rows,
+        "wall_clock_s": grid.wall_clock_s,
+        "n_jobs": grid.n_jobs,
+        "ticks": ticks,
+        "ticks_per_sec": ticks / grid.wall_clock_s if grid.wall_clock_s > 0 else 0.0,
+    }
 
 
 # ---------------------------------------------------------------------- #
@@ -467,44 +554,53 @@ def fallback_runtime(
     n_components: int = 10,
     n_traces: int = 2,
     seed: int = 1,
+    n_jobs: int = 1,
 ) -> Dict:
-    """Performance of Orca and Canopy with the QC_sat-guided fallback (Fig. 13)."""
-    orca = get_trained_model("orca", training_steps=training_steps, seed=seed)
-    canopy_shallow = get_trained_model("canopy-shallow", training_steps=training_steps, seed=seed)
-    canopy_deep = get_trained_model("canopy-deep", training_steps=training_steps, seed=seed)
-    cases = [
-        ("shallow", 1.0, shallow_buffer_properties(), canopy_shallow),
-        ("deep", 5.0, deep_buffer_properties(), canopy_deep),
-    ]
+    """Performance of Orca and Canopy with the QC_sat-guided fallback (Fig. 13).
+
+    Every (family, scheme, threshold, trace) cell carries a *declarative*
+    monitor spec — the worker rebuilds the ``QCRuntimeMonitor`` (verifier
+    closure and all) from the model zoo — so the grid shards through
+    :class:`ParallelRunner` like any other.
+    """
+    # Train in-process first so pool workers inherit the warm model cache.
+    for kind in ("orca", "canopy-shallow", "canopy-deep"):
+        get_trained_model(kind, training_steps=training_steps, seed=seed)
+
+    cases = [("shallow", 1.0, "canopy-shallow"), ("deep", 5.0, "canopy-deep")]
     traces = _trace_subset("synthetic", n_traces)
-    rows = []
-    for family, buffer_bdp, properties, canopy_model in cases:
+    tasks = []
+    for family, buffer_bdp, canopy_kind in cases:
         settings = EvaluationSettings(duration=duration, buffer_bdp=buffer_bdp, seed=seed)
-        for scheme_label, model in (("orca", orca), ("canopy", canopy_model)):
+        for scheme_label, model_kind in (("orca", "orca"), ("canopy", canopy_kind)):
             for threshold in thresholds:
-                summaries = []
-                fallback_fractions = []
                 for trace in traces:
-                    monitor = QCRuntimeMonitor(
-                        model.make_verifier(n_components=n_components), properties,
-                        threshold=threshold, n_components=n_components,
-                        enabled=threshold > 0.0,
-                    )
-                    factory = scheme_factory(scheme_label, model=model,
-                                             decision_filter=monitor.decision_filter, seed=seed)
-                    result = run_scheme_on_trace(factory, trace, settings, scheme_name=scheme_label)
-                    summaries.append(result.summary.as_dict())
-                    fallback_fractions.append(monitor.fallback_fraction)
+                    tasks.append(ExperimentTask(
+                        scheme=scheme_label, trace=trace, settings=settings,
+                        model_kind=model_kind, training_steps=training_steps, model_seed=seed,
+                        monitor_threshold=threshold, monitor_family=family,
+                        monitor_components=n_components,
+                        tags={"buffer_family": family, "threshold": threshold},
+                    ))
+    grid = ParallelRunner(n_jobs).run(tasks)
+
+    rows = []
+    for family, _buffer_bdp, _canopy_kind in cases:
+        for scheme_label in ("orca", "canopy"):
+            for threshold in thresholds:
+                cells = grid.select(buffer_family=family, scheme=scheme_label,
+                                    threshold=threshold)
                 rows.append({
                     "buffer_family": family,
                     "scheme": scheme_label,
                     "threshold": threshold,
-                    "utilization": float(np.mean([s["utilization"] for s in summaries])),
-                    "avg_delay_ms": float(np.mean([s["avg_queuing_delay_ms"] for s in summaries])),
-                    "p95_delay_ms": float(np.mean([s["p95_queuing_delay_ms"] for s in summaries])),
-                    "fallback_fraction": float(np.mean(fallback_fractions)),
+                    "utilization": float(np.mean([c["utilization"] for c in cells])),
+                    "avg_delay_ms": float(np.mean([c["avg_queuing_delay_ms"] for c in cells])),
+                    "p95_delay_ms": float(np.mean([c["p95_queuing_delay_ms"] for c in cells])),
+                    "fallback_fraction": float(np.mean([c["fallback_fraction"] for c in cells])),
                 })
-    return {"figure": "13", "rows": rows}
+    return {"figure": "13", "rows": rows,
+            "wall_clock_s": grid.wall_clock_s, "n_jobs": grid.n_jobs}
 
 
 # ---------------------------------------------------------------------- #

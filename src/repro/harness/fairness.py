@@ -6,10 +6,20 @@ propagation delay varies), reporting the ratio of the scheme's throughput to
 the average CUBIC throughput.  Fairness starts homogeneous flows of the same
 scheme staggered in time and reports per-flow throughput convergence plus
 Jain's index.
+
+The point functions (:func:`friendliness`, :func:`rtt_friendliness`,
+:func:`fairness_convergence`) take scheme-factory closures and run serially.
+For grids, :class:`MultiFlowTask` describes one sweep point *declaratively*
+(scheme label + model kind instead of a factory closure), so
+:func:`run_multiflow_grid` can shard the points across a
+:class:`~repro.harness.parallel.ParallelRunner` process pool — every worker
+rebuilds its factory from the model zoo, and rows come back in task order,
+identical for serial and parallel runs.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -22,7 +32,17 @@ from repro.cc.metrics import jain_fairness_index, throughput_ratio
 from repro.cc.netsim import NetworkSimulator
 from repro.traces.trace import BandwidthTrace, pps_to_mbps
 
-__all__ = ["friendliness", "rtt_friendliness", "fairness_convergence"]
+__all__ = [
+    "friendliness",
+    "rtt_friendliness",
+    "fairness_convergence",
+    "MultiFlowTask",
+    "run_multiflow_task",
+    "run_multiflow_grid",
+]
+
+#: Sweep modes understood by :class:`MultiFlowTask`.
+MULTIFLOW_MODES = ("friendliness", "rtt_friendliness", "fairness_convergence")
 
 
 def _flow_throughput_mbps(simulator: NetworkSimulator, flow_id: int, start: float, dt: float) -> float:
@@ -144,3 +164,102 @@ def fairness_convergence(
         "final_throughputs_mbps": final_throughputs,
         "jain_index": jain_fairness_index(final_throughputs),
     }
+
+
+# ---------------------------------------------------------------------- #
+# Declarative multi-flow grids (sharded through ParallelRunner)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MultiFlowTask:
+    """One picklable sweep point of a friendliness/fairness grid.
+
+    ``mode`` selects the experiment and ``value`` is that mode's swept knob:
+    the number of competing CUBIC flows (``friendliness``), the propagation
+    RTT in milliseconds (``rtt_friendliness``), or the number of homogeneous
+    flows (``fairness_convergence``).  ``model_kind`` is None for classical
+    schemes; learned schemes are rebuilt from the model zoo inside the worker
+    (instant when the parent trained them before forking), so no verifier or
+    policy closure ever crosses the process boundary.
+    """
+
+    mode: str
+    scheme: str
+    value: float
+    model_kind: Optional[str] = None
+    training_steps: int = 800
+    model_seed: int = 1
+    bandwidth_mbps: float = 48.0
+    min_rtt: float = 0.02
+    buffer_bdp: float = 1.0
+    #: None = the mode's own default (20 s for the friendliness modes; the
+    #: join-schedule-derived length for fairness_convergence).
+    duration: Optional[float] = None
+    join_interval: float = 12.0
+    seed: int = 3
+    tags: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MULTIFLOW_MODES:
+            raise ValueError(f"unknown multi-flow mode {self.mode!r}; known: {MULTIFLOW_MODES}")
+        if self.value <= 0:
+            raise ValueError("value must be positive")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+
+def _task_scheme_factory(task: MultiFlowTask) -> Callable[[], CongestionController]:
+    # Imported lazily: the zoo pulls in the trainer stack, which multi-flow
+    # grids over classical schemes never need.
+    from repro.harness.evaluate import scheme_factory
+
+    if task.model_kind is None:
+        return scheme_factory(task.scheme)
+    from repro.harness.models import get_trained_model
+
+    model = get_trained_model(task.model_kind, training_steps=task.training_steps,
+                              seed=task.model_seed)
+    return scheme_factory(task.scheme, model=model, seed=task.seed)
+
+
+def run_multiflow_task(task: MultiFlowTask) -> Dict:
+    """Run one sweep point and return its report row (module-level: picklable)."""
+    factory = _task_scheme_factory(task)
+    row: Dict = {"mode": task.mode, "scheme": task.scheme, "value": task.value}
+    row.update(task.tags)
+    if task.mode == "friendliness":
+        duration = task.duration if task.duration is not None else 20.0
+        result = friendliness(factory, task.scheme, competing_flows=(int(task.value),),
+                              bandwidth_mbps=task.bandwidth_mbps, min_rtt=task.min_rtt,
+                              buffer_bdp=task.buffer_bdp, duration=duration, seed=task.seed)
+        row.update(result["rows"][0])
+    elif task.mode == "rtt_friendliness":
+        duration = task.duration if task.duration is not None else 20.0
+        result = rtt_friendliness(factory, task.scheme, rtts_ms=(task.value,),
+                                  bandwidth_mbps=task.bandwidth_mbps,
+                                  buffer_bdp=task.buffer_bdp, duration=duration,
+                                  seed=task.seed)
+        row.update(result["rows"][0])
+    else:  # fairness_convergence
+        result = fairness_convergence(factory, task.scheme, n_flows=int(task.value),
+                                      join_interval=task.join_interval,
+                                      bandwidth_mbps=task.bandwidth_mbps, min_rtt=task.min_rtt,
+                                      buffer_bdp=task.buffer_bdp, duration=task.duration,
+                                      seed=task.seed)
+        row.update({
+            "jain_index": result["jain_index"],
+            "final_throughputs_mbps": result["final_throughputs_mbps"],
+            "series_mbps": result["series_mbps"],
+        })
+    return row
+
+
+def run_multiflow_grid(tasks: Sequence[MultiFlowTask], n_jobs: int = 1):
+    """Shard a multi-flow task grid over a process pool.
+
+    Returns a :class:`~repro.harness.parallel.GridResult` whose rows are in
+    task order (serial and parallel runs are identical).
+    """
+    # Imported lazily to keep fairness importable without the harness stack.
+    from repro.harness.parallel import ParallelRunner
+
+    return ParallelRunner(n_jobs).run(tasks, fn=run_multiflow_task)

@@ -42,7 +42,6 @@ from __future__ import annotations
 import os
 import pickle
 import time
-import zlib
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -51,6 +50,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.monitor import QCRuntimeMonitor
 from repro.core.properties import (
     PropertySet,
     deep_buffer_properties,
@@ -63,6 +63,7 @@ from repro.harness.evaluate import (
     run_scheme_on_trace,
     scheme_factory,
 )
+from repro.seeding import derive_seed
 from repro.traces.trace import BandwidthTrace
 
 __all__ = [
@@ -82,18 +83,6 @@ PROPERTY_FAMILIES: Dict[str, Callable[[], PropertySet]] = {
 }
 
 
-def derive_seed(base_seed: int, *coordinates) -> int:
-    """A stable, collision-resistant seed for one grid cell.
-
-    Hashes the cell coordinates (any reprable values: trace name, scheme,
-    replicate index, ...) together with ``base_seed`` via CRC32, so the same
-    cell always gets the same seed no matter which worker runs it or in what
-    order the grid is traversed.
-    """
-    digest = zlib.crc32(repr((int(base_seed),) + coordinates).encode("utf-8"))
-    return int(digest % (2 ** 31 - 1))
-
-
 @dataclass(frozen=True)
 class ExperimentTask:
     """One (scheme, trace, seed) cell of an experiment grid.
@@ -102,6 +91,13 @@ class ExperimentTask:
     worker fetches ``model_kind`` from the model zoo (instant when the parent
     trained it before forking).  With ``certify=True`` the cell additionally
     runs the verifier over every decision and reports QC_sat columns.
+
+    ``monitor_threshold``/``monitor_family``/``monitor_components`` describe a
+    :class:`repro.core.monitor.QCRuntimeMonitor` *declaratively*: the worker
+    rebuilds the monitor (and its verifier closure) from the model zoo, so the
+    task stays picklable and fallback grids shard like any other grid.  A
+    threshold of 0.0 installs the monitor in record-only mode (the learned
+    action is never vetoed), matching the figure-13 baseline.
     """
 
     scheme: str
@@ -115,14 +111,25 @@ class ExperimentTask:
     certify: bool = False
     property_family: Optional[str] = None
     n_components: int = 50
+    monitor_threshold: Optional[float] = None
+    monitor_family: Optional[str] = None
+    monitor_components: int = 10
     tags: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.certify and self.model_kind is None:
             raise ValueError("certify=True requires a learned model_kind")
-        if self.property_family is not None and self.property_family not in PROPERTY_FAMILIES:
-            raise ValueError(f"unknown property family {self.property_family!r}; "
-                             f"known: {sorted(PROPERTY_FAMILIES)}")
+        for family in (self.property_family, self.monitor_family):
+            if family is not None and family not in PROPERTY_FAMILIES:
+                raise ValueError(f"unknown property family {family!r}; "
+                                 f"known: {sorted(PROPERTY_FAMILIES)}")
+        if self.monitor_threshold is not None:
+            if self.model_kind is None:
+                raise ValueError("a monitor spec requires a learned model_kind")
+            if self.monitor_family is None:
+                raise ValueError("a monitor spec requires monitor_family")
+            if not 0.0 <= self.monitor_threshold <= 1.0:
+                raise ValueError("monitor_threshold must be in [0, 1]")
 
 
 @dataclass
@@ -179,7 +186,8 @@ def _task_model(task: ExperimentTask):
 def run_task(task: ExperimentTask) -> Dict:
     """Run one grid cell and return its report row (module-level: picklable)."""
     model = _task_model(task) if task.model_kind is not None else None
-    row: Dict = {"scheme": task.scheme, "trace": task.trace.name, "seed": task.settings.seed}
+    row: Dict = {"scheme": task.scheme, "trace": task.trace.name, "seed": task.settings.seed,
+                 "topology": task.settings.topology}
     row.update(task.tags)
 
     if task.certify:
@@ -197,15 +205,30 @@ def run_task(task: ExperimentTask) -> Dict:
         })
         return row
 
+    monitor = None
+    decision_filter = None
+    if task.monitor_threshold is not None:
+        monitor = QCRuntimeMonitor(
+            model.make_verifier(n_components=task.monitor_components),
+            PROPERTY_FAMILIES[task.monitor_family](),
+            threshold=task.monitor_threshold,
+            n_components=task.monitor_components,
+            enabled=task.monitor_threshold > 0.0,
+        )
+        decision_filter = monitor.decision_filter
     if model is None:
         factory = scheme_factory(task.scheme)
     else:
         factory = scheme_factory(task.scheme, model=model,
                                  observation_noise=task.settings.observation_noise,
+                                 decision_filter=decision_filter,
                                  monitor_interval=task.settings.monitor_interval,
                                  seed=task.settings.seed)
     result = run_scheme_on_trace(factory, task.trace, task.settings, scheme_name=task.scheme)
     row.update(result.summary.as_dict())
+    if monitor is not None:
+        row["fallback_fraction"] = monitor.fallback_fraction
+        row["mean_qc"] = monitor.mean_qc
     return row
 
 
@@ -284,11 +307,16 @@ class ParallelRunner:
         except (pickle.PicklingError, AttributeError, TypeError):
             return False
 
-    def run(self, tasks: Iterable[ExperimentTask]) -> GridResult:
-        """Run a grid of tasks and merge the rows in task order."""
+    def run(self, tasks: Iterable, fn: Callable = run_task) -> GridResult:
+        """Run a grid of tasks through ``fn`` and merge the rows in task order.
+
+        ``fn`` defaults to :func:`run_task` (ExperimentTask grids); other task
+        types supply their own module-level worker (e.g.
+        :func:`repro.harness.fairness.run_multiflow_task`).
+        """
         tasks = list(tasks)
         start = time.perf_counter()
-        rows = self.map(run_task, tasks)
+        rows = self.map(fn, tasks)
         return GridResult(
             rows=rows,
             wall_clock_s=time.perf_counter() - start,

@@ -1,0 +1,95 @@
+"""Declarative cross-traffic generators for multi-bottleneck topologies.
+
+Cross traffic is unresponsive background load injected at a link of the
+topology: it competes with the congestion-controlled flows for buffer space
+and drain capacity but does not react to loss or delay.  Two classic shapes
+are provided:
+
+* :class:`ConstantBitRate` — a fixed offered rate (the "parking lot" standard).
+* :class:`OnOff` — a square-wave burst source alternating between a fixed
+  on-rate and silence, with a configurable phase so several sources can be
+  decorrelated deterministically.
+
+A :class:`CrossTrafficSource` binds one generator to a path through the
+topology and a (negative) flow id, so cross-traffic chunks travel hop-by-hop
+through the same FIFO queues as real flows and can be told apart in
+per-flow occupancy diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Tuple
+
+from repro.traces.trace import mbps_to_pps
+
+__all__ = ["TrafficGenerator", "ConstantBitRate", "OnOff", "CrossTrafficSource"]
+
+
+class TrafficGenerator(Protocol):
+    """Anything that can state its offered rate at a point in time."""
+
+    def rate_pps(self, now: float) -> float:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class ConstantBitRate:
+    """A constant offered load of ``rate_mbps``."""
+
+    rate_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.rate_mbps < 0:
+            raise ValueError("rate_mbps must be non-negative")
+
+    def rate_pps(self, now: float) -> float:
+        return mbps_to_pps(self.rate_mbps)
+
+
+@dataclass(frozen=True)
+class OnOff:
+    """A square-wave source: ``rate_mbps`` for ``on_seconds``, silent for ``off_seconds``.
+
+    ``phase`` shifts the waveform in time, so multiple sources built from
+    per-source derived seeds burst at different (but reproducible) instants.
+    """
+
+    rate_mbps: float
+    on_seconds: float
+    off_seconds: float
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_mbps < 0:
+            raise ValueError("rate_mbps must be non-negative")
+        if self.on_seconds <= 0 or self.off_seconds < 0:
+            raise ValueError("need on_seconds > 0 and off_seconds >= 0")
+
+    @property
+    def period(self) -> float:
+        return self.on_seconds + self.off_seconds
+
+    def rate_pps(self, now: float) -> float:
+        position = (now + self.phase) % self.period
+        return mbps_to_pps(self.rate_mbps) if position < self.on_seconds else 0.0
+
+
+@dataclass(frozen=True)
+class CrossTrafficSource:
+    """One unresponsive background flow routed over ``path``.
+
+    ``flow_id`` must be negative so cross traffic can never collide with the
+    congestion-controlled flows (which use ids >= 0).
+    """
+
+    name: str
+    flow_id: int
+    path: Tuple[str, ...]
+    generator: TrafficGenerator
+
+    def __post_init__(self) -> None:
+        if self.flow_id >= 0:
+            raise ValueError("cross-traffic flow ids must be negative")
+        if not self.path:
+            raise ValueError("cross-traffic path must name at least one link")

@@ -1,0 +1,223 @@
+"""The topology-family catalog: sweepable, declarative network scenarios.
+
+A family spec is a compact string — ``single_bottleneck``, ``chain(3)``,
+``parking_lot(4)``, ``dumbbell`` — that :func:`build_topology` expands into a
+concrete :class:`~repro.topology.graph.Topology` around a bandwidth trace and
+the usual evaluation knobs (path RTT, buffer depth in BDP multiples, random
+loss).  Specs are plain strings so they travel freely through
+:class:`~repro.harness.parallel.ExperimentTask` grids, CLI flags, and bench
+JSON without any pickling concerns.
+
+Families
+--------
+
+``single_bottleneck``
+    One trace-driven hop.  Byte-for-byte equivalent to the legacy single-link
+    simulator (the differential suite pins this).
+
+``chain(n)``
+    ``n`` hops in series.  The *last* hop is the trace-driven bottleneck;
+    upstream hops run 25% faster, so bursts traverse several per-hop buffers
+    before hitting the bottleneck queue.  The path RTT is split evenly across
+    hops.
+
+``parking_lot(n)``
+    ``n`` trace-driven segments in series; the flow under test crosses all of
+    them while one constant-bit-rate cross flow enters and leaves at each
+    segment (the classic parking-lot contention scenario).
+
+``dumbbell``
+    Fast access links on both sides of one trace-driven bottleneck carrying
+    an on/off burst source whose phase is drawn from a seed-derived RNG.
+
+Adding a family: write a ``_build_<family>`` helper, register it in
+``_BUILDERS``, and give it a default hop count in ``_DEFAULT_HOPS`` (see the
+architecture notes in ROADMAP.md).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.seeding import derive_seed
+from repro.topology.cross_traffic import ConstantBitRate, CrossTrafficSource, OnOff
+from repro.topology.graph import Link, Topology
+from repro.traces.trace import BandwidthTrace
+
+__all__ = [
+    "TOPOLOGY_FAMILIES",
+    "DEFAULT_TOPOLOGY",
+    "parse_topology",
+    "build_topology",
+    "topology_family_specs",
+]
+
+#: Family names accepted by :func:`parse_topology`.
+TOPOLOGY_FAMILIES = ("single_bottleneck", "chain", "parking_lot", "dumbbell")
+
+#: The spec every evaluation uses unless told otherwise (legacy behaviour).
+DEFAULT_TOPOLOGY = "single_bottleneck"
+
+#: Capacity headroom of non-bottleneck hops relative to the bottleneck trace.
+ACCESS_HEADROOM = 1.25
+DUMBBELL_ACCESS_SCALE = 2.0
+
+#: Fraction of the bottleneck's mean capacity offered by each cross source.
+DEFAULT_CROSS_LOAD = 0.25
+
+_SPEC_RE = re.compile(r"^\s*([a-z_]+)\s*(?:\(\s*(\d+)\s*\))?\s*$")
+
+_DEFAULT_HOPS = {"single_bottleneck": 1, "chain": 2, "parking_lot": 2, "dumbbell": 3}
+_FIXED_HOPS = {"single_bottleneck": 1, "dumbbell": 3}
+
+
+def parse_topology(spec: str) -> Tuple[str, int]:
+    """Parse ``"family"`` or ``"family(n)"`` into ``(family, n_hops)``.
+
+    Raises ``ValueError`` for unknown families, malformed specs, hop counts
+    below 1, or a hop count on a family with a fixed shape.
+    """
+    match = _SPEC_RE.match(spec or "")
+    if match is None:
+        raise ValueError(f"malformed topology spec {spec!r}; expected 'family' or 'family(n)'")
+    family, count = match.group(1), match.group(2)
+    if family not in TOPOLOGY_FAMILIES:
+        raise ValueError(f"unknown topology family {family!r}; known: {TOPOLOGY_FAMILIES}")
+    if count is None:
+        return family, _DEFAULT_HOPS[family]
+    n = int(count)
+    if family in _FIXED_HOPS and n != _FIXED_HOPS[family]:
+        raise ValueError(f"{family} has a fixed shape; drop the ({n}) suffix")
+    if n < 1:
+        raise ValueError("hop count must be >= 1")
+    return family, n
+
+
+def topology_family_specs() -> List[str]:
+    """Representative specs for listings and sweeps (one per family)."""
+    return ["single_bottleneck", "chain(3)", "parking_lot(3)", "dumbbell"]
+
+
+# ---------------------------------------------------------------------- #
+# Builders
+# ---------------------------------------------------------------------- #
+def _hop_seed(seed: int, spec: str, trace_name: str, link_name: str) -> int:
+    """Per-hop RNG seed derived from the cell coordinates (sharding-stable)."""
+    return derive_seed(seed, "topology", spec, trace_name, link_name)
+
+
+def _build_single_bottleneck(trace, min_rtt, buffer_bdp, random_loss_rate, seed, n, cross_load,
+                             stochastic_loss):
+    link = Link.build("bottleneck", trace, delay=min_rtt, buffer_rtt=min_rtt,
+                      buffer_bdp=buffer_bdp, random_loss_rate=random_loss_rate,
+                      stochastic_loss=stochastic_loss,
+                      seed=_hop_seed(seed, "single_bottleneck", trace.name, "bottleneck"))
+    return Topology("single_bottleneck", [link], bottleneck="bottleneck")
+
+
+def _build_chain(trace, min_rtt, buffer_bdp, random_loss_rate, seed, n, cross_load,
+                 stochastic_loss):
+    spec = f"chain({n})"
+    hop_delay = min_rtt / n
+    links = []
+    for index in range(1, n + 1):
+        name = f"hop{index}"
+        if index == n:  # the trace-driven bottleneck sits at the end of the path
+            hop_trace, loss = trace, random_loss_rate
+        else:
+            hop_trace = trace.scaled(ACCESS_HEADROOM, name=f"{trace.name}-{name}")
+            loss = 0.0
+        links.append(Link.build(name, hop_trace, delay=hop_delay, buffer_rtt=min_rtt,
+                                buffer_bdp=buffer_bdp, random_loss_rate=loss,
+                                stochastic_loss=stochastic_loss,
+                                seed=_hop_seed(seed, spec, trace.name, name)))
+    return Topology(spec, links, bottleneck=f"hop{n}")
+
+
+def _build_parking_lot(trace, min_rtt, buffer_bdp, random_loss_rate, seed, n, cross_load,
+                       stochastic_loss):
+    spec = f"parking_lot({n})"
+    hop_delay = min_rtt / n
+    links = []
+    cross = []
+    for index in range(1, n + 1):
+        name = f"seg{index}"
+        loss = random_loss_rate if index == n else 0.0
+        links.append(Link.build(name, trace, delay=hop_delay, buffer_rtt=min_rtt,
+                                buffer_bdp=buffer_bdp, random_loss_rate=loss,
+                                stochastic_loss=stochastic_loss,
+                                seed=_hop_seed(seed, spec, trace.name, name)))
+        cross.append(CrossTrafficSource(
+            name=f"cbr-{name}", flow_id=-index, path=(name,),
+            generator=ConstantBitRate(cross_load * trace.mean_mbps)))
+    return Topology(spec, links, cross_traffic=cross, bottleneck=f"seg{n}")
+
+
+def _build_dumbbell(trace, min_rtt, buffer_bdp, random_loss_rate, seed, n, cross_load,
+                    stochastic_loss):
+    spec = "dumbbell"
+    access_delay, core_delay = 0.25 * min_rtt, 0.5 * min_rtt
+    src = Link.build("access-src", trace.scaled(DUMBBELL_ACCESS_SCALE, name=f"{trace.name}-src"),
+                     delay=access_delay, buffer_rtt=min_rtt, buffer_bdp=buffer_bdp,
+                     seed=_hop_seed(seed, spec, trace.name, "access-src"))
+    core = Link.build("bottleneck", trace, delay=core_delay, buffer_rtt=min_rtt,
+                      buffer_bdp=buffer_bdp, random_loss_rate=random_loss_rate,
+                      stochastic_loss=stochastic_loss,
+                      seed=_hop_seed(seed, spec, trace.name, "bottleneck"))
+    dst = Link.build("access-dst", trace.scaled(DUMBBELL_ACCESS_SCALE, name=f"{trace.name}-dst"),
+                     delay=access_delay, buffer_rtt=min_rtt, buffer_bdp=buffer_bdp,
+                     seed=_hop_seed(seed, spec, trace.name, "access-dst"))
+    # The burst phase comes from a seed-derived RNG so different cells see
+    # decorrelated (but individually reproducible) bursts.  The on-rate is
+    # scaled by the trace's *minimum* capacity so an unresponsive burst can
+    # pressure — but never single-handedly saturate — the bottleneck during
+    # capacity valleys of variable traces.
+    on_seconds, off_seconds = 1.0, 1.0
+    rng = np.random.default_rng(_hop_seed(seed, spec, trace.name, "cross"))
+    burst = OnOff(cross_load * trace.min_mbps * 2.0,
+                  on_seconds=on_seconds, off_seconds=off_seconds,
+                  phase=float(rng.uniform(0.0, on_seconds + off_seconds)))
+    cross = [CrossTrafficSource(name="onoff-core", flow_id=-1, path=("bottleneck",),
+                                generator=burst)]
+    return Topology(spec, [src, core, dst], cross_traffic=cross, bottleneck="bottleneck")
+
+
+_BUILDERS: Dict[str, Callable[..., Topology]] = {
+    "single_bottleneck": _build_single_bottleneck,
+    "chain": _build_chain,
+    "parking_lot": _build_parking_lot,
+    "dumbbell": _build_dumbbell,
+}
+
+
+def build_topology(
+    spec: str,
+    trace: BandwidthTrace,
+    min_rtt: float,
+    buffer_bdp: float = 1.0,
+    random_loss_rate: float = 0.0,
+    stochastic_loss: bool = False,
+    seed: int = 7,
+    cross_load: float = DEFAULT_CROSS_LOAD,
+) -> Topology:
+    """Expand a family spec into a concrete topology around ``trace``.
+
+    ``min_rtt`` is the end-to-end path RTT (split across hops), ``buffer_bdp``
+    sizes every hop's buffer in multiples of the path BDP, and
+    ``random_loss_rate`` applies at the bottleneck hop — as deterministic
+    fluid thinning by default, or as seeded binomial sampling with
+    ``stochastic_loss=True``.  Per-hop RNG seeds are derived from ``seed`` and
+    the (spec, trace, link) coordinates via :func:`repro.seeding.derive_seed`,
+    so grids sharded over a process pool reproduce bit-identically regardless
+    of worker assignment.
+    """
+    if min_rtt <= 0:
+        raise ValueError("min_rtt must be positive")
+    if cross_load < 0:
+        raise ValueError("cross_load must be non-negative")
+    family, n = parse_topology(spec)
+    return _BUILDERS[family](trace, min_rtt, buffer_bdp, random_loss_rate, seed, n, cross_load,
+                             stochastic_loss)

@@ -1,0 +1,209 @@
+"""The topology graph: :class:`Link` hops, flow :class:`Route`\\ s, and :class:`Topology`.
+
+A topology is an ordered set of link hops (each hop owns its own trace-driven
+capacity, finite FIFO buffer, propagation-delay contribution, and random-loss
+RNG), a route per flow mapping it onto a contiguous sequence of hops, and a
+set of declarative cross-traffic sources.  The hop queue engine is the same
+:class:`repro.cc.link.BottleneckLink` fluid model that powered the legacy
+single-link simulator, so a one-hop topology reproduces the legacy dynamics
+exactly (pinned by ``tests/test_topology_differential.py``).
+
+Hops are kept in upstream→downstream order; the network simulator drains them
+in that order every tick, so packets can traverse several empty queues within
+one tick (the fluid-model equivalent of store-and-forward being much faster
+than a 10 ms tick), while all propagation delay is accounted end-to-end when
+the ack returns after the summed path delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cc.link import BottleneckLink
+from repro.topology.cross_traffic import CrossTrafficSource
+from repro.traces.trace import BandwidthTrace
+
+__all__ = ["Link", "Route", "Topology"]
+
+
+@dataclass
+class Link:
+    """One hop of a topology: a named FIFO queue plus its RTT contribution.
+
+    ``delay`` is this hop's contribution to the end-to-end path RTT in
+    seconds; the RTT of a route is the sum of its hops' delays, so a
+    single-hop topology with ``delay == min_rtt`` matches the legacy
+    single-link propagation model.
+    """
+
+    name: str
+    queue: BottleneckLink
+    delay: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("link name must be non-empty")
+        if self.delay <= 0:
+            raise ValueError("link delay must be positive")
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        trace: BandwidthTrace,
+        delay: float,
+        buffer_rtt: float,
+        buffer_bdp: float = 1.0,
+        buffer_packets: Optional[float] = None,
+        random_loss_rate: float = 0.0,
+        stochastic_loss: bool = False,
+        seed: Optional[int] = None,
+    ) -> "Link":
+        """Construct a hop whose buffer is sized in BDP multiples of ``buffer_rtt``.
+
+        ``buffer_rtt`` is usually the *path* RTT (not the hop delay) so that a
+        one-hop topology sizes its buffer exactly like the legacy single link
+        and multi-hop buffers stay comparable across families.
+        """
+        queue = BottleneckLink(
+            trace,
+            min_rtt=buffer_rtt,
+            buffer_bdp=buffer_bdp,
+            buffer_packets=buffer_packets,
+            random_loss_rate=random_loss_rate,
+            stochastic_loss=stochastic_loss,
+            seed=seed,
+        )
+        return cls(name=name, queue=queue, delay=delay)
+
+
+@dataclass(frozen=True)
+class Route:
+    """A flow's path: an ordered tuple of link names plus the summed RTT."""
+
+    flow_id: int
+    link_names: Tuple[str, ...]
+    rtt: float
+
+    def __post_init__(self) -> None:
+        if not self.link_names:
+            raise ValueError("route must traverse at least one link")
+
+
+class Topology:
+    """A graph of link hops with per-flow routes and cross-traffic sources.
+
+    Args:
+        name: Family label used in reports (e.g. ``chain(3)``).
+        links: Hops in upstream→downstream order; names must be unique.
+        routes: Optional mapping of flow id to the link names it traverses, in
+            order.  Flows without an explicit route use the full path (all
+            links in order), which is the right default for chains.
+        cross_traffic: Declarative background sources; their (negative) flow
+            ids and paths are validated against the link set.
+        bottleneck: Name of the hop whose trace defines the reference capacity
+            (utilization denominators, capacity logs).  Defaults to the hop
+            with the lowest mean capacity.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        links: Sequence[Link],
+        routes: Optional[Dict[int, Sequence[str]]] = None,
+        cross_traffic: Sequence[CrossTrafficSource] = (),
+        bottleneck: Optional[str] = None,
+    ) -> None:
+        if not links:
+            raise ValueError("topology needs at least one link")
+        names = [link.name for link in links]
+        if len(set(names)) != len(names):
+            raise ValueError("link names must be unique")
+        self.name = name
+        self.links: Dict[str, Link] = {link.name: link for link in links}
+        self._order: List[str] = names
+
+        self._routes: Dict[int, Tuple[str, ...]] = {}
+        for flow_id, link_names in (routes or {}).items():
+            self._routes[flow_id] = self._validated_path(tuple(link_names))
+
+        self.cross_traffic: List[CrossTrafficSource] = list(cross_traffic)
+        seen_ids = set()
+        for source in self.cross_traffic:
+            if source.flow_id in seen_ids:
+                raise ValueError(f"duplicate cross-traffic flow id {source.flow_id}")
+            seen_ids.add(source.flow_id)
+            self._validated_path(source.path)
+
+        if bottleneck is None:
+            bottleneck = min(names, key=lambda n: self.links[n].queue.trace.mean_mbps)
+        if bottleneck not in self.links:
+            raise ValueError(f"unknown bottleneck link {bottleneck!r}")
+        self.bottleneck_name = bottleneck
+
+    # ------------------------------------------------------------------ #
+    def _validated_path(self, path: Tuple[str, ...]) -> Tuple[str, ...]:
+        if not path:
+            raise ValueError("path must name at least one link")
+        unknown = [n for n in path if n not in self.links]
+        if unknown:
+            raise ValueError(f"path references unknown links {unknown}")
+        positions = [self._order.index(n) for n in path]
+        if positions != sorted(positions) or len(set(positions)) != len(positions):
+            raise ValueError(f"path {path} must follow the upstream→downstream link order")
+        return path
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def ordered_links(self) -> List[Link]:
+        """Hops in upstream→downstream (drain) order."""
+        return [self.links[name] for name in self._order]
+
+    @property
+    def link_names(self) -> List[str]:
+        return list(self._order)
+
+    @property
+    def bottleneck(self) -> Link:
+        """The hop whose trace defines the reference capacity."""
+        return self.links[self.bottleneck_name]
+
+    @property
+    def n_hops(self) -> int:
+        return len(self._order)
+
+    def route_names(self, flow_id: int) -> Tuple[str, ...]:
+        """The link names flow ``flow_id`` traverses (full path by default)."""
+        return self._routes.get(flow_id, tuple(self._order))
+
+    def route_for(self, flow_id: int) -> Route:
+        names = self.route_names(flow_id)
+        return Route(flow_id=flow_id, link_names=names,
+                     rtt=sum(self.links[n].delay for n in names))
+
+    def route_links(self, flow_id: int) -> List[Link]:
+        return [self.links[n] for n in self.route_names(flow_id)]
+
+    def path_rtt(self, flow_id: int) -> float:
+        """Summed propagation delay over the flow's route (seconds)."""
+        return sum(link.delay for link in self.route_links(flow_id))
+
+    def reset(self) -> None:
+        for link in self.links.values():
+            link.queue.reset()
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def single(cls, link: BottleneckLink, name: str = "single_bottleneck") -> "Topology":
+        """Wrap one legacy :class:`BottleneckLink` as a one-hop topology.
+
+        The hop's delay is the link's ``min_rtt``, so route RTTs — and hence
+        ack timing — are identical to the legacy single-link simulator.
+        """
+        hop = Link(name="bottleneck", queue=link, delay=link.min_rtt)
+        return cls(name=name, links=[hop], bottleneck="bottleneck")

@@ -65,8 +65,37 @@ def test_figure_command_runs_driver(capsys):
 
 
 def test_figure_driver_registry_covers_evaluation():
-    expected = {"1", "2", "5", "6", "7", "9", "10", "11", "12", "13", "16", "17", "table4"}
+    expected = {"1", "2", "5", "6", "7", "9", "10", "11", "12", "13", "16", "17", "table4",
+                "topology"}
     assert expected <= set(FIGURE_DRIVERS)
+
+
+def test_list_traces_includes_topology_families(capsys):
+    assert main(["list-traces"]) == 0
+    out = capsys.readouterr().out
+    assert "chain(3)" in out and "dumbbell" in out
+
+
+def test_evaluate_with_topology_flag(capsys):
+    code = main(["evaluate", "--kind", "canopy-shallow", "--steps", "30", "--seed", "52",
+                 "--trace", "step-12-48", "--duration", "3.0", "--topology", "chain(2)"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "canopy-shallow" in out and "utilization" in out
+
+
+def test_evaluate_rejects_bad_topology():
+    with pytest.raises(ValueError):
+        main(["evaluate", "--kind", "canopy-shallow", "--steps", "30", "--seed", "52",
+              "--trace", "step-12-48", "--duration", "3.0", "--topology", "mesh(9)"])
+
+
+def test_compare_classical_with_topology(capsys):
+    code = main(["compare-classical", "--traces", "1", "--duration", "3.0",
+                 "--topology", "parking_lot(2)"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cubic" in out
 
 
 def test_compare_classical_command(capsys):

@@ -88,6 +88,41 @@ class TestPerformanceFigures:
         for row in result["rows"]:
             assert 0.0 <= row["fallback_fraction"] <= 1.0
 
+    def test_fig13_fallback_shards_identically(self):
+        serial = experiments.fallback_runtime(duration=3.0, thresholds=(0.0, 0.8),
+                                              n_components=4, n_traces=1, n_jobs=1, **QUICK)
+        parallel = experiments.fallback_runtime(duration=3.0, thresholds=(0.0, 0.8),
+                                                n_components=4, n_traces=1, n_jobs=2, **QUICK)
+        assert serial["rows"] == parallel["rows"]
+
+
+@pytest.mark.slow
+class TestTopologySweep:
+    def test_topology_sweep_structure(self):
+        result = experiments.topology_sweep(
+            families=("single_bottleneck", "chain(2)", "parking_lot(2)"),
+            schemes=("cubic", "vegas"), duration=3.0, n_synthetic=1, seed=31)
+        assert result["figure"] == "topology"
+        assert len(result["rows"]) == 6  # 3 families x 2 schemes
+        assert result["ticks"] == 6 * 300
+        assert result["ticks_per_sec"] > 0.0
+        for row in result["rows"]:
+            assert 0.0 < row["utilization"] <= 1.5
+            assert row["avg_delay_ms"] >= 0.0
+
+    def test_topology_sweep_defaults_cover_family_catalog(self):
+        result = experiments.topology_sweep(duration=2.0, n_synthetic=1, seed=31)
+        assert set(result["families"]) == {"single_bottleneck", "chain(3)",
+                                           "parking_lot(3)", "dumbbell"}
+
+    def test_performance_sweep_topology_axis(self):
+        result = experiments.performance_sweep(
+            buffer_bdp=1.0, duration=3.0, n_synthetic=1, n_cellular=1,
+            topologies=("single_bottleneck", "chain(2)"), **QUICK)
+        rows = result["rows"]
+        assert len(rows) == 20  # 2 topologies x 2 trace kinds x 5 schemes
+        assert {row["topology"] for row in rows} == {"single_bottleneck", "chain(2)"}
+
 
 @pytest.mark.slow
 class TestSensitivityAndTraining:

@@ -4,7 +4,14 @@ import pytest
 
 from repro.cc.cubic import CubicController
 from repro.cc.vegas import VegasController
-from repro.harness.fairness import fairness_convergence, friendliness, rtt_friendliness
+from repro.harness.fairness import (
+    MultiFlowTask,
+    fairness_convergence,
+    friendliness,
+    rtt_friendliness,
+    run_multiflow_grid,
+    run_multiflow_task,
+)
 
 
 class TestFriendliness:
@@ -48,3 +55,42 @@ class TestFairnessConvergence:
                                       duration=14.0)
         early_buckets = result["series_mbps"][1][:5]
         assert max(early_buckets) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestDeclarativeMultiFlowGrid:
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            MultiFlowTask(mode="nope", scheme="cubic", value=1)
+        with pytest.raises(ValueError):
+            MultiFlowTask(mode="friendliness", scheme="cubic", value=0)
+
+    def test_task_row_matches_direct_call(self):
+        task = MultiFlowTask(mode="friendliness", scheme="cubic", value=2, duration=8.0)
+        row = run_multiflow_task(task)
+        direct = friendliness(CubicController, "cubic", competing_flows=(2,), duration=8.0)
+        for key, value in direct["rows"][0].items():
+            assert row[key] == value
+        assert row["mode"] == "friendliness"
+
+    def test_fairness_mode_reports_jain_index(self):
+        task = MultiFlowTask(mode="fairness_convergence", scheme="cubic", value=2,
+                             join_interval=5.0, duration=15.0)
+        row = run_multiflow_task(task)
+        assert 0.5 <= row["jain_index"] <= 1.0
+        assert len(row["final_throughputs_mbps"]) == 2
+
+    def test_grid_rows_identical_serial_and_parallel(self):
+        tasks = [
+            MultiFlowTask(mode="friendliness", scheme="cubic", value=n, duration=6.0,
+                          tags={"cell": index})
+            for index, n in enumerate((1, 2))
+        ] + [
+            MultiFlowTask(mode="rtt_friendliness", scheme="vegas", value=rtt, duration=6.0,
+                          tags={"cell": 2 + index})
+            for index, rtt in enumerate((20.0, 50.0))
+        ]
+        serial = run_multiflow_grid(tasks, n_jobs=1)
+        parallel = run_multiflow_grid(tasks, n_jobs=2)
+        assert serial.rows == parallel.rows
+        assert [row["cell"] for row in serial.rows] == [0, 1, 2, 3]
+        assert serial.n_tasks == 4

@@ -145,3 +145,95 @@ class TestGridResultReporting:
         }
         assert aggregated[1]["scheme"] == "b"
         assert aggregated[1]["n_cells"] == 1
+
+
+class TestDeclarativeMonitorSpec:
+    def test_monitor_spec_requires_model_and_family(self):
+        task = make_tasks()[0]
+        with pytest.raises(ValueError, match="learned model_kind"):
+            ExperimentTask(scheme="cubic", trace=task.trace, settings=task.settings,
+                           monitor_threshold=0.5, monitor_family="shallow")
+        with pytest.raises(ValueError, match="monitor_family"):
+            ExperimentTask(scheme="canopy", trace=task.trace, settings=task.settings,
+                           model_kind="canopy-shallow", monitor_threshold=0.5)
+        with pytest.raises(ValueError, match="unknown property family"):
+            ExperimentTask(scheme="canopy", trace=task.trace, settings=task.settings,
+                           model_kind="canopy-shallow", monitor_threshold=0.5,
+                           monitor_family="nope")
+        with pytest.raises(ValueError, match="monitor_threshold"):
+            ExperimentTask(scheme="canopy", trace=task.trace, settings=task.settings,
+                           model_kind="canopy-shallow", monitor_threshold=1.5,
+                           monitor_family="shallow")
+
+    @pytest.mark.slow
+    def test_monitor_spec_reports_fallback_columns(self):
+        trace = BandwidthTrace.constant(24.0, duration=30.0, name="const-24")
+        settings = EvaluationSettings(duration=3.0, buffer_bdp=1.0, seed=7)
+        task = ExperimentTask(
+            scheme="canopy", trace=trace, settings=settings,
+            model_kind="canopy-shallow", training_steps=40, model_seed=31,
+            monitor_threshold=0.8, monitor_family="shallow", monitor_components=4,
+        )
+        row = run_task(task)
+        assert 0.0 <= row["fallback_fraction"] <= 1.0
+        assert 0.0 <= row["mean_qc"] <= 1.0
+        assert row["topology"] == "single_bottleneck"
+        # Record-only mode (threshold 0.0) never vetoes the learned action.
+        baseline = run_task(ExperimentTask(
+            scheme="canopy", trace=trace, settings=settings,
+            model_kind="canopy-shallow", training_steps=40, model_seed=31,
+            monitor_threshold=0.0, monitor_family="shallow", monitor_components=4,
+        ))
+        assert baseline["fallback_fraction"] == 0.0
+
+    @pytest.mark.slow
+    def test_monitor_grid_rows_identical_serial_and_parallel(self):
+        from repro.harness.models import get_trained_model
+
+        get_trained_model("canopy-shallow", training_steps=40, seed=31)
+        trace = BandwidthTrace.constant(24.0, duration=30.0, name="const-24")
+        settings = EvaluationSettings(duration=3.0, buffer_bdp=1.0, seed=7)
+        tasks = [
+            ExperimentTask(scheme="canopy", trace=trace, settings=settings,
+                           model_kind="canopy-shallow", training_steps=40, model_seed=31,
+                           monitor_threshold=threshold, monitor_family="shallow",
+                           monitor_components=4, tags={"threshold": threshold})
+            for threshold in (0.0, 0.5, 0.8)
+        ]
+        serial = ParallelRunner(1).run(tasks)
+        parallel = ParallelRunner(2).run(tasks)
+        assert serial.rows == parallel.rows
+
+
+class TestShardedSeedReproducibility:
+    def test_random_loss_rows_identical_serial_and_parallel(self):
+        # Per-hop RNG seeds derive from the task coordinates, so sharding the
+        # grid over a pool cannot perturb random-loss runs.
+        trace = BandwidthTrace.constant(24.0, duration=30.0, name="const-24")
+        settings = EvaluationSettings(duration=3.0, buffer_bdp=1.0,
+                                      random_loss_rate=0.02, seed=7)
+        tasks = [ExperimentTask(scheme=scheme, trace=trace, settings=settings)
+                 for scheme in ("cubic", "vegas", "newreno", "bbr")]
+        serial = ParallelRunner(1).run(tasks)
+        parallel = ParallelRunner(2).run(tasks)
+        assert serial.rows == parallel.rows
+        assert all(row["loss_rate"] > 0.0 for row in serial.rows)
+
+    def test_topology_tasks_shard_identically(self):
+        trace = BandwidthTrace.constant(24.0, duration=30.0, name="const-24")
+        tasks = []
+        for topology in ("chain(2)", "parking_lot(2)", "dumbbell"):
+            settings = EvaluationSettings(duration=3.0, buffer_bdp=1.0,
+                                          topology=topology, seed=7)
+            tasks.append(ExperimentTask(scheme="cubic", trace=trace, settings=settings))
+        serial = ParallelRunner(1).run(tasks)
+        parallel = ParallelRunner(3).run(tasks)
+        assert serial.rows == parallel.rows
+        assert [row["topology"] for row in serial.rows] == [
+            "chain(2)", "parking_lot(2)", "dumbbell"]
+
+    def test_derive_seed_import_location_is_stable(self):
+        # derive_seed moved to repro.seeding; the harness re-export must stay.
+        from repro.seeding import derive_seed as canonical
+
+        assert canonical is derive_seed

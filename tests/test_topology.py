@@ -1,0 +1,408 @@
+"""Tests for the multi-bottleneck topology subsystem.
+
+Covers the family catalog (parsing, structure, per-hop derived seeds), the
+cross-traffic generators, multi-hop dynamics (end-to-end RTT, per-hop
+queuing), and the conservation invariants the ISSUE pins down: per hop,
+packets enqueued equal packets delivered plus packets still buffered, flows
+conserve sent = acked + lost + in-flight, and the FIFO drains interleaved
+flows strictly in arrival order.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cc.cubic import CubicController
+from repro.cc.flow import Flow
+from repro.cc.link import BottleneckLink
+from repro.cc.netsim import NetworkSimulator
+from repro.topology import (
+    ConstantBitRate,
+    CrossTrafficSource,
+    Link,
+    OnOff,
+    Topology,
+    build_topology,
+    parse_topology,
+    topology_family_specs,
+)
+from repro.traces.trace import BandwidthTrace, mbps_to_pps
+
+
+class FixedWindowController(CubicController):
+    """CUBIC shell with a window that never moves (deterministic tests)."""
+
+    def __init__(self, cwnd=20.0):
+        super().__init__(initial_cwnd=cwnd)
+
+    def on_tick(self, feedback):  # pragma: no cover - trivial
+        pass
+
+
+def constant_trace(mbps=24.0):
+    return BandwidthTrace.constant(mbps, duration=120.0)
+
+
+def test_topology_package_imports_cold():
+    """`import repro.topology` must work as the *first* repro import.
+
+    The traces and cc packages import each other; the topology package guards
+    against entering that cycle from the traces side on a fresh interpreter.
+    """
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = {**os.environ, "PYTHONPATH": src}
+    result = subprocess.run(
+        [sys.executable, "-c", "from repro.topology import build_topology"],
+        capture_output=True, text=True, env=env,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+# ---------------------------------------------------------------------- #
+# Spec parsing and the family catalog
+# ---------------------------------------------------------------------- #
+class TestParseTopology:
+    def test_plain_and_counted_specs(self):
+        assert parse_topology("single_bottleneck") == ("single_bottleneck", 1)
+        assert parse_topology("chain(4)") == ("chain", 4)
+        assert parse_topology("parking_lot(2)") == ("parking_lot", 2)
+        assert parse_topology("dumbbell") == ("dumbbell", 3)
+        assert parse_topology(" chain( 3 ) ") == ("chain", 3)
+
+    def test_malformed_specs_rejected(self):
+        for bad in ("", "nope", "chain(", "chain(0)", "chain(-1)", "chain(2", "42"):
+            with pytest.raises(ValueError):
+                parse_topology(bad)
+
+    def test_fixed_shape_families_reject_counts(self):
+        with pytest.raises(ValueError):
+            parse_topology("dumbbell(5)")
+        with pytest.raises(ValueError):
+            parse_topology("single_bottleneck(2)")
+
+    def test_family_specs_listing_parses(self):
+        specs = topology_family_specs()
+        assert len(specs) >= 4
+        for spec in specs:
+            parse_topology(spec)
+
+
+class TestFamilyCatalog:
+    def test_chain_structure(self):
+        trace = constant_trace()
+        topo = build_topology("chain(3)", trace, min_rtt=0.06, buffer_bdp=1.0, seed=1)
+        assert topo.n_hops == 3
+        assert topo.link_names == ["hop1", "hop2", "hop3"]
+        # The trace-driven bottleneck sits at the end; upstream hops are faster.
+        assert topo.bottleneck_name == "hop3"
+        assert topo.bottleneck.queue.trace is trace
+        for name in ("hop1", "hop2"):
+            assert topo.links[name].queue.trace.mean_mbps > trace.mean_mbps
+        # The path RTT is split evenly across hops and sums to min_rtt.
+        assert topo.path_rtt(0) == pytest.approx(0.06)
+        assert topo.links["hop1"].delay == pytest.approx(0.02)
+
+    def test_parking_lot_has_one_cross_source_per_segment(self):
+        topo = build_topology("parking_lot(3)", constant_trace(), min_rtt=0.06, seed=1)
+        assert topo.n_hops == 3
+        assert len(topo.cross_traffic) == 3
+        paths = {source.path for source in topo.cross_traffic}
+        assert paths == {("seg1",), ("seg2",), ("seg3",)}
+        assert all(source.flow_id < 0 for source in topo.cross_traffic)
+
+    def test_dumbbell_structure(self):
+        topo = build_topology("dumbbell", constant_trace(), min_rtt=0.08, seed=1)
+        assert topo.link_names == ["access-src", "bottleneck", "access-dst"]
+        assert topo.bottleneck_name == "bottleneck"
+        assert topo.path_rtt(0) == pytest.approx(0.08)
+        (source,) = topo.cross_traffic
+        assert source.path == ("bottleneck",)
+        assert isinstance(source.generator, OnOff)
+
+    def test_per_hop_seeds_are_derived_and_distinct(self):
+        # Observed through behaviour: with stochastic loss enabled, the
+        # per-hop RNGs drive the loss samples, so identical coordinates must
+        # reproduce identical loss sequences and different base seeds must
+        # diverge.
+        def loss_sequence(seed):
+            topo = build_topology("single_bottleneck", constant_trace(), min_rtt=0.06,
+                                  random_loss_rate=0.3, stochastic_loss=True, seed=seed)
+            queue = topo.bottleneck.queue
+            return tuple(queue.enqueue(0, 8.0, 0.01 * i)[2] for i in range(50))
+
+        assert loss_sequence(9) == loss_sequence(9)
+        assert loss_sequence(9) != loss_sequence(10)
+        # Distinct hops of one topology get distinct RNG streams.
+        topo = build_topology("parking_lot(3)", constant_trace(), min_rtt=0.06,
+                              random_loss_rate=0.0, seed=9)
+        for link in topo.ordered_links:
+            link.queue.random_loss_rate = 0.3
+            link.queue.stochastic_loss = True
+        sequences = [tuple(link.queue.enqueue(0, 8.0, 0.01 * i)[2] for i in range(50))
+                     for link in topo.ordered_links]
+        assert len(set(sequences)) == len(sequences)
+
+    def test_random_loss_applies_at_bottleneck_hop_only(self):
+        topo = build_topology("chain(3)", constant_trace(), min_rtt=0.06,
+                              random_loss_rate=0.02, seed=1)
+        assert topo.links["hop3"].queue.random_loss_rate == pytest.approx(0.02)
+        assert topo.links["hop1"].queue.random_loss_rate == 0.0
+
+
+class TestTopologyValidation:
+    def make_links(self):
+        return [Link.build(f"l{i}", constant_trace(), delay=0.01, buffer_rtt=0.03)
+                for i in range(3)]
+
+    def test_duplicate_link_names_rejected(self):
+        link = Link.build("dup", constant_trace(), delay=0.01, buffer_rtt=0.03)
+        other = Link.build("dup", constant_trace(), delay=0.01, buffer_rtt=0.03)
+        with pytest.raises(ValueError):
+            Topology("t", [link, other])
+
+    def test_route_must_follow_link_order(self):
+        links = self.make_links()
+        with pytest.raises(ValueError):
+            Topology("t", links, routes={0: ["l2", "l0"]})
+        with pytest.raises(ValueError):
+            Topology("t", links, routes={0: ["l0", "nope"]})
+
+    def test_cross_traffic_ids_unique_and_negative(self):
+        links = self.make_links()
+        cbr = ConstantBitRate(5.0)
+        with pytest.raises(ValueError):
+            CrossTrafficSource("x", flow_id=1, path=("l0",), generator=cbr)
+        dup = [CrossTrafficSource("a", -1, ("l0",), cbr),
+               CrossTrafficSource("b", -1, ("l1",), cbr)]
+        with pytest.raises(ValueError):
+            Topology("t", links, cross_traffic=dup)
+
+    def test_simulator_rejects_negative_flow_ids(self):
+        with pytest.raises(ValueError):
+            NetworkSimulator(
+                BottleneckLink(constant_trace(), min_rtt=0.04),
+                [Flow(-1, FixedWindowController())],
+            )
+
+    def test_bottleneck_defaults_to_slowest_hop(self):
+        slow = Link.build("slow", constant_trace(12.0), delay=0.01, buffer_rtt=0.03)
+        fast = Link.build("fast", constant_trace(48.0), delay=0.01, buffer_rtt=0.03)
+        assert Topology("t", [fast, slow]).bottleneck_name == "slow"
+
+
+# ---------------------------------------------------------------------- #
+# Cross-traffic generators
+# ---------------------------------------------------------------------- #
+class TestGenerators:
+    def test_cbr_rate(self):
+        assert ConstantBitRate(12.0).rate_pps(3.7) == pytest.approx(mbps_to_pps(12.0))
+
+    def test_onoff_duty_cycle(self):
+        gen = OnOff(10.0, on_seconds=1.0, off_seconds=1.0)
+        assert gen.rate_pps(0.5) > 0.0
+        assert gen.rate_pps(1.5) == 0.0
+        assert gen.rate_pps(2.5) > 0.0
+
+    def test_onoff_phase_shifts_bursts(self):
+        gen = OnOff(10.0, on_seconds=1.0, off_seconds=1.0, phase=1.0)
+        assert gen.rate_pps(0.5) == 0.0
+        assert gen.rate_pps(1.5) > 0.0
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            ConstantBitRate(-1.0)
+        with pytest.raises(ValueError):
+            OnOff(10.0, on_seconds=0.0, off_seconds=1.0)
+
+
+# ---------------------------------------------------------------------- #
+# Multi-hop dynamics
+# ---------------------------------------------------------------------- #
+class TestMultiHopDynamics:
+    def test_chain_rtt_includes_all_hop_delays(self):
+        topo = build_topology("chain(3)", constant_trace(), min_rtt=0.09, seed=1)
+        sim = NetworkSimulator(topo, [Flow(0, FixedWindowController(10.0))])
+        assert sim.path_rtt(0) == pytest.approx(0.09)
+        for _ in range(400):
+            sim.tick()
+        flow = sim.flows[0]
+        # The observed minimum RTT can never beat the summed path delay.
+        assert flow.min_rtt >= 0.09 - 1e-9
+        assert flow.total_acked > 0.0
+
+    def test_queue_builds_at_bottleneck_hop(self):
+        # A standing queue (window ≈ 2.4× BDP) must sit at the trace-driven
+        # last hop once the flow self-clocks; the faster upstream hops drain.
+        topo = build_topology("chain(3)", constant_trace(12.0), min_rtt=0.05,
+                              buffer_bdp=3.0, seed=1)
+        sim = NetworkSimulator(topo, [Flow(0, FixedWindowController(120.0))])
+        for _ in range(600):
+            sim.tick()
+        occupancy = sim.hop_occupancy()
+        assert occupancy["hop3"] > 10.0
+        assert occupancy["hop3"] > 10.0 * max(occupancy["hop1"], occupancy["hop2"], 1e-9)
+
+    def test_parking_lot_cross_traffic_reduces_throughput(self):
+        trace = constant_trace(24.0)
+        def run(spec):
+            sim = NetworkSimulator(
+                build_topology(spec, trace, min_rtt=0.04, buffer_bdp=1.0, seed=2),
+                [Flow(0, CubicController())],
+            )
+            result = sim.run(8.0)
+            stats = result.stats_for(0)
+            return stats.acked[200:].sum()
+        contended = run("parking_lot(2)")
+        clean = run("chain(2)")
+        assert contended < clean * 0.9
+
+    def test_cross_traffic_stats_are_tracked(self):
+        topo = build_topology("parking_lot(2)", constant_trace(24.0), min_rtt=0.04, seed=2)
+        sim = NetworkSimulator(topo, [Flow(0, CubicController())])
+        sim.run(4.0)
+        for source in topo.cross_traffic:
+            counters = sim.cross_stats[source.flow_id]
+            assert counters["offered"] > 0.0
+            assert counters["delivered"] > 0.0
+            assert counters["delivered"] <= counters["offered"] + 1e-9
+
+    def test_dumbbell_bursts_inflate_delay(self):
+        trace = constant_trace(24.0)
+        def p95_delay(spec):
+            sim = NetworkSimulator(
+                build_topology(spec, trace, min_rtt=0.04, buffer_bdp=2.0, seed=4),
+                [Flow(0, FixedWindowController(60.0))],
+            )
+            result = sim.run(8.0)
+            delays = result.stats_for(0).queuing_delay
+            return float(np.percentile(delays[delays > 0], 95)) if (delays > 0).any() else 0.0
+        assert p95_delay("dumbbell") > p95_delay("single_bottleneck")
+
+    def test_transit_drops_reach_the_sender(self):
+        # A tiny mid-path buffer forces drops at hop2; the sender must see them
+        # as losses one RTT later (not silently vanish).
+        fast = Link.build("hop1", constant_trace(96.0), delay=0.01, buffer_rtt=0.04,
+                          buffer_bdp=5.0)
+        tiny = Link.build("hop2", constant_trace(12.0), delay=0.01, buffer_rtt=0.04,
+                          buffer_packets=3.0)
+        topo = Topology("tiny-mid", [fast, tiny], bottleneck="hop2")
+        sim = NetworkSimulator(topo, [Flow(0, FixedWindowController(400.0))])
+        sim.run(4.0)
+        flow = sim.flows[0]
+        assert flow.total_lost > 0.0
+        assert tiny.queue.total_dropped > 0.0
+
+
+# ---------------------------------------------------------------------- #
+# Conservation invariants and FIFO ordering (ISSUE satellite)
+# ---------------------------------------------------------------------- #
+class TestConservationInvariants:
+    @pytest.mark.parametrize("spec", ["single_bottleneck", "chain(3)", "parking_lot(3)",
+                                      "dumbbell"])
+    def test_per_hop_enqueued_equals_delivered_plus_buffered(self, spec):
+        topo = build_topology(spec, constant_trace(18.0), min_rtt=0.05, buffer_bdp=0.8,
+                              random_loss_rate=0.01, seed=6)
+        sim = NetworkSimulator(topo, [Flow(0, CubicController())])
+        sim.run(6.0)
+        for link in topo.ordered_links:
+            queue = link.queue
+            assert queue.total_enqueued == pytest.approx(
+                queue.total_delivered + queue.queue_occupancy, abs=1e-9), link.name
+
+    @pytest.mark.parametrize("spec", ["chain(3)", "parking_lot(2)"])
+    def test_flow_conservation_sent_equals_acked_lost_inflight(self, spec):
+        topo = build_topology(spec, constant_trace(18.0), min_rtt=0.05, buffer_bdp=0.8,
+                              seed=6)
+        sim = NetworkSimulator(topo, [Flow(0, CubicController())])
+        sim.run(6.0)
+        flow = sim.flows[0]
+        assert flow.total_sent == pytest.approx(
+            flow.total_acked + flow.total_lost + flow.inflight, abs=1e-9)
+        assert flow.total_acked + flow.total_lost <= flow.total_sent + 1e-9
+
+    def test_fifo_drains_interleaved_flows_in_arrival_order(self):
+        link = BottleneckLink(constant_trace(12.0), min_rtt=0.05, buffer_packets=100.0)
+        order = [(0, 3.0, 0.00), (1, 2.0, 0.00), (0, 4.0, 0.01), (2, 1.0, 0.02)]
+        for flow_id, packets, t in order:
+            link.enqueue(flow_id, packets, t)
+        drained = []
+        t = 0.03
+        while link.queue_occupancy > 1e-9:
+            for chunk in link.drain(t, 0.2):
+                drained.append((chunk.flow_id, chunk.packets))
+            t += 0.2
+        # Flow ids come back in exactly the interleaved arrival order.
+        assert [fid for fid, _ in drained[:4]] == [0, 1, 0, 2]
+        totals = {}
+        for fid, packets in drained:
+            totals[fid] = totals.get(fid, 0.0) + packets
+        assert totals == {0: pytest.approx(7.0), 1: pytest.approx(2.0), 2: pytest.approx(1.0)}
+
+    def test_fifo_queuing_delays_monotone_within_tick(self):
+        link = BottleneckLink(constant_trace(6.0), min_rtt=0.05, buffer_packets=50.0)
+        for t in (0.0, 0.1, 0.2):
+            link.enqueue(0, 5.0, t)
+        chunks = link.drain(1.0, 10.0)
+        delays = [chunk.queuing_delay for chunk in chunks]
+        assert delays == sorted(delays, reverse=True)  # oldest (longest-waiting) first
+        assert delays[0] == pytest.approx(1.0)
+
+    def test_carried_delay_accumulates_across_hops(self):
+        downstream = BottleneckLink(constant_trace(12.0), min_rtt=0.05, buffer_packets=50.0)
+        downstream.enqueue(0, 2.0, 1.0, carried_delay=0.25)
+        (chunk,) = downstream.drain(1.5, 10.0)
+        assert chunk.queuing_delay == pytest.approx(0.25 + 0.5)
+
+
+class TestStochasticLoss:
+    def test_deterministic_mode_thins_exactly(self):
+        link = BottleneckLink(constant_trace(), min_rtt=0.05, buffer_packets=100.0,
+                              random_loss_rate=0.1, seed=3)
+        _, _, random_lost = link.enqueue(0, 10.0, 0.0)
+        assert random_lost == pytest.approx(1.0)
+
+    def test_stochastic_mode_matches_rate_in_expectation(self):
+        link = BottleneckLink(constant_trace(), min_rtt=0.05, buffer_packets=10_000.0,
+                              random_loss_rate=0.1, stochastic_loss=True, seed=3)
+        total_offered = 0.0
+        total_lost = 0.0
+        for i in range(2000):
+            _, _, random_lost = link.enqueue(0, 5.5, 0.01 * i)
+            total_offered += 5.5
+            total_lost += random_lost
+            link.drain(0.01 * i, 0.01)
+        assert total_lost / total_offered == pytest.approx(0.1, rel=0.15)
+
+    def test_stochastic_mode_reproducible_per_seed(self):
+        def sequence(seed):
+            link = BottleneckLink(constant_trace(), min_rtt=0.05, buffer_packets=100.0,
+                                  random_loss_rate=0.2, stochastic_loss=True, seed=seed)
+            return tuple(link.enqueue(0, 3.7, 0.01 * i)[2] for i in range(40))
+
+        assert sequence(5) == sequence(5)
+        assert sequence(5) != sequence(6)
+
+    def test_stochastic_runs_shard_identically(self):
+        # The end-to-end reproducibility satellite: hop seeds derive from the
+        # task coordinates, so a stochastic-loss grid is bit-identical whether
+        # it runs serially or across a process pool.
+        from repro.harness.evaluate import EvaluationSettings
+        from repro.harness.parallel import ExperimentTask, ParallelRunner
+
+        trace = BandwidthTrace.constant(24.0, duration=30.0, name="const-24")
+        tasks = []
+        for scheme in ("cubic", "vegas"):
+            for topology in ("single_bottleneck", "chain(2)"):
+                settings = EvaluationSettings(duration=3.0, buffer_bdp=1.0,
+                                              random_loss_rate=0.02, stochastic_loss=True,
+                                              topology=topology, seed=7)
+                tasks.append(ExperimentTask(scheme=scheme, trace=trace, settings=settings))
+        serial = ParallelRunner(1).run(tasks)
+        parallel = ParallelRunner(2).run(tasks)
+        assert serial.rows == parallel.rows
+        assert all(row["loss_rate"] > 0.0 for row in serial.rows)

@@ -1,0 +1,180 @@
+"""Differential suite: topology engine vs the legacy single-link simulator.
+
+``LegacySingleLinkSimulator`` is a faithful copy of the pre-topology
+``NetworkSimulator.tick`` loop (one shared ``BottleneckLink``, no routes, no
+cross traffic).  The topology-driven simulator must reproduce its per-tick
+trajectory *exactly* (atol=1e-12, in practice bit-for-bit) on the
+``single_bottleneck`` family and on ``chain(1)`` — this is what keeps every
+figure of the reproduction byte-stable across the multi-bottleneck refactor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cc.cubic import CubicController
+from repro.cc.flow import Flow
+from repro.cc.link import BottleneckLink
+from repro.cc.netsim import NetworkSimulator
+from repro.cc.vegas import VegasController
+from repro.topology import Topology, build_topology
+from repro.traces.synthetic import make_synthetic_trace
+from repro.traces.trace import BandwidthTrace
+
+RECORD_FIELDS = ("time", "sent", "acked", "lost", "rtt", "queuing_delay", "cwnd", "inflight")
+
+
+class LegacySingleLinkSimulator:
+    """The pre-topology simulator core: everything rides one shared link."""
+
+    def __init__(self, link, flows, dt=0.01):
+        self.link = link
+        self.flows = {flow.flow_id: flow for flow in flows}
+        self._flow_list = list(self.flows.values())
+        self.dt = float(dt)
+        self.now = 0.0
+        self._tick_count = 0
+
+    def tick(self):
+        now = self.now
+        dt = self.dt
+        prop_rtt = self.link.min_rtt
+
+        flow_list = self._flow_list
+        n_flows = len(flow_list)
+        offset = self._tick_count % n_flows
+        for position in range(n_flows):
+            flow = flow_list[(offset + position) % n_flows]
+            allowance = flow.send_allowance(now, dt, prop_rtt)
+            if allowance > 0:
+                accepted, dropped, random_lost = self.link.enqueue(flow.flow_id, allowance, now)
+                flow.record_sent(accepted, dropped, random_lost, now, prop_rtt)
+        self._tick_count += 1
+
+        for chunk in self.link.drain(now, dt):
+            self.flows[chunk.flow_id].record_delivery(chunk.packets, chunk.queuing_delay, now, prop_rtt)
+
+        end_of_tick = now + dt
+        records = {}
+        for fid, flow in self.flows.items():
+            flow.process_events(end_of_tick, dt)
+            records[fid] = flow.finish_tick(end_of_tick, dt)
+        self.now = end_of_tick
+        return records
+
+
+def run_and_collect(sim, n_ticks):
+    """Trajectories per flow: one (n_ticks, n_fields) array per flow id."""
+    columns = {fid: [] for fid in sim.flows}
+    for _ in range(n_ticks):
+        records = sim.tick()
+        for fid, record in records.items():
+            columns[fid].append([getattr(record, name) for name in RECORD_FIELDS])
+    return {fid: np.asarray(rows, dtype=np.float64) for fid, rows in columns.items()}
+
+
+def make_link(trace, min_rtt=0.04, buffer_bdp=1.0, random_loss_rate=0.0, seed=11):
+    return BottleneckLink(trace, min_rtt=min_rtt, buffer_bdp=buffer_bdp,
+                          random_loss_rate=random_loss_rate, seed=seed)
+
+
+def assert_trajectories_match(legacy, topo, n_flows):
+    for fid in range(n_flows):
+        np.testing.assert_allclose(legacy[fid], topo[fid], rtol=0.0, atol=1e-12,
+                                   err_msg=f"flow {fid} diverged from the legacy trajectory")
+
+
+class TestSingleBottleneckMatchesLegacy:
+    def test_cubic_on_variable_trace(self):
+        trace = make_synthetic_trace("step-12-48")
+        legacy_sim = LegacySingleLinkSimulator(make_link(trace), [Flow(0, CubicController())])
+        topo_sim = NetworkSimulator(
+            build_topology("single_bottleneck", trace, min_rtt=0.04, buffer_bdp=1.0, seed=11),
+            [Flow(0, CubicController())],
+        )
+        legacy = run_and_collect(legacy_sim, 800)
+        topo = run_and_collect(topo_sim, 800)
+        assert_trajectories_match(legacy, topo, n_flows=1)
+
+    def test_random_loss_trajectory(self):
+        trace = BandwidthTrace.constant(24.0, duration=60.0)
+        legacy_sim = LegacySingleLinkSimulator(
+            make_link(trace, random_loss_rate=0.01), [Flow(0, CubicController())])
+        topo_sim = NetworkSimulator(
+            build_topology("single_bottleneck", trace, min_rtt=0.04, buffer_bdp=1.0,
+                           random_loss_rate=0.01, seed=3),
+            [Flow(0, CubicController())],
+        )
+        legacy = run_and_collect(legacy_sim, 600)
+        topo = run_and_collect(topo_sim, 600)
+        assert_trajectories_match(legacy, topo, n_flows=1)
+
+    def test_multi_flow_rotation_and_stagger(self):
+        trace = make_synthetic_trace("square-12-36")
+        def flows():
+            return [Flow(0, CubicController()), Flow(1, VegasController(), start_time=1.5),
+                    Flow(2, CubicController(), start_time=3.0)]
+        legacy_sim = LegacySingleLinkSimulator(make_link(trace, buffer_bdp=0.7), flows())
+        topo_sim = NetworkSimulator(
+            build_topology("single_bottleneck", trace, min_rtt=0.04, buffer_bdp=0.7, seed=11),
+            flows(),
+        )
+        legacy = run_and_collect(legacy_sim, 600)
+        topo = run_and_collect(topo_sim, 600)
+        assert_trajectories_match(legacy, topo, n_flows=3)
+
+    def test_wrapped_bare_link_matches_legacy(self):
+        # Passing a bare BottleneckLink (the legacy constructor signature)
+        # wraps it as a one-hop topology with identical dynamics.
+        trace = make_synthetic_trace("step-12-48")
+        legacy_sim = LegacySingleLinkSimulator(make_link(trace), [Flow(0, CubicController())])
+        wrapped_sim = NetworkSimulator(make_link(trace), [Flow(0, CubicController())])
+        assert isinstance(wrapped_sim.topology, Topology)
+        legacy = run_and_collect(legacy_sim, 500)
+        wrapped = run_and_collect(wrapped_sim, 500)
+        assert_trajectories_match(legacy, wrapped, n_flows=1)
+
+
+class TestChainOneEquivalence:
+    def test_chain1_matches_single_bottleneck(self):
+        trace = make_synthetic_trace("step-12-48")
+        single = NetworkSimulator(
+            build_topology("single_bottleneck", trace, min_rtt=0.05, buffer_bdp=1.5, seed=5),
+            [Flow(0, CubicController())],
+        )
+        chain1 = NetworkSimulator(
+            build_topology("chain(1)", trace, min_rtt=0.05, buffer_bdp=1.5, seed=5),
+            [Flow(0, CubicController())],
+        )
+        a = run_and_collect(single, 700)
+        b = run_and_collect(chain1, 700)
+        assert_trajectories_match(a, b, n_flows=1)
+
+    def test_chain1_matches_legacy(self):
+        trace = make_synthetic_trace("step-12-48")
+        legacy_sim = LegacySingleLinkSimulator(
+            make_link(trace, min_rtt=0.05, buffer_bdp=1.5), [Flow(0, CubicController())])
+        chain1 = NetworkSimulator(
+            build_topology("chain(1)", trace, min_rtt=0.05, buffer_bdp=1.5, seed=5),
+            [Flow(0, CubicController())],
+        )
+        legacy = run_and_collect(legacy_sim, 700)
+        topo = run_and_collect(chain1, 700)
+        assert_trajectories_match(legacy, topo, n_flows=1)
+
+
+class TestMonitorReportStability:
+    def test_monitor_report_identical_on_single_bottleneck(self):
+        trace = make_synthetic_trace("step-12-48")
+        wrapped = NetworkSimulator(make_link(trace), [Flow(0, CubicController())])
+        built = NetworkSimulator(
+            build_topology("single_bottleneck", trace, min_rtt=0.04, buffer_bdp=1.0, seed=11),
+            [Flow(0, CubicController())],
+        )
+        for sim in (wrapped, built):
+            for _ in range(120):
+                sim.tick()
+        report_a = wrapped.monitor_report(0)
+        report_b = built.monitor_report(0)
+        for name in ("throughput_pps", "loss_rate", "avg_queuing_delay", "n_acks",
+                     "interval", "srtt", "min_rtt", "avg_rtt", "cwnd", "sent_pps"):
+            assert getattr(report_a, name) == pytest.approx(getattr(report_b, name), abs=1e-12)
