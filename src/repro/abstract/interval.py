@@ -229,15 +229,11 @@ class Interval:
             edges = np.linspace(float(self.lo), float(self.hi), n + 1)
             return [Interval(edges[i], edges[i + 1]) for i in range(n)]
         pieces = []
-        lo_axis = np.take(self.lo, 0, axis=axis) if self.lo.shape[axis] == 1 else None
         edges = np.linspace(self.lo, self.hi, n + 1, axis=0)
         for i in range(n):
-            lo = self.lo.copy()
-            hi = self.hi.copy()
             lo_slice = np.take(edges, i, axis=0)
             hi_slice = np.take(edges, i + 1, axis=0)
             pieces.append(Interval(lo_slice, hi_slice))
-        del lo_axis
         return pieces
 
     def split_dims(self, n: int, dims: Sequence[int]) -> list:

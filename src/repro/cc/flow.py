@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Tuple
+from typing import Deque
 
 from repro.cc.base import CongestionController, TickFeedback
 

@@ -69,6 +69,9 @@ class BottleneckLink:
             self.buffer_packets = max(2.0, buffer_bdp * trace.bdp_packets(min_rtt))
         self.random_loss_rate = float(random_loss_rate)
         self.stochastic_loss = bool(stochastic_loss)
+        #: The seed the loss RNG was created from (None = OS entropy); kept so
+        #: scenario samplers can report per-hop seeds without re-deriving them.
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
         self._queue: Deque[_QueuedChunk] = deque()
         self._occupancy = 0.0

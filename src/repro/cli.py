@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro figure 5          # regenerate one evaluation figure
     python -m repro figure 9 --jobs 4 # shard the grid over 4 worker processes
     python -m repro figure topology   # sweep the multi-bottleneck families
+    python -m repro experiment topology_generalization --jobs 2
     python -m repro compare-classical --buffer-bdp 1.0 --jobs 0
     python -m repro evaluate --topology "chain(3)" --trace step-12-48
 
@@ -21,7 +22,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.harness import experiments
 from repro.harness.evaluate import (
@@ -58,6 +59,13 @@ FIGURE_DRIVERS: Dict[str, Callable[..., dict]] = {
     "17": experiments.training_curves,
     "table4": lambda training_steps=150, seed=1: experiments.verification_overhead(
         training_steps=training_steps, seed=seed),
+}
+
+#: Named experiment drivers reachable through ``python -m repro experiment <name>``
+#: (workloads beyond the paper's figures; all of them shard via ``--jobs``).
+EXPERIMENT_DRIVERS: Dict[str, Callable[..., dict]] = {
+    "topology_sweep": experiments.topology_sweep,
+    "topology_generalization": experiments.topology_generalization,
 }
 
 
@@ -139,6 +147,22 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_experiment(args: argparse.Namespace) -> int:
+    driver = EXPERIMENT_DRIVERS.get(args.name)
+    if driver is None:
+        raise SystemExit(f"no experiment named {args.name!r}; "
+                         f"known: {', '.join(sorted(EXPERIMENT_DRIVERS))}")
+    kwargs = {"training_steps": args.steps, "seed": args.seed, "n_jobs": args.jobs}
+    parameters = inspect.signature(driver).parameters
+    if args.duration is not None and "duration" in parameters:
+        kwargs["duration"] = args.duration
+    if args.families is not None and "families" in parameters:
+        kwargs["families"] = [spec.strip() for spec in args.families.split(",") if spec.strip()]
+    result = driver(**kwargs)
+    print_experiment(f"Experiment {args.name}", result)
+    return 0
+
+
 def cmd_compare_classical(args: argparse.Namespace) -> int:
     traces = [make_synthetic_trace(name) for name in SYNTHETIC_TRACE_NAMES[:args.traces]]
     settings = EvaluationSettings(duration=args.duration, buffer_bdp=args.buffer_bdp,
@@ -216,6 +240,22 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("--seed", type=int, default=1)
     _add_jobs_argument(figure_parser)
     figure_parser.set_defaults(handler=cmd_figure)
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="run a named grid experiment (beyond the paper's figures)")
+    experiment_parser.add_argument("name",
+                                   help="experiment name, e.g. topology_generalization "
+                                        "or topology_sweep")
+    experiment_parser.add_argument("--steps", type=int, default=300,
+                                   help="training budget in environment steps")
+    experiment_parser.add_argument("--seed", type=int, default=1)
+    experiment_parser.add_argument("--duration", type=float, default=None,
+                                   help="per-cell run length in seconds (driver default if omitted)")
+    experiment_parser.add_argument("--families", default=None,
+                                   help="comma-separated topology family specs "
+                                        "(driver default if omitted)")
+    _add_jobs_argument(experiment_parser)
+    experiment_parser.set_defaults(handler=cmd_experiment)
 
     classical_parser = subparsers.add_parser("compare-classical",
                                              help="compare the classical controllers (no learning)")

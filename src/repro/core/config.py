@@ -10,7 +10,7 @@ the three presets with the paper's hyperparameters (λ = 0.25, N = 5, k = 3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.properties import (
     PropertySet,
@@ -27,7 +27,14 @@ __all__ = ["CanopyConfig"]
 
 @dataclass
 class CanopyConfig:
-    """Everything needed to train and evaluate one Canopy model."""
+    """Everything needed to train and evaluate one Canopy model.
+
+    ``topologies`` selects the training-environment scenario catalog (see
+    :class:`repro.orca.env.OrcaEnvConfig`): one family spec pins every episode
+    to that family, several specs train a domain-randomized model across
+    families.  It only shapes the environment built here — an explicitly
+    supplied ``env`` keeps its own catalog.
+    """
 
     name: str
     properties: PropertySet
@@ -38,6 +45,7 @@ class CanopyConfig:
     env: Optional[OrcaEnvConfig] = None
     td3: Optional[TD3Config] = None
     observation_noise: float = 0.0
+    topologies: Sequence[str] = ("single_bottleneck",)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -47,11 +55,13 @@ class CanopyConfig:
             raise ValueError("n_components must be positive")
         if self.buffer_bdp <= 0:
             raise ValueError("buffer_bdp must be positive")
+        self.topologies = tuple(str(spec) for spec in self.topologies)
         if self.env is None:
             self.env = OrcaEnvConfig(
                 buffer_bdp=self.buffer_bdp,
                 observation=self.observation,
                 observation_noise=self.observation_noise,
+                topologies=self.topologies,
                 seed=self.seed,
             )
         if self.td3 is None:
@@ -94,3 +104,7 @@ class CanopyConfig:
 
     def with_components(self, n_components: int) -> "CanopyConfig":
         return replace(self, n_components=n_components, env=None, td3=None)
+
+    def with_topologies(self, topologies: Sequence[str]) -> "CanopyConfig":
+        """The same model preset trained on a different scenario catalog."""
+        return replace(self, topologies=tuple(topologies), env=None, td3=None)

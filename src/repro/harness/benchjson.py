@@ -1,0 +1,142 @@
+"""Canonicalize pytest-benchmark JSON files into one BENCH_ci.json.
+
+CI produces one ``--benchmark-json`` file per smoke job (verifier throughput,
+topology sweep, cross-family generalization, ...), each in pytest-benchmark's
+verbose machine-specific format.  To make the performance trajectory of the
+repository diffable across commits, this module merges them into a single
+``BENCH_ci.json`` with a *stable* schema — a flat list of metric rows::
+
+    {
+      "version": 1,
+      "commit": "<sha>",
+      "rows": [
+        {"benchmark": "<test name>", "metric": "<metric>",
+         "value": <float>, "unit": "<unit>", "commit": "<sha>"},
+        ...
+      ]
+    }
+
+Every benchmark contributes its measured runtime (``stats.mean``) plus every
+*scalar* ``extra_info`` entry (certificates/sec, ticks/sec, grid wall-clock,
+...).  Non-scalar extras — per-family row dumps, spec lists — stay in the raw
+per-job artifacts; the canonical file is for trajectories, so it keeps only
+numbers.  Rows are sorted by (benchmark, metric) so the output is
+byte-deterministic for a given input set.
+
+Usage (what the CI trajectory job runs)::
+
+    python -m repro.harness.benchjson --commit "$GITHUB_SHA" \
+        --out BENCH_ci.json bench-verifier.json bench-topology.json ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["canonical_rows", "merge_bench_files", "main"]
+
+SCHEMA_VERSION = 1
+
+#: Units of the well-known extra_info metrics; anything else numeric defaults
+#: to a dimensionless unit so the schema never gains surprise fields.
+METRIC_UNITS = {
+    "runtime_s": "s",
+    "wall_clock_s": "s",
+    "grid_wall_clock_s": "s",
+    "certificates": "count",
+    "certificates_per_sec": "1/s",
+    "ticks": "count",
+    "ticks_per_sec": "1/s",
+    "n_jobs": "count",
+    "speedup": "x",
+}
+
+
+def _unit_for(metric: str) -> str:
+    if metric in METRIC_UNITS:
+        return METRIC_UNITS[metric]
+    if metric.endswith("_s"):
+        return "s"
+    if metric.endswith("_per_sec"):
+        return "1/s"
+    return ""
+
+
+def canonical_rows(bench_payload: Dict, commit: str) -> List[Dict]:
+    """Flatten one pytest-benchmark payload into canonical metric rows."""
+    rows: List[Dict] = []
+
+    def add(benchmark: str, metric: str, value) -> None:
+        rows.append({
+            "benchmark": benchmark,
+            "metric": metric,
+            "value": float(value),
+            "unit": _unit_for(metric),
+            "commit": commit,
+        })
+
+    for bench in bench_payload.get("benchmarks", []):
+        name = bench.get("name", "unknown")
+        stats = bench.get("stats", {})
+        if "mean" in stats:
+            add(name, "runtime_s", stats["mean"])
+        for metric, value in (bench.get("extra_info") or {}).items():
+            # Only scalars enter the trajectory; bool is excluded because it
+            # is an int subclass but not a measurement.
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                add(name, metric, value)
+    return rows
+
+
+def merge_bench_files(paths: Sequence[Path], commit: str) -> Dict:
+    """Merge pytest-benchmark JSON files into the canonical payload.
+
+    Missing or unparsable files are skipped (and recorded under ``skipped``)
+    rather than failing the merge, so a partially-failed CI run still uploads
+    the trajectory of the jobs that did finish.
+    """
+    rows: List[Dict] = []
+    merged: List[str] = []
+    skipped: List[str] = []
+    for path in paths:
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            skipped.append(str(path))
+            continue
+        rows.extend(canonical_rows(payload, commit))
+        merged.append(str(path))
+    rows.sort(key=lambda row: (row["benchmark"], row["metric"]))
+    return {
+        "version": SCHEMA_VERSION,
+        "commit": commit,
+        "sources": merged,
+        "skipped": skipped,
+        "rows": rows,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.benchjson",
+        description="merge pytest-benchmark JSON files into a canonical BENCH_ci.json",
+    )
+    parser.add_argument("files", nargs="+", help="pytest-benchmark JSON files to merge")
+    parser.add_argument("--commit", default="unknown", help="commit SHA stamped into every row")
+    parser.add_argument("--out", default="BENCH_ci.json", help="output path")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    payload = merge_bench_files([Path(p) for p in args.files], commit=args.commit)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(payload['rows'])} rows from {len(payload['sources'])} files"
+          + (f", skipped {len(payload['skipped'])}" if payload["skipped"] else "") + ")")
+    return 0 if payload["rows"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

@@ -17,7 +17,6 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.core.config import CanopyConfig
 from repro.core.properties import (
     PropertySet,
     deep_buffer_properties,

@@ -24,7 +24,7 @@ from repro.cc.newreno import NewRenoController
 from repro.cc.vegas import VegasController
 from repro.core.properties import PropertySet
 from repro.core.qc import QuantitativeCertificate
-from repro.core.verifier import Verifier, VerifierConfig
+from repro.core.verifier import Verifier
 from repro.harness.models import TrainedModel
 from repro.orca.agent import DecisionRecord, LearnedController
 from repro.topology.families import DEFAULT_TOPOLOGY, build_topology, parse_topology
@@ -97,7 +97,13 @@ class SchemeResult:
 
 @dataclass
 class QCSatResult:
-    """QC_sat statistics for one (model, property set, trace) combination."""
+    """QC_sat statistics for one (model, property set, trace) combination.
+
+    ``summary`` carries the empirical performance of the certified run (the
+    same run the certificates were computed over), so callers that need both
+    certified safety and performance — e.g. the cross-family generalization
+    grid — get them from a single simulation.
+    """
 
     scheme: str
     trace: str
@@ -107,6 +113,7 @@ class QCSatResult:
     n_decisions: int
     n_applicable: int
     per_decision: List[float] = field(default_factory=list)
+    summary: Optional[PerformanceSummary] = None
 
 
 # ---------------------------------------------------------------------- #
@@ -316,4 +323,5 @@ def evaluate_qcsat(
         n_decisions=len(certificates),
         n_applicable=n_applicable,
         per_decision=per_decision,
+        summary=run.summary,
     )

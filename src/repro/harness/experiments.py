@@ -22,7 +22,6 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.properties import (
-    PropertySet,
     deep_buffer_properties,
     robustness_properties,
     shallow_buffer_properties,
@@ -35,11 +34,11 @@ from repro.harness.evaluate import (
     run_scheme_on_trace,
     scheme_factory,
 )
-from repro.harness.models import TrainedModel, get_trained_model
+from repro.harness.models import get_trained_model
 from repro.harness.parallel import ExperimentTask, ParallelRunner
 from repro.topology.families import topology_family_specs
 from repro.traces.cellular import cellular_trace_suite
-from repro.traces.realworld import WANProfile, intercontinental_profiles, intracontinental_profiles
+from repro.traces.realworld import intercontinental_profiles, intracontinental_profiles
 from repro.traces.synthetic import make_synthetic_trace, synthetic_trace_suite
 from repro.traces.trace import BandwidthTrace
 
@@ -51,6 +50,7 @@ __all__ = [
     "qcsat_robustness",
     "performance_sweep",
     "topology_sweep",
+    "topology_generalization",
     "noise_sensitivity",
     "realworld_deployment",
     "fallback_runtime",
@@ -58,6 +58,13 @@ __all__ = [
     "training_curves",
     "verification_overhead",
 ]
+
+#: Default family catalog of the cross-family generalization grid (>= 3
+#: families, kept multi-hop-light so the grid stays CI-affordable).
+GENERALIZATION_FAMILIES = ("single_bottleneck", "chain(2)", "parking_lot(2)")
+
+#: Label of the domain-randomized model trained on every family at once.
+MIXED_TRAINING_LABEL = "mixed"
 
 
 def _trace_subset(kind: str, count: int) -> List[BandwidthTrace]:
@@ -429,6 +436,96 @@ def topology_sweep(
         "n_jobs": grid.n_jobs,
         "ticks": ticks,
         "ticks_per_sec": ticks / grid.wall_clock_s if grid.wall_clock_s > 0 else 0.0,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Cross-family generalization — train on topologies, certify everywhere
+# ---------------------------------------------------------------------- #
+def topology_generalization(
+    families: Optional[Sequence[str]] = None,
+    model_kind: str = "canopy-shallow",
+    property_family: str = "shallow",
+    include_mixed: bool = True,
+    training_steps: int = 300,
+    duration: float = 8.0,
+    n_components: int = 10,
+    n_synthetic: int = 2,
+    buffer_bdp: float = 1.0,
+    seed: int = 1,
+    n_jobs: int = 1,
+) -> Dict:
+    """The (train-family × eval-family) certified-safety + performance grid.
+
+    One model is trained per topology family (its training episodes sample
+    that family only) plus, with ``include_mixed``, one domain-randomized
+    ``mixed`` model whose episodes sample uniformly across *all* families.
+    Every model is then evaluated — with ``certify=True`` — on every family,
+    so each grid row carries both QC_sat (certified safety) and the empirical
+    utilization/delay/loss of the same run.  Cells shard through
+    :class:`ParallelRunner`; serial and parallel runs produce identical rows.
+    """
+    families = list(families) if families is not None else list(GENERALIZATION_FAMILIES)
+    if len(families) < 2:
+        raise ValueError("topology_generalization needs at least 2 families")
+    if len(set(families)) != len(families):
+        raise ValueError("topology_generalization families must be unique")
+    if MIXED_TRAINING_LABEL in families:
+        raise ValueError(f"{MIXED_TRAINING_LABEL!r} is reserved for the mixed model")
+
+    # One catalog per trained model: each family alone, plus the mixed model.
+    catalogs: Dict[str, tuple] = {family: (family,) for family in families}
+    if include_mixed:
+        catalogs[MIXED_TRAINING_LABEL] = tuple(families)
+    # Train in-process first so pool workers inherit the warm model cache.
+    for catalog in catalogs.values():
+        get_trained_model(model_kind, training_steps=training_steps, seed=seed,
+                          topologies=catalog)
+
+    traces = _trace_subset("synthetic", n_synthetic)
+    tasks = []
+    for train_label, catalog in catalogs.items():
+        for eval_family in families:
+            settings = EvaluationSettings(duration=duration, buffer_bdp=buffer_bdp,
+                                          topology=eval_family, seed=seed)
+            for trace in traces:
+                tasks.append(ExperimentTask(
+                    scheme="canopy", trace=trace, settings=settings,
+                    model_kind=model_kind, training_steps=training_steps, model_seed=seed,
+                    model_topologies=catalog,
+                    certify=True, property_family=property_family, n_components=n_components,
+                    tags={"train_family": train_label, "eval_family": eval_family},
+                ))
+    grid = ParallelRunner(n_jobs).run(tasks)
+
+    rows = []
+    for train_label in catalogs:
+        for eval_family in families:
+            cells = grid.select(train_family=train_label, eval_family=eval_family)
+            rows.append({
+                "train_family": train_label,
+                "eval_family": eval_family,
+                "qcsat": float(np.mean([c["qcsat"] for c in cells])),
+                "qcsat_std": float(np.std([c["qcsat"] for c in cells])),
+                "utilization": float(np.mean([c["utilization"] for c in cells])),
+                "avg_delay_ms": float(np.mean([c["avg_queuing_delay_ms"] for c in cells])),
+                "p95_delay_ms": float(np.mean([c["p95_queuing_delay_ms"] for c in cells])),
+                "loss_rate": float(np.mean([c["loss_rate"] for c in cells])),
+                "n_traces": len(cells),
+            })
+
+    certificates = int(sum(cell["n_certificates"] for cell in grid.rows))
+    return {
+        "figure": "topology_generalization",
+        "families": families,
+        "train_families": list(catalogs),
+        "model_kind": model_kind,
+        "property_family": property_family,
+        "rows": rows,
+        "wall_clock_s": grid.wall_clock_s,
+        "n_jobs": grid.n_jobs,
+        "certificates": certificates,
+        "certificates_per_sec": certificates / grid.wall_clock_s if grid.wall_clock_s > 0 else 0.0,
     }
 
 

@@ -13,7 +13,7 @@ benchmark suite to run in minutes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -58,7 +58,8 @@ class TrainedModel:
         return Verifier(self.actor, self.observation_config, VerifierConfig(n_components=n_components))
 
 
-def _make_config(kind: str, lam: float | None, n_components: int | None, seed: int) -> CanopyConfig:
+def _make_config(kind: str, lam: float | None, n_components: int | None, seed: int,
+                 topologies: Tuple[str, ...] | None = None) -> CanopyConfig:
     if kind == "canopy-shallow":
         config = CanopyConfig.shallow(seed=seed)
     elif kind == "canopy-deep":
@@ -73,6 +74,8 @@ def _make_config(kind: str, lam: float | None, n_components: int | None, seed: i
         config = config.with_lambda(lam)
     if n_components is not None:
         config = config.with_components(n_components)
+    if topologies is not None:
+        config = config.with_topologies(topologies)
     return config
 
 
@@ -85,6 +88,7 @@ def get_trained_model(
     seed: int = 1,
     lam: float | None = None,
     n_components: int | None = None,
+    topologies: Sequence[str] | None = None,
 ) -> TrainedModel:
     """Train (or fetch a cached) model of the requested kind.
 
@@ -94,11 +98,21 @@ def get_trained_model(
         seed: Seed for the environment and networks.
         lam: Override of the verifier-reward weight λ (None keeps the preset).
         n_components: Override of the number of QC partitions N.
+        topologies: Override of the training-scenario catalog — topology
+            family specs sampled per episode (None keeps the preset's
+            single-bottleneck training; several specs train a
+            domain-randomized model).
     """
-    key = (kind, training_steps, seed, lam, n_components)
+    topologies = tuple(str(spec) for spec in topologies) if topologies is not None else None
+    if topologies == ("single_bottleneck",):
+        # Every preset trains on single_bottleneck by default, so an explicit
+        # single-bottleneck catalog shares the preset's cache entry instead of
+        # retraining a bit-identical model under a second key.
+        topologies = None
+    key = (kind, training_steps, seed, lam, n_components, topologies)
     if key in _CACHE:
         return _CACHE[key]
-    config = _make_config(kind, lam, n_components, seed)
+    config = _make_config(kind, lam, n_components, seed, topologies)
     trainer_config = TrainerConfig(
         total_steps=training_steps,
         log_every=max(10, training_steps // 20),

@@ -46,7 +46,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from multiprocessing import get_all_start_methods, get_context
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -98,6 +98,12 @@ class ExperimentTask:
     task stays picklable and fallback grids shard like any other grid.  A
     threshold of 0.0 installs the monitor in record-only mode (the learned
     action is never vetoed), matching the figure-13 baseline.
+
+    ``model_topologies`` selects the *training-time* scenario catalog of the
+    learned model (topology family specs sampled per training episode; None
+    keeps the preset's single-bottleneck training), independently of the
+    *evaluation* topology carried by ``settings.topology`` — the axis pair the
+    cross-family generalization grid sweeps.
     """
 
     scheme: str
@@ -108,6 +114,7 @@ class ExperimentTask:
     model_seed: int = 1
     lam: Optional[float] = None
     model_components: Optional[int] = None
+    model_topologies: Optional[Tuple[str, ...]] = None
     certify: bool = False
     property_family: Optional[str] = None
     n_components: int = 50
@@ -119,6 +126,11 @@ class ExperimentTask:
     def __post_init__(self) -> None:
         if self.certify and self.model_kind is None:
             raise ValueError("certify=True requires a learned model_kind")
+        if self.model_topologies is not None:
+            if self.model_kind is None:
+                raise ValueError("model_topologies requires a learned model_kind")
+            object.__setattr__(self, "model_topologies",
+                               tuple(str(spec) for spec in self.model_topologies))
         for family in (self.property_family, self.monitor_family):
             if family is not None and family not in PROPERTY_FAMILIES:
                 raise ValueError(f"unknown property family {family!r}; "
@@ -180,6 +192,7 @@ def _task_model(task: ExperimentTask):
         seed=task.model_seed,
         lam=task.lam,
         n_components=task.model_components,
+        topologies=task.model_topologies,
     )
 
 
@@ -196,6 +209,11 @@ def run_task(task: ExperimentTask) -> Dict:
             properties = PROPERTY_FAMILIES[task.property_family]()
         qcsat = evaluate_qcsat(model, task.trace, task.settings, properties=properties,
                                n_components=task.n_components, scheme_name=task.scheme)
+        # The certified run doubles as a performance run, so certify rows carry
+        # the empirical summary columns too (certified safety + performance in
+        # one pass — what the generalization grids report per cell).
+        if qcsat.summary is not None:
+            row.update(qcsat.summary.as_dict())
         row.update({
             "qcsat": qcsat.mean,                  # per-trace mean over decisions
             "qcsat_decision_std": qcsat.std,      # per-trace std over decisions

@@ -27,7 +27,7 @@ abstract just the variables of interest (Section 5).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, List, Sequence
 
 import numpy as np

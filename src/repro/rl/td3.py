@@ -16,13 +16,13 @@ the QC-shaped reward of Eq. 10 instead of the raw Orca reward.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 import numpy as np
 
 from repro.nn.losses import mse_loss
-from repro.nn.mlp import MLP, make_actor, make_critic
+from repro.nn.mlp import make_actor, make_critic
 from repro.nn.optim import Adam
 from repro.rl.noise import GaussianNoise
 from repro.rl.replay import ReplayBuffer

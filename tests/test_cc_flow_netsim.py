@@ -1,6 +1,5 @@
 """Tests for Flow and NetworkSimulator: windowing, ack delay, stats, reports."""
 
-import numpy as np
 import pytest
 
 from repro.cc.base import MIN_CWND, CongestionController, TickFeedback

@@ -1,9 +1,8 @@
 """Tests for the command-line interface."""
 
-import numpy as np
 import pytest
 
-from repro.cli import FIGURE_DRIVERS, build_parser, main
+from repro.cli import EXPERIMENT_DRIVERS, FIGURE_DRIVERS, build_parser, main
 from repro.nn.serialization import load_weight_dict
 
 
@@ -104,3 +103,22 @@ def test_compare_classical_command(capsys):
     out = capsys.readouterr().out
     for scheme in ("cubic", "newreno", "vegas", "bbr"):
         assert scheme in out
+
+
+def test_experiment_registry_covers_topology_workloads():
+    assert {"topology_sweep", "topology_generalization"} <= set(EXPERIMENT_DRIVERS)
+
+
+def test_experiment_unknown_name_errors():
+    with pytest.raises(SystemExit):
+        main(["experiment", "not-an-experiment"])
+
+
+def test_experiment_command_runs_generalization_grid(capsys):
+    code = main(["experiment", "topology_generalization", "--steps", "40", "--seed", "54",
+                 "--duration", "2.0", "--families", "single_bottleneck,chain(2)", "--jobs", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Experiment topology_generalization" in out
+    assert "train_family" in out and "eval_family" in out
+    assert "mixed" in out and "chain(2)" in out

@@ -13,7 +13,7 @@ from repro.core.properties import (
 from repro.core.verifier import Verifier, VerifierConfig
 from repro.nn import make_actor
 from repro.orca.agent import cwnd_from_action
-from repro.orca.observations import ObservationBuilder, ObservationConfig
+from repro.orca.observations import ObservationConfig
 
 
 @pytest.fixture

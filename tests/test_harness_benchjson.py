@@ -1,0 +1,128 @@
+"""Tests for the bench-JSON canonicalizer (the BENCH_ci.json trajectory)."""
+
+import json
+
+import pytest
+
+from repro.harness.benchjson import SCHEMA_VERSION, canonical_rows, main, merge_bench_files
+
+CANONICAL_KEYS = {"benchmark", "metric", "value", "unit", "commit"}
+
+
+def payload(name="bench_grid", mean=0.25, extra_info=None):
+    return {"benchmarks": [{"name": name, "stats": {"mean": mean},
+                            "extra_info": extra_info or {}}]}
+
+
+class TestCanonicalRows:
+    def test_runtime_row_from_stats_mean(self):
+        rows = canonical_rows(payload(mean=0.5), commit="abc123")
+        assert rows == [{"benchmark": "bench_grid", "metric": "runtime_s",
+                         "value": 0.5, "unit": "s", "commit": "abc123"}]
+
+    def test_scalar_extras_become_rows(self):
+        extras = {"certificates_per_sec": 120.0, "n_jobs": 2}
+        rows = canonical_rows(payload(extra_info=extras), commit="abc")
+        metrics = {row["metric"]: row for row in rows}
+        assert metrics["certificates_per_sec"]["value"] == 120.0
+        assert metrics["certificates_per_sec"]["unit"] == "1/s"
+        assert metrics["n_jobs"]["unit"] == "count"
+
+    def test_non_scalar_extras_are_dropped(self):
+        extras = {"rows": [{"qcsat": 0.5}], "families": ["chain(2)"],
+                  "label": "smoke", "flag": True, "speedup": 3.5}
+        rows = canonical_rows(payload(extra_info=extras), commit="abc")
+        metrics = {row["metric"] for row in rows}
+        assert metrics == {"runtime_s", "speedup"}
+
+    def test_unit_inference_for_unknown_metrics(self):
+        extras = {"warmup_s": 1.0, "acks_per_sec": 9.0, "qcsat": 0.5}
+        rows = canonical_rows(payload(extra_info=extras), commit="abc")
+        units = {row["metric"]: row["unit"] for row in rows}
+        assert units["warmup_s"] == "s"
+        assert units["acks_per_sec"] == "1/s"
+        assert units["qcsat"] == ""
+
+    def test_every_row_has_the_stable_schema(self):
+        rows = canonical_rows(payload(extra_info={"ticks": 100}), commit="deadbeef")
+        for row in rows:
+            assert set(row) == CANONICAL_KEYS
+            assert row["commit"] == "deadbeef"
+            assert isinstance(row["value"], float)
+
+
+class TestMergeBenchFiles:
+    def test_merges_and_sorts_deterministically(self, tmp_path):
+        a = tmp_path / "bench-b.json"
+        a.write_text(json.dumps(payload(name="zeta", extra_info={"ticks": 10})))
+        b = tmp_path / "bench-a.json"
+        b.write_text(json.dumps(payload(name="alpha")))
+        merged = merge_bench_files([a, b], commit="c1")
+        assert merged["version"] == SCHEMA_VERSION
+        assert merged["commit"] == "c1"
+        assert merged["sources"] == [str(a), str(b)]
+        assert merged["skipped"] == []
+        keys = [(row["benchmark"], row["metric"]) for row in merged["rows"]]
+        assert keys == sorted(keys)
+        # Byte-determinism: merging the same inputs twice is identical.
+        again = merge_bench_files([a, b], commit="c1")
+        assert json.dumps(merged, sort_keys=True) == json.dumps(again, sort_keys=True)
+
+    def test_missing_and_corrupt_files_are_skipped(self, tmp_path):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(payload()))
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{not json")
+        missing = tmp_path / "missing.json"
+        merged = merge_bench_files([good, corrupt, missing], commit="c2")
+        assert merged["sources"] == [str(good)]
+        assert merged["skipped"] == [str(corrupt), str(missing)]
+        assert len(merged["rows"]) == 1
+
+
+class TestMain:
+    def test_writes_canonical_file(self, tmp_path, capsys):
+        src = tmp_path / "bench-verifier.json"
+        src.write_text(json.dumps(payload(extra_info={"certificates_per_sec": 10.0})))
+        out = tmp_path / "BENCH_ci.json"
+        code = main([str(src), "--commit", "sha1", "--out", str(out)])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        written = json.loads(out.read_text())
+        assert written["commit"] == "sha1"
+        assert all(set(row) == CANONICAL_KEYS for row in written["rows"])
+
+    def test_exit_code_one_when_no_rows(self, tmp_path):
+        out = tmp_path / "BENCH_ci.json"
+        code = main([str(tmp_path / "missing.json"), "--out", str(out)])
+        assert code == 1
+        written = json.loads(out.read_text())
+        assert written["rows"] == [] and written["skipped"]
+
+    def test_real_grid_payload_round_trips(self, tmp_path):
+        # The shape bench_topology_generalization.py actually emits: runtime,
+        # scalar throughput numbers, plus non-scalar per-cell rows that must
+        # stay out of the trajectory.
+        bench = {"benchmarks": [{
+            "name": "test_topology_generalization_grid",
+            "stats": {"mean": 1.5},
+            "extra_info": {
+                "certificates": 720, "certificates_per_sec": 890.9,
+                "grid_wall_clock_s": 0.8, "n_jobs": 2,
+                "families": ["single_bottleneck", "chain(2)"],
+                "rows": [{"train_family": "mixed", "qcsat": 0.54}],
+            },
+        }]}
+        src = tmp_path / "bench-generalization.json"
+        src.write_text(json.dumps(bench))
+        merged = merge_bench_files([src], commit="sha2")
+        metrics = {row["metric"] for row in merged["rows"]}
+        assert metrics == {"runtime_s", "certificates", "certificates_per_sec",
+                           "grid_wall_clock_s", "n_jobs"}
+        assert {row["unit"] for row in merged["rows"]} == {"s", "count", "1/s"}
+
+
+def test_schema_version_is_pinned():
+    assert SCHEMA_VERSION == 1
+    with pytest.raises(SystemExit):  # argparse: files are required
+        main([])

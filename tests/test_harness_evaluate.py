@@ -1,6 +1,5 @@
 """Tests for the evaluation harness: scheme runs, summaries, QC_sat."""
 
-import numpy as np
 import pytest
 
 from repro.harness.evaluate import (

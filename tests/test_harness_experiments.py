@@ -125,6 +125,55 @@ class TestTopologySweep:
 
 
 @pytest.mark.slow
+class TestTopologyGeneralization:
+    GRID = dict(families=("single_bottleneck", "chain(2)", "parking_lot(2)"),
+                duration=2.0, n_components=4, n_synthetic=1, **QUICK)
+
+    def test_needs_at_least_two_families(self):
+        with pytest.raises(ValueError):
+            experiments.topology_generalization(families=["chain(2)"], **QUICK)
+
+    def test_mixed_label_is_reserved(self):
+        with pytest.raises(ValueError):
+            experiments.topology_generalization(
+                families=[experiments.MIXED_TRAINING_LABEL, "chain(2)"], **QUICK)
+
+    def test_duplicate_families_rejected(self):
+        with pytest.raises(ValueError):
+            experiments.topology_generalization(families=["chain(2)", "chain(2)"], **QUICK)
+
+    def test_grid_structure_and_mixed_model(self):
+        result = experiments.topology_generalization(n_jobs=1, **self.GRID)
+        families = list(self.GRID["families"])
+        assert result["figure"] == "topology_generalization"
+        assert result["families"] == families
+        assert result["train_families"] == families + [experiments.MIXED_TRAINING_LABEL]
+        assert len(result["rows"]) == 4 * 3  # (3 single-family models + mixed) x 3 eval families
+        cells = {(row["train_family"], row["eval_family"]) for row in result["rows"]}
+        assert len(cells) == len(result["rows"]), "duplicate (train, eval) cells"
+        for row in result["rows"]:
+            assert 0.0 <= row["qcsat"] <= 1.0
+            assert 0.0 < row["utilization"] <= 1.5
+            assert row["avg_delay_ms"] >= 0.0
+            assert row["n_traces"] == 1
+        assert result["certificates"] > 0
+        assert result["certificates_per_sec"] > 0.0
+
+    def test_include_mixed_false_trains_per_family_only(self):
+        result = experiments.topology_generalization(
+            families=("single_bottleneck", "chain(2)"), include_mixed=False,
+            duration=2.0, n_components=4, n_synthetic=1, n_jobs=1, **QUICK)
+        assert result["train_families"] == ["single_bottleneck", "chain(2)"]
+        assert len(result["rows"]) == 4
+
+    def test_serial_and_parallel_rows_identical(self):
+        serial = experiments.topology_generalization(n_jobs=1, **self.GRID)
+        parallel = experiments.topology_generalization(n_jobs=2, **self.GRID)
+        assert serial["rows"] == parallel["rows"]
+        assert serial["train_families"] == parallel["train_families"]
+
+
+@pytest.mark.slow
 class TestSensitivityAndTraining:
     def test_fig16_sensitivity(self):
         result = experiments.sensitivity(n_values=(1, 2), lambda_values=(0.25,),

@@ -28,6 +28,24 @@ def test_lambda_and_components_overrides():
     assert model.config.n_components == 2
 
 
+def test_topologies_override_trains_distinct_model():
+    base = get_trained_model("canopy-shallow", training_steps=40, seed=21)
+    multi = get_trained_model("canopy-shallow", training_steps=40, seed=21,
+                              topologies=("single_bottleneck", "chain(2)"))
+    assert multi is not base
+    assert multi.config.env.topologies == ("single_bottleneck", "chain(2)")
+    # The cache key normalizes the catalog, so list vs tuple hits the same entry.
+    again = get_trained_model("canopy-shallow", training_steps=40, seed=21,
+                              topologies=["single_bottleneck", "chain(2)"])
+    assert again is multi
+    # An explicit single-bottleneck catalog IS the preset default, so it
+    # shares the preset's cache entry rather than retraining the same model.
+    explicit = get_trained_model("canopy-shallow", training_steps=40, seed=21,
+                                 topologies=("single_bottleneck",))
+    assert explicit is base
+    assert base.config.env.topologies == ("single_bottleneck",)
+
+
 def test_trained_model_accessors(quick_model):
     assert isinstance(quick_model, TrainedModel)
     assert quick_model.kind == "canopy-shallow"

@@ -74,6 +74,19 @@ class TestExperimentTask:
             ExperimentTask(scheme="canopy", trace=task.trace, settings=task.settings,
                            model_kind="canopy-shallow", certify=True, property_family="nope")
 
+    def test_model_topologies_requires_model(self):
+        task = make_tasks()[0]
+        with pytest.raises(ValueError):
+            ExperimentTask(scheme="cubic", trace=task.trace, settings=task.settings,
+                           model_topologies=("chain(2)",))
+
+    def test_model_topologies_normalized_to_string_tuple(self):
+        task = make_tasks()[0]
+        with_catalog = ExperimentTask(scheme="canopy", trace=task.trace, settings=task.settings,
+                                      model_kind="canopy-shallow",
+                                      model_topologies=["single_bottleneck", "chain(2)"])
+        assert with_catalog.model_topologies == ("single_bottleneck", "chain(2)")
+
     def test_run_task_classical_row(self):
         row = run_task(make_tasks()[0])
         assert row["scheme"] == "cubic"

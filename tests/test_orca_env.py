@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.orca.env import OrcaEnvConfig, OrcaNetworkEnv
+from repro.seeding import derive_seed
 from repro.traces.trace import BandwidthTrace
 
 
@@ -105,3 +106,85 @@ class TestEnvironment:
         env.reset()
         _, _, _, info_up = env.step(np.array([1.0]))
         assert info_up["cwnd_enforced"] == pytest.approx(4.0 * info_up["cwnd_tcp"], rel=1e-6)
+
+
+class TestTopologyScenarios:
+    FAMILIES = ("single_bottleneck", "chain(2)", "dumbbell")
+
+    def test_empty_topologies_rejected(self):
+        with pytest.raises(ValueError):
+            OrcaEnvConfig(topologies=())
+
+    def test_malformed_spec_rejected_at_config_time(self):
+        with pytest.raises(ValueError):
+            OrcaEnvConfig(topologies=("not_a_family",))
+        with pytest.raises(ValueError):
+            OrcaEnvConfig(topologies=("chain(0)",))
+
+    def test_scenario_requires_reset(self):
+        env = make_env()
+        with pytest.raises(RuntimeError):
+            _ = env.scenario
+
+    def test_default_catalog_is_single_bottleneck(self):
+        env = make_env()
+        env.reset()
+        assert env.scenario.spec == "single_bottleneck"
+        assert env.scenario.hop_seeds == (("bottleneck", env.scenario.hop_seeds[0][1]),)
+
+    def test_same_seed_same_scenario_sequence(self):
+        env_a = make_env(seed=13, topologies=self.FAMILIES)
+        env_b = make_env(seed=13, topologies=self.FAMILIES)
+        for _ in range(8):
+            env_a.reset()
+            env_b.reset()
+        assert env_a.scenario_history == env_b.scenario_history
+        assert len(env_a.scenario_history) == 8
+        assert [scenario.episode for scenario in env_a.scenario_history] == list(range(8))
+
+    def test_domain_randomization_samples_every_family(self):
+        env = make_env(seed=3, topologies=self.FAMILIES)
+        seen = set()
+        for _ in range(32):
+            env.reset()
+            seen.add(env.scenario.spec)
+        assert seen == set(self.FAMILIES)
+
+    def test_episode_seed_follows_derive_seed_convention(self):
+        # Per-hop loss-RNG seeds must derive from the episode seed and the
+        # (spec, trace, link) coordinates, exactly like evaluation-side grids.
+        env = make_env(seed=7, topologies=("chain(2)",))
+        env.reset()
+        scenario = env.scenario
+        assert len(scenario.hop_seeds) == 2
+        for link_name, hop_seed in scenario.hop_seeds:
+            assert hop_seed == derive_seed(scenario.seed, "topology", scenario.spec,
+                                           scenario.trace_name, link_name)
+
+    def test_multi_hop_info_fields(self):
+        env = make_env(seed=2, topologies=("chain(2)",))
+        env.reset()
+        _, _, _, info = env.step(np.array([0.0]))
+        assert info["topology"] == "chain(2)"
+        assert info["n_hops"] == 2
+        assert info["episode_seed"] == env.scenario.seed
+        assert np.isfinite(info["min_rtt"]) and info["min_rtt"] > 0.0
+
+    def test_scenario_as_dict_round_trip(self):
+        env = make_env(seed=4, topologies=("parking_lot(2)",))
+        env.reset()
+        payload = env.scenario.as_dict()
+        assert payload["topology"] == "parking_lot(2)"
+        assert payload["episode"] == 0
+        assert set(payload["hop_seeds"]) == {"seg1", "seg2"}
+
+    def test_multi_hop_episode_runs_to_completion(self):
+        env = make_env(seed=6, episode_intervals=4, topologies=("dumbbell",))
+        env.reset()
+        done = False
+        steps = 0
+        while not done:
+            _, reward, done, _ = env.step(np.array([0.0]))
+            assert np.isfinite(reward)
+            steps += 1
+        assert steps == 4

@@ -16,6 +16,7 @@ from repro.cc.flow import Flow
 from repro.cc.link import BottleneckLink
 from repro.cc.netsim import NetworkSimulator
 from repro.cc.vegas import VegasController
+from repro.orca.env import OrcaEnvConfig, OrcaNetworkEnv
 from repro.topology import Topology, build_topology
 from repro.traces.synthetic import make_synthetic_trace
 from repro.traces.trace import BandwidthTrace
@@ -160,6 +161,95 @@ class TestChainOneEquivalence:
         legacy = run_and_collect(legacy_sim, 700)
         topo = run_and_collect(chain1, 700)
         assert_trajectories_match(legacy, topo, n_flows=1)
+
+
+class LegacyTrainingEnv(OrcaNetworkEnv):
+    """The pre-topology training environment: ``_sample_link`` + a bare link.
+
+    A faithful copy of the ``OrcaNetworkEnv`` scenario sampler before the
+    topology-aware refactor — it draws trace/bandwidth, RTT, and one link
+    seed from the same RNG stream, then drives the simulator through the
+    single shared ``BottleneckLink``.  The topology-aware environment with a
+    ``("single_bottleneck",)`` catalog must reproduce its training trajectory
+    exactly (atol=1e-12).
+    """
+
+    def _sample_link(self) -> BottleneckLink:
+        cfg = self.config
+        if cfg.traces:
+            trace = cfg.traces[int(self._rng.integers(0, len(cfg.traces)))]
+        else:
+            bandwidth = float(self._rng.uniform(*cfg.bandwidth_range_mbps))
+            duration = cfg.episode_intervals * cfg.monitor_interval + 5.0
+            trace = BandwidthTrace.constant(bandwidth, duration=duration)
+        min_rtt = float(self._rng.uniform(*cfg.rtt_range_s))
+        return BottleneckLink(trace, min_rtt=min_rtt, buffer_bdp=cfg.buffer_bdp,
+                              seed=int(self._rng.integers(0, 2 ** 31)))
+
+    def reset(self, seed=None):
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+        cfg = self.config
+        link = self._sample_link()
+        self._cubic = CubicController(initial_cwnd=10.0)
+        flow = Flow(self._flow_id, self._cubic)
+        self._sim = NetworkSimulator(link, [flow], dt=cfg.tick)
+        self.observer.reset()
+        self._steps = 0
+        self._prev_enforced_cwnd = self._cubic.cwnd
+        self._advance_one_interval()
+        report = self._sim.monitor_report(self._flow_id)
+        return self.observer.observe(self._maybe_noisy(report))
+
+
+class TestTrainingTrajectoryPinned:
+    """``topologies=("single_bottleneck",)`` training stays on the legacy path."""
+
+    ACTIONS = (0.0, 0.5, -0.4, 1.0, -1.0)
+
+    @staticmethod
+    def _envs(**overrides):
+        kwargs = dict(episode_intervals=5, seed=77)
+        kwargs.update(overrides)
+        legacy = LegacyTrainingEnv(OrcaEnvConfig(**kwargs))
+        topo = OrcaNetworkEnv(OrcaEnvConfig(topologies=("single_bottleneck",), **kwargs))
+        return legacy, topo
+
+    def _assert_episodes_match(self, legacy, topo, n_episodes=3):
+        for _ in range(n_episodes):
+            obs_legacy = legacy.reset()
+            obs_topo = topo.reset()
+            np.testing.assert_allclose(obs_legacy, obs_topo, rtol=0.0, atol=1e-12)
+            for action in self.ACTIONS:
+                step_legacy = legacy.step(np.array([action]))
+                step_topo = topo.step(np.array([action]))
+                np.testing.assert_allclose(step_legacy[0], step_topo[0], rtol=0.0, atol=1e-12)
+                assert step_legacy[1] == pytest.approx(step_topo[1], abs=1e-12)  # reward
+                assert step_legacy[2] == step_topo[2]                            # done
+                info_legacy, info_topo = step_legacy[3], step_topo[3]
+                for key in ("cwnd_tcp", "cwnd_prev", "cwnd_enforced", "raw_reward",
+                            "link_capacity_mbps", "min_rtt"):
+                    assert info_legacy[key] == pytest.approx(info_topo[key], abs=1e-12), key
+
+    def test_sampled_bandwidth_episodes_match_legacy(self):
+        legacy, topo = self._envs()
+        self._assert_episodes_match(legacy, topo)
+
+    def test_trace_list_episodes_match_legacy(self):
+        traces = [make_synthetic_trace("step-12-48"), make_synthetic_trace("square-12-36")]
+        legacy, topo = self._envs(seed=31, traces=traces)
+        self._assert_episodes_match(legacy, topo)
+
+    def test_scenario_metadata_matches_legacy_draws(self):
+        # The topology env must consume the RNG stream exactly like the legacy
+        # sampler: same trace pick, same RTT, one entropy draw per episode.
+        legacy, topo = self._envs(seed=19)
+        legacy.reset()
+        topo.reset()
+        assert topo.scenario.spec == "single_bottleneck"
+        assert topo.scenario.min_rtt == pytest.approx(legacy._sim.link.min_rtt, abs=1e-12)
+        assert topo._sim.link.trace.capacity_mbps(0.0) == pytest.approx(
+            legacy._sim.link.trace.capacity_mbps(0.0), abs=1e-12)
 
 
 class TestMonitorReportStability:
