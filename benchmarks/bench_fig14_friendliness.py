@@ -8,54 +8,26 @@ throughput ratios for an increasing number of competing CUBIC flows and for
 a range of RTTs.
 
 Every sweep point is a declarative :class:`MultiFlowTask` (scheme label +
-model kind, no factory closures), so the whole grid shards across a process
-pool via ``REPRO_BENCH_JOBS`` with rows identical to a serial run.
+model kind, no factory closures) built by the registered ``friendliness``
+experiment, so the whole grid shards across a process pool via
+``REPRO_BENCH_JOBS`` with rows identical to a serial run (and is reachable
+generically as ``python -m repro run friendliness``).
 """
 
 from benchconfig import N_JOBS, SEED, TRAINING_STEPS, run_once
 
-from repro.harness.fairness import MultiFlowTask, run_multiflow_grid
-from repro.harness.models import get_trained_model
+from repro.harness import experiments
 from repro.harness.reporting import format_rows
-
-CASES = [
-    ("shallow", "canopy", "canopy-shallow", 1.0),
-    ("shallow", "orca", "orca", 1.0),
-    ("shallow", "cubic", None, 1.0),
-    ("deep", "canopy", "canopy-deep", 5.0),
-    ("deep", "orca", "orca", 5.0),
-    ("deep", "cubic", None, 5.0),
-]
 
 
 def test_fig14_friendliness(benchmark):
-    def run_experiment():
-        # Train in-process first so pool workers inherit the warm model cache.
-        for kind in ("canopy-shallow", "canopy-deep", "orca"):
-            get_trained_model(kind, training_steps=TRAINING_STEPS, seed=SEED)
-        tasks = []
-        for family, scheme, model_kind, buffer_bdp in CASES:
-            for n_cubic in (1, 2, 4):
-                tasks.append(MultiFlowTask(
-                    mode="friendliness", scheme=scheme, value=n_cubic,
-                    model_kind=model_kind, training_steps=TRAINING_STEPS, model_seed=SEED,
-                    buffer_bdp=buffer_bdp, duration=15.0,
-                    tags={"buffer_family": family}))
-        for family, scheme, model_kind, buffer_bdp in CASES:
-            if family != "shallow":
-                continue
-            for rtt_ms in (20.0, 50.0, 100.0):
-                tasks.append(MultiFlowTask(
-                    mode="rtt_friendliness", scheme=scheme, value=rtt_ms,
-                    model_kind=model_kind, training_steps=TRAINING_STEPS, model_seed=SEED,
-                    buffer_bdp=buffer_bdp, duration=15.0,
-                    tags={"buffer_family": family}))
-        grid = run_multiflow_grid(tasks, n_jobs=N_JOBS)
-        flow_rows = [row for row in grid.rows if row["mode"] == "friendliness"]
-        rtt_rows = [row for row in grid.rows if row["mode"] == "rtt_friendliness"]
-        return flow_rows, rtt_rows
-
-    flow_rows, rtt_rows = run_once(benchmark, run_experiment)
+    result = run_once(
+        benchmark, experiments.friendliness_grid,
+        flows=(1, 2, 4), rtts_ms=(20.0, 50.0, 100.0),
+        training_steps=TRAINING_STEPS, duration=15.0, seed=SEED, n_jobs=N_JOBS,
+    )
+    flow_rows = [row for row in result["rows"] if row["mode"] == "friendliness"]
+    rtt_rows = [row for row in result["rows"] if row["mode"] == "rtt_friendliness"]
 
     print("\nFigure 14a/b: throughput ratio vs number of competing CUBIC flows")
     print(format_rows(flow_rows, columns=["buffer_family", "scheme", "competing_cubic_flows",

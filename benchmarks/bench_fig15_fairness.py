@@ -7,40 +7,27 @@ eventually.  The benchmark prints the per-flow final throughputs and the
 Jain fairness index per scheme.
 
 Every scheme is a declarative :class:`MultiFlowTask` (scheme label + model
-kind, no factory closures), so the grid shards across a process pool via
-``REPRO_BENCH_JOBS`` with rows identical to a serial run.
+kind, no factory closures) built by the registered ``fairness`` experiment,
+so the grid shards across a process pool via ``REPRO_BENCH_JOBS`` with rows
+identical to a serial run (and is reachable generically as
+``python -m repro run fairness``).
 """
 
 from benchconfig import N_JOBS, SEED, TRAINING_STEPS, run_once
 
-from repro.harness.fairness import MultiFlowTask, run_multiflow_grid
-from repro.harness.models import get_trained_model
+from repro.harness import experiments
 from repro.harness.reporting import format_rows
 
-SCHEMES = [
-    ("cubic", None),
-    ("orca", "orca"),
-    ("canopy-shallow", "canopy-shallow"),
-    ("canopy-deep", "canopy-deep"),
-]
+SCHEMES = ("cubic", "orca", "canopy-shallow", "canopy-deep")
 
 
 def test_fig15_fairness_convergence(benchmark):
-    def run_experiment():
-        # Train in-process first so pool workers inherit the warm model cache.
-        for _, kind in SCHEMES:
-            if kind is not None:
-                get_trained_model(kind, training_steps=TRAINING_STEPS, seed=SEED)
-        tasks = [
-            MultiFlowTask(mode="fairness_convergence", scheme=scheme, value=3,
-                          model_kind=kind, training_steps=TRAINING_STEPS, model_seed=SEED,
-                          join_interval=12.0, bandwidth_mbps=48.0, min_rtt=0.02,
-                          buffer_bdp=1.0)
-            for scheme, kind in SCHEMES
-        ]
-        return run_multiflow_grid(tasks, n_jobs=N_JOBS).rows
-
-    grid_rows = run_once(benchmark, run_experiment)
+    result = run_once(
+        benchmark, experiments.fairness_grid,
+        schemes=SCHEMES, n_flows=3, join_interval=12.0,
+        training_steps=TRAINING_STEPS, seed=SEED, n_jobs=N_JOBS,
+    )
+    grid_rows = result["rows"]
 
     print("\nFigure 15: fairness convergence (3 flows joining every 12 s, 48 Mbps / 20 ms / 1 BDP)")
     rows = []

@@ -25,17 +25,14 @@ from benchconfig import DURATION, N_JOBS, SEED, run_once
 
 from repro.harness import experiments
 from repro.harness.reporting import format_rows
+from repro.harness.spec import parse_bool, parse_topologies
 
-FAMILIES = tuple(
-    spec.strip()
-    for spec in os.environ.get(
-        "REPRO_BENCH_GEN_FAMILIES",
-        "single_bottleneck,chain(2),parking_lot(2)",
-    ).split(",")
-    if spec.strip()
-)
+FAMILIES = parse_topologies(os.environ.get(
+    "REPRO_BENCH_GEN_FAMILIES",
+    "single_bottleneck,chain(2),parking_lot(2)",
+))
 TRAINING_STEPS = int(os.environ.get("REPRO_BENCH_GEN_STEPS", "200"))
-INCLUDE_MIXED = os.environ.get("REPRO_BENCH_GEN_MIXED", "1") not in ("0", "false", "no")
+INCLUDE_MIXED = parse_bool(os.environ.get("REPRO_BENCH_GEN_MIXED", "1"))
 
 
 def test_topology_generalization_grid(benchmark):

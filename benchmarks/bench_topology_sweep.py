@@ -23,15 +23,12 @@ from benchconfig import DURATION, N_JOBS, SEED, run_once
 
 from repro.harness import experiments
 from repro.harness.reporting import format_rows
+from repro.harness.spec import parse_topologies
 
-FAMILIES = tuple(
-    spec.strip()
-    for spec in os.environ.get(
-        "REPRO_BENCH_TOPOLOGIES",
-        "single_bottleneck,chain(3),parking_lot(3),dumbbell",
-    ).split(",")
-    if spec.strip()
-)
+FAMILIES = parse_topologies(os.environ.get(
+    "REPRO_BENCH_TOPOLOGIES",
+    "single_bottleneck,chain(3),parking_lot(3),dumbbell",
+))
 
 SCHEMES = ("cubic", "vegas", "bbr")
 

@@ -9,9 +9,19 @@ Usage (after ``pip install -e .``)::
     python -m repro figure 5          # regenerate one evaluation figure
     python -m repro figure 9 --jobs 4 # shard the grid over 4 worker processes
     python -m repro figure topology   # sweep the multi-bottleneck families
+    python -m repro run --list        # registered experiments + their axes
+    python -m repro run topology_sweep --set seeds=0..4 --jobs 4 --resume
+    python -m repro run topology_generalization --set trace=cellular --set seeds=0..2
     python -m repro experiment topology_generalization --jobs 2
     python -m repro compare-classical --buffer-bdp 1.0 --jobs 0
     python -m repro evaluate --topology "chain(3)" --trace step-12-48
+
+``run`` is the generic front door: any experiment registered in
+:data:`repro.harness.registry.REGISTRY` runs with per-axis ``--set``
+overrides, per-cell persistence to a :class:`~repro.harness.store.RunStore`
+(``--store DIR``), and ``--resume`` (skip cells already stored; an
+interrupted sweep continues where it stopped, with rows byte-identical to an
+uninterrupted run).
 
 Every subcommand is a thin wrapper over the public library API, so anything
 the CLI does can also be done programmatically (see the examples/ scripts).
@@ -22,6 +32,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
+from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.harness import experiments
@@ -31,13 +42,20 @@ from repro.harness.evaluate import (
     run_schemes_sharded,
 )
 from repro.harness.models import DEFAULT_TRAINING_STEPS, MODEL_KINDS, get_trained_model
+from repro.harness.registry import REGISTRY, parse_set_overrides
 from repro.harness.reporting import format_rows, print_experiment
+from repro.harness.spec import parse_topologies, resolve_trace
+from repro.harness.store import RunStore
 from repro.nn.serialization import save_weight_dict
 from repro.topology.families import topology_family_specs
-from repro.traces.cellular import CELLULAR_TRACE_NAMES, make_cellular_trace
+from repro.traces.cellular import CELLULAR_TRACE_NAMES
 from repro.traces.synthetic import SYNTHETIC_TRACE_NAMES, make_synthetic_trace
 
 __all__ = ["main", "build_parser"]
+
+#: Default run-store root used by ``python -m repro run --resume`` when no
+#: explicit ``--store`` is given (one store per experiment name).
+DEFAULT_STORE_ROOT = Path("runs")
 
 #: Experiment drivers reachable through ``python -m repro figure <id>``.
 FIGURE_DRIVERS: Dict[str, Callable[..., dict]] = {
@@ -66,15 +84,16 @@ FIGURE_DRIVERS: Dict[str, Callable[..., dict]] = {
 EXPERIMENT_DRIVERS: Dict[str, Callable[..., dict]] = {
     "topology_sweep": experiments.topology_sweep,
     "topology_generalization": experiments.topology_generalization,
+    "friendliness": experiments.friendliness_grid,
+    "fairness": experiments.fairness_grid,
 }
 
 
 def _get_trace(name: str):
-    if name in SYNTHETIC_TRACE_NAMES:
-        return make_synthetic_trace(name)
-    if name in CELLULAR_TRACE_NAMES:
-        return make_cellular_trace(name)
-    raise SystemExit(f"unknown trace {name!r}; run 'python -m repro list-traces'")
+    try:
+        return resolve_trace(name)
+    except ValueError:
+        raise SystemExit(f"unknown trace {name!r}; run 'python -m repro list-traces'") from None
 
 
 # ---------------------------------------------------------------------- #
@@ -157,9 +176,41 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     if args.duration is not None and "duration" in parameters:
         kwargs["duration"] = args.duration
     if args.families is not None and "families" in parameters:
-        kwargs["families"] = [spec.strip() for spec in args.families.split(",") if spec.strip()]
+        kwargs["families"] = parse_topologies(args.families)
     result = driver(**kwargs)
     print_experiment(f"Experiment {args.name}", result)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """The generic experiment front door (registry + resumable run store)."""
+    if args.list or args.name is None:
+        print("Registered experiments (python -m repro run <name> --set axis=value ...):")
+        for entry in REGISTRY.describe():
+            print(f"  {entry['experiment']}: {entry['description']}")
+            for axis, default in entry["axes"].items():
+                print(f"      --set {axis}={default!r}")
+        return 0
+    try:
+        REGISTRY.get(args.name)  # validate the name before mkdir'ing a store
+        overrides = parse_set_overrides(args.set or [])
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    store = None
+    if args.store is not None:
+        store = RunStore(args.store)
+    elif args.resume:
+        store = RunStore(DEFAULT_STORE_ROOT / args.name)
+    try:
+        result = REGISTRY.run(args.name, overrides, n_jobs=args.jobs,
+                              store=store, resume=args.resume)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    print_experiment(f"Run {args.name}", result)
+    if store is not None:
+        print(f"store: {store.records_path} ({len(store)} records)")
+    if args.resume and result["computed_cells"] == 0:
+        print(f"resume: all {result['cached_cells']} cells cached")
     return 0
 
 
@@ -240,6 +291,25 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("--seed", type=int, default=1)
     _add_jobs_argument(figure_parser)
     figure_parser.set_defaults(handler=cmd_figure)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run any registered experiment (generic axes, resumable store)")
+    run_parser.add_argument("name", nargs="?", default=None,
+                            help="registered experiment name (omit with --list)")
+    run_parser.add_argument("--set", action="append", default=[], metavar="AXIS=VALUE",
+                            help="override one experiment axis; repeatable "
+                                 "(lists are comma-separated, int ranges use a..b, "
+                                 "e.g. --set seeds=0..9 --set trace=cellular)")
+    run_parser.add_argument("--list", action="store_true",
+                            help="list registered experiments and their axes")
+    run_parser.add_argument("--store", default=None, metavar="DIR",
+                            help="persist one RunRecord per completed cell to this "
+                                 "run-store directory")
+    run_parser.add_argument("--resume", action="store_true",
+                            help="skip cells already in the run store "
+                                 "(default store: runs/<experiment>)")
+    _add_jobs_argument(run_parser)
+    run_parser.set_defaults(handler=cmd_run)
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="run a named grid experiment (beyond the paper's figures)")

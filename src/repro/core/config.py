@@ -21,6 +21,7 @@ from repro.core.properties import (
 from repro.orca.env import OrcaEnvConfig
 from repro.orca.observations import ObservationConfig
 from repro.rl.td3 import TD3Config
+from repro.topology.families import parse_topology
 
 __all__ = ["CanopyConfig"]
 
@@ -56,6 +57,10 @@ class CanopyConfig:
         if self.buffer_bdp <= 0:
             raise ValueError("buffer_bdp must be positive")
         self.topologies = tuple(str(spec) for spec in self.topologies)
+        if not self.topologies:
+            raise ValueError("topologies catalog must name at least one family spec")
+        for spec in self.topologies:
+            parse_topology(spec)  # fail fast on malformed family specs
         if self.env is None:
             self.env = OrcaEnvConfig(
                 buffer_bdp=self.buffer_bdp,

@@ -6,6 +6,17 @@
   trace and computes the empirical metrics and QC_sat.
 * :mod:`repro.harness.experiments` — one driver function per figure/table of
   the single-flow evaluation (Figures 1, 2, 5–13, 16, 17 and Table 4).
+* :mod:`repro.harness.spec` — :class:`~repro.harness.spec.ScenarioSpec`, the
+  declarative scenario identity (scheme × trace × topology × seed × model ×
+  property family × certify) with canonical string/JSON round-trips — the
+  single currency flowing through tasks, shard keys, run records, and CLI
+  flags.
+* :mod:`repro.harness.registry` — the declarative experiment registry
+  (named axes → grid expansion → per-cell runner → aggregators) behind
+  ``python -m repro run``.
+* :mod:`repro.harness.store` — the resumable
+  :class:`~repro.harness.store.RunStore` writing one provenance-stamped
+  :class:`~repro.harness.store.RunRecord` per completed cell.
 * :mod:`repro.harness.parallel` — :class:`~repro.harness.parallel.ParallelRunner`,
   which shards (scheme × trace × seed) experiment grids across a process pool
   with deterministic seeding and in-order merged reporting.
@@ -26,6 +37,12 @@ from repro.harness.evaluate import (
 from repro.harness.models import TrainedModel, get_trained_model, clear_model_cache
 from repro.harness.checkpoints import SavedModel, load_model, save_model
 from repro.harness.parallel import ExperimentTask, GridResult, ParallelRunner, derive_seed
+# REGISTRY lazily imports repro.harness.experiments on first lookup, so the
+# built-in experiments are always available without this package import
+# paying for the experiment drivers.
+from repro.harness.registry import REGISTRY, run_experiment
+from repro.harness.spec import ScenarioSpec
+from repro.harness.store import RunRecord, RunStore
 
 __all__ = [
     "SavedModel",
@@ -45,4 +62,9 @@ __all__ = [
     "GridResult",
     "ParallelRunner",
     "derive_seed",
+    "ScenarioSpec",
+    "RunRecord",
+    "RunStore",
+    "REGISTRY",
+    "run_experiment",
 ]

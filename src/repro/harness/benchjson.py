@@ -23,10 +23,18 @@ per-job artifacts; the canonical file is for trajectories, so it keeps only
 numbers.  Rows are sorted by (benchmark, metric) so the output is
 byte-deterministic for a given input set.
 
+Beyond pytest-benchmark files, the merger also flattens
+:class:`~repro.harness.store.RunStore` directories (``--store DIR``): every
+scalar metric of every :class:`~repro.harness.store.RunRecord` becomes one
+canonical row whose benchmark name is ``<experiment>:<cell key>`` — the
+experiment layer and the perf trajectory read the *same* store instead of
+keeping private result shapes.
+
 Usage (what the CI trajectory job runs)::
 
     python -m repro.harness.benchjson --commit "$GITHUB_SHA" \
         --out BENCH_ci.json bench-verifier.json bench-topology.json ...
+    python -m repro.harness.benchjson --validate BENCH_ci.json
 """
 
 from __future__ import annotations
@@ -36,9 +44,39 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["canonical_rows", "merge_bench_files", "main"]
+from repro.harness.store import RECORDS_FILENAME, RunStore, validate_schema
+
+__all__ = ["canonical_rows", "store_rows", "merge_bench_files",
+           "validate_bench_payload", "BENCH_PAYLOAD_SCHEMA", "main"]
 
 SCHEMA_VERSION = 1
+
+#: The stable schema of the canonical payload (validated in CI alongside the
+#: RunRecord schema of :mod:`repro.harness.store`).
+BENCH_PAYLOAD_SCHEMA = {
+    "type": "object",
+    "required": ["version", "commit", "rows"],
+    "properties": {
+        "version": {"type": "integer"},
+        "commit": {"type": "string", "minLength": 1},
+        "sources": {"type": "array", "items": {"type": "string"}},
+        "skipped": {"type": "array", "items": {"type": "string"}},
+        "rows": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["benchmark", "metric", "value", "unit", "commit"],
+                "properties": {
+                    "benchmark": {"type": "string", "minLength": 1},
+                    "metric": {"type": "string", "minLength": 1},
+                    "value": {"type": "number"},
+                    "unit": {"type": "string"},
+                    "commit": {"type": "string"},
+                },
+            },
+        },
+    },
+}
 
 #: Units of the well-known extra_info metrics; anything else numeric defaults
 #: to a dimensionless unit so the schema never gains surprise fields.
@@ -91,8 +129,31 @@ def canonical_rows(bench_payload: Dict, commit: str) -> List[Dict]:
     return rows
 
 
-def merge_bench_files(paths: Sequence[Path], commit: str) -> Dict:
-    """Merge pytest-benchmark JSON files into the canonical payload.
+def store_rows(store: RunStore, commit: str) -> List[Dict]:
+    """Flatten a run store's records into canonical metric rows.
+
+    One row per scalar metric per record; the benchmark name is
+    ``<experiment>:<cell key>`` so every cell keeps a stable identity across
+    commits (the key is deterministic for a given scenario + knobs).
+    """
+    rows: List[Dict] = []
+    for record in store.records():
+        benchmark = f"{record.experiment or 'run'}:{record.key}"
+        for metric, value in record.row.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                rows.append({
+                    "benchmark": benchmark,
+                    "metric": metric,
+                    "value": float(value),
+                    "unit": _unit_for(metric),
+                    "commit": commit,
+                })
+    return rows
+
+
+def merge_bench_files(paths: Sequence[Path], commit: str,
+                      stores: Sequence[Path] = ()) -> Dict:
+    """Merge pytest-benchmark JSON files (and run stores) into the canonical payload.
 
     Missing or unparsable files are skipped (and recorded under ``skipped``)
     rather than failing the merge, so a partially-failed CI run still uploads
@@ -110,6 +171,19 @@ def merge_bench_files(paths: Sequence[Path], commit: str) -> Dict:
             continue
         rows.extend(canonical_rows(payload, commit))
         merged.append(str(path))
+    for path in stores:
+        path = Path(path)
+        # A missing or record-less store is a skip, not a silent zero-row
+        # source (RunStore would otherwise mkdir the typo'd path).
+        if not (path / RECORDS_FILENAME).is_file():
+            skipped.append(str(path))
+            continue
+        try:
+            rows.extend(store_rows(RunStore(path), commit))
+        except (OSError, ValueError):
+            skipped.append(str(path))
+            continue
+        merged.append(str(path))
     rows.sort(key=lambda row: (row["benchmark"], row["metric"]))
     return {
         "version": SCHEMA_VERSION,
@@ -120,17 +194,50 @@ def merge_bench_files(paths: Sequence[Path], commit: str) -> Dict:
     }
 
 
+def validate_bench_payload(payload: Dict) -> None:
+    """Schema-check one canonical payload; raises ``ValueError`` on drift."""
+    validate_schema(payload, BENCH_PAYLOAD_SCHEMA)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.harness.benchjson",
         description="merge pytest-benchmark JSON files into a canonical BENCH_ci.json",
     )
-    parser.add_argument("files", nargs="+", help="pytest-benchmark JSON files to merge")
+    parser.add_argument("files", nargs="*", help="pytest-benchmark JSON files to merge")
+    parser.add_argument("--store", action="append", default=[], metavar="DIR",
+                        help="also flatten this run-store directory into canonical rows "
+                             "(repeatable)")
     parser.add_argument("--commit", default="unknown", help="commit SHA stamped into every row")
     parser.add_argument("--out", default="BENCH_ci.json", help="output path")
+    parser.add_argument("--validate", action="store_true",
+                        help="schema-check already-canonical payloads instead of merging")
     args = parser.parse_args(list(argv) if argv is not None else None)
 
-    payload = merge_bench_files([Path(p) for p in args.files], commit=args.commit)
+    if args.validate:
+        if not args.files:
+            parser.error("--validate needs at least one canonical JSON file "
+                         "(a glob that matched nothing must not pass vacuously)")
+        if args.store:
+            parser.error("--validate checks canonical payloads; validate run stores "
+                         "with 'python -m repro.harness.store' instead")
+        status = 0
+        for raw in args.files:
+            path = Path(raw)
+            try:
+                payload = json.loads(path.read_text())
+                validate_bench_payload(payload)
+            except (OSError, json.JSONDecodeError, ValueError) as exc:
+                print(f"{path}: INVALID: {exc}")
+                status = 1
+                continue
+            print(f"{path}: valid ({len(payload['rows'])} rows, commit {payload['commit']})")
+        return status
+
+    if not args.files and not args.store:
+        parser.error("nothing to merge: give bench JSON files and/or --store directories")
+    payload = merge_bench_files([Path(p) for p in args.files], commit=args.commit,
+                                stores=[Path(p) for p in args.store])
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out} ({len(payload['rows'])} rows from {len(payload['sources'])} files"

@@ -35,6 +35,7 @@ __all__ = [
     "SchemeResult",
     "QCSatResult",
     "scheme_factory",
+    "default_model_kind",
     "run_scheme_on_trace",
     "run_schemes",
     "run_schemes_sharded",
@@ -43,6 +44,16 @@ __all__ = [
 ]
 
 CLASSICAL_SCHEMES = ("cubic", "vegas", "bbr", "newreno")
+
+
+def default_model_kind(scheme: str) -> Optional[str]:
+    """The zoo kind conventionally backing a scheme label.
+
+    Classical schemes need no model (``None``); any other label is assumed to
+    name its own model kind (the ``orca`` / ``canopy-*`` convention used by
+    the fairness grids and the experiment registry).
+    """
+    return None if scheme.lower() in CLASSICAL_SCHEMES else scheme
 
 
 @dataclass

@@ -13,6 +13,16 @@ The grid-shaped drivers (``qcsat_buffers``, ``qcsat_robustness``,
 (default 1 = serial; parallel and serial runs produce identical rows).  They also report the grid wall-clock — and, for the
 certificate grids, certificates/sec — so the benchmark JSON captures
 verification throughput alongside the figures.
+
+The registry-shaped experiments (``topology_sweep``,
+``topology_generalization``, ``fallback_runtime``, ``friendliness``,
+``fairness``) are additionally *declared* in
+:data:`repro.harness.registry.REGISTRY` — named axes, a grid-expansion build
+hook, and an aggregator — so they are reachable generically via
+``python -m repro run <name> --set axis=value``, persist per-cell
+:class:`~repro.harness.store.RunRecord`\\ s, and resume interrupted sweeps.
+The driver functions of those experiments are thin shims over the registry
+(rows are byte-identical through either entry point).
 """
 
 from __future__ import annotations
@@ -31,16 +41,18 @@ from repro.core.config import CanopyConfig
 from repro.harness.evaluate import (
     EvaluationSettings,
     certificates_for_decisions,
+    default_model_kind,
     run_scheme_on_trace,
     scheme_factory,
 )
+from repro.harness.fairness import MultiFlowTask, run_multiflow_task
 from repro.harness.models import get_trained_model
 from repro.harness.parallel import ExperimentTask, ParallelRunner
+from repro.harness.registry import REGISTRY
+from repro.harness.spec import trace_subset
 from repro.topology.families import topology_family_specs
-from repro.traces.cellular import cellular_trace_suite
 from repro.traces.realworld import intercontinental_profiles, intracontinental_profiles
-from repro.traces.synthetic import make_synthetic_trace, synthetic_trace_suite
-from repro.traces.trace import BandwidthTrace
+from repro.traces.synthetic import make_synthetic_trace
 
 __all__ = [
     "motivation_noise",
@@ -54,6 +66,8 @@ __all__ = [
     "noise_sensitivity",
     "realworld_deployment",
     "fallback_runtime",
+    "friendliness_grid",
+    "fairness_grid",
     "sensitivity",
     "training_curves",
     "verification_overhead",
@@ -67,12 +81,9 @@ GENERALIZATION_FAMILIES = ("single_bottleneck", "chain(2)", "parking_lot(2)")
 MIXED_TRAINING_LABEL = "mixed"
 
 
-def _trace_subset(kind: str, count: int) -> List[BandwidthTrace]:
-    if kind == "synthetic":
-        return synthetic_trace_suite(subset=count)
-    if kind == "cellular":
-        return cellular_trace_suite()[:count]
-    raise ValueError(f"unknown trace kind {kind!r}")
+#: Backward-compatible alias — the one trace-suite resolver lives in
+#: :func:`repro.harness.spec.trace_subset`.
+_trace_subset = trace_subset
 
 
 def _qc_grid_summary(figure: str, rows: List[Dict], grid) -> Dict:
@@ -370,6 +381,82 @@ def performance_sweep(
 # ---------------------------------------------------------------------- #
 # Topology-family sweep — multi-bottleneck scenarios (beyond the paper)
 # ---------------------------------------------------------------------- #
+def _topology_sweep_labels(axes: Dict) -> Dict[str, Optional[str]]:
+    scheme_kinds: Dict[str, Optional[str]] = {name: None for name in axes["schemes"]}
+    if axes["canopy_kind"]:
+        scheme_kinds["canopy"] = axes["canopy_kind"]
+    return scheme_kinds
+
+
+def _topology_sweep_aggregate(grid, axes: Dict, tasks: Sequence) -> Dict:
+    n_seeds = max(len(axes["seeds"]), 1)
+    rows = []
+    for family in axes["families"]:
+        for label in _topology_sweep_labels(axes):
+            cells = grid.select(topology=family, scheme=label)
+            rows.append({
+                "topology": family,
+                "scheme": label,
+                "utilization": float(np.mean([c["utilization"] for c in cells])),
+                "avg_delay_ms": float(np.mean([c["avg_queuing_delay_ms"] for c in cells])),
+                "p95_delay_ms": float(np.mean([c["p95_queuing_delay_ms"] for c in cells])),
+                "loss_rate": float(np.mean([c["loss_rate"] for c in cells])),
+                "n_traces": len(cells) // n_seeds,
+                "n_cells": len(cells),
+            })
+    # Derived from the settings the tasks actually ran with, so the reported
+    # tick throughput stays in sync with the simulated work; cells served
+    # from a resume store did not tick this run, so the throughput only
+    # counts the computed fraction (all cells share one duration/dt).
+    ticks = sum(int(round(task.settings.duration / task.settings.dt)) for task in tasks)
+    computed = grid.n_tasks - grid.n_cached
+    ticks_computed = ticks * computed // grid.n_tasks if grid.n_tasks else 0
+    return {
+        "figure": "topology",
+        "families": list(axes["families"]),
+        "rows": rows,
+        "wall_clock_s": grid.wall_clock_s,
+        "n_jobs": grid.n_jobs,
+        "ticks": ticks,
+        "ticks_per_sec": (ticks_computed / grid.wall_clock_s
+                          if grid.wall_clock_s > 0 and computed > 0 else 0.0),
+    }
+
+
+@REGISTRY.register(
+    "topology_sweep",
+    axes={
+        "families": tuple(topology_family_specs()),
+        "schemes": ("cubic", "vegas", "bbr"),
+        "canopy_kind": None,
+        "training_steps": 400,
+        "duration": 10.0,
+        "n_synthetic": 2,
+        "buffer_bdp": 1.0,
+        "seeds": (1,),
+    },
+    aggregate=_topology_sweep_aggregate,
+    description="every scheme on every topology family (+ per-family rows and ticks/sec)",
+)
+def _topology_sweep_build(axes: Dict) -> List[ExperimentTask]:
+    scheme_kinds = _topology_sweep_labels(axes)
+    traces = trace_subset("synthetic", axes["n_synthetic"])
+    tasks = []
+    for family in axes["families"]:
+        for seed in axes["seeds"]:
+            settings = EvaluationSettings(duration=axes["duration"],
+                                          buffer_bdp=axes["buffer_bdp"],
+                                          topology=family, seed=seed)
+            for trace in traces:
+                for label, model_kind in scheme_kinds.items():
+                    tasks.append(ExperimentTask(
+                        scheme=label, trace=trace, settings=settings,
+                        model_kind=model_kind, training_steps=axes["training_steps"],
+                        model_seed=seed,
+                    ))
+    return tasks
+
+
 def topology_sweep(
     families: Optional[Sequence[str]] = None,
     schemes: Sequence[str] = ("cubic", "vegas", "bbr"),
@@ -390,58 +477,124 @@ def topology_sweep(
     wall-clock second, recorded in the bench JSON).
 
     ``canopy_kind`` optionally adds a learned scheme (trained up front so pool
-    workers inherit the warm model cache) under the label ``canopy``.
+    workers inherit the warm model cache) under the label ``canopy``.  Thin
+    shim over the registered ``topology_sweep`` experiment (``python -m repro
+    run topology_sweep --set seeds=0..4 --resume`` is the generic front door).
     """
-    families = list(families) if families is not None else topology_family_specs()
-    scheme_kinds: Dict[str, Optional[str]] = {name: None for name in schemes}
-    if canopy_kind is not None:
-        get_trained_model(canopy_kind, training_steps=training_steps, seed=seed)
-        scheme_kinds["canopy"] = canopy_kind
-
-    traces = _trace_subset("synthetic", n_synthetic)
-    tasks = []
-    for family in families:
-        settings = EvaluationSettings(duration=duration, buffer_bdp=buffer_bdp,
-                                      topology=family, seed=seed)
-        for trace in traces:
-            for label, model_kind in scheme_kinds.items():
-                tasks.append(ExperimentTask(
-                    scheme=label, trace=trace, settings=settings,
-                    model_kind=model_kind, training_steps=training_steps, model_seed=seed,
-                ))
-    grid = ParallelRunner(n_jobs).run(tasks)
-
-    rows = []
-    for family in families:
-        for label in scheme_kinds:
-            cells = grid.select(topology=family, scheme=label)
-            rows.append({
-                "topology": family,
-                "scheme": label,
-                "utilization": float(np.mean([c["utilization"] for c in cells])),
-                "avg_delay_ms": float(np.mean([c["avg_queuing_delay_ms"] for c in cells])),
-                "p95_delay_ms": float(np.mean([c["p95_queuing_delay_ms"] for c in cells])),
-                "loss_rate": float(np.mean([c["loss_rate"] for c in cells])),
-                "n_traces": len(cells),
-            })
-
-    # Derived from the settings the tasks actually ran with, so the reported
-    # tick throughput stays in sync with the simulated work.
-    ticks = sum(int(round(task.settings.duration / task.settings.dt)) for task in tasks)
-    return {
-        "figure": "topology",
-        "families": families,
-        "rows": rows,
-        "wall_clock_s": grid.wall_clock_s,
-        "n_jobs": grid.n_jobs,
-        "ticks": ticks,
-        "ticks_per_sec": ticks / grid.wall_clock_s if grid.wall_clock_s > 0 else 0.0,
+    overrides: Dict[str, object] = {
+        "schemes": tuple(schemes),
+        "canopy_kind": canopy_kind,
+        "training_steps": training_steps,
+        "duration": duration,
+        "n_synthetic": n_synthetic,
+        "buffer_bdp": buffer_bdp,
+        "seeds": (seed,),
     }
+    if families is not None:
+        overrides["families"] = tuple(families)
+    return REGISTRY.run("topology_sweep", overrides, n_jobs=n_jobs)
 
 
 # ---------------------------------------------------------------------- #
 # Cross-family generalization — train on topologies, certify everywhere
 # ---------------------------------------------------------------------- #
+def _generalization_catalogs(families: Sequence[str], include_mixed: bool) -> Dict[str, tuple]:
+    """Validate the family axis and derive one training catalog per model."""
+    families = list(families)
+    if len(families) < 2:
+        raise ValueError("topology_generalization needs at least 2 families")
+    if len(set(families)) != len(families):
+        raise ValueError("topology_generalization families must be unique")
+    if MIXED_TRAINING_LABEL in families:
+        raise ValueError(f"{MIXED_TRAINING_LABEL!r} is reserved for the mixed model")
+    # One catalog per trained model: each family alone, plus the mixed model.
+    catalogs: Dict[str, tuple] = {family: (family,) for family in families}
+    if include_mixed:
+        catalogs[MIXED_TRAINING_LABEL] = tuple(families)
+    return catalogs
+
+
+def _topology_generalization_aggregate(grid, axes: Dict, tasks: Sequence) -> Dict:
+    families = list(axes["families"])
+    catalogs = _generalization_catalogs(families, axes["include_mixed"])
+    n_seeds = max(len(axes["seeds"]), 1)
+    rows = []
+    for train_label in catalogs:
+        for eval_family in families:
+            cells = grid.select(train_family=train_label, eval_family=eval_family)
+            rows.append({
+                "train_family": train_label,
+                "eval_family": eval_family,
+                "qcsat": float(np.mean([c["qcsat"] for c in cells])),
+                "qcsat_std": float(np.std([c["qcsat"] for c in cells])),
+                "utilization": float(np.mean([c["utilization"] for c in cells])),
+                "avg_delay_ms": float(np.mean([c["avg_queuing_delay_ms"] for c in cells])),
+                "p95_delay_ms": float(np.mean([c["p95_queuing_delay_ms"] for c in cells])),
+                "loss_rate": float(np.mean([c["loss_rate"] for c in cells])),
+                "n_traces": len(cells) // n_seeds,
+                "n_cells": len(cells),
+            })
+    certificates = int(sum(cell["n_certificates"] for cell in grid.rows))
+    # Cells served from a resume store did not certify anything this run, and
+    # per-cell certificate counts vary, so no throughput is claimed unless
+    # every cell was computed live.
+    live = grid.wall_clock_s > 0 and grid.n_cached == 0
+    return {
+        "figure": "topology_generalization",
+        "families": families,
+        "train_families": list(catalogs),
+        "model_kind": axes["model_kind"],
+        "property_family": axes["property_family"],
+        "rows": rows,
+        "wall_clock_s": grid.wall_clock_s,
+        "n_jobs": grid.n_jobs,
+        "certificates": certificates,
+        "certificates_per_sec": certificates / grid.wall_clock_s if live else 0.0,
+    }
+
+
+@REGISTRY.register(
+    "topology_generalization",
+    axes={
+        "families": GENERALIZATION_FAMILIES,
+        "model_kind": "canopy-shallow",
+        "property_family": "shallow",
+        "include_mixed": True,
+        "training_steps": 300,
+        "duration": 8.0,
+        "n_components": 10,
+        "trace": ("synthetic",),
+        "n_traces": 2,
+        "buffer_bdp": 1.0,
+        "seeds": (1,),
+    },
+    aggregate=_topology_generalization_aggregate,
+    description="(train-family x eval-family) certified-safety + performance grid",
+)
+def _topology_generalization_build(axes: Dict) -> List[ExperimentTask]:
+    families = list(axes["families"])
+    catalogs = _generalization_catalogs(families, axes["include_mixed"])
+    tasks = []
+    for train_label, catalog in catalogs.items():
+        for eval_family in families:
+            for seed in axes["seeds"]:
+                settings = EvaluationSettings(duration=axes["duration"],
+                                              buffer_bdp=axes["buffer_bdp"],
+                                              topology=eval_family, seed=seed)
+                for trace_kind in axes["trace"]:
+                    for trace in trace_subset(trace_kind, axes["n_traces"]):
+                        tasks.append(ExperimentTask(
+                            scheme="canopy", trace=trace, settings=settings,
+                            model_kind=axes["model_kind"],
+                            training_steps=axes["training_steps"], model_seed=seed,
+                            model_topologies=catalog,
+                            certify=True, property_family=axes["property_family"],
+                            n_components=axes["n_components"],
+                            tags={"train_family": train_label, "eval_family": eval_family},
+                        ))
+    return tasks
+
+
 def topology_generalization(
     families: Optional[Sequence[str]] = None,
     model_kind: str = "canopy-shallow",
@@ -464,69 +617,26 @@ def topology_generalization(
     so each grid row carries both QC_sat (certified safety) and the empirical
     utilization/delay/loss of the same run.  Cells shard through
     :class:`ParallelRunner`; serial and parallel runs produce identical rows.
+
+    Thin shim over the registered ``topology_generalization`` experiment:
+    the generic front door scales the grid with no code change, e.g.
+    ``python -m repro run topology_generalization --set seeds=0..2 --set
+    trace=cellular --jobs 4``.
     """
-    families = list(families) if families is not None else list(GENERALIZATION_FAMILIES)
-    if len(families) < 2:
-        raise ValueError("topology_generalization needs at least 2 families")
-    if len(set(families)) != len(families):
-        raise ValueError("topology_generalization families must be unique")
-    if MIXED_TRAINING_LABEL in families:
-        raise ValueError(f"{MIXED_TRAINING_LABEL!r} is reserved for the mixed model")
-
-    # One catalog per trained model: each family alone, plus the mixed model.
-    catalogs: Dict[str, tuple] = {family: (family,) for family in families}
-    if include_mixed:
-        catalogs[MIXED_TRAINING_LABEL] = tuple(families)
-    # Train in-process first so pool workers inherit the warm model cache.
-    for catalog in catalogs.values():
-        get_trained_model(model_kind, training_steps=training_steps, seed=seed,
-                          topologies=catalog)
-
-    traces = _trace_subset("synthetic", n_synthetic)
-    tasks = []
-    for train_label, catalog in catalogs.items():
-        for eval_family in families:
-            settings = EvaluationSettings(duration=duration, buffer_bdp=buffer_bdp,
-                                          topology=eval_family, seed=seed)
-            for trace in traces:
-                tasks.append(ExperimentTask(
-                    scheme="canopy", trace=trace, settings=settings,
-                    model_kind=model_kind, training_steps=training_steps, model_seed=seed,
-                    model_topologies=catalog,
-                    certify=True, property_family=property_family, n_components=n_components,
-                    tags={"train_family": train_label, "eval_family": eval_family},
-                ))
-    grid = ParallelRunner(n_jobs).run(tasks)
-
-    rows = []
-    for train_label in catalogs:
-        for eval_family in families:
-            cells = grid.select(train_family=train_label, eval_family=eval_family)
-            rows.append({
-                "train_family": train_label,
-                "eval_family": eval_family,
-                "qcsat": float(np.mean([c["qcsat"] for c in cells])),
-                "qcsat_std": float(np.std([c["qcsat"] for c in cells])),
-                "utilization": float(np.mean([c["utilization"] for c in cells])),
-                "avg_delay_ms": float(np.mean([c["avg_queuing_delay_ms"] for c in cells])),
-                "p95_delay_ms": float(np.mean([c["p95_queuing_delay_ms"] for c in cells])),
-                "loss_rate": float(np.mean([c["loss_rate"] for c in cells])),
-                "n_traces": len(cells),
-            })
-
-    certificates = int(sum(cell["n_certificates"] for cell in grid.rows))
-    return {
-        "figure": "topology_generalization",
-        "families": families,
-        "train_families": list(catalogs),
+    overrides: Dict[str, object] = {
         "model_kind": model_kind,
         "property_family": property_family,
-        "rows": rows,
-        "wall_clock_s": grid.wall_clock_s,
-        "n_jobs": grid.n_jobs,
-        "certificates": certificates,
-        "certificates_per_sec": certificates / grid.wall_clock_s if grid.wall_clock_s > 0 else 0.0,
+        "include_mixed": include_mixed,
+        "training_steps": training_steps,
+        "duration": duration,
+        "n_components": n_components,
+        "n_traces": n_synthetic,
+        "buffer_bdp": buffer_bdp,
+        "seeds": (seed,),
     }
+    if families is not None:
+        overrides["families"] = tuple(families)
+    return REGISTRY.run("topology_generalization", overrides, n_jobs=n_jobs)
 
 
 # ---------------------------------------------------------------------- #
@@ -644,6 +754,64 @@ def realworld_deployment(
 # ---------------------------------------------------------------------- #
 # Figure 13 — runtime fallback guided by QC_sat
 # ---------------------------------------------------------------------- #
+#: The (buffer family, buffer depth, canopy model) cases of the fallback grid.
+_FALLBACK_CASES = (("shallow", 1.0, "canopy-shallow"), ("deep", 5.0, "canopy-deep"))
+
+
+def _fallback_runtime_aggregate(grid, axes: Dict, tasks: Sequence) -> Dict:
+    rows = []
+    for family, _buffer_bdp, _canopy_kind in _FALLBACK_CASES:
+        for scheme_label in ("orca", "canopy"):
+            for threshold in axes["thresholds"]:
+                cells = grid.select(buffer_family=family, scheme=scheme_label,
+                                    threshold=threshold)
+                rows.append({
+                    "buffer_family": family,
+                    "scheme": scheme_label,
+                    "threshold": threshold,
+                    "utilization": float(np.mean([c["utilization"] for c in cells])),
+                    "avg_delay_ms": float(np.mean([c["avg_queuing_delay_ms"] for c in cells])),
+                    "p95_delay_ms": float(np.mean([c["p95_queuing_delay_ms"] for c in cells])),
+                    "fallback_fraction": float(np.mean([c["fallback_fraction"] for c in cells])),
+                })
+    return {"figure": "13", "rows": rows,
+            "wall_clock_s": grid.wall_clock_s, "n_jobs": grid.n_jobs}
+
+
+@REGISTRY.register(
+    "fallback_runtime",
+    axes={
+        "training_steps": 400,
+        "duration": 12.0,
+        "thresholds": (0.0, 0.5, 0.8),
+        "n_components": 10,
+        "n_traces": 2,
+        "seeds": (1,),
+    },
+    aggregate=_fallback_runtime_aggregate,
+    description="QC_sat-guided runtime fallback grid (Fig. 13)",
+)
+def _fallback_runtime_build(axes: Dict) -> List[ExperimentTask]:
+    traces = trace_subset("synthetic", axes["n_traces"])
+    tasks = []
+    for family, buffer_bdp, canopy_kind in _FALLBACK_CASES:
+        for seed in axes["seeds"]:
+            settings = EvaluationSettings(duration=axes["duration"],
+                                          buffer_bdp=buffer_bdp, seed=seed)
+            for scheme_label, model_kind in (("orca", "orca"), ("canopy", canopy_kind)):
+                for threshold in axes["thresholds"]:
+                    for trace in traces:
+                        tasks.append(ExperimentTask(
+                            scheme=scheme_label, trace=trace, settings=settings,
+                            model_kind=model_kind, training_steps=axes["training_steps"],
+                            model_seed=seed,
+                            monitor_threshold=threshold, monitor_family=family,
+                            monitor_components=axes["n_components"],
+                            tags={"buffer_family": family, "threshold": threshold},
+                        ))
+    return tasks
+
+
 def fallback_runtime(
     training_steps: int = 400,
     duration: float = 12.0,
@@ -658,46 +826,135 @@ def fallback_runtime(
     Every (family, scheme, threshold, trace) cell carries a *declarative*
     monitor spec — the worker rebuilds the ``QCRuntimeMonitor`` (verifier
     closure and all) from the model zoo — so the grid shards through
-    :class:`ParallelRunner` like any other.
+    :class:`ParallelRunner` like any other.  Thin shim over the registered
+    ``fallback_runtime`` experiment.
     """
-    # Train in-process first so pool workers inherit the warm model cache.
-    for kind in ("orca", "canopy-shallow", "canopy-deep"):
-        get_trained_model(kind, training_steps=training_steps, seed=seed)
+    return REGISTRY.run("fallback_runtime", {
+        "training_steps": training_steps,
+        "duration": duration,
+        "thresholds": tuple(thresholds),
+        "n_components": n_components,
+        "n_traces": n_traces,
+        "seeds": (seed,),
+    }, n_jobs=n_jobs)
 
-    cases = [("shallow", 1.0, "canopy-shallow"), ("deep", 5.0, "canopy-deep")]
-    traces = _trace_subset("synthetic", n_traces)
+
+# ---------------------------------------------------------------------- #
+# Figures 14 & 15 — TCP friendliness and fairness convergence (multi-flow)
+# ---------------------------------------------------------------------- #
+#: The (buffer family, scheme label, model kind, buffer depth) cases of Fig. 14.
+_FRIENDLINESS_CASES = (
+    ("shallow", "canopy", "canopy-shallow", 1.0),
+    ("shallow", "orca", "orca", 1.0),
+    ("shallow", "cubic", None, 1.0),
+    ("deep", "canopy", "canopy-deep", 5.0),
+    ("deep", "orca", "orca", 5.0),
+    ("deep", "cubic", None, 5.0),
+)
+
+
+@REGISTRY.register(
+    "friendliness",
+    axes={
+        "flows": (1, 2, 4),
+        "rtts_ms": (20.0, 50.0, 100.0),
+        "training_steps": 400,
+        "duration": 15.0,
+        "seed": 1,
+    },
+    runner=run_multiflow_task,
+    description="throughput ratio vs competing CUBIC flows and RTTs (Fig. 14)",
+)
+def _friendliness_build(axes: Dict) -> List[MultiFlowTask]:
     tasks = []
-    for family, buffer_bdp, canopy_kind in cases:
-        settings = EvaluationSettings(duration=duration, buffer_bdp=buffer_bdp, seed=seed)
-        for scheme_label, model_kind in (("orca", "orca"), ("canopy", canopy_kind)):
-            for threshold in thresholds:
-                for trace in traces:
-                    tasks.append(ExperimentTask(
-                        scheme=scheme_label, trace=trace, settings=settings,
-                        model_kind=model_kind, training_steps=training_steps, model_seed=seed,
-                        monitor_threshold=threshold, monitor_family=family,
-                        monitor_components=n_components,
-                        tags={"buffer_family": family, "threshold": threshold},
-                    ))
-    grid = ParallelRunner(n_jobs).run(tasks)
+    for family, scheme, model_kind, buffer_bdp in _FRIENDLINESS_CASES:
+        for n_cubic in axes["flows"]:
+            tasks.append(MultiFlowTask(
+                mode="friendliness", scheme=scheme, value=n_cubic,
+                model_kind=model_kind, training_steps=axes["training_steps"],
+                model_seed=axes["seed"], buffer_bdp=buffer_bdp,
+                duration=axes["duration"], tags={"buffer_family": family}))
+    for family, scheme, model_kind, buffer_bdp in _FRIENDLINESS_CASES:
+        if family != "shallow":
+            continue
+        for rtt_ms in axes["rtts_ms"]:
+            tasks.append(MultiFlowTask(
+                mode="rtt_friendliness", scheme=scheme, value=rtt_ms,
+                model_kind=model_kind, training_steps=axes["training_steps"],
+                model_seed=axes["seed"], buffer_bdp=buffer_bdp,
+                duration=axes["duration"], tags={"buffer_family": family}))
+    return tasks
 
-    rows = []
-    for family, _buffer_bdp, _canopy_kind in cases:
-        for scheme_label in ("orca", "canopy"):
-            for threshold in thresholds:
-                cells = grid.select(buffer_family=family, scheme=scheme_label,
-                                    threshold=threshold)
-                rows.append({
-                    "buffer_family": family,
-                    "scheme": scheme_label,
-                    "threshold": threshold,
-                    "utilization": float(np.mean([c["utilization"] for c in cells])),
-                    "avg_delay_ms": float(np.mean([c["avg_queuing_delay_ms"] for c in cells])),
-                    "p95_delay_ms": float(np.mean([c["p95_queuing_delay_ms"] for c in cells])),
-                    "fallback_fraction": float(np.mean([c["fallback_fraction"] for c in cells])),
-                })
-    return {"figure": "13", "rows": rows,
-            "wall_clock_s": grid.wall_clock_s, "n_jobs": grid.n_jobs}
+
+def friendliness_grid(
+    flows: Sequence[int] = (1, 2, 4),
+    rtts_ms: Sequence[float] = (20.0, 50.0, 100.0),
+    training_steps: int = 400,
+    duration: float = 15.0,
+    seed: int = 1,
+    n_jobs: int = 1,
+) -> Dict:
+    """TCP friendliness against competing CUBIC flows and across RTTs (Fig. 14).
+
+    Thin shim over the registered ``friendliness`` experiment: every sweep
+    point is a declarative :class:`~repro.harness.fairness.MultiFlowTask`, so
+    the grid shards, persists, and resumes like any other.
+    """
+    return REGISTRY.run("friendliness", {
+        "flows": tuple(flows),
+        "rtts_ms": tuple(rtts_ms),
+        "training_steps": training_steps,
+        "duration": duration,
+        "seed": seed,
+    }, n_jobs=n_jobs)
+
+
+@REGISTRY.register(
+    "fairness",
+    axes={
+        "schemes": ("cubic", "orca", "canopy-shallow", "canopy-deep"),
+        "n_flows": 3,
+        "join_interval": 12.0,
+        "bandwidth_mbps": 48.0,
+        "min_rtt": 0.02,
+        "buffer_bdp": 1.0,
+        "training_steps": 400,
+        "seed": 1,
+    },
+    runner=run_multiflow_task,
+    description="fairness convergence of homogeneous flows joining over time (Fig. 15)",
+)
+def _fairness_build(axes: Dict) -> List[MultiFlowTask]:
+    return [
+        MultiFlowTask(
+            mode="fairness_convergence", scheme=scheme, value=axes["n_flows"],
+            model_kind=default_model_kind(scheme), training_steps=axes["training_steps"],
+            model_seed=axes["seed"], join_interval=axes["join_interval"],
+            bandwidth_mbps=axes["bandwidth_mbps"], min_rtt=axes["min_rtt"],
+            buffer_bdp=axes["buffer_bdp"])
+        for scheme in axes["schemes"]
+    ]
+
+
+def fairness_grid(
+    schemes: Sequence[str] = ("cubic", "orca", "canopy-shallow", "canopy-deep"),
+    n_flows: int = 3,
+    join_interval: float = 12.0,
+    training_steps: int = 400,
+    seed: int = 1,
+    n_jobs: int = 1,
+) -> Dict:
+    """Fairness convergence of homogeneous flows joining over time (Fig. 15).
+
+    Thin shim over the registered ``fairness`` experiment.
+    """
+    return REGISTRY.run("fairness", {
+        "schemes": tuple(schemes),
+        "n_flows": n_flows,
+        "join_interval": join_interval,
+        "training_steps": training_steps,
+        "seed": seed,
+    }, n_jobs=n_jobs)
 
 
 # ---------------------------------------------------------------------- #

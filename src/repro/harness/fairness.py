@@ -140,17 +140,20 @@ def fairness_convergence(
     simulator = NetworkSimulator(link, flows, dt=dt)
     simulator.run(duration)
 
-    # Per-flow throughput time series (1-second buckets) for the convergence plot.
+    # Per-flow throughput time series (1-second buckets) for the convergence
+    # plot.  Keys are stringified flow ids so the row shape is JSON-stable —
+    # identical whether it comes from run_multiflow_grid directly or from a
+    # registry run store (which round-trips rows through JSON).
     bucket = 1.0
     n_buckets = int(duration / bucket)
-    series: Dict[int, List[float]] = {}
+    series: Dict[str, List[float]] = {}
     for flow_id in range(n_flows):
         stats = simulator.stats[flow_id]
         per_bucket = []
         for b in range(n_buckets):
             mask = (stats.times >= b * bucket) & (stats.times < (b + 1) * bucket)
             per_bucket.append(pps_to_mbps(stats.acked[mask].sum() / bucket))
-        series[flow_id] = per_bucket
+        series[str(flow_id)] = per_bucket
 
     # Fairness over the final window where every flow is active.
     final_start = (n_flows - 1) * join_interval + 2.0
@@ -205,6 +208,28 @@ class MultiFlowTask:
             raise ValueError("value must be positive")
         if self.duration is not None and self.duration <= 0:
             raise ValueError("duration must be positive")
+
+    def cell_key(self) -> str:
+        """The resumable-store key of this sweep point (see
+        :meth:`repro.harness.parallel.ExperimentTask.cell_key`)."""
+        from repro.harness.store import fingerprint
+
+        extras = {
+            # The exact swept value lives in the fingerprint — the %g display
+            # below is lossy (6 significant digits) and must not be identity.
+            "value": self.value,
+            "model_kind": self.model_kind,
+            "training_steps": self.training_steps,
+            "model_seed": self.model_seed,
+            "bandwidth_mbps": self.bandwidth_mbps,
+            "min_rtt": self.min_rtt,
+            "buffer_bdp": self.buffer_bdp,
+            "duration": self.duration,
+            "join_interval": self.join_interval,
+            "tags": dict(self.tags),
+        }
+        return (f"multiflow={self.mode} scheme={self.scheme} value={self.value:g} "
+                f"seed={self.seed} #{fingerprint(extras)}")
 
 
 def _task_scheme_factory(task: MultiFlowTask) -> Callable[[], CongestionController]:

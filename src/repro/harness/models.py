@@ -23,7 +23,8 @@ from repro.core.trainer import CanopyTrainer, TrainerConfig, TrainingResult
 from repro.core.verifier import Verifier, VerifierConfig
 from repro.orca.observations import ObservationConfig
 
-__all__ = ["TrainedModel", "get_trained_model", "clear_model_cache", "DEFAULT_TRAINING_STEPS", "MODEL_KINDS"]
+__all__ = ["TrainedModel", "get_trained_model", "model_for_task", "clear_model_cache",
+           "DEFAULT_TRAINING_STEPS", "MODEL_KINDS"]
 
 DEFAULT_TRAINING_STEPS = 800
 
@@ -123,6 +124,28 @@ def get_trained_model(
     model = TrainedModel(kind=kind, config=config, training=training)
     _CACHE[key] = model
     return model
+
+
+def model_for_task(task) -> TrainedModel:
+    """The zoo model a task names (``ExperimentTask``, ``MultiFlowTask``, ...).
+
+    One definition of the task→model mapping, shared by pool workers
+    (:func:`repro.harness.parallel.run_task`) and the registry's pre-training
+    pass, so a task's model identity cannot drift between the pre-training
+    parent and the forked workers.  Task types without the optional override
+    fields (``lam``/``model_components``/``model_topologies``) get the zoo
+    defaults.
+    """
+    if task.model_kind is None:
+        raise ValueError("task has no learned model (model_kind is None)")
+    return get_trained_model(
+        task.model_kind,
+        training_steps=task.training_steps,
+        seed=task.model_seed,
+        lam=getattr(task, "lam", None),
+        n_components=getattr(task, "model_components", None),
+        topologies=getattr(task, "model_topologies", None),
+    )
 
 
 def clear_model_cache() -> None:

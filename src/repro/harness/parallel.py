@@ -51,18 +51,14 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.monitor import QCRuntimeMonitor
-from repro.core.properties import (
-    PropertySet,
-    deep_buffer_properties,
-    robustness_properties,
-    shallow_buffer_properties,
-)
 from repro.harness.evaluate import (
     EvaluationSettings,
     evaluate_qcsat,
     run_scheme_on_trace,
     scheme_factory,
 )
+from repro.harness.spec import PROPERTY_FAMILIES, ScenarioSpec
+from repro.harness.store import fingerprint
 from repro.seeding import derive_seed
 from repro.traces.trace import BandwidthTrace
 
@@ -74,13 +70,6 @@ __all__ = [
     "derive_seed",
     "PROPERTY_FAMILIES",
 ]
-
-#: Property families reconstructable by name inside worker processes.
-PROPERTY_FAMILIES: Dict[str, Callable[[], PropertySet]] = {
-    "shallow": shallow_buffer_properties,
-    "deep": deep_buffer_properties,
-    "robustness": robustness_properties,
-}
 
 
 @dataclass(frozen=True)
@@ -143,23 +132,96 @@ class ExperimentTask:
             if not 0.0 <= self.monitor_threshold <= 1.0:
                 raise ValueError("monitor_threshold must be in [0, 1]")
 
+    # ------------------------------------------------------------------ #
+    # Scenario identity (the RunStore / registry currency)
+    # ------------------------------------------------------------------ #
+    def scenario(self) -> ScenarioSpec:
+        """The declarative identity of this cell (scheme/trace/topology/seed/...)."""
+        return ScenarioSpec(
+            scheme=self.scheme,
+            trace=self.trace.name,
+            topology=self.settings.topology,
+            seed=self.settings.seed,
+            model_kind=self.model_kind,
+            model_topologies=self.model_topologies,
+            property_family=self.property_family,
+            certify=self.certify,
+        )
+
+    def cell_key(self) -> str:
+        """The resumable-store key: scenario key + a digest of run-time knobs.
+
+        The digest covers everything outside the scenario identity that can
+        change the row — run length, buffer depth, noise/loss settings, the
+        model's training budget/seed/overrides, certification and monitor
+        knobs, and the tags — so a cached row is only ever reused for an
+        *exactly* matching cell.
+        """
+        settings = self.settings
+        extras = {
+            "duration": settings.duration,
+            "dt": settings.dt,
+            "min_rtt": settings.min_rtt,
+            "buffer_bdp": settings.buffer_bdp,
+            "monitor_interval": settings.monitor_interval,
+            "skip_seconds": settings.skip_seconds,
+            "observation_noise": settings.observation_noise,
+            "random_loss_rate": settings.random_loss_rate,
+            "stochastic_loss": settings.stochastic_loss,
+            "training_steps": self.training_steps,
+            "model_seed": self.model_seed,
+            "lam": self.lam,
+            "model_components": self.model_components,
+            "n_components": self.n_components,
+            "monitor_threshold": self.monitor_threshold,
+            "monitor_family": self.monitor_family,
+            "monitor_components": self.monitor_components,
+            "tags": dict(self.tags),
+        }
+        return f"{self.scenario().key()} #{fingerprint(extras)}"
+
 
 @dataclass
 class GridResult:
-    """Rows for every task (in task order) plus grid-level accounting."""
+    """Rows for every task (in task order) plus grid-level accounting.
+
+    ``n_cached`` counts rows served from a resumable run store rather than
+    computed in this run (``wall_clock_s`` covers only the computed cells), so
+    throughput aggregates can avoid dividing cached work by live wall-clock.
+    """
 
     rows: List[Dict]
     wall_clock_s: float
     n_tasks: int
     n_jobs: int
+    n_cached: int = 0
+
+    def _check_columns(self, names: Sequence[str]) -> None:
+        """Reject axis/column names no row carries (typos would silently match
+        nothing and vanish into empty aggregates)."""
+        if not self.rows:
+            return
+        valid = set()
+        for row in self.rows:
+            valid.update(row.keys())
+        unknown = sorted(name for name in names if name not in valid)
+        if unknown:
+            raise ValueError(f"unknown grid column(s) {unknown}; "
+                             f"valid columns: {sorted(valid)}")
 
     def select(self, **tags) -> List[Dict]:
-        """Rows whose tag columns match every given key/value."""
+        """Rows whose tag columns match every given key/value.
+
+        Unknown column names raise (listing the valid ones) instead of
+        silently selecting nothing.
+        """
+        self._check_columns(list(tags))
         return [row for row in self.rows
                 if all(row.get(key) == value for key, value in tags.items())]
 
     def aggregate(self, group_by: Sequence[str], metrics: Sequence[str]) -> List[Dict]:
         """Mean/std of ``metrics`` per distinct ``group_by`` tuple (in first-seen order)."""
+        self._check_columns(list(group_by) + list(metrics))
         groups: Dict[tuple, List[Dict]] = {}
         order: List[tuple] = []
         for row in self.rows:
@@ -184,16 +246,9 @@ class GridResult:
 def _task_model(task: ExperimentTask):
     # Imported here (not at module top) to keep the worker import graph slim
     # and avoid a models<->parallel cycle if the zoo ever grows runner hooks.
-    from repro.harness.models import get_trained_model
+    from repro.harness.models import model_for_task
 
-    return get_trained_model(
-        task.model_kind,
-        training_steps=task.training_steps,
-        seed=task.model_seed,
-        lam=task.lam,
-        n_components=task.model_components,
-        topologies=task.model_topologies,
-    )
+    return model_for_task(task)
 
 
 def run_task(task: ExperimentTask) -> Dict:
@@ -268,7 +323,8 @@ class ParallelRunner:
         self.n_jobs = int(n_jobs)
 
     # ------------------------------------------------------------------ #
-    def map(self, fn: Callable, items: Iterable) -> List:
+    def map(self, fn: Callable, items: Iterable,
+            on_result: Optional[Callable[[int, object, object], None]] = None) -> List:
         """``[fn(x) for x in items]`` sharded over the pool, results in order.
 
         ``fn`` must be a module-level callable and every item picklable when
@@ -276,19 +332,26 @@ class ParallelRunner:
         *infrastructure* failures (unpicklable work, no fork permission, the
         pool dying mid-run) degrade to the serial path — an exception raised
         by ``fn`` itself propagates immediately, exactly as it would serially.
+
+        ``on_result(index, item, result)`` is invoked for every result *in
+        item order, as soon as it is available* — the hook the resumable
+        :class:`~repro.harness.store.RunStore` uses to persist each cell
+        incrementally.  It must be idempotent per index: when a dying pool
+        degrades to the serial retry, already-notified prefixes are notified
+        again.
         """
         items = list(items)
         if self.n_jobs <= 1 or len(items) <= 1:
-            return [fn(item) for item in items]
+            return self._serial(fn, items, on_result)
         if not self._picklable(fn, items):
-            return [fn(item) for item in items]
+            return self._serial(fn, items, on_result)
         # Prefer fork so workers inherit the parent's trained-model cache.
         context = get_context("fork") if "fork" in get_all_start_methods() else get_context()
         try:
             pool = ProcessPoolExecutor(max_workers=min(self.n_jobs, len(items)),
                                        mp_context=context)
         except OSError:
-            return [fn(item) for item in items]
+            return self._serial(fn, items, on_result)
         try:
             # Executor.map submits eagerly, so worker spawn failures (fork
             # denied in sandboxes, process limits) raise OSError *here* —
@@ -298,15 +361,31 @@ class ParallelRunner:
             results = pool.map(fn, items)
         except OSError:
             pool.shutdown(wait=False, cancel_futures=True)
-            return [fn(item) for item in items]
+            return self._serial(fn, items, on_result)
         try:
             with pool:
-                return list(results)
+                collected = []
+                for index, result in enumerate(results):
+                    if on_result is not None:
+                        on_result(index, items[index], result)
+                    collected.append(result)
+                return collected
         except (BrokenProcessPool, pickle.PicklingError):
             # The pool died mid-run (OOM, kill) or a straggler task defeated
             # the pre-flight pickle check; retry the whole grid serially
             # instead of failing the experiment.
-            return [fn(item) for item in items]
+            return self._serial(fn, items, on_result)
+
+    @staticmethod
+    def _serial(fn: Callable, items: List,
+                on_result: Optional[Callable[[int, object, object], None]]) -> List:
+        results = []
+        for index, item in enumerate(items):
+            result = fn(item)
+            if on_result is not None:
+                on_result(index, item, result)
+            results.append(result)
+        return results
 
     @staticmethod
     def _picklable(fn: Callable, items: List) -> bool:
@@ -325,16 +404,18 @@ class ParallelRunner:
         except (pickle.PicklingError, AttributeError, TypeError):
             return False
 
-    def run(self, tasks: Iterable, fn: Callable = run_task) -> GridResult:
+    def run(self, tasks: Iterable, fn: Callable = run_task,
+            on_result: Optional[Callable[[int, object, object], None]] = None) -> GridResult:
         """Run a grid of tasks through ``fn`` and merge the rows in task order.
 
         ``fn`` defaults to :func:`run_task` (ExperimentTask grids); other task
         types supply their own module-level worker (e.g.
-        :func:`repro.harness.fairness.run_multiflow_task`).
+        :func:`repro.harness.fairness.run_multiflow_task`).  ``on_result`` is
+        forwarded to :meth:`map` (incremental per-cell persistence).
         """
         tasks = list(tasks)
         start = time.perf_counter()
-        rows = self.map(fn, tasks)
+        rows = self.map(fn, tasks, on_result=on_result)
         return GridResult(
             rows=rows,
             wall_clock_s=time.perf_counter() - start,

@@ -1,0 +1,325 @@
+"""The experiment registry: declarative experiments over named axes.
+
+Historically every experiment was a bespoke ~100-line driver function in
+:mod:`repro.harness.experiments` that hand-rolled the same four steps:
+pre-train models, expand a Cartesian grid into tasks, shard it through
+:class:`~repro.harness.parallel.ParallelRunner`, and aggregate the rows.
+The registry factors that shape out.  An :class:`Experiment` is:
+
+* **named axes** — a dict of axis name → default value.  Sequence-valued
+  axes are grid axes, scalars are run-time knobs; either can be overridden
+  from the CLI (``--set seeds=0..9 --set trace=cellular``) or from code,
+  and an unknown axis name raises immediately with the list of valid ones
+  (typos can no longer vanish into a silently-unchanged grid).
+* a **build** hook — axes → the task list (``ExperimentTask``,
+  ``MultiFlowTask``, or anything with a ``cell_key()``),
+* an optional **setup** hook — pre-trains models in-process so forked pool
+  workers inherit the warm zoo cache,
+* an **aggregate** hook — ``(grid, axes, tasks) -> result dict`` (defaults
+  to the plain rows + grid accounting).
+
+:meth:`ExperimentRegistry.run` executes an experiment with optional
+:class:`~repro.harness.store.RunStore` persistence: every completed cell is
+written incrementally, ``resume=True`` skips cells whose key is already
+stored, and every row — fresh or cached — is canonicalized through JSON, so
+serial, sharded (``n_jobs``), and interrupted-then-resumed runs produce
+byte-identical rows.
+
+Registering a new experiment is ~20 lines (see
+``examples/custom_experiment.py``)::
+
+    from repro.harness.registry import REGISTRY
+
+    @REGISTRY.register("buffer_sweep", axes={"buffers": (0.5, 1.0), ...})
+    def _build(axes):
+        return [ExperimentTask(...) for ... in axes["buffers"]]
+
+    result = REGISTRY.run("buffer_sweep", {"buffers": "0.25,4.0"}, n_jobs=4)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.harness.parallel import GridResult, ParallelRunner, run_task
+from repro.harness.spec import parse_bool
+from repro.harness.store import RunRecord, RunStore, canonical_json
+
+__all__ = [
+    "Experiment",
+    "ExperimentRegistry",
+    "REGISTRY",
+    "register",
+    "run_experiment",
+    "experiment_names",
+    "parse_set_overrides",
+]
+
+def default_aggregate(grid: GridResult, axes: Dict, tasks: Sequence) -> Dict:
+    """Plain rows plus grid accounting — enough for most custom experiments."""
+    return {"rows": grid.rows, "wall_clock_s": grid.wall_clock_s, "n_jobs": grid.n_jobs}
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One declarative experiment definition (see the module docstring)."""
+
+    name: str
+    build: Callable[[Dict], Sequence]
+    axes: Mapping[str, object] = field(default_factory=dict)
+    aggregate: Callable[[GridResult, Dict, Sequence], Dict] = default_aggregate
+    setup: Optional[Callable[[Dict], None]] = None
+    runner: Callable = run_task
+    description: str = ""
+
+
+# ---------------------------------------------------------------------- #
+# Axis override parsing / coercion
+# ---------------------------------------------------------------------- #
+def parse_set_overrides(pairs: Sequence[str]) -> Dict[str, str]:
+    """Parse repeated ``--set axis=value`` flags into an override dict."""
+    overrides: Dict[str, str] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise ValueError(f"malformed --set {pair!r}; expected axis=value")
+        if name in overrides:
+            raise ValueError(f"duplicate --set for axis {name!r}")
+        overrides[name] = value.strip()
+    return overrides
+
+
+def _coerce_scalar(value: str, template: object):
+    if isinstance(template, bool):
+        return parse_bool(value)
+    if isinstance(template, int):
+        return int(value)
+    if isinstance(template, float):
+        return float(value)
+    if template is None and value.lower() == "none":
+        return None
+    return value
+
+
+def _element_template(default: Sequence):
+    for element in default:
+        return element
+    return ""
+
+
+def _coerce_sequence(value: str, default: Sequence):
+    template = _element_template(default)
+    elements: List = []
+    for part in value.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        start, sep, stop = part.partition("..")
+        if sep and isinstance(template, int) and not isinstance(template, bool):
+            first, last = int(start), int(stop)
+            step = 1 if last >= first else -1
+            elements.extend(range(first, last + step, step))
+        else:
+            elements.append(_coerce_scalar(part, template))
+    if not elements:
+        raise ValueError(f"empty sequence for axis override {value!r}")
+    return tuple(elements)
+
+
+def coerce_axis_value(name: str, value: object, default: object):
+    """Coerce one override to its axis's shape, using the default as template.
+
+    String overrides (from ``--set``) are parsed: booleans/ints/floats by the
+    default's type; sequence axes by splitting on commas, with ``a..b``
+    expanding to an inclusive integer range.  Typed overrides (from the
+    driver shims) pass through, normalized to tuples for sequence axes.
+    """
+    is_sequence_axis = isinstance(default, (tuple, list))
+    if isinstance(value, str):
+        try:
+            return _coerce_sequence(value, default) if is_sequence_axis \
+                else _coerce_scalar(value, default)
+        except ValueError as exc:
+            raise ValueError(f"axis {name!r}: cannot parse {value!r}: {exc}") from exc
+    if is_sequence_axis:
+        if isinstance(value, (tuple, list)):
+            return tuple(value)
+        return (value,)
+    return value
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+def _pretrain_models(tasks: Sequence) -> None:
+    """Train (in-process) every distinct model the given tasks name.
+
+    Runs in the coordinating parent before the pool forks, so workers inherit
+    the warm zoo cache instead of retraining — and, on resume, only the
+    models the *pending* cells actually need are trained.
+    """
+    # Imported lazily so the registry stays importable without the trainer stack.
+    from repro.harness.models import model_for_task
+
+    seen = set()
+    for task in tasks:
+        if getattr(task, "model_kind", None) is None:
+            continue
+        identity = (task.model_kind, task.training_steps, task.model_seed,
+                    getattr(task, "lam", None), getattr(task, "model_components", None),
+                    getattr(task, "model_topologies", None))
+        if identity in seen:
+            continue
+        seen.add(identity)
+        model_for_task(task)
+
+
+class ExperimentRegistry:
+    """Name → :class:`Experiment` mapping with a store-aware generic runner.
+
+    The process-wide :data:`REGISTRY` lazily imports
+    :mod:`repro.harness.experiments` on first lookup so the built-in
+    experiments are always available without dragging the full experiment
+    stack into lightweight imports of this module.
+    """
+
+    def __init__(self) -> None:
+        self._experiments: Dict[str, Experiment] = {}
+
+    def _load_builtins(self) -> None:
+        global _BUILTINS_LOADED
+        if self is not REGISTRY or _BUILTINS_LOADED:
+            return
+        _BUILTINS_LOADED = True
+        import repro.harness.experiments  # noqa: F401  (registers into REGISTRY)
+
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, axes: Optional[Mapping[str, object]] = None,
+                 setup: Optional[Callable[[Dict], None]] = None,
+                 aggregate: Optional[Callable[[GridResult, Dict, Sequence], Dict]] = None,
+                 runner: Callable = run_task,
+                 description: str = ""):
+        """Decorator registering a build hook as an experiment.
+
+        Re-registering a name replaces the previous definition (latest wins),
+        so example scripts and notebooks can be re-imported freely.
+        """
+        def decorator(build: Callable[[Dict], Sequence]) -> Callable[[Dict], Sequence]:
+            doc_lines = (build.__doc__ or "").strip().splitlines()
+            self._experiments[name] = Experiment(
+                name=name,
+                build=build,
+                axes=dict(axes or {}),
+                aggregate=aggregate or default_aggregate,
+                setup=setup,
+                runner=runner,
+                description=description or (doc_lines[0] if doc_lines else ""),
+            )
+            return build
+
+        return decorator
+
+    def get(self, name: str) -> Experiment:
+        self._load_builtins()
+        try:
+            return self._experiments[name]
+        except KeyError:
+            raise ValueError(f"no experiment named {name!r}; "
+                             f"known: {', '.join(self.names())}") from None
+
+    def names(self) -> List[str]:
+        self._load_builtins()
+        return sorted(self._experiments)
+
+    def describe(self) -> List[Dict[str, object]]:
+        """One row per experiment (name, description, axes with defaults)."""
+        return [{"experiment": exp.name, "description": exp.description,
+                 "axes": {axis: default for axis, default in exp.axes.items()}}
+                for exp in (self._experiments[name] for name in self.names())]
+
+    # ------------------------------------------------------------------ #
+    def resolve_axes(self, name: str, overrides: Optional[Mapping[str, object]] = None) -> Dict:
+        """Defaults merged with coerced overrides; unknown axis names raise."""
+        experiment = self.get(name)
+        axes = dict(experiment.axes)
+        overrides = dict(overrides or {})
+        unknown = sorted(set(overrides) - set(axes))
+        if unknown:
+            raise ValueError(f"unknown axis name(s) {unknown} for experiment {name!r}; "
+                             f"valid axes: {sorted(axes)}")
+        for axis, value in overrides.items():
+            axes[axis] = coerce_axis_value(axis, value, experiment.axes[axis])
+        return axes
+
+    def run(self, name: str, overrides: Optional[Mapping[str, object]] = None,
+            n_jobs: int = 1, store: Optional[RunStore] = None,
+            resume: bool = False) -> Dict:
+        """Run one experiment end to end, optionally persisted and resumable.
+
+        With a ``store``, every completed cell is written incrementally (an
+        interrupted run keeps its finished cells); with ``resume=True``,
+        cells whose key the store already holds are served from disk instead
+        of recomputed.  Rows — cached or fresh — are canonicalized through
+        JSON, so serial, sharded, and resumed runs are byte-identical.
+        """
+        experiment = self.get(name)
+        axes = self.resolve_axes(name, overrides)
+        tasks = list(experiment.build(axes))
+        keys = [task.cell_key() for task in tasks]
+
+        cached: Dict[str, Dict] = {}
+        if store is not None and resume:
+            records = store.load()
+            cached = {key: records[key].row for key in keys if key in records}
+
+        pending = [(index, task) for index, task in enumerate(tasks)
+                   if keys[index] not in cached]
+        rows: List[Optional[Dict]] = [cached.get(key) for key in keys]
+        # Model training is the dominant cost of learned grids, so it is
+        # driven by the *pending* cells only: a fully-cached --resume trains
+        # nothing, a 95%-done resume trains just the models its remaining
+        # cells name.  The setup hook (for anything beyond training) is
+        # likewise skipped when no cell needs computing.
+        if pending:
+            if experiment.setup is not None:
+                experiment.setup(axes)
+            _pretrain_models([task for _, task in pending])
+
+        def on_result(pending_index: int, task, row) -> None:
+            row = canonical_json(row)
+            rows[pending[pending_index][0]] = row
+            if store is not None:
+                store.put(RunRecord.for_task(task, row, experiment=name))
+
+        start = time.perf_counter()
+        runner = ParallelRunner(n_jobs)
+        runner.map(experiment.runner, [task for _, task in pending], on_result=on_result)
+        grid = GridResult(
+            rows=rows,
+            wall_clock_s=time.perf_counter() - start,
+            n_tasks=len(tasks),
+            n_jobs=runner.n_jobs,
+            n_cached=len(cached),
+        )
+        result = experiment.aggregate(grid, axes, tasks)
+        result["experiment"] = name
+        result["axes"] = {axis: list(value) if isinstance(value, tuple) else value
+                          for axis, value in axes.items()}
+        result["cached_cells"] = len(cached)
+        result["computed_cells"] = len(pending)
+        return result
+
+
+#: Whether the built-in experiments module has been imported into REGISTRY.
+_BUILTINS_LOADED = False
+
+#: The process-wide registry every built-in experiment registers into.
+REGISTRY = ExperimentRegistry()
+
+#: Module-level conveniences mirroring the registry instance.
+register = REGISTRY.register
+run_experiment = REGISTRY.run
+experiment_names = REGISTRY.names

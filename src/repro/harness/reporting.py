@@ -51,6 +51,8 @@ def print_experiment(title: str, result: Dict, columns: Sequence[str] | None = N
     if rows:
         print(format_rows(rows, columns=columns))
     for key, value in result.items():
-        if key in ("rows", "series", "curves", "steps", "series_mbps"):
+        # "axes" (the registry's resolved axis dict) is provenance, not a
+        # scalar metric — kept out of the standard layout like the row dumps.
+        if key in ("rows", "series", "curves", "steps", "series_mbps", "axes"):
             continue
         print(f"{key}: {value}")

@@ -1,0 +1,346 @@
+"""Resumable run storage: one provenance-stamped record per completed cell.
+
+A sweep that dies 80% through (preempted CI runner, OOM-killed pool, laptop
+lid) should not have to recompute its first 80%.  :class:`RunStore` makes
+every grid resumable by writing one :class:`RunRecord` — the full
+:class:`~repro.harness.spec.ScenarioSpec`, the repository commit, the derived
+per-hop RNG seeds, and the metrics row — to an append-only
+``records.jsonl`` as each cell completes.  On ``--resume`` the registry skips
+cells whose key is already present, and because every row (fresh or cached)
+is canonicalized through JSON, serial, sharded, and interrupted-then-resumed
+runs produce byte-identical rows.
+
+The store is also the one result shape the reporting layers read:
+:mod:`repro.harness.benchjson` flattens store records into canonical
+``BENCH_ci.json`` rows, and :func:`RunStore.rows` feeds
+:func:`repro.harness.reporting.format_rows` directly.
+
+Records are validated against :data:`RUN_RECORD_SCHEMA` (a minimal JSON-schema
+subset checked by :func:`validate_schema` — no external dependency), which CI
+uses to schema-check both run stores and the canonical bench JSON::
+
+    python -m repro.harness.store runs/topology_sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+from dataclasses import dataclass, field
+from functools import lru_cache
+from hashlib import sha256
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "RUN_RECORD_SCHEMA",
+    "RunRecord",
+    "RunStore",
+    "canonical_json",
+    "current_commit",
+    "parse_records",
+    "validate_schema",
+    "main",
+]
+
+SCHEMA_VERSION = 1
+RECORDS_FILENAME = "records.jsonl"
+
+#: The schema every RunRecord (one line of ``records.jsonl``) must satisfy.
+RUN_RECORD_SCHEMA = {
+    "type": "object",
+    "required": ["schema_version", "key", "experiment", "commit", "spec", "hop_seeds", "row"],
+    "properties": {
+        "schema_version": {"type": "integer"},
+        "key": {"type": "string", "minLength": 1},
+        "experiment": {"type": "string"},
+        "commit": {"type": "string", "minLength": 1},
+        "spec": {"type": ["object", "null"]},
+        "hop_seeds": {"type": "object", "values": {"type": "integer"}},
+        "row": {"type": "object"},
+    },
+}
+
+_TYPE_CHECKS = {
+    "object": lambda value: isinstance(value, dict),
+    "array": lambda value: isinstance(value, list),
+    "string": lambda value: isinstance(value, str),
+    "integer": lambda value: isinstance(value, int) and not isinstance(value, bool),
+    "number": lambda value: isinstance(value, (int, float)) and not isinstance(value, bool),
+    "boolean": lambda value: isinstance(value, bool),
+    "null": lambda value: value is None,
+}
+
+
+def validate_schema(obj: object, schema: Dict, path: str = "$") -> None:
+    """Check ``obj`` against a minimal JSON-schema subset; raise ``ValueError``.
+
+    Supports ``type`` (name or list of names), ``required``, ``properties``,
+    ``items``, ``values`` (schema applied to every dict value) and
+    ``minLength`` — exactly what :data:`RUN_RECORD_SCHEMA` and the bench
+    payload schema need, with no external dependency.
+    """
+    expected = schema.get("type")
+    if expected is not None:
+        names = [expected] if isinstance(expected, str) else list(expected)
+        if not any(_TYPE_CHECKS[name](obj) for name in names):
+            raise ValueError(f"{path}: expected {' or '.join(names)}, "
+                             f"got {type(obj).__name__} ({obj!r:.80})")
+    if isinstance(obj, str) and "minLength" in schema and len(obj) < schema["minLength"]:
+        raise ValueError(f"{path}: string shorter than {schema['minLength']}")
+    if isinstance(obj, dict):
+        for name in schema.get("required", ()):
+            if name not in obj:
+                raise ValueError(f"{path}: missing required key {name!r}")
+        for name, subschema in schema.get("properties", {}).items():
+            if name in obj:
+                validate_schema(obj[name], subschema, f"{path}.{name}")
+        if "values" in schema:
+            for name, value in obj.items():
+                validate_schema(value, schema["values"], f"{path}.{name}")
+    if isinstance(obj, list) and "items" in schema:
+        for index, item in enumerate(obj):
+            validate_schema(item, schema["items"], f"{path}[{index}]")
+
+
+def canonical_json(obj):
+    """Round-trip a value through JSON so fresh and cached rows are identical.
+
+    Tuples become lists and non-string dict keys become strings — exactly the
+    normalization a cached row undergoes — so comparing a freshly-computed row
+    with its stored copy is byte-exact.
+    """
+    return json.loads(json.dumps(obj))
+
+
+@lru_cache(maxsize=1)
+def current_commit() -> str:
+    """The commit stamped into records: ``GITHUB_SHA``, ``git rev-parse``, or ``unknown``."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"], capture_output=True,
+                             text=True, timeout=10, cwd=Path(__file__).parent)
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def fingerprint(payload: Dict) -> str:
+    """A short stable digest of the run-time knobs that are not spec identity."""
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+# ---------------------------------------------------------------------- #
+# RunRecord
+# ---------------------------------------------------------------------- #
+@dataclass
+class RunRecord:
+    """One completed cell: spec identity, provenance, and its metrics row."""
+
+    key: str
+    row: Dict
+    experiment: str = ""
+    spec: Optional[Dict] = None
+    hop_seeds: Dict[str, int] = field(default_factory=dict)
+    commit: str = field(default_factory=current_commit)
+    schema_version: int = SCHEMA_VERSION
+
+    @classmethod
+    def for_task(cls, task, row: Dict, experiment: str = "") -> "RunRecord":
+        """Build the record for one completed task (ExperimentTask or any task
+        type exposing ``cell_key()``; spec/hop-seeds are stamped when the task
+        describes a scenario)."""
+        spec = None
+        hop_seeds: Dict[str, int] = {}
+        scenario = getattr(task, "scenario", None)
+        if callable(scenario):
+            scenario = scenario()
+            spec = scenario.to_json()
+            # Local import: families is a topology-layer module and the store
+            # must stay importable without it for spec-less task types.
+            from repro.topology.families import topology_hop_seeds
+
+            hop_seeds = topology_hop_seeds(scenario.topology, scenario.trace, scenario.seed)
+        return cls(key=task.cell_key(), row=canonical_json(row), experiment=experiment,
+                   spec=spec, hop_seeds=hop_seeds)
+
+    def to_json(self) -> Dict:
+        return {
+            "schema_version": self.schema_version,
+            "key": self.key,
+            "experiment": self.experiment,
+            "commit": self.commit,
+            "spec": self.spec,
+            "hop_seeds": self.hop_seeds,
+            "row": self.row,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "RunRecord":
+        validate_schema(payload, RUN_RECORD_SCHEMA)
+        return cls(key=payload["key"], row=payload["row"], experiment=payload["experiment"],
+                   spec=payload["spec"], hop_seeds=payload["hop_seeds"],
+                   commit=payload["commit"], schema_version=payload["schema_version"])
+
+    def validate(self) -> None:
+        validate_schema(self.to_json(), RUN_RECORD_SCHEMA)
+
+
+# ---------------------------------------------------------------------- #
+# Record-file parsing (shared by RunStore.load and the validation CLI)
+# ---------------------------------------------------------------------- #
+def parse_records(text: str, source: str = "records") -> tuple:
+    """Parse a ``records.jsonl`` body into ``(records, valid_bytes, torn)``.
+
+    ``records`` maps key → last :class:`RunRecord`; ``valid_bytes`` is the
+    byte length of the well-formed prefix.  A malformed chunk is tolerated
+    only when nothing but whitespace follows it (``torn=True`` — the torn
+    tail of an interrupted append); malformed content anywhere else raises.
+    """
+    records: Dict[str, RunRecord] = {}
+    valid_bytes = 0
+    consumed = 0
+    lines = text.split("\n")
+    for line_number, line in enumerate(lines, start=1):
+        consumed += len(line.encode("utf-8")) + 1  # the split "\n"
+        stripped = line.strip()
+        if stripped:
+            try:
+                record = RunRecord.from_json(json.loads(stripped))
+            except (json.JSONDecodeError, ValueError) as exc:
+                if all(not rest.strip() for rest in lines[line_number:]):
+                    return records, valid_bytes, True
+                raise ValueError(
+                    f"{source}:{line_number}: invalid run record: {exc}") from exc
+            records[record.key] = record
+        valid_bytes = min(consumed, len(text.encode("utf-8")))
+    return records, valid_bytes, False
+
+
+# ---------------------------------------------------------------------- #
+# RunStore
+# ---------------------------------------------------------------------- #
+class RunStore:
+    """An append-only on-disk store of :class:`RunRecord`\\ s.
+
+    The store is a directory holding one ``records.jsonl``; :meth:`put`
+    appends and flushes one line per completed cell, so an interrupted sweep
+    keeps everything finished before the interruption.  Re-putting a key is
+    allowed (the reconciling serial retry of a broken pool re-emits rows);
+    :meth:`load` keeps the *last* record per key.  Only the coordinating
+    parent process writes — workers hand rows back over the pool — so no
+    cross-process locking is needed.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.records_path = self.path / RECORDS_FILENAME
+        self._records: Dict[str, RunRecord] = {}
+        self._loaded = False
+
+    # ------------------------------------------------------------------ #
+    def load(self) -> Dict[str, RunRecord]:
+        """Read (and cache) every record on disk, last record per key winning.
+
+        A malformed *final* line is a torn append from a hard kill (SIGKILL /
+        OOM mid-flush) — exactly the interruption the store exists to
+        survive — so it is dropped and the file truncated back to the valid
+        prefix (otherwise the next append would concatenate onto the torn
+        line and corrupt a good record).  Malformed lines anywhere else mean
+        real corruption and still raise.
+        """
+        if not self._loaded:
+            self._records = {}
+            if self.records_path.exists():
+                records, valid_bytes, torn = parse_records(
+                    self.records_path.read_text(), source=str(self.records_path))
+                if torn:
+                    with self.records_path.open("r+") as handle:
+                        handle.truncate(valid_bytes)
+                self._records = records
+            self._loaded = True
+        return dict(self._records)
+
+    def get(self, key: str) -> Optional[RunRecord]:
+        return self.load().get(key)
+
+    def put(self, record: RunRecord) -> None:
+        record.validate()
+        self.load()
+        with self.records_path.open("a") as handle:
+            handle.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._records[record.key] = record
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.load()
+
+    def keys(self) -> List[str]:
+        return list(self.load())
+
+    def records(self) -> List[RunRecord]:
+        """Every (deduplicated) record in first-seen key order."""
+        return list(self.load().values())
+
+    def rows(self) -> List[Dict]:
+        """The metrics rows of every record (reporting/benchjson input)."""
+        return [record.row for record in self.records()]
+
+
+# ---------------------------------------------------------------------- #
+# CLI — schema validation (used by the CI resume smoke job)
+# ---------------------------------------------------------------------- #
+def _iter_record_files(paths: Sequence[str]) -> Iterable[Path]:
+    for raw in paths:
+        path = Path(raw)
+        yield path / RECORDS_FILENAME if path.is_dir() else path
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.store",
+        description="validate run-store records against the RunRecord schema",
+    )
+    parser.add_argument("paths", nargs="+",
+                        help="run-store directories or records.jsonl files")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    status = 0
+    for path in _iter_record_files(args.paths):
+        if not path.exists():
+            print(f"{path}: missing")
+            status = 1
+            continue
+        try:
+            by_key, _valid_bytes, torn = parse_records(path.read_text(), source=str(path))
+        except ValueError as exc:
+            print(f"{path}: INVALID: {exc}")
+            status = 1
+            continue
+        records = list(by_key.values())
+        if not records:
+            print(f"{path}: empty")
+            status = 1
+            continue
+        if torn:
+            print(f"{path}: torn trailing line (interrupted append) ignored")
+        print(f"{path}: {len(records)} valid records "
+              f"({sum(1 for r in records if r.spec is not None)} with scenario specs)")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

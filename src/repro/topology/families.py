@@ -51,8 +51,11 @@ __all__ = [
     "TOPOLOGY_FAMILIES",
     "DEFAULT_TOPOLOGY",
     "parse_topology",
+    "canonical_topology",
     "build_topology",
     "topology_family_specs",
+    "topology_link_names",
+    "topology_hop_seeds",
 ]
 
 #: Family names accepted by :func:`parse_topology`.
@@ -99,6 +102,44 @@ def parse_topology(spec: str) -> Tuple[str, int]:
 def topology_family_specs() -> List[str]:
     """Representative specs for listings and sweeps (one per family)."""
     return ["single_bottleneck", "chain(3)", "parking_lot(3)", "dumbbell"]
+
+
+def _canonical_spec(family: str, n: int) -> str:
+    """The spec string the builders embed in hop-seed derivations."""
+    return family if family in _FIXED_HOPS else f"{family}({n})"
+
+
+def canonical_topology(spec: str) -> str:
+    """The canonical form of a family spec (whitespace dropped, default hop
+    counts made explicit): ``" chain( 3 ) "`` → ``"chain(3)"``, ``"chain"`` →
+    ``"chain(2)"``.  Two specs that build the same topology canonicalize to
+    the same string, so scenario keys never split identical cells."""
+    return _canonical_spec(*parse_topology(spec))
+
+
+def topology_link_names(spec: str) -> List[str]:
+    """Hop names of a family spec, in upstream→downstream order."""
+    family, n = parse_topology(spec)
+    if family == "single_bottleneck":
+        return ["bottleneck"]
+    if family == "chain":
+        return [f"hop{index}" for index in range(1, n + 1)]
+    if family == "parking_lot":
+        return [f"seg{index}" for index in range(1, n + 1)]
+    return ["access-src", "bottleneck", "access-dst"]
+
+
+def topology_hop_seeds(spec: str, trace_name: str, seed: int) -> Dict[str, int]:
+    """The per-hop loss-RNG seeds a spec expands to (provenance for run records).
+
+    Matches the builders' own derivation exactly, so a
+    :class:`~repro.harness.store.RunRecord` can stamp the hop seeds without
+    constructing the topology (no trace object needed).
+    """
+    family, n = parse_topology(spec)
+    canonical = _canonical_spec(family, n)
+    return {name: _hop_seed(seed, canonical, trace_name, name)
+            for name in topology_link_names(spec)}
 
 
 # ---------------------------------------------------------------------- #

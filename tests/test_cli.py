@@ -106,7 +106,58 @@ def test_compare_classical_command(capsys):
 
 
 def test_experiment_registry_covers_topology_workloads():
-    assert {"topology_sweep", "topology_generalization"} <= set(EXPERIMENT_DRIVERS)
+    assert {"topology_sweep", "topology_generalization",
+            "friendliness", "fairness"} <= set(EXPERIMENT_DRIVERS)
+
+
+RUN_SETS = ["--set", "schemes=cubic", "--set", "families=single_bottleneck,chain(2)",
+            "--set", "duration=2.0", "--set", "n_synthetic=1", "--set", "seeds=0"]
+
+
+def test_run_list_shows_registered_experiments(capsys):
+    assert main(["run", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("topology_sweep", "topology_generalization", "fallback_runtime",
+                 "friendliness", "fairness"):
+        assert name in out
+    assert "--set seeds=" in out
+
+
+def test_run_unknown_experiment_errors(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(SystemExit, match="no experiment named"):
+        main(["run", "not-an-experiment", "--resume"])
+    # The typo'd name must not leave a stray default store directory behind.
+    assert not (tmp_path / "runs").exists()
+
+
+def test_run_unknown_axis_errors_listing_valid_axes():
+    with pytest.raises(SystemExit, match="valid axes"):
+        main(["run", "topology_sweep", "--set", "familiez=single_bottleneck"])
+
+
+def test_run_malformed_set_errors():
+    with pytest.raises(SystemExit, match="malformed"):
+        main(["run", "topology_sweep", "--set", "families"])
+
+
+def test_run_topology_sweep_with_store_and_resume(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["run", "topology_sweep", *RUN_SETS, "--store", store, "--resume"]) == 0
+    first = capsys.readouterr().out
+    assert "Run topology_sweep" in first
+    assert "computed_cells: 2" in first and "cached_cells: 0" in first
+    # Second run must serve every cell from the store.
+    assert main(["run", "topology_sweep", *RUN_SETS, "--store", store, "--resume"]) == 0
+    second = capsys.readouterr().out
+    assert "computed_cells: 0" in second
+    assert "resume: all 2 cells cached" in second
+    # Cached cells did not tick this run, so no throughput is claimed.
+    assert "ticks_per_sec: 0.0" in second
+    # The store passes RunRecord schema validation end to end.
+    from repro.harness.store import main as store_main
+
+    assert store_main([store]) == 0
 
 
 def test_experiment_unknown_name_errors():

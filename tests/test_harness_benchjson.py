@@ -4,7 +4,14 @@ import json
 
 import pytest
 
-from repro.harness.benchjson import SCHEMA_VERSION, canonical_rows, main, merge_bench_files
+from repro.harness.benchjson import (
+    SCHEMA_VERSION,
+    canonical_rows,
+    main,
+    merge_bench_files,
+    store_rows,
+    validate_bench_payload,
+)
 
 CANONICAL_KEYS = {"benchmark", "metric", "value", "unit", "commit"}
 
@@ -78,6 +85,47 @@ class TestMergeBenchFiles:
         assert merged["sources"] == [str(good)]
         assert merged["skipped"] == [str(corrupt), str(missing)]
         assert len(merged["rows"]) == 1
+
+    def test_run_store_rows_merge_and_validate(self, tmp_path):
+        from repro.harness.store import RunRecord, RunStore
+
+        store = RunStore(tmp_path / "store")
+        store.put(RunRecord(key="scheme=cubic trace=t", experiment="toy",
+                            row={"utilization": 0.9, "scheme": "cubic", "ok": True}))
+        rows = store_rows(RunStore(tmp_path / "store"), commit="c3")
+        # Scalars only (strings/bools stay out of the trajectory).
+        assert rows == [{"benchmark": "toy:scheme=cubic trace=t",
+                         "metric": "utilization", "value": 0.9, "unit": "",
+                         "commit": "c3"}]
+        merged = merge_bench_files([], commit="c3", stores=[tmp_path / "store"])
+        assert merged["sources"] == [str(tmp_path / "store")]
+        assert merged["rows"] == rows
+        validate_bench_payload(merged)
+
+    def test_missing_store_is_skipped_not_created(self, tmp_path):
+        # A typo'd --store path must not be mkdir'd and counted as a source.
+        typo = tmp_path / "runs" / "topology_sweeep"
+        merged = merge_bench_files([], commit="c4", stores=[typo])
+        assert merged["sources"] == []
+        assert merged["skipped"] == [str(typo)]
+        assert not typo.exists()
+
+    def test_validate_requires_files_and_rejects_stores(self, tmp_path):
+        # An empty glob must not pass vacuously, and --store belongs to the
+        # merge path (run stores have their own validator).
+        with pytest.raises(SystemExit):
+            main(["--validate"])
+        with pytest.raises(SystemExit):
+            main(["--validate", "--store", str(tmp_path), "x.json"])
+
+    def test_validate_rejects_schema_drift(self):
+        good = merge_bench_files([], commit="c5")
+        validate_bench_payload(good)
+        bad = dict(good)
+        bad["rows"] = [{"benchmark": "b", "metric": "m", "value": "not-a-number",
+                        "unit": "", "commit": "c5"}]
+        with pytest.raises(ValueError, match="value"):
+            validate_bench_payload(bad)
 
 
 class TestMain:

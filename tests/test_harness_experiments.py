@@ -172,6 +172,51 @@ class TestTopologyGeneralization:
         assert serial["rows"] == parallel["rows"]
         assert serial["train_families"] == parallel["train_families"]
 
+    def test_registry_path_matches_driver_and_resumes(self, tmp_path):
+        from repro.harness.registry import REGISTRY
+        from repro.harness.store import RunStore
+
+        driver = experiments.topology_generalization(n_jobs=1, **self.GRID)
+        overrides = {"families": self.GRID["families"], "duration": self.GRID["duration"],
+                     "n_components": self.GRID["n_components"],
+                     "n_traces": self.GRID["n_synthetic"],
+                     "training_steps": QUICK["training_steps"],
+                     "seeds": (QUICK["seed"],)}
+        stored = REGISTRY.run("topology_generalization", overrides,
+                              store=RunStore(tmp_path), resume=True)
+        assert stored["rows"] == driver["rows"]
+        resumed = REGISTRY.run("topology_generalization", overrides,
+                               store=RunStore(tmp_path), resume=True)
+        assert resumed["computed_cells"] == 0
+        assert resumed["rows"] == driver["rows"]
+        # Cached cells certified nothing this run: no throughput is claimed.
+        assert resumed["certificates_per_sec"] == 0.0
+
+    def test_larger_grid_via_set_overrides_no_code_change(self):
+        # The ROADMAP scale-up: >= 3 seeds per cell and the cellular suite on
+        # the eval axis, purely through string (--set style) overrides.
+        from repro.harness.registry import REGISTRY
+
+        result = REGISTRY.run("topology_generalization", {
+            "families": "single_bottleneck,chain(2)",
+            "include_mixed": "0",
+            "training_steps": "40",
+            "duration": "2.0",
+            "n_components": "4",
+            "trace": "cellular",
+            "n_traces": "1",
+            "seeds": "0..2",
+        })
+        assert result["train_families"] == ["single_bottleneck", "chain(2)"]
+        assert len(result["rows"]) == 4
+        for row in result["rows"]:
+            assert row["n_cells"] == 3  # 3 seeds x 1 cellular trace per cell
+            assert row["n_traces"] == 1
+            assert 0.0 <= row["qcsat"] <= 1.0
+        assert result["computed_cells"] == 12
+        assert result["axes"]["trace"] == ["cellular"]
+        assert result["axes"]["seeds"] == [0, 1, 2]
+
 
 @pytest.mark.slow
 class TestSensitivityAndTraining:

@@ -54,6 +54,15 @@ class TestRunnerBasics:
         monkeypatch.setenv("REPRO_JOBS", "5")
         assert ParallelRunner().n_jobs == 5
 
+    def test_map_on_result_streams_in_item_order(self):
+        for n_jobs in (1, 2):
+            seen = []
+            out = ParallelRunner(n_jobs).map(
+                _square, [1, 2, 3],
+                on_result=lambda index, item, result: seen.append((index, item, result)))
+            assert out == [1, 4, 9]
+            assert seen == [(0, 1, 1), (1, 2, 4), (2, 3, 9)]
+
     def test_derive_seed_stable_and_distinct(self):
         assert derive_seed(1, "trace-a", "cubic") == derive_seed(1, "trace-a", "cubic")
         seeds = {derive_seed(1, trace, scheme)
@@ -146,6 +155,24 @@ class TestGridResultReporting:
         assert len(grid.select(scheme="a")) == 2
         assert grid.select(scheme="b", kind="x")[0]["metric"] == 5.0
         assert grid.select(scheme="missing") == []
+
+    def test_select_unknown_column_raises_with_valid_names(self):
+        # A typo'd axis name must not silently select nothing.
+        grid = self.make_grid()
+        with pytest.raises(ValueError) as excinfo:
+            grid.select(shceme="a")
+        message = str(excinfo.value)
+        assert "shceme" in message and "scheme" in message and "kind" in message
+        # Empty grids have no columns to check against.
+        from repro.harness.parallel import GridResult as GR
+        assert GR(rows=[], wall_clock_s=0.0, n_tasks=0, n_jobs=1).select(anything=1) == []
+
+    def test_aggregate_unknown_column_raises(self):
+        grid = self.make_grid()
+        with pytest.raises(ValueError, match="unknown grid column"):
+            grid.aggregate(group_by=["schem"], metrics=["metric"])
+        with pytest.raises(ValueError, match="unknown grid column"):
+            grid.aggregate(group_by=["scheme"], metrics=["metrik"])
 
     def test_aggregate(self):
         grid = self.make_grid()

@@ -1,0 +1,153 @@
+"""Tests for ScenarioSpec: canonical round-trips and shared spec parsing."""
+
+import itertools
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.spec import (
+    PROPERTY_FAMILIES,
+    ScenarioSpec,
+    parse_topologies,
+    resolve_trace,
+    trace_names,
+    trace_subset,
+)
+from repro.topology.families import topology_family_specs
+from repro.traces.cellular import CELLULAR_TRACE_NAMES
+from repro.traces.synthetic import SYNTHETIC_TRACE_NAMES
+
+FAMILY_SPECS = topology_family_specs() + ["chain(1)", "parking_lot(4)", "chain"]
+
+
+def _assert_round_trips(spec: ScenarioSpec) -> None:
+    assert ScenarioSpec.parse(str(spec)) == spec
+    assert ScenarioSpec.parse(spec.key()) == spec
+    # JSON round-trip survives an actual serialize/deserialize cycle.
+    assert ScenarioSpec.from_json(json.loads(json.dumps(spec.to_json()))) == spec
+    assert ScenarioSpec.parse(ScenarioSpec.from_json(spec.to_json()).key()) == spec
+
+
+class TestRoundTripFuzz:
+    def test_grid_of_families_traces_certify_combos(self):
+        """parse→str→parse identity over all family specs × traces × certify
+        combos (the store/resume currency must never drift)."""
+        checked = 0
+        families = [None] + sorted(PROPERTY_FAMILIES)
+        for topology, trace, family in itertools.product(
+                FAMILY_SPECS, trace_names(), families):
+            _assert_round_trips(ScenarioSpec(scheme="cubic", trace=trace,
+                                             topology=topology, seed=3))
+            _assert_round_trips(ScenarioSpec(
+                scheme="canopy", trace=trace, topology=topology, seed=7,
+                model_kind="canopy-shallow",
+                model_topologies=("single_bottleneck", "chain(2)"),
+                property_family=family, certify=True))
+            checked += 2
+        assert checked == 2 * len(FAMILY_SPECS) * len(trace_names()) * len(families)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        scheme=st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-_.", min_size=1,
+                       max_size=16),
+        trace=st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1,
+                      max_size=16),
+        topology=st.sampled_from(FAMILY_SPECS),
+        seed=st.integers(min_value=0, max_value=2 ** 31 - 2),
+        certify=st.booleans(),
+        family=st.sampled_from([None] + sorted(PROPERTY_FAMILIES)),
+    )
+    def test_fuzzed_specs_round_trip(self, scheme, trace, topology, seed, certify, family):
+        spec = ScenarioSpec(scheme=scheme, trace=trace, topology=topology, seed=seed,
+                            model_kind="canopy-deep" if certify else None,
+                            property_family=family if certify else None,
+                            certify=certify)
+        _assert_round_trips(spec)
+
+    def test_derived_seed_stable_and_distinct(self):
+        spec_a = ScenarioSpec(scheme="cubic", trace="step-12-48", seed=1)
+        spec_b = ScenarioSpec(scheme="cubic", trace="step-12-48", topology="chain(2)", seed=1)
+        assert spec_a.derived_seed() == spec_a.derived_seed()
+        assert spec_a.derived_seed() != spec_b.derived_seed()
+        assert spec_a.derived_seed("replicate", 1) != spec_a.derived_seed("replicate", 2)
+        assert 0 <= spec_a.derived_seed() < 2 ** 31 - 1
+
+
+class TestValidation:
+    def test_malformed_tokens_rejected(self):
+        for text in ("scheme=cubic trace", "nonsense=1 scheme=cubic trace=t",
+                     "scheme=cubic", "trace=t", "scheme=cubic trace=t scheme=c2",
+                     "scheme=cubic trace=t certify=maybe"):
+            with pytest.raises(ValueError):
+                ScenarioSpec.parse(text)
+
+    def test_bad_topology_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(scheme="cubic", trace="t", topology="mesh(9)")
+
+    def test_topology_specs_canonicalized(self):
+        # Whitespace-padded and default-hop forms name the same topology, so
+        # they must share one key (and keep key() whitespace-free).
+        padded = ScenarioSpec(scheme="cubic", trace="t", topology="chain( 3 )")
+        assert padded.topology == "chain(3)"
+        assert padded == ScenarioSpec(scheme="cubic", trace="t", topology="chain(3)")
+        assert ScenarioSpec.parse(padded.key()) == padded
+        bare = ScenarioSpec(scheme="cubic", trace="t", topology="chain")
+        assert bare.topology == "chain(2)"
+        catalog = ScenarioSpec(scheme="canopy", trace="t", model_kind="canopy-shallow",
+                               model_topologies=("chain", "parking_lot( 2 )"))
+        assert catalog.model_topologies == ("chain(2)", "parking_lot(2)")
+
+    def test_certify_requires_model(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(scheme="cubic", trace="t", certify=True)
+
+    def test_model_topologies_require_model(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(scheme="cubic", trace="t", model_topologies=("chain(2)",))
+
+    def test_unknown_property_family_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(scheme="canopy", trace="t", model_kind="canopy-shallow",
+                         property_family="nope")
+
+    def test_whitespace_in_fields_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(scheme="cu bic", trace="t")
+        with pytest.raises(ValueError):
+            ScenarioSpec(scheme="cubic", trace="a=b")
+
+    def test_from_json_rejects_unknown_fields(self):
+        payload = ScenarioSpec(scheme="cubic", trace="t").to_json()
+        payload["surprise"] = 1
+        with pytest.raises(ValueError, match="surprise"):
+            ScenarioSpec.from_json(payload)
+
+
+class TestSharedParsing:
+    def test_parse_topologies_string_and_sequence(self):
+        assert parse_topologies(" single_bottleneck, chain(3) ") == \
+            ("single_bottleneck", "chain(3)")
+        assert parse_topologies(["dumbbell", "parking_lot(2)"]) == \
+            ("dumbbell", "parking_lot(2)")
+
+    def test_parse_topologies_validates_each_spec(self):
+        with pytest.raises(ValueError):
+            parse_topologies("single_bottleneck,mesh(9)")
+        with pytest.raises(ValueError):
+            parse_topologies(" , ")
+
+    def test_resolve_trace_covers_both_suites(self):
+        for name in (SYNTHETIC_TRACE_NAMES[0], CELLULAR_TRACE_NAMES[0]):
+            assert resolve_trace(name).name == name
+        with pytest.raises(ValueError, match="unknown trace"):
+            resolve_trace("not-a-trace")
+
+    def test_trace_subset(self):
+        assert [t.name for t in trace_subset("synthetic", 2)] == \
+            list(SYNTHETIC_TRACE_NAMES[:2])
+        assert len(trace_subset("cellular", 1)) == 1
+        with pytest.raises(ValueError, match="trace kind"):
+            trace_subset("martian", 1)

@@ -1,0 +1,189 @@
+"""Tests for the resumable RunStore / RunRecord layer."""
+
+import json
+
+import pytest
+
+from repro.harness.evaluate import EvaluationSettings
+from repro.harness.parallel import ExperimentTask
+from repro.harness.store import (
+    RUN_RECORD_SCHEMA,
+    RunRecord,
+    RunStore,
+    canonical_json,
+    current_commit,
+    fingerprint,
+    main,
+    validate_schema,
+)
+from repro.seeding import derive_seed
+from repro.topology.families import topology_hop_seeds, topology_link_names
+from repro.traces.trace import BandwidthTrace
+
+
+def make_task(duration=2.0, seed=7, topology="single_bottleneck", tags=None):
+    trace = BandwidthTrace.constant(12.0, duration=30.0, name="const-12")
+    settings = EvaluationSettings(duration=duration, buffer_bdp=1.0,
+                                  topology=topology, seed=seed)
+    return ExperimentTask(scheme="cubic", trace=trace, settings=settings,
+                          tags=tags or {})
+
+
+class TestSchemaValidator:
+    def test_valid_record_passes(self):
+        RunRecord(key="k", row={"utilization": 0.9}).validate()
+
+    def test_missing_required_key_rejected(self):
+        payload = RunRecord(key="k", row={}).to_json()
+        del payload["commit"]
+        with pytest.raises(ValueError, match="commit"):
+            validate_schema(payload, RUN_RECORD_SCHEMA)
+
+    def test_wrong_types_rejected(self):
+        payload = RunRecord(key="k", row={}).to_json()
+        payload["row"] = ["not", "a", "dict"]
+        with pytest.raises(ValueError, match="row"):
+            validate_schema(payload, RUN_RECORD_SCHEMA)
+        payload = RunRecord(key="k", row={}).to_json()
+        payload["hop_seeds"] = {"bottleneck": "not-an-int"}
+        with pytest.raises(ValueError, match="hop_seeds"):
+            validate_schema(payload, RUN_RECORD_SCHEMA)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError, match="minLength|shorter"):
+            validate_schema(RunRecord(key="", row={}).to_json(), RUN_RECORD_SCHEMA)
+
+    def test_boolean_is_not_an_integer(self):
+        with pytest.raises(ValueError):
+            validate_schema(True, {"type": "integer"})
+
+
+class TestCellKeys:
+    def test_cell_key_stable_and_carries_scenario(self):
+        task = make_task()
+        assert task.cell_key() == make_task().cell_key()
+        assert task.cell_key().startswith(task.scenario().key())
+
+    def test_cell_key_distinguishes_runtime_knobs(self):
+        base = make_task()
+        assert base.cell_key() != make_task(duration=3.0).cell_key()
+        assert base.cell_key() != make_task(tags={"replicate": 1}).cell_key()
+        # Scenario-level differences change the readable prefix too.
+        other = make_task(topology="chain(2)")
+        assert other.scenario().key() != base.scenario().key()
+        assert other.cell_key() != base.cell_key()
+
+    def test_multiflow_cell_key(self):
+        from repro.harness.fairness import MultiFlowTask
+
+        a = MultiFlowTask(mode="friendliness", scheme="cubic", value=2)
+        b = MultiFlowTask(mode="friendliness", scheme="cubic", value=2, buffer_bdp=5.0)
+        assert a.cell_key() == MultiFlowTask(mode="friendliness", scheme="cubic",
+                                             value=2).cell_key()
+        assert a.cell_key() != b.cell_key()
+        # Values that agree to 6 significant digits (the %g display) must
+        # still get distinct keys — the fingerprint carries the exact value.
+        close_a = MultiFlowTask(mode="rtt_friendliness", scheme="cubic", value=20.0)
+        close_b = MultiFlowTask(mode="rtt_friendliness", scheme="cubic", value=20.0000001)
+        assert close_a.cell_key() != close_b.cell_key()
+
+    def test_fingerprint_is_order_insensitive(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+
+
+class TestRunRecord:
+    def test_for_task_stamps_provenance(self):
+        task = make_task(topology="chain(2)", seed=9)
+        record = RunRecord.for_task(task, {"utilization": 1.0}, experiment="toy")
+        record.validate()
+        assert record.key == task.cell_key()
+        assert record.experiment == "toy"
+        assert record.commit == current_commit()
+        assert record.spec == task.scenario().to_json()
+        assert record.hop_seeds == topology_hop_seeds("chain(2)", "const-12", 9)
+
+    def test_hop_seeds_match_builder_derivation(self):
+        # The builders derive per-hop seeds as derive_seed(seed, "topology",
+        # canonical-spec, trace, link); the provenance helper must agree.
+        assert topology_link_names("chain(2)") == ["hop1", "hop2"]
+        assert topology_link_names("chain") == ["hop1", "hop2"]  # default hops
+        assert topology_link_names("dumbbell") == ["access-src", "bottleneck", "access-dst"]
+        seeds = topology_hop_seeds("chain(2)", "const-12", 9)
+        assert seeds == {name: derive_seed(9, "topology", "chain(2)", "const-12", name)
+                         for name in ("hop1", "hop2")}
+        # A bare "chain" spec derives with its canonical "chain(2)" form.
+        assert topology_hop_seeds("chain", "const-12", 9) == seeds
+
+    def test_multiflow_record_has_no_scenario(self):
+        from repro.harness.fairness import MultiFlowTask
+
+        task = MultiFlowTask(mode="friendliness", scheme="cubic", value=2)
+        record = RunRecord.for_task(task, {"throughput_ratio": 1.0})
+        record.validate()
+        assert record.spec is None and record.hop_seeds == {}
+
+
+class TestRunStore:
+    def test_put_get_load_roundtrip(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        record = RunRecord.for_task(make_task(), {"utilization": 0.5}, experiment="toy")
+        store.put(record)
+        assert len(store) == 1
+        assert record.key in store
+        # A fresh handle reads the same record back from disk.
+        reloaded = RunStore(tmp_path / "store")
+        assert reloaded.get(record.key).to_json() == record.to_json()
+        assert reloaded.rows() == [{"utilization": 0.5}]
+
+    def test_last_record_per_key_wins(self, tmp_path):
+        store = RunStore(tmp_path)
+        record = RunRecord(key="k", row={"v": 1})
+        store.put(record)
+        store.put(RunRecord(key="k", row={"v": 2}))
+        assert len(store) == 1
+        assert RunStore(tmp_path).get("k").row == {"v": 2}
+
+    def test_mid_file_corruption_raises_with_location(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put(RunRecord(key="k", row={}))
+        with (tmp_path / "records.jsonl").open("a") as handle:
+            handle.write("{not json}\n")
+        store.put(RunRecord(key="k2", row={}))  # corruption is not the tail
+        with pytest.raises(ValueError, match="records.jsonl:2"):
+            RunStore(tmp_path).load()
+
+    def test_torn_trailing_line_is_dropped_and_truncated(self, tmp_path):
+        # A hard kill mid-append leaves a partial final line; resume must
+        # keep every completed record and repair the file so the next append
+        # starts on a fresh line.
+        store = RunStore(tmp_path)
+        store.put(RunRecord(key="k", row={"v": 1}))
+        intact = (tmp_path / "records.jsonl").read_text()
+        with (tmp_path / "records.jsonl").open("a") as handle:
+            handle.write('{"schema_version": 1, "key": "k2", "exp')  # torn, no newline
+        reopened = RunStore(tmp_path)
+        assert reopened.keys() == ["k"]
+        assert (tmp_path / "records.jsonl").read_text() == intact
+        reopened.put(RunRecord(key="k2", row={"v": 2}))
+        assert RunStore(tmp_path).keys() == ["k", "k2"]
+
+    def test_canonical_json_normalizes_rows(self):
+        assert canonical_json({"t": (1, 2), 3: "x"}) == {"t": [1, 2], "3": "x"}
+
+
+class TestStoreCli:
+    def test_validate_ok(self, tmp_path, capsys):
+        store = RunStore(tmp_path / "s")
+        store.put(RunRecord.for_task(make_task(), {"utilization": 1.0}, experiment="toy"))
+        assert main([str(tmp_path / "s")]) == 0
+        assert "1 valid records" in capsys.readouterr().out
+
+    def test_validate_rejects_invalid_and_missing(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(json.dumps({"key": "k"}) + "\n")
+        assert main([str(bad)]) == 1
+        assert main([str(tmp_path / "nope.jsonl")]) == 1
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main([str(empty)]) == 1
