@@ -126,8 +126,25 @@ def summarize_flow(stats: FlowStats, capacity_mbps: np.ndarray, dt: float, skip_
 
 
 def summarize_result(result: SimulationResult, flow_id: int = 0, skip_seconds: float = 1.0) -> PerformanceSummary:
-    """Convenience wrapper for summarizing one flow of a full run."""
-    return summarize_flow(result.stats_for(flow_id), result.capacity_mbps, result.dt, skip_seconds)
+    """Convenience wrapper for summarizing one flow of a full run.
+
+    Flows with a partial lifetime (churned arrivals/departures) are scored
+    over their active ``[start, stop)`` window only — the silence before a
+    flow arrives or after it leaves is not averaged into its utilization or
+    delay.  ``skip_seconds`` is applied relative to the flow's start, so a
+    late joiner still gets its slow-start ramp excluded.  Full-lifetime flows
+    take the exact legacy path (byte-identical summaries).
+    """
+    stats = result.stats_for(flow_id)
+    capacity = result.capacity_mbps
+    start, stop = result.lifetime_for(flow_id)
+    if start > 0.0 or stop is not None:
+        times = stats.times
+        lo = int(np.searchsorted(times, start, side="right"))
+        hi = int(np.searchsorted(times, stop, side="right")) if stop is not None else times.size
+        stats = FlowStats(flow_id, stats.records[lo:hi])
+        capacity = capacity[lo:hi]
+    return summarize_flow(stats, capacity, result.dt, skip_seconds)
 
 
 def jain_fairness_index(throughputs: Sequence[float]) -> float:

@@ -2,16 +2,20 @@
 
 This is the Mahimahi substitute: it advances simulation time in fixed ticks,
 moves packets from every active flow onto the first hop of its route, drains
-every hop at its trace-driven capacity in upstream→downstream order (so
-packets advance hop-by-hop, with per-hop FIFO queuing, within a tick), routes
-deliveries that leave the last hop back to their flows (as ack events one
+every hop at its trace-driven capacity in topological order (so packets
+advance hop-by-hop, with per-hop FIFO queuing, within a tick — and routes may
+fork/join over a DAG, every chunk following its own flow's route), routes
+deliveries that leave a flow's last hop back to it (as ack events one
 path-RTT later), and records per-tick statistics.
 
 The network can be a full :class:`repro.topology.graph.Topology` — multi-hop
-chains, parking lots, dumbbells, with declarative cross-traffic sources — or
-a bare :class:`repro.cc.link.BottleneckLink`, which is wrapped as a one-hop
+chains, parking lots, dumbbells, fan-in/tree/shared-segment DAGs, with
+declarative cross-traffic sources — or a bare
+:class:`repro.cc.link.BottleneckLink`, which is wrapped as a one-hop
 topology and reproduces the legacy single-link trajectory exactly (pinned by
-``tests/test_topology_differential.py``).
+``tests/test_topology_differential.py``).  Flows may start and stop mid-run
+(:class:`repro.cc.flow.Flow` lifetimes); ``SimulationResult.lifetimes``
+records each flow's active window.
 
 Two consumption styles are supported:
 
@@ -102,16 +106,27 @@ class MonitorReport:
 
 @dataclass
 class SimulationResult:
-    """Outcome of a full simulation run."""
+    """Outcome of a full simulation run.
+
+    ``lifetimes`` maps each flow id to its ``(start_time, stop_time)`` window
+    (``stop_time`` is ``None`` for flows that live to the end of the run) so
+    downstream summaries can score churned flows over their *active* window
+    only instead of averaging in the silence before arrival / after departure.
+    """
 
     duration: float
     dt: float
     flow_stats: Dict[int, FlowStats]
     capacity_mbps: np.ndarray
     times: np.ndarray
+    lifetimes: Dict[int, Tuple[float, Optional[float]]] = field(default_factory=dict)
 
     def stats_for(self, flow_id: int) -> FlowStats:
         return self.flow_stats[flow_id]
+
+    def lifetime_for(self, flow_id: int) -> Tuple[float, Optional[float]]:
+        """The flow's active window; ``(0.0, None)`` when nothing was recorded."""
+        return self.lifetimes.get(flow_id, (0.0, None))
 
 
 class NetworkSimulator:
@@ -162,9 +177,13 @@ class NetworkSimulator:
         self.stats: Dict[int, FlowStats] = {fid: FlowStats(fid) for fid in self.flows}
         self._capacity_log: List[float] = []
         self._time_log: List[float] = []
-        # Monitor-interval accumulators keyed by flow id.
+        # Monitor-interval accumulators keyed by flow id.  The first report
+        # interval of a late-starting flow begins at its start time, not at
+        # t=0, so churned flows do not dilute their first interval with the
+        # silence before they arrived.
         self._monitor_acc: Dict[int, Dict[str, float]] = {fid: self._fresh_acc() for fid in self.flows}
-        self._last_report_time: Dict[int, float] = {fid: 0.0 for fid in self.flows}
+        self._last_report_time: Dict[int, float] = {fid: flow.start_time
+                                                    for fid, flow in self.flows.items()}
         self._tick_count = 0
 
         # Route resolution, fixed for the simulator's lifetime: entry hop and
@@ -316,6 +335,8 @@ class NetworkSimulator:
             flow_stats=self.stats,
             capacity_mbps=np.array(self._capacity_log),
             times=np.array(self._time_log),
+            lifetimes={fid: (flow.start_time, flow.stop_time)
+                       for fid, flow in self.flows.items()},
         )
 
     # ------------------------------------------------------------------ #

@@ -12,9 +12,11 @@ Usage (after ``pip install -e .``)::
     python -m repro run --list        # registered experiments + their axes
     python -m repro run topology_sweep --set seeds=0..4 --jobs 4 --resume
     python -m repro run topology_generalization --set trace=cellular --set seeds=0..2
+    python -m repro run workload_stress --set workload=poisson(0.1) --set topology=fan_in(3)
     python -m repro experiment topology_generalization --jobs 2
     python -m repro compare-classical --buffer-bdp 1.0 --jobs 0
     python -m repro evaluate --topology "chain(3)" --trace step-12-48
+    python -m repro evaluate --topology "fan_in(3)" --workload "responsive(cubic:2)"
 
 ``run`` is the generic front door: any experiment registered in
 :data:`repro.harness.registry.REGISTRY` runs with per-axis ``--set``
@@ -48,6 +50,7 @@ from repro.harness.spec import parse_topologies, resolve_trace
 from repro.harness.store import RunStore
 from repro.nn.serialization import save_weight_dict
 from repro.topology.families import topology_family_specs
+from repro.workload.spec import workload_specs
 from repro.traces.cellular import CELLULAR_TRACE_NAMES
 from repro.traces.synthetic import SYNTHETIC_TRACE_NAMES, make_synthetic_trace
 
@@ -84,6 +87,7 @@ FIGURE_DRIVERS: Dict[str, Callable[..., dict]] = {
 EXPERIMENT_DRIVERS: Dict[str, Callable[..., dict]] = {
     "topology_sweep": experiments.topology_sweep,
     "topology_generalization": experiments.topology_generalization,
+    "workload_stress": experiments.workload_stress,
     "friendliness": experiments.friendliness_grid,
     "fairness": experiments.fairness_grid,
 }
@@ -109,6 +113,9 @@ def cmd_list_traces(_args: argparse.Namespace) -> int:
     print("Topology families (pass to --topology, e.g. chain(3)):")
     for spec in topology_family_specs():
         print(f"  {spec}")
+    print("Workload specs (pass to --workload, e.g. poisson(0.1)):")
+    for spec in workload_specs():
+        print(f"  {spec}")
     return 0
 
 
@@ -127,7 +134,8 @@ def cmd_train(args: argparse.Namespace) -> int:
 def cmd_evaluate(args: argparse.Namespace) -> int:
     trace = _get_trace(args.trace)
     settings = EvaluationSettings(duration=args.duration, buffer_bdp=args.buffer_bdp,
-                                  min_rtt=args.rtt, topology=args.topology, seed=args.seed)
+                                  min_rtt=args.rtt, topology=args.topology,
+                                  workload=args.workload, seed=args.seed)
     # Train in-process first so pool workers inherit the warm model cache.
     get_trained_model(args.kind, training_steps=args.steps, seed=args.seed)
     grid = run_schemes_sharded({args.kind: args.kind, "cubic": None}, [trace], settings,
@@ -140,7 +148,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 def cmd_certify(args: argparse.Namespace) -> int:
     trace = _get_trace(args.trace)
     settings = EvaluationSettings(duration=args.duration, buffer_bdp=args.buffer_bdp,
-                                  min_rtt=args.rtt, topology=args.topology, seed=args.seed)
+                                  min_rtt=args.rtt, topology=args.topology,
+                                  workload=args.workload, seed=args.seed)
     model = get_trained_model(args.kind, training_steps=args.steps, seed=args.seed)
     qcsat = evaluate_qcsat(model, trace, settings, n_components=args.components or 50)
     print(f"QC_sat for {args.kind} on {trace.name}: {qcsat.mean:.3f} +/- {qcsat.std:.3f} "
@@ -217,7 +226,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_compare_classical(args: argparse.Namespace) -> int:
     traces = [make_synthetic_trace(name) for name in SYNTHETIC_TRACE_NAMES[:args.traces]]
     settings = EvaluationSettings(duration=args.duration, buffer_bdp=args.buffer_bdp,
-                                  topology=args.topology, seed=args.seed)
+                                  topology=args.topology, workload=args.workload,
+                                  seed=args.seed)
     scheme_kinds = {scheme: None for scheme in ("cubic", "newreno", "vegas", "bbr")}
     grid = run_schemes_sharded(scheme_kinds, traces, settings, n_jobs=args.jobs)
     # Present grouped by scheme (the grid enumerates trace-major).
@@ -249,7 +259,11 @@ def _add_common_eval_arguments(parser: argparse.ArgumentParser) -> None:
 def _add_topology_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--topology", default="single_bottleneck",
                         help="topology family spec, e.g. single_bottleneck, chain(3), "
-                             "parking_lot(3), dumbbell (see list-traces)")
+                             "parking_lot(3), dumbbell, fan_in(3), shared_segment "
+                             "(see list-traces)")
+    parser.add_argument("--workload", default="static",
+                        help="workload spec, e.g. static, responsive(cubic:2), "
+                             "poisson(0.1), step(2-6) (see list-traces)")
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:

@@ -30,11 +30,19 @@ canonical row whose benchmark name is ``<experiment>:<cell key>`` — the
 experiment layer and the perf trajectory read the *same* store instead of
 keeping private result shapes.
 
+Two run stores — e.g. the same sweep at two commits — can be compared
+cell-by-cell with ``--store-diff A B``: records are matched on their cell key
+(:meth:`~repro.harness.spec.ScenarioSpec.key` plus the run-time-knob
+fingerprint), and the report lists cells only one store holds plus every
+metric whose value changed.  The exit status is ``diff``-like: 0 when the
+stores agree, 1 when they differ.
+
 Usage (what the CI trajectory job runs)::
 
     python -m repro.harness.benchjson --commit "$GITHUB_SHA" \
         --out BENCH_ci.json bench-verifier.json bench-topology.json ...
     python -m repro.harness.benchjson --validate BENCH_ci.json
+    python -m repro.harness.benchjson --store-diff runs/old runs/new
 """
 
 from __future__ import annotations
@@ -46,8 +54,9 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.harness.store import RECORDS_FILENAME, RunStore, validate_schema
 
-__all__ = ["canonical_rows", "store_rows", "merge_bench_files",
-           "validate_bench_payload", "BENCH_PAYLOAD_SCHEMA", "main"]
+__all__ = ["canonical_rows", "store_rows", "merge_bench_files", "store_diff",
+           "format_store_diff", "validate_bench_payload", "BENCH_PAYLOAD_SCHEMA",
+           "main"]
 
 SCHEMA_VERSION = 1
 
@@ -194,6 +203,71 @@ def merge_bench_files(paths: Sequence[Path], commit: str,
     }
 
 
+def _scalar_metrics(row: Dict) -> Dict[str, float]:
+    return {metric: float(value) for metric, value in row.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)}
+
+
+def store_diff(store_a: RunStore, store_b: RunStore) -> Dict:
+    """Cell-by-cell comparison of two run stores, keyed by record key.
+
+    The key — :meth:`ScenarioSpec.key() <repro.harness.spec.ScenarioSpec.key>`
+    plus the run-time-knob fingerprint — identifies one cell exactly, so two
+    stores of the same sweep at different commits line up cell for cell.
+    Returns ``added`` / ``removed`` key lists (cells only in B / only in A)
+    and ``changed`` metric rows (``{key, metric, a, b, delta}``) for every
+    scalar metric whose value differs; non-scalar row entries are compared by
+    equality and reported with ``a``/``b`` verbatim and no delta.
+    """
+    records_a = store_a.load()
+    records_b = store_b.load()
+    added = sorted(set(records_b) - set(records_a))
+    removed = sorted(set(records_a) - set(records_b))
+    changed: List[Dict] = []
+    for key in sorted(set(records_a) & set(records_b)):
+        row_a, row_b = records_a[key].row, records_b[key].row
+        scalars_a, scalars_b = _scalar_metrics(row_a), _scalar_metrics(row_b)
+        for metric in sorted(set(row_a) | set(row_b)):
+            if metric in scalars_a and metric in scalars_b:
+                if scalars_a[metric] != scalars_b[metric]:
+                    changed.append({"key": key, "metric": metric,
+                                    "a": scalars_a[metric], "b": scalars_b[metric],
+                                    "delta": scalars_b[metric] - scalars_a[metric]})
+            elif row_a.get(metric) != row_b.get(metric):
+                changed.append({"key": key, "metric": metric,
+                                "a": row_a.get(metric), "b": row_b.get(metric)})
+    return {
+        "added": added,
+        "removed": removed,
+        "changed": changed,
+        "n_cells_a": len(records_a),
+        "n_cells_b": len(records_b),
+        "identical": not (added or removed or changed),
+    }
+
+
+def format_store_diff(diff: Dict, label_a: str = "A", label_b: str = "B") -> str:
+    """A human-readable rendering of one :func:`store_diff` report."""
+    lines = [f"{label_a}: {diff['n_cells_a']} cells, {label_b}: {diff['n_cells_b']} cells"]
+    for key in diff["removed"]:
+        lines.append(f"- only in {label_a}: {key}")
+    for key in diff["added"]:
+        lines.append(f"+ only in {label_b}: {key}")
+    for entry in diff["changed"]:
+        if "delta" in entry:
+            lines.append(f"~ {entry['key']} :: {entry['metric']}: "
+                         f"{entry['a']:g} -> {entry['b']:g} ({entry['delta']:+g})")
+        else:
+            lines.append(f"~ {entry['key']} :: {entry['metric']}: "
+                         f"{entry['a']!r} -> {entry['b']!r}")
+    if diff["identical"]:
+        lines.append("stores are identical")
+    else:
+        lines.append(f"{len(diff['removed'])} removed, {len(diff['added'])} added, "
+                     f"{len(diff['changed'])} changed metric(s)")
+    return "\n".join(lines)
+
+
 def validate_bench_payload(payload: Dict) -> None:
     """Schema-check one canonical payload; raises ``ValueError`` on drift."""
     validate_schema(payload, BENCH_PAYLOAD_SCHEMA)
@@ -212,7 +286,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--out", default="BENCH_ci.json", help="output path")
     parser.add_argument("--validate", action="store_true",
                         help="schema-check already-canonical payloads instead of merging")
+    parser.add_argument("--store-diff", nargs=2, default=None, metavar=("A", "B"),
+                        help="compare two run stores cell-by-cell (exit 1 when they "
+                             "differ) instead of merging")
     args = parser.parse_args(list(argv) if argv is not None else None)
+
+    if args.store_diff is not None:
+        if args.files or args.store or args.validate:
+            parser.error("--store-diff takes exactly two run stores and no other inputs")
+        path_a, path_b = (Path(raw) for raw in args.store_diff)
+        for path in (path_a, path_b):
+            if not (path / RECORDS_FILENAME).is_file():
+                print(f"{path}: not a run store (no {RECORDS_FILENAME})")
+                return 2
+        diff = store_diff(RunStore(path_a), RunStore(path_b))
+        print(format_store_diff(diff, label_a=str(path_a), label_b=str(path_b)))
+        return 0 if diff["identical"] else 1
 
     if args.validate:
         if not args.files:

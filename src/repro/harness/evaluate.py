@@ -29,6 +29,8 @@ from repro.harness.models import TrainedModel
 from repro.orca.agent import DecisionRecord, LearnedController
 from repro.topology.families import DEFAULT_TOPOLOGY, build_topology, parse_topology
 from repro.traces.trace import BandwidthTrace
+from repro.workload.build import build_workload
+from repro.workload.spec import DEFAULT_WORKLOAD, parse_workload
 
 __all__ = [
     "EvaluationSettings",
@@ -61,10 +63,13 @@ class EvaluationSettings:
     """Link/topology and run parameters shared by an evaluation sweep.
 
     ``topology`` is a family spec (``single_bottleneck``, ``chain(3)``,
-    ``parking_lot(3)``, ``dumbbell``; see :mod:`repro.topology.families`)
-    expanded around the trace at run time.  ``min_rtt`` is the end-to-end
-    path RTT and ``buffer_bdp`` sizes every hop's buffer, so results stay
-    comparable across families.
+    ``parking_lot(3)``, ``dumbbell``, ``fan_in(3)``, ...; see
+    :mod:`repro.topology.families`) expanded around the trace at run time.
+    ``min_rtt`` is the end-to-end path RTT and ``buffer_bdp`` sizes every
+    hop's buffer, so results stay comparable across families.  ``workload``
+    is a workload spec (``static``, ``responsive(cubic:2)``, ``poisson(0.1)``,
+    ``step(2-6)``; see :mod:`repro.workload.spec`) expanded into closed-loop
+    background flows competing with the flow under test.
     """
 
     duration: float = 20.0
@@ -79,6 +84,7 @@ class EvaluationSettings:
     #: per-hop seeded binomial loss sampling (reproducible per seed).
     stochastic_loss: bool = False
     topology: str = DEFAULT_TOPOLOGY
+    workload: str = DEFAULT_WORKLOAD
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -87,6 +93,7 @@ class EvaluationSettings:
         if self.buffer_bdp <= 0:
             raise ValueError("buffer_bdp must be positive")
         parse_topology(self.topology)  # fail fast on malformed specs
+        parse_workload(self.workload)
 
 
 @dataclass
@@ -179,7 +186,13 @@ def run_scheme_on_trace(
     settings: EvaluationSettings,
     scheme_name: str | None = None,
 ) -> SchemeResult:
-    """Run one scheme over one trace (on ``settings.topology``) and summarize it."""
+    """Run one scheme over one trace (on ``settings.topology``) and summarize it.
+
+    ``settings.workload`` adds closed-loop background flows (responsive
+    competitors, churned arrivals) next to the flow under test; the summary
+    always scores flow 0.  The default ``static`` workload adds none, keeping
+    the legacy single-flow trajectory byte-identical.
+    """
     controller = factory()
     topology = build_topology(
         settings.topology,
@@ -191,7 +204,11 @@ def run_scheme_on_trace(
         seed=settings.seed,
     )
     flow = Flow(0, controller)
-    simulator = NetworkSimulator(topology, [flow], dt=settings.dt)
+    background = build_workload(settings.workload, duration=settings.duration,
+                                seed=settings.seed, trace_name=trace.name,
+                                topology=settings.topology)
+    flows = [flow] + [cross.build() for cross in background]
+    simulator = NetworkSimulator(topology, flows, dt=settings.dt)
     result = simulator.run(settings.duration)
     summary = summarize_result(result, flow_id=0, skip_seconds=settings.skip_seconds)
     decisions = list(getattr(controller, "decisions", []))

@@ -50,7 +50,8 @@ from repro.harness.models import get_trained_model
 from repro.harness.parallel import ExperimentTask, ParallelRunner
 from repro.harness.registry import REGISTRY
 from repro.harness.spec import trace_subset
-from repro.topology.families import topology_family_specs
+from repro.topology.families import canonical_topology, topology_family_specs
+from repro.workload.spec import canonical_workload
 from repro.traces.realworld import intercontinental_profiles, intracontinental_profiles
 from repro.traces.synthetic import make_synthetic_trace
 
@@ -63,6 +64,7 @@ __all__ = [
     "performance_sweep",
     "topology_sweep",
     "topology_generalization",
+    "workload_stress",
     "noise_sensitivity",
     "realworld_deployment",
     "fallback_runtime",
@@ -514,26 +516,51 @@ def _generalization_catalogs(families: Sequence[str], include_mixed: bool) -> Di
     return catalogs
 
 
+def _generalization_property_families(axes: Dict) -> List[str]:
+    """The property-family product axis, normalized to a list (a plain string
+    from the driver shims is one family)."""
+    value = axes["property_family"]
+    return [value] if isinstance(value, str) else list(value)
+
+
 def _topology_generalization_aggregate(grid, axes: Dict, tasks: Sequence) -> Dict:
     families = list(axes["families"])
     catalogs = _generalization_catalogs(families, axes["include_mixed"])
+    property_families = _generalization_property_families(axes)
+    sweep_properties = len(property_families) > 1
     n_seeds = max(len(axes["seeds"]), 1)
+
+    def cells_for(property_family, train_label, eval_family):
+        # Grouped through the task list (rows come back in task order) rather
+        # than a property_family tag: tags enter the cell fingerprint, so a
+        # tag would stop a product-axis run from reusing cells cached by a
+        # single-family run of the same store.  The scenario key already
+        # carries the family, so store cells never collide.
+        return [grid.rows[index] for index, task in enumerate(tasks)
+                if task.property_family == property_family
+                and task.tags["train_family"] == train_label
+                and task.tags["eval_family"] == eval_family]
+
     rows = []
-    for train_label in catalogs:
-        for eval_family in families:
-            cells = grid.select(train_family=train_label, eval_family=eval_family)
-            rows.append({
-                "train_family": train_label,
-                "eval_family": eval_family,
-                "qcsat": float(np.mean([c["qcsat"] for c in cells])),
-                "qcsat_std": float(np.std([c["qcsat"] for c in cells])),
-                "utilization": float(np.mean([c["utilization"] for c in cells])),
-                "avg_delay_ms": float(np.mean([c["avg_queuing_delay_ms"] for c in cells])),
-                "p95_delay_ms": float(np.mean([c["p95_queuing_delay_ms"] for c in cells])),
-                "loss_rate": float(np.mean([c["loss_rate"] for c in cells])),
-                "n_traces": len(cells) // n_seeds,
-                "n_cells": len(cells),
-            })
+    for property_family in property_families:
+        for train_label in catalogs:
+            for eval_family in families:
+                cells = cells_for(property_family, train_label, eval_family)
+                row = {
+                    "train_family": train_label,
+                    "eval_family": eval_family,
+                    "qcsat": float(np.mean([c["qcsat"] for c in cells])),
+                    "qcsat_std": float(np.std([c["qcsat"] for c in cells])),
+                    "utilization": float(np.mean([c["utilization"] for c in cells])),
+                    "avg_delay_ms": float(np.mean([c["avg_queuing_delay_ms"] for c in cells])),
+                    "p95_delay_ms": float(np.mean([c["p95_queuing_delay_ms"] for c in cells])),
+                    "loss_rate": float(np.mean([c["loss_rate"] for c in cells])),
+                    "n_traces": len(cells) // n_seeds,
+                    "n_cells": len(cells),
+                }
+                if sweep_properties:
+                    row = {"property_family": property_family, **row}
+                rows.append(row)
     certificates = int(sum(cell["n_certificates"] for cell in grid.rows))
     # Cells served from a resume store did not certify anything this run, and
     # per-cell certificate counts vary, so no throughput is claimed unless
@@ -544,7 +571,10 @@ def _topology_generalization_aggregate(grid, axes: Dict, tasks: Sequence) -> Dic
         "families": families,
         "train_families": list(catalogs),
         "model_kind": axes["model_kind"],
-        "property_family": axes["property_family"],
+        # Backward shape: a single family reports as the plain string it
+        # always did; a swept product axis reports the list.
+        "property_family": (property_families[0] if not sweep_properties
+                            else property_families),
         "rows": rows,
         "wall_clock_s": grid.wall_clock_s,
         "n_jobs": grid.n_jobs,
@@ -558,7 +588,9 @@ def _topology_generalization_aggregate(grid, axes: Dict, tasks: Sequence) -> Dic
     axes={
         "families": GENERALIZATION_FAMILIES,
         "model_kind": "canopy-shallow",
-        "property_family": "shallow",
+        # A sequence axis: --set property_family=shallow,deep certifies both
+        # families within one grid (and one resumable store).
+        "property_family": ("shallow",),
         "include_mixed": True,
         "training_steps": 300,
         "duration": 8.0,
@@ -574,24 +606,33 @@ def _topology_generalization_aggregate(grid, axes: Dict, tasks: Sequence) -> Dic
 def _topology_generalization_build(axes: Dict) -> List[ExperimentTask]:
     families = list(axes["families"])
     catalogs = _generalization_catalogs(families, axes["include_mixed"])
+    property_families = _generalization_property_families(axes)
     tasks = []
-    for train_label, catalog in catalogs.items():
-        for eval_family in families:
-            for seed in axes["seeds"]:
-                settings = EvaluationSettings(duration=axes["duration"],
-                                              buffer_bdp=axes["buffer_bdp"],
-                                              topology=eval_family, seed=seed)
-                for trace_kind in axes["trace"]:
-                    for trace in trace_subset(trace_kind, axes["n_traces"]):
-                        tasks.append(ExperimentTask(
-                            scheme="canopy", trace=trace, settings=settings,
-                            model_kind=axes["model_kind"],
-                            training_steps=axes["training_steps"], model_seed=seed,
-                            model_topologies=catalog,
-                            certify=True, property_family=axes["property_family"],
-                            n_components=axes["n_components"],
-                            tags={"train_family": train_label, "eval_family": eval_family},
-                        ))
+    for property_family in property_families:
+        for train_label, catalog in catalogs.items():
+            for eval_family in families:
+                for seed in axes["seeds"]:
+                    settings = EvaluationSettings(duration=axes["duration"],
+                                                  buffer_bdp=axes["buffer_bdp"],
+                                                  topology=eval_family, seed=seed)
+                    for trace_kind in axes["trace"]:
+                        for trace in trace_subset(trace_kind, axes["n_traces"]):
+                            # Tags stay exactly the pre-product pair: the
+                            # property family lives in the scenario key (and
+                            # task.property_family, which the aggregator
+                            # groups on), so single-family rows — and their
+                            # cached store cells — are byte-identical whether
+                            # or not the product axis sweeps.
+                            tasks.append(ExperimentTask(
+                                scheme="canopy", trace=trace, settings=settings,
+                                model_kind=axes["model_kind"],
+                                training_steps=axes["training_steps"], model_seed=seed,
+                                model_topologies=catalog,
+                                certify=True, property_family=property_family,
+                                n_components=axes["n_components"],
+                                tags={"train_family": train_label,
+                                      "eval_family": eval_family},
+                            ))
     return tasks
 
 
@@ -637,6 +678,139 @@ def topology_generalization(
     if families is not None:
         overrides["families"] = tuple(families)
     return REGISTRY.run("topology_generalization", overrides, n_jobs=n_jobs)
+
+
+# ---------------------------------------------------------------------- #
+# Workload stress — scheme x topology-family x workload certified grid
+# ---------------------------------------------------------------------- #
+def _workload_stress_aggregate(grid, axes: Dict, tasks: Sequence) -> Dict:
+    n_seeds = max(len(axes["seeds"]), 1)
+    rows = []
+    for scheme in axes["schemes"]:
+        for family in axes["topology"]:
+            for workload in axes["workload"]:
+                cells = grid.select(scheme=scheme, topology=canonical_topology(family),
+                                    workload=canonical_workload(workload))
+                row = {
+                    "scheme": scheme,
+                    "topology": canonical_topology(family),
+                    "workload": canonical_workload(workload),
+                    "utilization": float(np.mean([c["utilization"] for c in cells])),
+                    "avg_delay_ms": float(np.mean([c["avg_queuing_delay_ms"] for c in cells])),
+                    "p95_delay_ms": float(np.mean([c["p95_queuing_delay_ms"] for c in cells])),
+                    "loss_rate": float(np.mean([c["loss_rate"] for c in cells])),
+                    "n_traces": len(cells) // n_seeds,
+                    "n_cells": len(cells),
+                }
+                if all("qcsat" in c for c in cells):
+                    row["qcsat"] = float(np.mean([c["qcsat"] for c in cells]))
+                    row["qcsat_std"] = float(np.std([c["qcsat"] for c in cells]))
+                rows.append(row)
+    certificates = int(sum(cell.get("n_certificates", 0) for cell in grid.rows))
+    live = grid.wall_clock_s > 0 and grid.n_cached == 0
+    return {
+        "figure": "workload_stress",
+        "schemes": list(axes["schemes"]),
+        "topologies": [canonical_topology(f) for f in axes["topology"]],
+        "workloads": [canonical_workload(w) for w in axes["workload"]],
+        "property_family": axes["property_family"],
+        "rows": rows,
+        "wall_clock_s": grid.wall_clock_s,
+        "n_jobs": grid.n_jobs,
+        "certificates": certificates,
+        "certificates_per_sec": certificates / grid.wall_clock_s if live else 0.0,
+    }
+
+
+@REGISTRY.register(
+    "workload_stress",
+    axes={
+        "schemes": ("canopy-shallow",),
+        "topology": ("single_bottleneck", "fan_in(3)", "shared_segment"),
+        "workload": ("static", "responsive(cubic)", "poisson(0.25)"),
+        "property_family": "shallow",
+        "training_steps": 200,
+        "duration": 6.0,
+        "n_components": 8,
+        "n_traces": 1,
+        "buffer_bdp": 1.0,
+        "seeds": (1,),
+    },
+    aggregate=_workload_stress_aggregate,
+    description="scheme x topology-family x workload certified stress grid "
+                "(incast, responsive contention, churn)",
+)
+def _workload_stress_build(axes: Dict) -> List[ExperimentTask]:
+    traces = trace_subset("synthetic", axes["n_traces"])
+    tasks = []
+    for scheme in axes["schemes"]:
+        model_kind = default_model_kind(scheme)
+        for family in axes["topology"]:
+            for workload in axes["workload"]:
+                for seed in axes["seeds"]:
+                    # Canonicalized up front so the report rows, the aggregate
+                    # selectors, and the scenario keys all carry one spelling.
+                    settings = EvaluationSettings(
+                        duration=axes["duration"], buffer_bdp=axes["buffer_bdp"],
+                        topology=canonical_topology(family),
+                        workload=canonical_workload(workload), seed=seed)
+                    for trace in traces:
+                        tasks.append(ExperimentTask(
+                            scheme=scheme, trace=trace, settings=settings,
+                            model_kind=model_kind,
+                            training_steps=axes["training_steps"], model_seed=seed,
+                            # Classical schemes stress-test uncertified; every
+                            # learned cell carries its QC_sat certificates.
+                            certify=model_kind is not None,
+                            property_family=(axes["property_family"]
+                                             if model_kind is not None else None),
+                            n_components=axes["n_components"],
+                            tags={"workload": canonical_workload(workload)},
+                        ))
+    return tasks
+
+
+def workload_stress(
+    schemes: Sequence[str] = ("canopy-shallow",),
+    topologies: Optional[Sequence[str]] = None,
+    workloads: Optional[Sequence[str]] = None,
+    property_family: str = "shallow",
+    training_steps: int = 200,
+    duration: float = 6.0,
+    n_components: int = 8,
+    n_traces: int = 1,
+    buffer_bdp: float = 1.0,
+    seed: int = 1,
+    n_jobs: int = 1,
+) -> Dict:
+    """The (scheme × topology family × workload) certified stress grid.
+
+    Opens the scenario classes the paper cannot express: incast storms
+    (``fan_in(n)`` + a responsive workload bringing several flows up at
+    once), certified safety *under churn* (``poisson(λ)`` arrivals and
+    departures mid-run), and learned-vs-classical contention on shared
+    segments.  Learned schemes run with ``certify=True``, so every cell
+    carries QC_sat next to the empirical utilization/delay/loss of the same
+    contended run.  Thin shim over the registered ``workload_stress``
+    experiment — ``python -m repro run workload_stress --set
+    workload=poisson(0.1) --set topology=fan_in(3) --jobs 2 --resume`` is the
+    generic front door.
+    """
+    overrides: Dict[str, object] = {
+        "schemes": tuple(schemes),
+        "property_family": property_family,
+        "training_steps": training_steps,
+        "duration": duration,
+        "n_components": n_components,
+        "n_traces": n_traces,
+        "buffer_bdp": buffer_bdp,
+        "seeds": (seed,),
+    }
+    if topologies is not None:
+        overrides["topology"] = tuple(topologies)
+    if workloads is not None:
+        overrides["workload"] = tuple(workloads)
+    return REGISTRY.run("workload_stress", overrides, n_jobs=n_jobs)
 
 
 # ---------------------------------------------------------------------- #

@@ -60,6 +60,7 @@ from repro.harness.evaluate import (
 from repro.harness.spec import PROPERTY_FAMILIES, ScenarioSpec
 from repro.harness.store import fingerprint
 from repro.seeding import derive_seed
+from repro.workload.spec import DEFAULT_WORKLOAD
 from repro.traces.trace import BandwidthTrace
 
 __all__ = [
@@ -141,6 +142,7 @@ class ExperimentTask:
             scheme=self.scheme,
             trace=self.trace.name,
             topology=self.settings.topology,
+            workload=self.settings.workload,
             seed=self.settings.seed,
             model_kind=self.model_kind,
             model_topologies=self.model_topologies,
@@ -256,6 +258,10 @@ def run_task(task: ExperimentTask) -> Dict:
     model = _task_model(task) if task.model_kind is not None else None
     row: Dict = {"scheme": task.scheme, "trace": task.trace.name, "seed": task.settings.seed,
                  "topology": task.settings.topology}
+    # The workload column only appears for non-static cells, so legacy grids
+    # (and their stored rows) keep their exact shape.
+    if task.settings.workload != DEFAULT_WORKLOAD:
+        row["workload"] = task.settings.workload
     row.update(task.tags)
 
     if task.certify:

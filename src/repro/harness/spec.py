@@ -43,6 +43,7 @@ from repro.core.properties import (
 )
 from repro.seeding import derive_seed
 from repro.topology.families import DEFAULT_TOPOLOGY, canonical_topology, parse_topology
+from repro.workload.spec import DEFAULT_WORKLOAD, canonical_workload
 from repro.traces.cellular import CELLULAR_TRACE_NAMES, cellular_trace_suite, make_cellular_trace
 from repro.traces.synthetic import (
     SYNTHETIC_TRACE_NAMES,
@@ -142,6 +143,7 @@ _KEY_TOKENS = (
     ("scheme", "scheme"),
     ("trace", "trace"),
     ("topology", "topology"),
+    ("workload", "workload"),
     ("seed", "seed"),
     ("model", "model_kind"),
     ("train", "model_topologies"),
@@ -158,16 +160,18 @@ class ScenarioSpec:
     ``trace`` is a trace *name* (resolvable via :func:`resolve_trace` when the
     name is from the bundled suites) and ``topology`` a family spec, so the
     whole value is plain strings/ints and travels freely through CLI flags,
-    process pools, and JSON.  ``model_kind``/``model_topologies`` identify the
-    learned model backing the scheme (``None`` for classical schemes), with
-    ``model_topologies`` naming the *training-time* scenario catalog —
-    independent of the evaluation-side ``topology``.  ``certify`` marks a
-    certified run over ``property_family``.
+    process pools, and JSON.  ``workload`` is a workload spec (who shares the
+    network, and when; ``static`` = the legacy single-flow run).
+    ``model_kind``/``model_topologies`` identify the learned model backing the
+    scheme (``None`` for classical schemes), with ``model_topologies`` naming
+    the *training-time* scenario catalog — independent of the evaluation-side
+    ``topology``.  ``certify`` marks a certified run over ``property_family``.
     """
 
     scheme: str
     trace: str
     topology: str = DEFAULT_TOPOLOGY
+    workload: str = DEFAULT_WORKLOAD
     seed: int = 1
     model_kind: Optional[str] = None
     model_topologies: Optional[Tuple[str, ...]] = None
@@ -180,10 +184,12 @@ class ScenarioSpec:
             object.__setattr__(self, "model_topologies", tuple(
                 canonical_topology(spec)
                 for spec in parse_topologies(self.model_topologies)))
-        # Canonicalize the family spec (fails fast on malformed ones):
-        # "chain( 3 )" == "chain(3)" and "chain" == "chain(2)" name the same
-        # topology, so they must share one key (and contain no whitespace).
+        # Canonicalize the family and workload specs (fails fast on malformed
+        # ones): "chain( 3 )" == "chain(3)" and "chain" == "chain(2)" name the
+        # same topology, "responsive(cubic:1)" == "responsive(cubic)" the same
+        # workload, so they must share one key (and contain no whitespace).
         object.__setattr__(self, "topology", canonical_topology(self.topology))
+        object.__setattr__(self, "workload", canonical_workload(self.workload))
         for label, value in (("scheme", self.scheme), ("trace", self.trace),
                              ("model_kind", self.model_kind)):
             if value is not None and (not value or any(c in value for c in " \t\n=")):
@@ -207,7 +213,12 @@ class ScenarioSpec:
         common classical-scheme cells.
         """
         tokens = [f"scheme={self.scheme}", f"trace={self.trace}",
-                  f"topology={self.topology}", f"seed={self.seed}"]
+                  f"topology={self.topology}"]
+        # The static workload is elided so every pre-workload key — and hence
+        # every existing run-store cell — keeps its exact identity.
+        if self.workload != DEFAULT_WORKLOAD:
+            tokens.append(f"workload={self.workload}")
+        tokens.append(f"seed={self.seed}")
         if self.model_kind is not None:
             tokens.append(f"model={self.model_kind}")
         if self.model_topologies is not None:
@@ -259,6 +270,7 @@ class ScenarioSpec:
             "scheme": self.scheme,
             "trace": self.trace,
             "topology": self.topology,
+            "workload": self.workload,
             "seed": self.seed,
             "model_kind": self.model_kind,
             "model_topologies": (list(self.model_topologies)

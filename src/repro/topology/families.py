@@ -30,9 +30,24 @@ Families
     Fast access links on both sides of one trace-driven bottleneck carrying
     an on/off burst source whose phase is drawn from a seed-derived RNG.
 
+``fan_in(n)``
+    The incast shape: ``n`` access leaves joining at one trace-driven root.
+    Each flow enters over its own leaf (round-robin over the ``route_cycle``),
+    so ``n`` concurrent flows collide at the shared root queue — the classic
+    incast storm when a responsive workload brings several of them up at once.
+
+``tree(n)``
+    The inverse fork: one trace-driven uplink, then ``n`` faster downstream
+    branches; flows share the uplink and diverge behind it.
+
+``shared_segment``
+    Two disjoint access/exit branch pairs around one trace-driven shared
+    middle segment: flows fork in, share the segment, and fork back out.
+
 Adding a family: write a ``_build_<family>`` helper, register it in
 ``_BUILDERS``, and give it a default hop count in ``_DEFAULT_HOPS`` (see the
-architecture notes in ROADMAP.md).
+architecture notes in ROADMAP.md).  Branching families declare a
+``route_cycle`` so flows without explicit routes each get their own branch.
 """
 
 from __future__ import annotations
@@ -59,7 +74,8 @@ __all__ = [
 ]
 
 #: Family names accepted by :func:`parse_topology`.
-TOPOLOGY_FAMILIES = ("single_bottleneck", "chain", "parking_lot", "dumbbell")
+TOPOLOGY_FAMILIES = ("single_bottleneck", "chain", "parking_lot", "dumbbell",
+                     "fan_in", "tree", "shared_segment")
 
 #: The spec every evaluation uses unless told otherwise (legacy behaviour).
 DEFAULT_TOPOLOGY = "single_bottleneck"
@@ -73,8 +89,12 @@ DEFAULT_CROSS_LOAD = 0.25
 
 _SPEC_RE = re.compile(r"^\s*([a-z_]+)\s*(?:\(\s*(\d+)\s*\))?\s*$")
 
-_DEFAULT_HOPS = {"single_bottleneck": 1, "chain": 2, "parking_lot": 2, "dumbbell": 3}
-_FIXED_HOPS = {"single_bottleneck": 1, "dumbbell": 3}
+_DEFAULT_HOPS = {"single_bottleneck": 1, "chain": 2, "parking_lot": 2, "dumbbell": 3,
+                 "fan_in": 3, "tree": 2, "shared_segment": 5}
+_FIXED_HOPS = {"single_bottleneck": 1, "dumbbell": 3, "shared_segment": 5}
+
+#: Branching families need at least two branches to branch.
+_MIN_BRANCHES = {"fan_in": 2, "tree": 2}
 
 
 def parse_topology(spec: str) -> Tuple[str, int]:
@@ -96,12 +116,15 @@ def parse_topology(spec: str) -> Tuple[str, int]:
         raise ValueError(f"{family} has a fixed shape; drop the ({n}) suffix")
     if n < 1:
         raise ValueError("hop count must be >= 1")
+    if n < _MIN_BRANCHES.get(family, 1):
+        raise ValueError(f"{family} needs at least {_MIN_BRANCHES[family]} branches")
     return family, n
 
 
 def topology_family_specs() -> List[str]:
     """Representative specs for listings and sweeps (one per family)."""
-    return ["single_bottleneck", "chain(3)", "parking_lot(3)", "dumbbell"]
+    return ["single_bottleneck", "chain(3)", "parking_lot(3)", "dumbbell",
+            "fan_in(3)", "tree(2)", "shared_segment"]
 
 
 def _canonical_spec(family: str, n: int) -> str:
@@ -126,6 +149,12 @@ def topology_link_names(spec: str) -> List[str]:
         return [f"hop{index}" for index in range(1, n + 1)]
     if family == "parking_lot":
         return [f"seg{index}" for index in range(1, n + 1)]
+    if family == "fan_in":
+        return [f"leaf{index}" for index in range(1, n + 1)] + ["bottleneck"]
+    if family == "tree":
+        return ["bottleneck"] + [f"branch{index}" for index in range(1, n + 1)]
+    if family == "shared_segment":
+        return ["access-a", "access-b", "shared", "exit-a", "exit-b"]
     return ["access-src", "bottleneck", "access-dst"]
 
 
@@ -226,11 +255,73 @@ def _build_dumbbell(trace, min_rtt, buffer_bdp, random_loss_rate, seed, n, cross
     return Topology(spec, [src, core, dst], cross_traffic=cross, bottleneck="bottleneck")
 
 
+def _build_fan_in(trace, min_rtt, buffer_bdp, random_loss_rate, seed, n, cross_load,
+                  stochastic_loss):
+    spec = f"fan_in({n})"
+    leaf_delay = root_delay = 0.5 * min_rtt
+    links = []
+    cycle = []
+    for index in range(1, n + 1):
+        name = f"leaf{index}"
+        leaf_trace = trace.scaled(ACCESS_HEADROOM, name=f"{trace.name}-{name}")
+        links.append(Link.build(name, leaf_trace, delay=leaf_delay, buffer_rtt=min_rtt,
+                                buffer_bdp=buffer_bdp, stochastic_loss=stochastic_loss,
+                                seed=_hop_seed(seed, spec, trace.name, name)))
+        cycle.append((name, "bottleneck"))
+    links.append(Link.build("bottleneck", trace, delay=root_delay, buffer_rtt=min_rtt,
+                            buffer_bdp=buffer_bdp, random_loss_rate=random_loss_rate,
+                            stochastic_loss=stochastic_loss,
+                            seed=_hop_seed(seed, spec, trace.name, "bottleneck")))
+    return Topology(spec, links, route_cycle=cycle, bottleneck="bottleneck")
+
+
+def _build_tree(trace, min_rtt, buffer_bdp, random_loss_rate, seed, n, cross_load,
+                stochastic_loss):
+    spec = f"tree({n})"
+    root_delay = branch_delay = 0.5 * min_rtt
+    links = [Link.build("bottleneck", trace, delay=root_delay, buffer_rtt=min_rtt,
+                        buffer_bdp=buffer_bdp, random_loss_rate=random_loss_rate,
+                        stochastic_loss=stochastic_loss,
+                        seed=_hop_seed(seed, spec, trace.name, "bottleneck"))]
+    cycle = []
+    for index in range(1, n + 1):
+        name = f"branch{index}"
+        branch_trace = trace.scaled(ACCESS_HEADROOM, name=f"{trace.name}-{name}")
+        links.append(Link.build(name, branch_trace, delay=branch_delay, buffer_rtt=min_rtt,
+                                buffer_bdp=buffer_bdp, stochastic_loss=stochastic_loss,
+                                seed=_hop_seed(seed, spec, trace.name, name)))
+        cycle.append(("bottleneck", name))
+    return Topology(spec, links, route_cycle=cycle, bottleneck="bottleneck")
+
+
+def _build_shared_segment(trace, min_rtt, buffer_bdp, random_loss_rate, seed, n, cross_load,
+                          stochastic_loss):
+    spec = "shared_segment"
+    access_delay, shared_delay = 0.25 * min_rtt, 0.5 * min_rtt
+
+    def edge(name):
+        return Link.build(name, trace.scaled(ACCESS_HEADROOM, name=f"{trace.name}-{name}"),
+                          delay=access_delay, buffer_rtt=min_rtt, buffer_bdp=buffer_bdp,
+                          stochastic_loss=stochastic_loss,
+                          seed=_hop_seed(seed, spec, trace.name, name))
+
+    shared = Link.build("shared", trace, delay=shared_delay, buffer_rtt=min_rtt,
+                        buffer_bdp=buffer_bdp, random_loss_rate=random_loss_rate,
+                        stochastic_loss=stochastic_loss,
+                        seed=_hop_seed(seed, spec, trace.name, "shared"))
+    links = [edge("access-a"), edge("access-b"), shared, edge("exit-a"), edge("exit-b")]
+    cycle = [("access-a", "shared", "exit-a"), ("access-b", "shared", "exit-b")]
+    return Topology(spec, links, route_cycle=cycle, bottleneck="shared")
+
+
 _BUILDERS: Dict[str, Callable[..., Topology]] = {
     "single_bottleneck": _build_single_bottleneck,
     "chain": _build_chain,
     "parking_lot": _build_parking_lot,
     "dumbbell": _build_dumbbell,
+    "fan_in": _build_fan_in,
+    "tree": _build_tree,
+    "shared_segment": _build_shared_segment,
 }
 
 

@@ -1,18 +1,28 @@
 """The topology graph: :class:`Link` hops, flow :class:`Route`\\ s, and :class:`Topology`.
 
-A topology is an ordered set of link hops (each hop owns its own trace-driven
+A topology is a DAG of link hops (each hop owns its own trace-driven
 capacity, finite FIFO buffer, propagation-delay contribution, and random-loss
-RNG), a route per flow mapping it onto a contiguous sequence of hops, and a
-set of declarative cross-traffic sources.  The hop queue engine is the same
+RNG), a route per flow mapping it onto a sequence of hops, and a set of
+declarative cross-traffic sources.  The hop queue engine is the same
 :class:`repro.cc.link.BottleneckLink` fluid model that powered the legacy
 single-link simulator, so a one-hop topology reproduces the legacy dynamics
 exactly (pinned by ``tests/test_topology_differential.py``).
 
-Hops are kept in upstream→downstream order; the network simulator drains them
-in that order every tick, so packets can traverse several empty queues within
-one tick (the fluid-model equivalent of store-and-forward being much faster
-than a 10 ms tick), while all propagation delay is accounted end-to-end when
-the ack returns after the summed path delay.
+Routes may fork and join: two flows can enter over different access links and
+merge at a shared segment (incast), or share an uplink and diverge behind it
+(trees).  The only structural requirement is that the union of all route
+adjacencies is acyclic — :meth:`Topology.drain_order` computes a topological
+order of the hops (preferring declaration order among ready hops, so linear
+chains drain exactly as they always have) and the network simulator drains
+hops in that order every tick.  Packets can therefore traverse several empty
+queues within one tick (the fluid-model equivalent of store-and-forward being
+much faster than a 10 ms tick), while all propagation delay is accounted
+end-to-end when the ack returns after the summed path delay.
+
+Flows without an explicit route fall back to ``route_cycle`` — a round-robin
+catalog of entry routes (how the branching families hand each arriving flow
+its own branch) — or, when no cycle is declared, to the full declaration-order
+path (the right default for chains).
 """
 
 from __future__ import annotations
@@ -92,19 +102,30 @@ class Route:
 
 
 class Topology:
-    """A graph of link hops with per-flow routes and cross-traffic sources.
+    """A DAG of link hops with per-flow routes and cross-traffic sources.
 
     Args:
         name: Family label used in reports (e.g. ``chain(3)``).
-        links: Hops in upstream→downstream order; names must be unique.
+        links: Hops, conventionally declared upstream→downstream; names must
+            be unique.  Declaration order breaks ties in the drain order, so
+            for linear topologies it *is* the drain order.
         routes: Optional mapping of flow id to the link names it traverses, in
-            order.  Flows without an explicit route use the full path (all
-            links in order), which is the right default for chains.
+            order.  Flows without an explicit route draw from ``route_cycle``
+            or, absent that, use the full path (all links in declaration
+            order), which is the right default for chains.
+        route_cycle: Optional catalog of entry routes assigned round-robin to
+            flow ids without an explicit route (``route_cycle[flow_id % len]``)
+            — how branching families (``fan_in``, ``tree``, ``shared_segment``)
+            give every arriving flow its own branch.
         cross_traffic: Declarative background sources; their (negative) flow
             ids and paths are validated against the link set.
         bottleneck: Name of the hop whose trace defines the reference capacity
             (utilization denominators, capacity logs).  Defaults to the hop
             with the lowest mean capacity.
+
+    The union of all route adjacencies (explicit routes, the route cycle,
+    cross-traffic paths, and — when no route cycle is declared — the implicit
+    full-path default) must be acyclic; a cycle raises ``ValueError``.
     """
 
     def __init__(
@@ -112,6 +133,7 @@ class Topology:
         name: str,
         links: Sequence[Link],
         routes: Optional[Dict[int, Sequence[str]]] = None,
+        route_cycle: Optional[Sequence[Sequence[str]]] = None,
         cross_traffic: Sequence[CrossTrafficSource] = (),
         bottleneck: Optional[str] = None,
     ) -> None:
@@ -128,6 +150,12 @@ class Topology:
         for flow_id, link_names in (routes or {}).items():
             self._routes[flow_id] = self._validated_path(tuple(link_names))
 
+        self._route_cycle: Optional[List[Tuple[str, ...]]] = None
+        if route_cycle is not None:
+            if not route_cycle:
+                raise ValueError("route_cycle must name at least one route")
+            self._route_cycle = [self._validated_path(tuple(path)) for path in route_cycle]
+
         self.cross_traffic: List[CrossTrafficSource] = list(cross_traffic)
         seen_ids = set()
         for source in self.cross_traffic:
@@ -135,6 +163,8 @@ class Topology:
                 raise ValueError(f"duplicate cross-traffic flow id {source.flow_id}")
             seen_ids.add(source.flow_id)
             self._validated_path(source.path)
+
+        self._drain_order: List[str] = self._topological_order()
 
         if bottleneck is None:
             bottleneck = min(names, key=lambda n: self.links[n].queue.trace.mean_mbps)
@@ -149,18 +179,64 @@ class Topology:
         unknown = [n for n in path if n not in self.links]
         if unknown:
             raise ValueError(f"path references unknown links {unknown}")
-        positions = [self._order.index(n) for n in path]
-        if positions != sorted(positions) or len(set(positions)) != len(positions):
-            raise ValueError(f"path {path} must follow the upstream→downstream link order")
+        if len(set(path)) != len(path):
+            raise ValueError(f"path {path} visits a link twice")
         return path
+
+    def _route_adjacencies(self) -> List[Tuple[str, ...]]:
+        """Every path whose hop-to-hop successor edges constrain the drain order."""
+        paths: List[Tuple[str, ...]] = list(self._routes.values())
+        if self._route_cycle is not None:
+            paths.extend(self._route_cycle)
+        else:
+            # No route cycle: flows without an explicit route ride the full
+            # declaration-order path, so its chain edges are constraints too
+            # (this is what keeps legacy linear topologies drain-stable and
+            # rejects routes that run against the chain).
+            paths.append(tuple(self._order))
+        paths.extend(source.path for source in self.cross_traffic)
+        return paths
+
+    def _topological_order(self) -> List[str]:
+        """Kahn's algorithm over the route adjacencies, preferring declaration
+        order among ready hops — identical to the declaration order whenever it
+        is itself consistent (every pre-DAG family)."""
+        successors: Dict[str, set] = {name: set() for name in self._order}
+        indegree: Dict[str, int] = {name: 0 for name in self._order}
+        for path in self._route_adjacencies():
+            for upstream, downstream in zip(path, path[1:]):
+                if downstream not in successors[upstream]:
+                    successors[upstream].add(downstream)
+                    indegree[downstream] += 1
+        order: List[str] = []
+        ready = [name for name in self._order if indegree[name] == 0]
+        while ready:
+            # Smallest declaration index first: deterministic, legacy-stable.
+            name = min(ready, key=self._order.index)
+            ready.remove(name)
+            order.append(name)
+            for downstream in successors[name]:
+                indegree[downstream] -= 1
+                if indegree[downstream] == 0:
+                    ready.append(downstream)
+        if len(order) != len(self._order):
+            cyclic = sorted(name for name, degree in indegree.items() if degree > 0)
+            raise ValueError(f"routes form a cycle through links {cyclic}; "
+                             "the union of route adjacencies must be a DAG")
+        return order
 
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
     @property
     def ordered_links(self) -> List[Link]:
-        """Hops in upstream→downstream (drain) order."""
-        return [self.links[name] for name in self._order]
+        """Hops in topological (drain) order — declaration order for chains."""
+        return [self.links[name] for name in self._drain_order]
+
+    @property
+    def drain_order(self) -> List[str]:
+        """Hop names in the order the simulator drains them each tick."""
+        return list(self._drain_order)
 
     @property
     def link_names(self) -> List[str]:
@@ -176,8 +252,19 @@ class Topology:
         return len(self._order)
 
     def route_names(self, flow_id: int) -> Tuple[str, ...]:
-        """The link names flow ``flow_id`` traverses (full path by default)."""
-        return self._routes.get(flow_id, tuple(self._order))
+        """The link names flow ``flow_id`` traverses.
+
+        Explicit routes win; otherwise the route cycle hands the flow a branch
+        round-robin (``flow_id % len(route_cycle)`` — Python's modulo keeps
+        negative cross-traffic ids in range); with neither, the full
+        declaration-order path (the chain default).
+        """
+        explicit = self._routes.get(flow_id)
+        if explicit is not None:
+            return explicit
+        if self._route_cycle is not None:
+            return self._route_cycle[flow_id % len(self._route_cycle)]
+        return tuple(self._order)
 
     def route_for(self, flow_id: int) -> Route:
         names = self.route_names(flow_id)

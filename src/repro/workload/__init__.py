@@ -1,0 +1,37 @@
+"""The workload subsystem: who shares the network, over which routes, and when.
+
+Makes the *workload* of a scenario — responsive background flows, flow churn,
+arrival schedules — a declarative, sweepable axis next to the trace and the
+topology family.  See :mod:`repro.workload.spec` for the string grammar,
+:mod:`repro.workload.build` for the expansion into concrete flows, and the
+architecture note in ROADMAP.md.
+"""
+
+from repro.workload.arrivals import ArrivalSchedule, FlowWindow
+from repro.workload.build import build_workload, workload_schedule
+from repro.workload.flows import CONTROLLER_FACTORIES, ResponsiveCrossFlow
+from repro.workload.spec import (
+    DEFAULT_WORKLOAD,
+    WORKLOAD_KINDS,
+    WORKLOAD_SCHEMES,
+    WorkloadSpec,
+    canonical_workload,
+    parse_workload,
+    workload_specs,
+)
+
+__all__ = [
+    "ArrivalSchedule",
+    "FlowWindow",
+    "CONTROLLER_FACTORIES",
+    "ResponsiveCrossFlow",
+    "DEFAULT_WORKLOAD",
+    "WORKLOAD_KINDS",
+    "WORKLOAD_SCHEMES",
+    "WorkloadSpec",
+    "build_workload",
+    "canonical_workload",
+    "parse_workload",
+    "workload_schedule",
+    "workload_specs",
+]

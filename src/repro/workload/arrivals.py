@@ -1,0 +1,106 @@
+"""Arrival schedules: when background flows join and leave the network.
+
+An :class:`ArrivalSchedule` is an explicit list of flow lifetime windows —
+the schedulable-workload entity.  Three constructors cover the spec grammar:
+
+* :meth:`ArrivalSchedule.always` — ``count`` flows alive for the whole run
+  (the ``responsive(...)`` workloads);
+* :meth:`ArrivalSchedule.scripted` — verbatim ``(start, stop)`` windows (the
+  ``step(...)`` workloads);
+* :meth:`ArrivalSchedule.poisson` — a seeded Poisson arrival process with
+  seeded exponential lifetimes (the ``poisson(...)`` workloads).
+
+Poisson schedules are *deterministic per seed*: the RNG seed derives from the
+scenario coordinates (see :func:`repro.workload.build.build_workload`), so a
+churned grid shards across a process pool bit-identically regardless of
+worker assignment — the same convention as per-hop loss RNG seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["FlowWindow", "ArrivalSchedule"]
+
+#: Hard cap on generated flows so a typo'd rate cannot swamp the simulator.
+MAX_FLOWS = 64
+
+
+@dataclass(frozen=True)
+class FlowWindow:
+    """One background flow's lifetime: ``[start, stop)``; ``stop=None`` = run end."""
+
+    start: float
+    stop: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("window start must be non-negative")
+        if self.stop is not None and self.stop <= self.start:
+            raise ValueError("window must end after it starts")
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """An ordered set of flow lifetime windows (one background flow each)."""
+
+    windows: Tuple[FlowWindow, ...]
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    def __iter__(self):
+        return iter(self.windows)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def always(cls, count: int) -> "ArrivalSchedule":
+        """``count`` flows alive from the first tick to the last."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return cls(windows=tuple(FlowWindow(0.0) for _ in range(count)))
+
+    @classmethod
+    def scripted(cls, windows: Sequence[Tuple[float, Optional[float]]]) -> "ArrivalSchedule":
+        """Verbatim ``(start, stop)`` windows (``stop=None`` = run end)."""
+        if not windows:
+            raise ValueError("scripted schedule needs at least one window")
+        return cls(windows=tuple(FlowWindow(start, stop) for start, stop in windows))
+
+    @classmethod
+    def poisson(
+        cls,
+        rate: float,
+        duration: float,
+        seed: int,
+        mean_lifetime: Optional[float] = None,
+        max_flows: int = MAX_FLOWS,
+    ) -> "ArrivalSchedule":
+        """Seeded Poisson arrivals over ``[0, duration)`` with exponential lifetimes.
+
+        Inter-arrival gaps are exponential with mean ``1/rate``; each flow's
+        lifetime is exponential with mean ``mean_lifetime`` (default: a third
+        of the run, so churned flows overlap but do not all persist to the
+        end).  The schedule — possibly empty for low rates — depends only on
+        ``(rate, duration, seed)``, never on which process draws it.
+        """
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if mean_lifetime is None:
+            mean_lifetime = duration / 3.0
+        rng = np.random.default_rng(seed)
+        windows = []
+        now = 0.0
+        while len(windows) < max_flows:
+            now += float(rng.exponential(1.0 / rate))
+            if now >= duration:
+                break
+            lifetime = float(rng.exponential(mean_lifetime))
+            stop = now + lifetime
+            windows.append(FlowWindow(now, stop if stop < duration else None))
+        return cls(windows=tuple(windows))

@@ -1,0 +1,198 @@
+"""Workload specifications: *who shares the network, and when*, as a string.
+
+A workload spec is a compact string — ``static``, ``responsive(cubic:2)``,
+``poisson(0.1)``, ``step(2-6:4-8)`` — that :func:`build_workload` (in
+:mod:`repro.workload.build`) expands into concrete closed-loop background
+flows around an evaluation run.  Like topology family specs, workload specs
+are plain strings so they travel freely through
+:class:`~repro.harness.spec.ScenarioSpec` keys, ``--set workload=...`` axis
+overrides, CLI flags, and bench JSON.  The grammar is deliberately
+*comma-free* so a comma-separated axis list (``--set
+workload=static,poisson(0.1)``) splits cleanly into individual specs.
+
+Kinds
+-----
+
+``static``
+    No background workload (the legacy single-flow evaluation; default).
+
+``responsive(scheme)`` / ``responsive(scheme:n)``
+    ``n`` (default 1) closed-loop background flows running a classical
+    congestion controller (``cubic``, ``newreno``, ``vegas``, ``bbr``) for
+    the whole run.  Unlike the open-loop CBR/on-off cross traffic, these
+    flows *react* to loss and delay in the shared FIFO queues — the Fig. 14
+    friendliness setup, generalized to any scenario cell.
+
+``poisson(rate)`` / ``poisson(rate:scheme)``
+    Flow churn: background flows of ``scheme`` (default ``cubic``) arrive as
+    a seeded Poisson process of ``rate`` flows/second and each departs after
+    a seeded exponential lifetime — flows start and stop mid-run.
+
+``step(a-b)`` / ``step(a-b:c-d:...)``
+    Scripted churn: one background flow per ``start-stop`` window (an empty
+    stop, ``step(2-)``, runs to the end of the experiment).
+
+Every spec has one canonical form (:func:`canonical_workload`) — defaults
+elided, numbers ``%g``-formatted — so two spellings of the same workload
+never split a scenario key.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "WORKLOAD_KINDS",
+    "WORKLOAD_SCHEMES",
+    "DEFAULT_WORKLOAD",
+    "DEFAULT_WORKLOAD_SCHEME",
+    "WorkloadSpec",
+    "parse_workload",
+    "canonical_workload",
+    "workload_specs",
+]
+
+#: Workload kinds accepted by :func:`parse_workload`.
+WORKLOAD_KINDS = ("static", "responsive", "poisson", "step")
+
+#: Classical controllers a background flow may run (kept in sync with
+#: :data:`repro.workload.flows.CONTROLLER_FACTORIES`).
+WORKLOAD_SCHEMES = ("cubic", "newreno", "vegas", "bbr")
+
+#: The workload every evaluation uses unless told otherwise (legacy behaviour).
+DEFAULT_WORKLOAD = "static"
+
+#: The controller backing background flows when the spec names none.
+DEFAULT_WORKLOAD_SCHEME = "cubic"
+
+_SPEC_RE = re.compile(r"^\s*([a-z_]+)\s*(?:\(\s*([^()]*?)\s*\))?\s*$")
+_WINDOW_RE = re.compile(r"^(\d+(?:\.\d+)?)-(\d+(?:\.\d+)?)?$")
+
+
+def _format_number(value: float) -> str:
+    return f"{value:g}"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One parsed workload: kind plus the knobs that kind uses.
+
+    ``windows`` carries the scripted ``step`` lifetimes as ``(start, stop)``
+    pairs (``stop=None`` = until the end of the run); ``rate`` is the Poisson
+    arrival rate in flows/second; ``count`` the number of always-on
+    responsive flows.
+    """
+
+    kind: str
+    scheme: str = DEFAULT_WORKLOAD_SCHEME
+    count: int = 1
+    rate: float = 0.0
+    windows: Tuple[Tuple[float, Optional[float]], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(f"unknown workload kind {self.kind!r}; known: {WORKLOAD_KINDS}")
+        if self.scheme not in WORKLOAD_SCHEMES:
+            raise ValueError(f"unknown workload scheme {self.scheme!r}; "
+                             f"known: {WORKLOAD_SCHEMES}")
+        if self.kind == "responsive" and self.count < 1:
+            raise ValueError("responsive workload needs count >= 1")
+        if self.kind == "poisson" and self.rate <= 0:
+            raise ValueError("poisson workload needs rate > 0")
+        if self.kind == "step":
+            if not self.windows:
+                raise ValueError("step workload needs at least one start-stop window")
+            for start, stop in self.windows:
+                if start < 0:
+                    raise ValueError("step window start must be non-negative")
+                if stop is not None and stop <= start:
+                    raise ValueError(f"step window {start:g}-{stop:g} must end after it starts")
+
+    # ------------------------------------------------------------------ #
+    def canonical(self) -> str:
+        """The one canonical spelling (defaults elided, numbers ``%g``)."""
+        if self.kind == "static":
+            return "static"
+        if self.kind == "responsive":
+            if self.count == 1:
+                return f"responsive({self.scheme})"
+            return f"responsive({self.scheme}:{self.count})"
+        if self.kind == "poisson":
+            if self.scheme == DEFAULT_WORKLOAD_SCHEME:
+                return f"poisson({_format_number(self.rate)})"
+            return f"poisson({_format_number(self.rate)}:{self.scheme})"
+        windows = ":".join(
+            f"{_format_number(start)}-" if stop is None
+            else f"{_format_number(start)}-{_format_number(stop)}"
+            for start, stop in self.windows)
+        return f"step({windows})"
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+
+# ---------------------------------------------------------------------- #
+# Parsing
+# ---------------------------------------------------------------------- #
+def _parse_step_windows(body: str) -> Tuple[Tuple[float, Optional[float]], ...]:
+    windows: List[Tuple[float, Optional[float]]] = []
+    for part in body.split(":"):
+        part = part.strip()
+        match = _WINDOW_RE.match(part)
+        if match is None:
+            raise ValueError(f"malformed step window {part!r}; expected start-stop "
+                             "(e.g. 2-6) or start- for an open end")
+        start = float(match.group(1))
+        stop = float(match.group(2)) if match.group(2) is not None else None
+        windows.append((start, stop))
+    return tuple(windows)
+
+
+def parse_workload(spec: str) -> WorkloadSpec:
+    """Parse a workload spec string; raises ``ValueError`` on malformed specs."""
+    match = _SPEC_RE.match(spec or "")
+    if match is None:
+        raise ValueError(f"malformed workload spec {spec!r}; expected 'kind' or 'kind(args)'")
+    kind, body = match.group(1), match.group(2)
+    if kind not in WORKLOAD_KINDS:
+        raise ValueError(f"unknown workload kind {kind!r}; known: {WORKLOAD_KINDS}")
+    if kind == "static":
+        if body is not None:
+            raise ValueError("static takes no arguments")
+        return WorkloadSpec(kind="static")
+    if body is None or not body.strip():
+        raise ValueError(f"workload kind {kind!r} needs arguments, e.g. "
+                         "responsive(cubic:2), poisson(0.1), step(2-6)")
+    body = body.strip()
+    if kind == "responsive":
+        scheme, _, raw_count = body.partition(":")
+        count = 1
+        if raw_count:
+            try:
+                count = int(raw_count)
+            except ValueError:
+                raise ValueError(f"responsive count must be an integer, got {raw_count!r}") from None
+        return WorkloadSpec(kind="responsive", scheme=scheme.strip(), count=count)
+    if kind == "poisson":
+        raw_rate, _, scheme = body.partition(":")
+        try:
+            rate = float(raw_rate)
+        except ValueError:
+            raise ValueError(f"poisson rate must be a number, got {raw_rate!r}") from None
+        return WorkloadSpec(kind="poisson", rate=rate,
+                            scheme=scheme.strip() or DEFAULT_WORKLOAD_SCHEME)
+    return WorkloadSpec(kind="step", windows=_parse_step_windows(body))
+
+
+def canonical_workload(spec: str) -> str:
+    """The canonical form of a workload spec: ``" responsive( cubic:1 ) "`` →
+    ``"responsive(cubic)"``.  Two specs that build the same workload
+    canonicalize to the same string, so scenario keys never split cells."""
+    return parse_workload(spec).canonical()
+
+
+def workload_specs() -> List[str]:
+    """Representative specs for listings and sweeps (one per kind)."""
+    return ["static", "responsive(cubic:2)", "poisson(0.25)", "step(2-6)"]

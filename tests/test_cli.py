@@ -89,6 +89,35 @@ def test_evaluate_rejects_bad_topology():
               "--trace", "step-12-48", "--duration", "3.0", "--topology", "mesh(9)"])
 
 
+def test_list_traces_includes_workload_specs(capsys):
+    assert main(["list-traces"]) == 0
+    out = capsys.readouterr().out
+    assert "poisson(0.25)" in out and "responsive(cubic:2)" in out
+
+
+def test_evaluate_with_workload_flag(capsys):
+    code = main(["evaluate", "--kind", "canopy-shallow", "--steps", "30", "--seed", "52",
+                 "--trace", "step-12-48", "--duration", "3.0",
+                 "--topology", "fan_in(2)", "--workload", "responsive(cubic)"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "canopy-shallow" in out and "utilization" in out
+
+
+def test_evaluate_rejects_bad_workload():
+    with pytest.raises(ValueError):
+        main(["evaluate", "--kind", "canopy-shallow", "--steps", "30", "--seed", "52",
+              "--trace", "step-12-48", "--duration", "3.0", "--workload", "surge(9)"])
+
+
+def test_compare_classical_with_workload(capsys):
+    code = main(["compare-classical", "--traces", "1", "--duration", "3.0",
+                 "--topology", "shared_segment", "--workload", "step(1-2)"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cubic" in out
+
+
 def test_compare_classical_with_topology(capsys):
     code = main(["compare-classical", "--traces", "1", "--duration", "3.0",
                  "--topology", "parking_lot(2)"])

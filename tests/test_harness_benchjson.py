@@ -7,8 +7,10 @@ import pytest
 from repro.harness.benchjson import (
     SCHEMA_VERSION,
     canonical_rows,
+    format_store_diff,
     main,
     merge_bench_files,
+    store_diff,
     store_rows,
     validate_bench_payload,
 )
@@ -168,6 +170,68 @@ class TestMain:
         assert metrics == {"runtime_s", "certificates", "certificates_per_sec",
                            "grid_wall_clock_s", "n_jobs"}
         assert {row["unit"] for row in merged["rows"]} == {"s", "count", "1/s"}
+
+
+class TestStoreDiff:
+    @staticmethod
+    def make_store(path, rows):
+        from repro.harness.store import RunRecord, RunStore
+
+        store = RunStore(path)
+        for key, row in rows.items():
+            store.put(RunRecord(key=key, row=row, experiment="e"))
+        return store
+
+    def test_identical_stores(self, tmp_path):
+        rows = {"k1 #a": {"scheme": "cubic", "utilization": 0.8}}
+        a = self.make_store(tmp_path / "a", rows)
+        b = self.make_store(tmp_path / "b", rows)
+        diff = store_diff(a, b)
+        assert diff["identical"]
+        assert diff["added"] == diff["removed"] == diff["changed"] == []
+        assert "identical" in format_store_diff(diff)
+
+    def test_added_removed_and_changed_cells(self, tmp_path):
+        a = self.make_store(tmp_path / "a", {
+            "k1 #a": {"scheme": "cubic", "utilization": 0.8, "loss_rate": 0.0},
+            "k2 #a": {"scheme": "vegas", "utilization": 0.7},
+        })
+        b = self.make_store(tmp_path / "b", {
+            "k1 #a": {"scheme": "cubic", "utilization": 0.9, "loss_rate": 0.0},
+            "k3 #a": {"scheme": "bbr", "utilization": 0.6},
+        })
+        diff = store_diff(a, b)
+        assert diff["added"] == ["k3 #a"]
+        assert diff["removed"] == ["k2 #a"]
+        (changed,) = diff["changed"]
+        assert changed == {"key": "k1 #a", "metric": "utilization",
+                           "a": 0.8, "b": 0.9, "delta": pytest.approx(0.1)}
+        assert not diff["identical"]
+        rendered = format_store_diff(diff, "old", "new")
+        assert "only in old: k2 #a" in rendered and "only in new: k3 #a" in rendered
+        assert "utilization" in rendered
+
+    def test_non_scalar_changes_reported_without_delta(self, tmp_path):
+        a = self.make_store(tmp_path / "a", {"k #a": {"scheme": "cubic", "u": 0.5}})
+        b = self.make_store(tmp_path / "b", {"k #a": {"scheme": "bbr", "u": 0.5}})
+        (changed,) = store_diff(a, b)["changed"]
+        assert changed == {"key": "k #a", "metric": "scheme", "a": "cubic", "b": "bbr"}
+
+    def test_main_store_diff_exit_codes(self, tmp_path, capsys):
+        rows = {"k #a": {"utilization": 0.5}}
+        self.make_store(tmp_path / "a", rows)
+        self.make_store(tmp_path / "b", {"k #a": {"utilization": 0.6}})
+        assert main(["--store-diff", str(tmp_path / "a"), str(tmp_path / "a")]) == 0
+        assert main(["--store-diff", str(tmp_path / "a"), str(tmp_path / "b")]) == 1
+        assert main(["--store-diff", str(tmp_path / "a"), str(tmp_path / "missing")]) == 2
+        out = capsys.readouterr().out
+        assert "identical" in out and "not a run store" in out
+
+    def test_main_store_diff_rejects_other_inputs(self, tmp_path):
+        self.make_store(tmp_path / "a", {"k #a": {"u": 0.5}})
+        with pytest.raises(SystemExit):
+            main(["--store-diff", str(tmp_path / "a"), str(tmp_path / "a"),
+                  "--validate"])
 
 
 def test_schema_version_is_pinned():

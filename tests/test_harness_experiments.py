@@ -113,7 +113,8 @@ class TestTopologySweep:
     def test_topology_sweep_defaults_cover_family_catalog(self):
         result = experiments.topology_sweep(duration=2.0, n_synthetic=1, seed=31)
         assert set(result["families"]) == {"single_bottleneck", "chain(3)",
-                                           "parking_lot(3)", "dumbbell"}
+                                           "parking_lot(3)", "dumbbell",
+                                           "fan_in(3)", "tree(2)", "shared_segment"}
 
     def test_performance_sweep_topology_axis(self):
         result = experiments.performance_sweep(
@@ -192,6 +193,46 @@ class TestTopologyGeneralization:
         # Cached cells certified nothing this run: no throughput is claimed.
         assert resumed["certificates_per_sec"] == 0.0
 
+    def test_property_family_product_axis_in_one_store(self, tmp_path):
+        # The ROADMAP open item: families x property_family certified within
+        # ONE grid (and one resumable store) instead of one rerun per family.
+        from repro.harness.registry import REGISTRY
+        from repro.harness.store import RunStore
+
+        overrides = {"families": "single_bottleneck,chain(2)", "include_mixed": "0",
+                     "training_steps": "40", "duration": "2.0", "n_components": "4",
+                     "n_traces": "1", "seeds": "1", "property_family": "shallow,deep"}
+        store = RunStore(tmp_path)
+        result = REGISTRY.run("topology_generalization", overrides, store=store,
+                              resume=True)
+        assert result["property_family"] == ["shallow", "deep"]
+        assert len(result["rows"]) == 2 * 4  # 2 property families x (2x2) grid
+        assert {row["property_family"] for row in result["rows"]} == {"shallow", "deep"}
+        for row in result["rows"]:
+            assert 0.0 <= row["qcsat"] <= 1.0
+        # One store holds both certified families, and a rerun is fully cached.
+        families_in_store = {record.spec["property_family"]
+                             for record in store.records()}
+        assert families_in_store == {"shallow", "deep"}
+        resumed = REGISTRY.run("topology_generalization", overrides, store=store,
+                               resume=True)
+        assert resumed["computed_cells"] == 0
+        assert resumed["rows"] == result["rows"]
+        # Growing a single-family store to the product axis reuses the cached
+        # single-family cells (the family lives in the scenario key, not in a
+        # fingerprint-changing tag): only the new family's cells compute.
+        grown = REGISTRY.run("topology_generalization",
+                             {**overrides, "property_family": "shallow,deep,robustness"},
+                             store=store, resume=True)
+        assert grown["computed_cells"] == 4  # only the robustness cells
+
+    def test_single_property_family_keeps_legacy_row_shape(self):
+        result = experiments.topology_generalization(
+            families=("single_bottleneck", "chain(2)"), include_mixed=False,
+            duration=2.0, n_components=4, n_synthetic=1, n_jobs=1, **QUICK)
+        assert result["property_family"] == "shallow"
+        assert all("property_family" not in row for row in result["rows"])
+
     def test_larger_grid_via_set_overrides_no_code_change(self):
         # The ROADMAP scale-up: >= 3 seeds per cell and the cellular suite on
         # the eval axis, purely through string (--set style) overrides.
@@ -216,6 +257,59 @@ class TestTopologyGeneralization:
         assert result["computed_cells"] == 12
         assert result["axes"]["trace"] == ["cellular"]
         assert result["axes"]["seeds"] == [0, 1, 2]
+
+
+@pytest.mark.slow
+class TestWorkloadStress:
+    GRID = dict(schemes=("canopy-shallow",), topologies=("single_bottleneck", "fan_in(2)"),
+                workloads=("static", "poisson(0.5)"), duration=2.0, n_components=4,
+                n_traces=1, **QUICK)
+
+    def test_grid_structure_and_certification(self):
+        result = experiments.workload_stress(n_jobs=1, **self.GRID)
+        assert result["figure"] == "workload_stress"
+        assert result["workloads"] == ["static", "poisson(0.5)"]
+        assert len(result["rows"]) == 4  # 2 topologies x 2 workloads
+        for row in result["rows"]:
+            assert row["workload"] in ("static", "poisson(0.5)")
+            assert 0.0 < row["utilization"] <= 1.5
+            assert 0.0 <= row["qcsat"] <= 1.0
+        assert result["certificates"] > 0
+
+    def test_serial_and_parallel_rows_identical(self):
+        serial = experiments.workload_stress(n_jobs=1, **self.GRID)
+        parallel = experiments.workload_stress(n_jobs=2, **self.GRID)
+        assert serial["rows"] == parallel["rows"]
+
+    def test_registry_resume_round_trip(self, tmp_path):
+        # The acceptance shape: run, resume (all cached), rows byte-identical.
+        import json
+
+        from repro.harness.registry import REGISTRY
+        from repro.harness.store import RunStore
+
+        overrides = {"schemes": "canopy-shallow", "topology": "fan_in(2)",
+                     "workload": "poisson(0.5)", "training_steps": "60",
+                     "duration": "2.0", "n_components": "4", "seeds": "31"}
+        first = REGISTRY.run("workload_stress", overrides, n_jobs=2,
+                             store=RunStore(tmp_path), resume=True)
+        again = REGISTRY.run("workload_stress", overrides, n_jobs=1,
+                             store=RunStore(tmp_path), resume=True)
+        assert again["computed_cells"] == 0
+        assert json.dumps(first["rows"]) == json.dumps(again["rows"])
+        # The scenario keys carry the workload axis.
+        (record,) = RunStore(tmp_path).records()
+        assert record.spec["workload"] == "poisson(0.5)"
+        assert "workload=poisson(0.5)" in record.key
+
+    def test_classical_schemes_run_uncertified(self):
+        result = experiments.workload_stress(
+            schemes=("cubic",), topologies=("fan_in(2)",),
+            workloads=("responsive(cubic)",), duration=2.0, n_traces=1,
+            n_jobs=1, **QUICK)
+        (row,) = result["rows"]
+        assert "qcsat" not in row
+        assert result["certificates"] == 0
 
 
 @pytest.mark.slow

@@ -18,8 +18,12 @@ from repro.harness.spec import (
 from repro.topology.families import topology_family_specs
 from repro.traces.cellular import CELLULAR_TRACE_NAMES
 from repro.traces.synthetic import SYNTHETIC_TRACE_NAMES
+from repro.workload.spec import workload_specs
 
 FAMILY_SPECS = topology_family_specs() + ["chain(1)", "parking_lot(4)", "chain"]
+
+WORKLOAD_SPECS = workload_specs() + ["responsive(bbr:3)", "poisson(0.5:vegas)",
+                                     "step(1-3:2-)", "static"]
 
 
 def _assert_round_trips(spec: ScenarioSpec) -> None:
@@ -55,12 +59,15 @@ class TestRoundTripFuzz:
         trace=st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1,
                       max_size=16),
         topology=st.sampled_from(FAMILY_SPECS),
+        workload=st.sampled_from(WORKLOAD_SPECS),
         seed=st.integers(min_value=0, max_value=2 ** 31 - 2),
         certify=st.booleans(),
         family=st.sampled_from([None] + sorted(PROPERTY_FAMILIES)),
     )
-    def test_fuzzed_specs_round_trip(self, scheme, trace, topology, seed, certify, family):
-        spec = ScenarioSpec(scheme=scheme, trace=trace, topology=topology, seed=seed,
+    def test_fuzzed_specs_round_trip(self, scheme, trace, topology, workload, seed,
+                                     certify, family):
+        spec = ScenarioSpec(scheme=scheme, trace=trace, topology=topology,
+                            workload=workload, seed=seed,
                             model_kind="canopy-deep" if certify else None,
                             property_family=family if certify else None,
                             certify=certify)
@@ -99,6 +106,27 @@ class TestValidation:
         catalog = ScenarioSpec(scheme="canopy", trace="t", model_kind="canopy-shallow",
                                model_topologies=("chain", "parking_lot( 2 )"))
         assert catalog.model_topologies == ("chain(2)", "parking_lot(2)")
+
+    def test_workload_specs_canonicalized_and_elided_when_static(self):
+        padded = ScenarioSpec(scheme="cubic", trace="t",
+                              workload=" responsive( cubic:1 ) ")
+        assert padded.workload == "responsive(cubic)"
+        assert "workload=responsive(cubic)" in padded.key()
+        assert ScenarioSpec.parse(padded.key()) == padded
+        # The static default is elided, so every pre-workload key (and store
+        # cell) keeps its exact identity.
+        static = ScenarioSpec(scheme="cubic", trace="t")
+        assert static.workload == "static"
+        assert "workload" not in static.key()
+        legacy_payload = static.to_json()
+        legacy_payload.pop("workload")
+        assert ScenarioSpec.from_json(legacy_payload) == static
+
+    def test_bad_workload_rejected(self):
+        for bad in ("surge(9)", "poisson()", "responsive(cubic:x)", "step(6-2)",
+                    "poisson(-1)", "responsive(quic)"):
+            with pytest.raises(ValueError):
+                ScenarioSpec(scheme="cubic", trace="t", workload=bad)
 
     def test_certify_requires_model(self):
         with pytest.raises(ValueError):

@@ -73,6 +73,10 @@ class TestParseTopology:
         assert parse_topology("parking_lot(2)") == ("parking_lot", 2)
         assert parse_topology("dumbbell") == ("dumbbell", 3)
         assert parse_topology(" chain( 3 ) ") == ("chain", 3)
+        assert parse_topology("fan_in(4)") == ("fan_in", 4)
+        assert parse_topology("fan_in") == ("fan_in", 3)
+        assert parse_topology("tree(2)") == ("tree", 2)
+        assert parse_topology("shared_segment") == ("shared_segment", 5)
 
     def test_malformed_specs_rejected(self):
         for bad in ("", "nope", "chain(", "chain(0)", "chain(-1)", "chain(2", "42"):
@@ -84,6 +88,14 @@ class TestParseTopology:
             parse_topology("dumbbell(5)")
         with pytest.raises(ValueError):
             parse_topology("single_bottleneck(2)")
+        with pytest.raises(ValueError):
+            parse_topology("shared_segment(3)")
+
+    def test_branching_families_need_two_branches(self):
+        with pytest.raises(ValueError):
+            parse_topology("fan_in(1)")
+        with pytest.raises(ValueError):
+            parse_topology("tree(1)")
 
     def test_family_specs_listing_parses(self):
         specs = topology_family_specs()
@@ -153,6 +165,43 @@ class TestFamilyCatalog:
         assert topo.links["hop3"].queue.random_loss_rate == pytest.approx(0.02)
         assert topo.links["hop1"].queue.random_loss_rate == 0.0
 
+    def test_fan_in_structure(self):
+        trace = constant_trace()
+        topo = build_topology("fan_in(3)", trace, min_rtt=0.06, seed=1)
+        assert topo.link_names == ["leaf1", "leaf2", "leaf3", "bottleneck"]
+        assert topo.bottleneck_name == "bottleneck"
+        assert topo.bottleneck.queue.trace is trace
+        # Every flow enters over its own leaf (round-robin) and joins at the
+        # shared root; all routes see the full path RTT.
+        for flow_id, leaf in ((0, "leaf1"), (1, "leaf2"), (2, "leaf3"), (3, "leaf1")):
+            assert topo.route_names(flow_id) == (leaf, "bottleneck")
+            assert topo.path_rtt(flow_id) == pytest.approx(0.06)
+        # Leaves are faster than the trace-driven root.
+        for name in ("leaf1", "leaf2", "leaf3"):
+            assert topo.links[name].queue.trace.mean_mbps > trace.mean_mbps
+        # Declaring leaves before the root is already a topological order.
+        assert topo.drain_order == ["leaf1", "leaf2", "leaf3", "bottleneck"]
+
+    def test_tree_structure(self):
+        topo = build_topology("tree(2)", constant_trace(), min_rtt=0.08, seed=1)
+        assert topo.link_names == ["bottleneck", "branch1", "branch2"]
+        assert topo.route_names(0) == ("bottleneck", "branch1")
+        assert topo.route_names(1) == ("bottleneck", "branch2")
+        assert topo.path_rtt(0) == pytest.approx(0.08)
+        assert topo.drain_order[0] == "bottleneck"
+
+    def test_shared_segment_structure(self):
+        topo = build_topology("shared_segment", constant_trace(), min_rtt=0.08, seed=1)
+        assert topo.bottleneck_name == "shared"
+        assert topo.route_names(0) == ("access-a", "shared", "exit-a")
+        assert topo.route_names(1) == ("access-b", "shared", "exit-b")
+        assert topo.path_rtt(0) == pytest.approx(0.08)
+        assert topo.path_rtt(1) == pytest.approx(0.08)
+        # Both branches fork in before the shared middle and fork out after it.
+        order = topo.drain_order
+        assert order.index("access-a") < order.index("shared") < order.index("exit-a")
+        assert order.index("access-b") < order.index("shared") < order.index("exit-b")
+
 
 class TestTopologyValidation:
     def make_links(self):
@@ -165,12 +214,36 @@ class TestTopologyValidation:
         with pytest.raises(ValueError):
             Topology("t", [link, other])
 
-    def test_route_must_follow_link_order(self):
+    def test_route_cycles_rejected(self):
         links = self.make_links()
-        with pytest.raises(ValueError):
+        # A route running against the default full-path chain closes a cycle.
+        with pytest.raises(ValueError, match="cycle"):
             Topology("t", links, routes={0: ["l2", "l0"]})
         with pytest.raises(ValueError):
             Topology("t", links, routes={0: ["l0", "nope"]})
+        # Two explicit routes that disagree on the hop order also cycle, even
+        # with a route cycle suppressing the full-path default.
+        with pytest.raises(ValueError, match="cycle"):
+            Topology("t", links, route_cycle=[("l0", "l1"), ("l1", "l0")])
+        with pytest.raises(ValueError):
+            Topology("t", links, routes={0: ["l1", "l1"]})
+
+    def test_dag_routes_ignore_declaration_order(self):
+        # A fork/join DAG declared in a non-topological order still drains
+        # topologically: both access links before the shared middle.
+        shared = Link.build("shared", constant_trace(12.0), delay=0.01, buffer_rtt=0.03)
+        access_a = Link.build("a", constant_trace(48.0), delay=0.01, buffer_rtt=0.03)
+        access_b = Link.build("b", constant_trace(48.0), delay=0.01, buffer_rtt=0.03)
+        topo = Topology("t", [shared, access_a, access_b],
+                        route_cycle=[("a", "shared"), ("b", "shared")])
+        assert topo.drain_order.index("a") < topo.drain_order.index("shared")
+        assert topo.drain_order.index("b") < topo.drain_order.index("shared")
+        assert topo.route_names(0) == ("a", "shared")
+        assert topo.route_names(1) == ("b", "shared")
+
+    def test_empty_route_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            Topology("t", self.make_links(), route_cycle=[])
 
     def test_cross_traffic_ids_unique_and_negative(self):
         links = self.make_links()
@@ -303,7 +376,8 @@ class TestMultiHopDynamics:
 # ---------------------------------------------------------------------- #
 class TestConservationInvariants:
     @pytest.mark.parametrize("spec", ["single_bottleneck", "chain(3)", "parking_lot(3)",
-                                      "dumbbell"])
+                                      "dumbbell", "fan_in(3)", "tree(2)",
+                                      "shared_segment"])
     def test_per_hop_enqueued_equals_delivered_plus_buffered(self, spec):
         topo = build_topology(spec, constant_trace(18.0), min_rtt=0.05, buffer_bdp=0.8,
                               random_loss_rate=0.01, seed=6)
@@ -314,7 +388,8 @@ class TestConservationInvariants:
             assert queue.total_enqueued == pytest.approx(
                 queue.total_delivered + queue.queue_occupancy, abs=1e-9), link.name
 
-    @pytest.mark.parametrize("spec", ["chain(3)", "parking_lot(2)"])
+    @pytest.mark.parametrize("spec", ["chain(3)", "parking_lot(2)", "fan_in(3)",
+                                      "tree(2)", "shared_segment"])
     def test_flow_conservation_sent_equals_acked_lost_inflight(self, spec):
         topo = build_topology(spec, constant_trace(18.0), min_rtt=0.05, buffer_bdp=0.8,
                               seed=6)
@@ -324,6 +399,35 @@ class TestConservationInvariants:
         assert flow.total_sent == pytest.approx(
             flow.total_acked + flow.total_lost + flow.inflight, abs=1e-9)
         assert flow.total_acked + flow.total_lost <= flow.total_sent + 1e-9
+
+    @pytest.mark.parametrize("spec", ["fan_in(3)", "shared_segment"])
+    def test_dag_conservation_with_competing_flows(self, spec):
+        # Several flows forking in over their own branches and joining at the
+        # shared bottleneck: per-hop and per-flow conservation must both hold
+        # on the DAG, including for flows with partial lifetimes.
+        topo = build_topology(spec, constant_trace(18.0), min_rtt=0.05, buffer_bdp=0.8,
+                              seed=6)
+        flows = [Flow(0, CubicController()),
+                 Flow(1, CubicController(), start_time=1.0),
+                 Flow(2, CubicController(), start_time=2.0, stop_time=4.0)]
+        sim = NetworkSimulator(topo, flows)
+        sim.run(6.0)
+        for link in topo.ordered_links:
+            queue = link.queue
+            assert queue.total_enqueued == pytest.approx(
+                queue.total_delivered + queue.queue_occupancy, abs=1e-9), link.name
+        for flow in flows:
+            assert flow.total_sent == pytest.approx(
+                flow.total_acked + flow.total_lost + flow.inflight, abs=1e-9), flow.flow_id
+        # Join sanity (fan_in): everything the leaves delivered either entered
+        # the shared root queue or was tail-dropped at its full buffer.
+        if spec == "fan_in(3)":
+            root = topo.bottleneck.queue
+            leaf_delivered = sum(link.queue.total_delivered
+                                 for link in topo.ordered_links
+                                 if link.name != topo.bottleneck_name)
+            assert leaf_delivered == pytest.approx(
+                root.total_enqueued + root.total_dropped, abs=1e-9)
 
     def test_fifo_drains_interleaved_flows_in_arrival_order(self):
         link = BottleneckLink(constant_trace(12.0), min_rtt=0.05, buffer_packets=100.0)

@@ -1,0 +1,263 @@
+"""Tests for the workload subsystem: specs, arrivals, responsive flows, churn.
+
+Covers the comma-free spec grammar and its canonical forms, the determinism
+of seeded Poisson arrival schedules, responsive cross flows actually
+competing (and churned flows actually arriving/leaving) inside the
+simulator, partial-lifetime handling in ``SimulationResult`` /
+``monitor_report``, and the two reproducibility pins the ISSUE names:
+
+* churn determinism — a churned grid produces byte-identical rows whether it
+  runs serially or sharded over a process pool, and
+* a differential pin — linear-chain routes plus the ``static`` workload
+  reproduce the pre-workload trajectories exactly (atol=1e-12).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cc.cubic import CubicController
+from repro.cc.flow import Flow
+from repro.cc.metrics import summarize_result
+from repro.cc.netsim import NetworkSimulator
+from repro.harness.evaluate import EvaluationSettings, run_scheme_on_trace, scheme_factory
+from repro.harness.parallel import ExperimentTask, ParallelRunner
+from repro.topology import build_topology
+from repro.traces.trace import BandwidthTrace
+from repro.workload import (
+    ArrivalSchedule,
+    ResponsiveCrossFlow,
+    WorkloadSpec,
+    build_workload,
+    canonical_workload,
+    parse_workload,
+    workload_specs,
+)
+
+RECORD_FIELDS = ("time", "sent", "acked", "lost", "rtt", "queuing_delay", "cwnd", "inflight")
+
+
+def constant_trace(mbps=24.0, duration=60.0, name="const"):
+    return BandwidthTrace.constant(mbps, duration=duration, name=name)
+
+
+# ---------------------------------------------------------------------- #
+# Spec grammar
+# ---------------------------------------------------------------------- #
+class TestParseWorkload:
+    def test_kinds_parse(self):
+        assert parse_workload("static") == WorkloadSpec(kind="static")
+        assert parse_workload("responsive(cubic)") == WorkloadSpec(kind="responsive",
+                                                                   scheme="cubic", count=1)
+        assert parse_workload("responsive(bbr:3)") == WorkloadSpec(kind="responsive",
+                                                                   scheme="bbr", count=3)
+        assert parse_workload("poisson(0.25)") == WorkloadSpec(kind="poisson", rate=0.25)
+        assert parse_workload("poisson(1:vegas)") == WorkloadSpec(kind="poisson", rate=1.0,
+                                                                  scheme="vegas")
+        assert parse_workload("step(2-6)") == WorkloadSpec(kind="step", windows=((2.0, 6.0),))
+        assert parse_workload("step(2-6:4-)") == WorkloadSpec(
+            kind="step", windows=((2.0, 6.0), (4.0, None)))
+
+    def test_whitespace_tolerated(self):
+        assert parse_workload(" responsive( cubic:2 ) ").count == 2
+
+    def test_malformed_rejected(self):
+        for bad in ("", "surge", "responsive", "responsive()", "responsive(quic)",
+                    "responsive(cubic:0)", "responsive(cubic:two)", "poisson()",
+                    "poisson(zero)", "poisson(0)", "poisson(-2)", "step()", "step(6-2)",
+                    "step(2:6)", "step(-1-3)", "static(1)"):
+            with pytest.raises(ValueError):
+                parse_workload(bad)
+
+    def test_canonical_forms(self):
+        assert canonical_workload("responsive(cubic:1)") == "responsive(cubic)"
+        assert canonical_workload("poisson(0.10:cubic)") == "poisson(0.1)"
+        assert canonical_workload("poisson(0.5:bbr)") == "poisson(0.5:bbr)"
+        assert canonical_workload("step(2.0-6.00)") == "step(2-6)"
+        # Canonical forms are fixed points and comma-free (so axis lists split
+        # cleanly on commas).
+        for spec in workload_specs():
+            assert canonical_workload(spec) == spec
+            assert "," not in spec
+
+
+# ---------------------------------------------------------------------- #
+# Arrival schedules
+# ---------------------------------------------------------------------- #
+class TestArrivalSchedule:
+    def test_always_and_scripted(self):
+        assert [w.start for w in ArrivalSchedule.always(3)] == [0.0, 0.0, 0.0]
+        scripted = ArrivalSchedule.scripted([(1.0, 3.0), (2.0, None)])
+        assert [(w.start, w.stop) for w in scripted] == [(1.0, 3.0), (2.0, None)]
+        with pytest.raises(ValueError):
+            ArrivalSchedule.scripted([(3.0, 1.0)])
+
+    def test_poisson_deterministic_per_seed(self):
+        a = ArrivalSchedule.poisson(rate=1.0, duration=20.0, seed=9)
+        b = ArrivalSchedule.poisson(rate=1.0, duration=20.0, seed=9)
+        c = ArrivalSchedule.poisson(rate=1.0, duration=20.0, seed=10)
+        assert a.windows == b.windows
+        assert a.windows != c.windows
+
+    def test_poisson_windows_inside_run(self):
+        schedule = ArrivalSchedule.poisson(rate=2.0, duration=10.0, seed=4)
+        assert len(schedule) > 0
+        for window in schedule:
+            assert 0.0 <= window.start < 10.0
+            if window.stop is not None:
+                assert window.stop > window.start
+
+    def test_poisson_flow_cap(self):
+        assert len(ArrivalSchedule.poisson(rate=1e6, duration=10.0, seed=1)) <= 64
+
+
+# ---------------------------------------------------------------------- #
+# build_workload expansion
+# ---------------------------------------------------------------------- #
+class TestBuildWorkload:
+    def test_static_builds_nothing(self):
+        assert build_workload("static", duration=10.0, seed=1) == []
+
+    def test_responsive_ids_and_lifetimes(self):
+        flows = build_workload("responsive(vegas:2)", duration=10.0, seed=1)
+        assert [f.flow_id for f in flows] == [1, 2]
+        assert all(f.scheme == "vegas" for f in flows)
+        assert all(f.start_time == 0.0 and f.stop_time is None for f in flows)
+
+    def test_poisson_seed_derives_from_cell_coordinates(self):
+        kwargs = dict(duration=20.0, seed=3, trace_name="t", topology="fan_in(3)")
+        same = [build_workload("poisson(1.0)", **kwargs) for _ in range(2)]
+        assert same[0] == same[1]
+        other_cell = build_workload("poisson(1.0)", duration=20.0, seed=3,
+                                    trace_name="t", topology="chain(2)")
+        assert other_cell != same[0]
+
+    def test_cross_flow_validation(self):
+        with pytest.raises(ValueError):
+            ResponsiveCrossFlow(scheme="cubic", flow_id=0)
+        with pytest.raises(ValueError):
+            ResponsiveCrossFlow(scheme="quic", flow_id=1)
+        with pytest.raises(ValueError):
+            ResponsiveCrossFlow(scheme="cubic", flow_id=1,
+                                start_time=4.0, stop_time=2.0)
+
+
+# ---------------------------------------------------------------------- #
+# Responsive competition and churn inside the simulator
+# ---------------------------------------------------------------------- #
+class TestResponsiveCompetition:
+    def run_flow0(self, workload, topology="single_bottleneck", duration=8.0, seed=5):
+        settings = EvaluationSettings(duration=duration, buffer_bdp=1.0,
+                                      topology=topology, workload=workload, seed=seed)
+        return run_scheme_on_trace(scheme_factory("cubic"),
+                                   constant_trace(name="const-24"), settings,
+                                   scheme_name="cubic")
+
+    def test_responsive_competitor_takes_capacity(self):
+        quiet = self.run_flow0("static")
+        contended = self.run_flow0("responsive(cubic:2)")
+        assert contended.summary.utilization < quiet.summary.utilization * 0.9
+        # The background flows are real closed-loop flows with stats.
+        assert set(contended.simulation.flow_stats) == {0, 1, 2}
+        for fid in (1, 2):
+            assert contended.simulation.stats_for(fid).acked.sum() > 0.0
+
+    def test_fan_in_incast_spreads_flows_over_leaves(self):
+        result = self.run_flow0("responsive(cubic:2)", topology="fan_in(3)")
+        sim_flows = result.simulation.flow_stats
+        assert set(sim_flows) == {0, 1, 2}
+        # Every flow pushed data through its own leaf into the shared root.
+        for fid in sim_flows:
+            assert sim_flows[fid].acked.sum() > 0.0
+
+    def test_churned_flows_start_and_stop_mid_run(self):
+        result = self.run_flow0("step(2-5)", duration=8.0)
+        lifetimes = result.simulation.lifetimes
+        assert lifetimes[1] == (2.0, 5.0)
+        stats = result.simulation.stats_for(1)
+        # Silent before arrival, active inside the window, silent after
+        # departure (plus the ack tail draining one RTT past the stop).
+        # Tick times accumulate float error (0.01 * 500 != 5.0 exactly), so
+        # the last active send can land in the tick ending one dt past the
+        # stop; allow that one tick of slack on the boundaries.
+        dt = result.simulation.dt
+        assert stats.sent[stats.times <= 2.0 + dt / 2].sum() == 0.0
+        window = (stats.times > 2.0 + dt / 2) & (stats.times <= 5.0 + 3 * dt / 2)
+        assert stats.sent[window].sum() > 0.0
+        assert stats.sent[stats.times > 5.0 + 3 * dt / 2].sum() == 0.0
+
+    def test_partial_lifetime_summary_scores_active_window_only(self):
+        result = self.run_flow0("step(3-6)", duration=9.0)
+        summary = summarize_result(result.simulation, flow_id=1, skip_seconds=0.5)
+        # Scoring the 3s active window against the whole 9s run would dilute
+        # throughput by ~3x; the windowed summary must not.
+        from repro.traces.trace import pps_to_mbps
+
+        stats = result.simulation.stats_for(1)
+        window = (stats.times > 3.5) & (stats.times <= 6.0)
+        window_rate = stats.acked[window].sum() / (window.sum() * result.simulation.dt)
+        assert summary.throughput_mbps == pytest.approx(pps_to_mbps(window_rate), rel=0.05)
+        assert summary.total_acked > 0.0
+
+    def test_monitor_report_interval_starts_at_flow_start(self):
+        topo = build_topology("single_bottleneck", constant_trace(), min_rtt=0.04, seed=3)
+        late = Flow(1, CubicController(), start_time=1.0)
+        sim = NetworkSimulator(topo, [Flow(0, CubicController()), late])
+        for _ in range(150):  # 1.5 s
+            sim.tick()
+        report = sim.monitor_report(1)
+        assert report.interval == pytest.approx(0.5, abs=0.02)
+
+
+# ---------------------------------------------------------------------- #
+# Determinism: churned grids shard identically (ISSUE satellite)
+# ---------------------------------------------------------------------- #
+class TestChurnDeterminism:
+    def test_serial_and_sharded_rows_identical(self):
+        trace = constant_trace(name="const-24")
+        tasks = []
+        for workload in ("poisson(0.6)", "responsive(cubic)", "step(1-3)"):
+            for topology in ("fan_in(2)", "shared_segment"):
+                settings = EvaluationSettings(duration=3.0, buffer_bdp=1.0,
+                                              topology=topology, workload=workload,
+                                              seed=7)
+                tasks.append(ExperimentTask(scheme="cubic", trace=trace,
+                                            settings=settings))
+        serial = ParallelRunner(1).run(tasks)
+        sharded = ParallelRunner(2).run(tasks)
+        assert serial.rows == sharded.rows
+        assert all(row["workload"] in ("poisson(0.6)", "responsive(cubic)", "step(1-3)")
+                   for row in serial.rows)
+
+
+# ---------------------------------------------------------------------- #
+# Differential pin: static workload == pre-workload trajectories
+# ---------------------------------------------------------------------- #
+class TestStaticWorkloadDifferential:
+    def collect(self, sim, n_ticks):
+        rows = []
+        for _ in range(n_ticks):
+            record = sim.tick()[0]
+            rows.append([getattr(record, name) for name in RECORD_FIELDS])
+        return np.asarray(rows, dtype=np.float64)
+
+    @pytest.mark.parametrize("topology", ["single_bottleneck", "chain(3)"])
+    def test_static_workload_is_a_byte_exact_noop(self, topology):
+        """Linear-chain routes + the static workload reproduce the direct
+        (pre-workload) simulator trajectory exactly (atol=1e-12)."""
+        trace = constant_trace(name="const-24")
+        settings = EvaluationSettings(duration=6.0, buffer_bdp=1.0,
+                                      topology=topology, workload="static", seed=11)
+        through_workload = run_scheme_on_trace(
+            scheme_factory("cubic"), trace, settings, scheme_name="cubic")
+
+        direct_sim = NetworkSimulator(
+            build_topology(topology, trace, min_rtt=settings.min_rtt,
+                           buffer_bdp=settings.buffer_bdp, seed=settings.seed),
+            [Flow(0, CubicController())], dt=settings.dt)
+        direct = self.collect(direct_sim, 600)
+
+        stats = through_workload.simulation.stats_for(0)
+        workload_rows = np.column_stack(
+            [getattr(stats, "times" if name == "time" else name) for name in RECORD_FIELDS])
+        np.testing.assert_allclose(direct, workload_rows, rtol=0.0, atol=1e-12,
+                                   err_msg=f"static workload drifted on {topology}")
