@@ -18,12 +18,18 @@ figure.
 """
 
 import os
+import time
 
 from benchconfig import DURATION, N_JOBS, SEED, run_once
 
+from repro.cc.cubic import CubicController
+from repro.cc.flow import Flow
+from repro.cc.netsim import NetworkSimulator
 from repro.harness import experiments
 from repro.harness.reporting import format_rows
 from repro.harness.spec import parse_topologies
+from repro.topology import build_topology
+from repro.traces.synthetic import make_synthetic_trace
 
 FAMILIES = parse_topologies(os.environ.get(
     "REPRO_BENCH_TOPOLOGIES",
@@ -64,6 +70,49 @@ def test_topology_sweep_families(benchmark):
 
     # Shape: cross traffic (parking lot) costs the scheme under test capacity
     # relative to an uncontended single bottleneck.
+    _shape_check(by_family)
+
+
+#: Raw ``NetworkSimulator.tick`` ticks for the multi-hop hot-path microbench.
+MULTI_HOP_TICKS = int(os.environ.get("REPRO_BENCH_MULTI_HOP_TICKS", "20000"))
+
+
+def test_multi_hop_tick_throughput(benchmark):
+    """Raw multi-hop tick rate on chain(3) — the transit-stage hot path.
+
+    The per-hop propagation stage (transit queues between hops) sits directly
+    on the drain loop, so this microbench guards its overhead: the recorded
+    ``multi_hop_ticks_per_sec`` scalar folds into ``BENCH_ci.json`` and must
+    stay within ~10% of the pre-transit baseline.
+    """
+
+    def run_ticks():
+        trace = make_synthetic_trace("step-12-48")
+        topology = build_topology("chain(3)", trace, min_rtt=0.06,
+                                  buffer_bdp=1.0, seed=7)
+        flows = [Flow(0, CubicController()),
+                 Flow(1, CubicController(), start_time=1.0),
+                 Flow(2, CubicController(), start_time=2.0)]
+        sim = NetworkSimulator(topology, flows, dt=0.01)
+        start = time.perf_counter()
+        for _ in range(MULTI_HOP_TICKS):
+            sim.tick()
+        elapsed = time.perf_counter() - start
+        return {"ticks": MULTI_HOP_TICKS,
+                "ticks_per_sec": MULTI_HOP_TICKS / elapsed,
+                "total_acked": sum(f.total_acked for f in sim.flows.values())}
+
+    result = run_once(benchmark, run_ticks)
+    benchmark.extra_info["multi_hop_ticks_per_sec"] = result["ticks_per_sec"]
+    print(f"\nchain(3) raw tick throughput: {result['ticks_per_sec']:,.0f} ticks/s "
+          f"({result['ticks']} ticks)")
+    assert result["ticks_per_sec"] > 0.0
+    # Sanity: the run moved real traffic over the chain, so the measured loop
+    # exercised enqueue, transit, drain, and ack processing.
+    assert result["total_acked"] > 0.0
+
+
+def _shape_check(by_family):
     if "single_bottleneck" in by_family:
         single_util = {row["scheme"]: row["utilization"]
                        for row in by_family["single_bottleneck"]}

@@ -1,10 +1,23 @@
 """A sender/receiver pair whose sending is governed by a congestion controller.
 
 The flow keeps the classic TCP invariant: the amount of unacknowledged data in
-flight never exceeds the controller's congestion window.  Acknowledgements and
-loss notifications come back one propagation RTT after the corresponding
-packets left (or were dropped at) the bottleneck queue, so the controller sees
-realistic feedback delay.
+flight never exceeds the controller's congestion window.  Feedback is delayed
+realistically under the per-hop delay-split convention (see
+:mod:`repro.topology.graph`): on a multi-hop route the forward propagation of
+every non-terminal hop is incurred *in simulation time* while the chunk sits
+in the transit stage between hops, and the ack returns after the **remaining**
+return-path delay, so the end-to-end ack still arrives one full path RTT
+(plus accumulated queuing) after the packets were sent.  On a one-hop route
+nothing is in transit and the entire path RTT is charged at ack time — the
+legacy single-link behaviour, bit-for-bit.
+
+Loss notifications follow the same physics: a drop at a *downstream* hop
+notifies the sender after the forward delay already incurred plus the return
+propagation from the drop hop (:meth:`Flow.record_transit_drop`), while a
+drop at the sender's own entry queue — where nothing of the path has been
+traversed — is detected a full (smoothed-RTT-estimated) round trip later via
+dup-acks from the packets behind it (:meth:`Flow.record_sent`, the legacy
+convention the one-hop differential pins keep bit-identical).
 """
 
 from __future__ import annotations
@@ -144,29 +157,62 @@ class Flow:
         self.total_sent += sent
         lost = tail_dropped + random_lost
         if lost > 0:
-            # The sender learns about the drop roughly one RTT later (dup-ack /
-            # explicit notification); until then the packets count as in flight.
+            # Entry-queue drop: nothing of the path has been traversed, so the
+            # sender only learns about it a full round trip later via dup-acks
+            # from the packets behind it — estimated by srtt (the one-hop
+            # differential pins keep this convention bit-identical).  Drops at
+            # downstream hops go through record_transit_drop instead, which
+            # charges the actual return delay from the drop hop.
             rtt_estimate = self.srtt if self.srtt > 0 else prop_rtt
             self._loss_events.append(_LossEvent(now + rtt_estimate, lost))
 
-    def record_transit_drop(self, packets: float, now: float, prop_rtt: float) -> None:
+    def record_transit_drop(self, packets: float, now: float, notify_delay: float) -> None:
         """Packets of this flow were dropped at a downstream hop of its path.
 
         The packets were already counted as sent (and in flight) when they
-        entered the first hop; like a send-time drop, the sender only learns
-        about the loss roughly one RTT later.
+        entered the first hop, and the forward propagation up to the drop hop
+        has already elapsed in simulation time (the transit stage).  The loss
+        notification therefore only has the *return* trip from the drop hop
+        left to travel: ``notify_delay`` is the summed return-delay shares of
+        the hops the packets actually traversed — not the legacy full-``srtt``
+        guess, which over-delayed drops near the sender and under-located
+        drops near the receiver.
         """
         if packets <= 0:
             return
-        rtt_estimate = self.srtt if self.srtt > 0 else prop_rtt
-        self._loss_events.append(_LossEvent(now + rtt_estimate, packets))
+        self._loss_events.append(_LossEvent(now + notify_delay, packets))
 
-    def record_delivery(self, packets: float, queuing_delay: float, now: float, prop_rtt: float) -> None:
-        """A chunk of this flow left the bottleneck; the ack arrives one RTT later."""
+    def record_delivery(self, packets: float, queuing_delay: float, now: float,
+                        prop_rtt: float, ack_delay: float | None = None) -> None:
+        """A chunk of this flow left its terminal hop; schedule the ack.
+
+        ``prop_rtt`` is the full path RTT (the propagation component of the
+        RTT sample).  ``ack_delay`` is the *remaining* return-path delay under
+        the delay-split convention — the path RTT minus the forward shares
+        already incurred in transit — so the ack arrives exactly one path RTT
+        (plus queuing) after the packets were sent regardless of hop count.
+        One-hop callers (and the legacy single-link simulator) omit it: with
+        no transit stage the whole path RTT is charged here, at ack time.
+        """
         if packets <= 0:
             return
         rtt_sample = queuing_delay + prop_rtt
-        self._ack_events.append(_AckEvent(now + prop_rtt, packets, rtt_sample, queuing_delay))
+        if ack_delay is None:
+            ack_delay = prop_rtt
+        self._ack_events.append(_AckEvent(now + ack_delay, packets, rtt_sample, queuing_delay))
+
+    # ------------------------------------------------------------------ #
+    # Conservation accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_ack_packets(self) -> float:
+        """Packets delivered end-to-end whose ack is still on the return path."""
+        return sum(event.packets for event in self._ack_events)
+
+    @property
+    def pending_loss_packets(self) -> float:
+        """Packets dropped whose loss notification has not reached the sender."""
+        return sum(event.packets for event in self._loss_events)
 
     # ------------------------------------------------------------------ #
     # Receiving side (processed each tick)

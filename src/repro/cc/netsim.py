@@ -2,11 +2,19 @@
 
 This is the Mahimahi substitute: it advances simulation time in fixed ticks,
 moves packets from every active flow onto the first hop of its route, drains
-every hop at its trace-driven capacity in topological order (so packets
-advance hop-by-hop, with per-hop FIFO queuing, within a tick — and routes may
-fork/join over a DAG, every chunk following its own flow's route), routes
-deliveries that leave a flow's last hop back to it (as ack events one
-path-RTT later), and records per-tick statistics.
+every hop at its trace-driven capacity in topological order, and records
+per-tick statistics.  Routes may fork/join over a DAG, every chunk following
+its own flow's route.
+
+Propagation follows the per-hop delay-split convention (see
+:mod:`repro.topology.graph`): a chunk leaving hop *i* enters the
+:class:`~repro.topology.transit.TransitQueue` and only becomes eligible for
+hop *i+1*'s FIFO after hop *i*'s forward delay share (``delay / 2``), so a
+chunk can no longer traverse a whole multi-hop DAG inside one tick.  The
+terminal hop's delivery schedules the ack after the *remaining* return-path
+delay, so the ack still arrives one full path RTT (plus accumulated queuing)
+after the send — and a one-hop route, which never enters transit, charges
+everything at ack time exactly like the legacy single-link simulator.
 
 The network can be a full :class:`repro.topology.graph.Topology` — multi-hop
 chains, parking lots, dumbbells, fan-in/tree/shared-segment DAGs, with
@@ -188,12 +196,20 @@ class NetworkSimulator:
 
         # Route resolution, fixed for the simulator's lifetime: entry hop and
         # path RTT per flow, plus a (flow, hop) -> successor map used by the
-        # drain loop to forward or deliver each chunk.
+        # drain loop to forward or deliver each chunk.  The delay split is
+        # precomputed per route: the ack delay left after the forward transit
+        # shares, and — per hop a flow can be dropped at — the return delay a
+        # loss notification needs to travel back from there.
+        from repro.topology.transit import TransitQueue
+
+        self._transit = TransitQueue()
         self._ordered_links = self.topology.ordered_links
         self._bottleneck_trace = self.topology.bottleneck.queue.trace
         self._entry_link: Dict[int, "Link"] = {}
         self._route_rtt: Dict[int, float] = {}
         self._next_hop: Dict[Tuple[int, str], Optional["Link"]] = {}
+        self._ack_delay: Dict[int, float] = {}
+        self._drop_notify_delay: Dict[Tuple[int, str], float] = {}
         for fid in self.flows:
             self._register_route(fid, self.topology.route_links(fid))
         self._cross_sources = list(self.topology.cross_traffic)
@@ -206,10 +222,22 @@ class NetworkSimulator:
 
     def _register_route(self, flow_id: int, route) -> None:
         self._entry_link[flow_id] = route[0]
-        self._route_rtt[flow_id] = sum(link.delay for link in route)
+        rtt = sum(link.delay for link in route)
+        self._route_rtt[flow_id] = rtt
+        # Delay split: forwarding out of a non-terminal hop charges that hop's
+        # forward share (delay / 2) in transit; whatever the forward path did
+        # not charge is the ack's return delay, so ack time stays one full
+        # path RTT after the send.  A chunk dropped entering a hop has already
+        # incurred the forward shares of every hop before it, and the loss
+        # notification travels back over those hops' (equal) return shares.
+        incurred = 0.0
         for index, link in enumerate(route):
             successor = route[index + 1] if index + 1 < len(route) else None
             self._next_hop[(flow_id, link.name)] = successor
+            self._drop_notify_delay[(flow_id, link.name)] = incurred
+            if successor is not None:
+                incurred += 0.5 * link.delay
+        self._ack_delay[flow_id] = rtt - incurred
 
     @staticmethod
     def _fresh_acc() -> Dict[str, float]:
@@ -226,6 +254,24 @@ class NetworkSimulator:
     def hop_occupancy(self) -> Dict[str, float]:
         """Queued packets per hop (for multi-bottleneck diagnostics)."""
         return {link.name: link.queue.queue_occupancy for link in self._ordered_links}
+
+    def in_transit_occupancy(self) -> Dict[str, float]:
+        """Packets propagating between hops, keyed by the destination hop.
+
+        The in-transit bucket is disjoint from :meth:`hop_occupancy`: together
+        with pending ack/loss notifications they account for every packet a
+        flow has sent but not yet had acknowledged or reported lost
+        (``sent == acked + lost + queued + in-transit + notifications``).
+        """
+        return self._transit.per_link_occupancy()
+
+    def in_transit_total(self) -> float:
+        """Total packets currently in the transit stage between hops."""
+        return self._transit.occupancy
+
+    def in_transit_per_flow(self) -> Dict[int, float]:
+        """In-transit packets broken down by flow id (conservation suites)."""
+        return self._transit.per_flow_occupancy()
 
     # ------------------------------------------------------------------ #
     # Core stepping
@@ -266,36 +312,48 @@ class NetworkSimulator:
         self._tick_count += 1
 
         # 2. Every hop drains at its trace capacity in upstream→downstream
-        # order; chunks leaving a hop are forwarded to the next hop on their
-        # flow's route (accumulating queuing delay, possibly being dropped at
-        # a full downstream buffer) or, at the last hop, turn into acks after
-        # the summed path delay.
+        # order.  Before a hop drains, the transit chunks whose forward
+        # propagation has elapsed enter its FIFO (possibly being dropped at a
+        # full buffer — the loss notification then needs only the return trip
+        # from this hop).  Chunks leaving a non-terminal hop go back into
+        # transit towards their route's next hop after this hop's forward
+        # delay share; chunks leaving their terminal hop turn into acks after
+        # the remaining return-path delay, so end-to-end ack time is the
+        # summed path RTT plus accumulated queuing — unchanged.
         flows = self.flows
         next_hop = self._next_hop
+        transit = self._transit
+        drop_delay = self._drop_notify_delay
         for link in self._ordered_links:
+            link_name = link.name
+            for arriving in transit.arrivals(link_name, now):
+                fid = arriving.flow_id
+                _, dropped, random_lost = link.queue.enqueue(
+                    fid, arriving.packets, now, carried_delay=arriving.queuing_delay)
+                lost = dropped + random_lost
+                if lost > 0:
+                    flow = flows.get(fid)
+                    if flow is not None:
+                        flow.record_transit_drop(lost, now, drop_delay[(fid, link_name)])
+                    else:
+                        self.cross_stats[fid]["dropped"] += lost
             deliveries = link.queue.drain(now, dt)
             if not deliveries:
                 continue
-            link_name = link.name
+            half_delay = 0.5 * link.delay
             for chunk in deliveries:
                 successor = next_hop[(chunk.flow_id, link_name)]
                 if successor is None:
                     flow = flows.get(chunk.flow_id)
                     if flow is not None:
                         flow.record_delivery(chunk.packets, chunk.queuing_delay, now,
-                                             self._route_rtt[chunk.flow_id])
+                                             self._route_rtt[chunk.flow_id],
+                                             ack_delay=self._ack_delay[chunk.flow_id])
                     else:
                         self.cross_stats[chunk.flow_id]["delivered"] += chunk.packets
                 else:
-                    _, dropped, random_lost = successor.queue.enqueue(
-                        chunk.flow_id, chunk.packets, now, carried_delay=chunk.queuing_delay)
-                    lost = dropped + random_lost
-                    if lost > 0:
-                        flow = flows.get(chunk.flow_id)
-                        if flow is not None:
-                            flow.record_transit_drop(lost, now, self._route_rtt[chunk.flow_id])
-                        else:
-                            self.cross_stats[chunk.flow_id]["dropped"] += lost
+                    transit.send(successor.name, chunk.flow_id, chunk.packets,
+                                 chunk.queuing_delay, now + half_delay)
 
         # 3. Each flow consumes due ack/loss events and updates its controller.
         end_of_tick = now + dt
@@ -348,7 +406,14 @@ class NetworkSimulator:
         Called by the Orca environment once per monitor interval; the report
         fields correspond to the observed network states in Table 1 of the
         paper.  All statistics are end-to-end: queuing delays accumulate over
-        every hop of the flow's route and RTTs include the summed path delay.
+        every hop of the flow's route and RTTs include the summed path delay
+        (the transit stage charges forward shares in simulation time, the ack
+        charges the rest, so the sum is always the path RTT).
+
+        Before the first ack arrives ``flow.min_rtt`` is still the +inf
+        sentinel; it is clamped to the flow's path RTT — the physical lower
+        bound no observed RTT can beat — instead of the old impossible 0.0,
+        so the Orca observation's first interval never sees a zero min-RTT.
         """
         flow = self.flows[flow_id]
         acc = self._monitor_acc[flow_id]
@@ -363,7 +428,7 @@ class NetworkSimulator:
             n_acks=acked,
             interval=interval,
             srtt=flow.srtt,
-            min_rtt=flow.min_rtt if flow.min_rtt < float("inf") else 0.0,
+            min_rtt=flow.min_rtt if flow.min_rtt < float("inf") else self._route_rtt[flow_id],
             avg_rtt=acc["rtt_weighted"] / weight if weight > 0 else flow.srtt,
             cwnd=flow.controller.cwnd,
             sent_pps=acc["sent"] / interval,

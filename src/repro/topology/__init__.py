@@ -13,6 +13,9 @@ into a first-class, sweepable topology abstraction:
   parsed from plain-string specs.
 * :mod:`~repro.topology.cross_traffic` — constant-bit-rate and on/off
   background sources.
+* :mod:`~repro.topology.transit` — the in-flight propagation stage between
+  hops (each non-terminal hop's forward ``delay / 2`` share is spent on the
+  wire before the chunk reaches the next FIFO).
 
 :class:`repro.cc.netsim.NetworkSimulator` drives any topology; a one-hop
 ``single_bottleneck`` reproduces the legacy single-link trajectory exactly.
@@ -34,11 +37,14 @@ from repro.topology.families import (
     topology_family_specs,
 )
 from repro.topology.graph import Link, Route, Topology
+from repro.topology.transit import TransitChunk, TransitQueue
 
 __all__ = [
     "Link",
     "Route",
     "Topology",
+    "TransitChunk",
+    "TransitQueue",
     "ConstantBitRate",
     "OnOff",
     "TrafficGenerator",

@@ -14,10 +14,21 @@ merge at a shared segment (incast), or share an uplink and diverge behind it
 adjacencies is acyclic — :meth:`Topology.drain_order` computes a topological
 order of the hops (preferring declaration order among ready hops, so linear
 chains drain exactly as they always have) and the network simulator drains
-hops in that order every tick.  Packets can therefore traverse several empty
-queues within one tick (the fluid-model equivalent of store-and-forward being
-much faster than a 10 ms tick), while all propagation delay is accounted
-end-to-end when the ack returns after the summed path delay.
+hops in that order every tick.
+
+Propagation follows the **delay-split convention**: a hop's ``delay`` is its
+round-trip contribution to the path RTT.  When a chunk is forwarded out of a
+non-terminal hop it spends that hop's *forward* share — ``delay / 2`` — in
+the in-flight transit stage (:mod:`repro.topology.transit`) before entering
+the next hop's FIFO, so a chunk can never traverse a multi-hop path inside
+one tick.  The terminal hop's delivery schedules the ack after the
+*remaining* return-path delay (the path RTT minus the forward shares already
+incurred), so the ack always arrives one full path RTT plus accumulated
+queuing after the send.  A one-hop route has no non-terminal hops, never
+enters transit, and therefore charges its entire delay at ack time — exactly
+the legacy single-link accounting, which is what keeps ``single_bottleneck``
+and ``chain(1)`` bit-identical to the pre-topology simulator (pinned by
+``tests/test_topology_differential.py``).
 
 Flows without an explicit route fall back to ``route_cycle`` — a round-robin
 catalog of entry routes (how the branching families hand each arriving flow
@@ -27,6 +38,7 @@ path (the right default for chains).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -44,7 +56,10 @@ class Link:
     ``delay`` is this hop's contribution to the end-to-end path RTT in
     seconds; the RTT of a route is the sum of its hops' delays, so a
     single-hop topology with ``delay == min_rtt`` matches the legacy
-    single-link propagation model.
+    single-link propagation model.  Under the delay-split convention (module
+    docstring) the hop's forward one-way share is ``delay / 2`` — charged in
+    transit when a chunk is forwarded out of it towards the next hop — and
+    the remaining shares are charged when the ack returns.
     """
 
     name: str
@@ -200,7 +215,17 @@ class Topology:
     def _topological_order(self) -> List[str]:
         """Kahn's algorithm over the route adjacencies, preferring declaration
         order among ready hops — identical to the declaration order whenever it
-        is itself consistent (every pre-DAG family)."""
+        is itself consistent (every pre-DAG family).
+
+        The ready set is a min-heap of precomputed declaration indices, so
+        each pop is O(log h) instead of the old ``min(ready,
+        key=self._order.index)``, which re-scanned the declaration list for
+        every candidate on every pop (quadratic in hop count, cubic with the
+        inner ``list.index``).  The produced order is byte-identical: both
+        extract the smallest declaration index first (pinned by
+        ``tests/test_topology.py::TestTopologicalOrder``).
+        """
+        index_of = {name: index for index, name in enumerate(self._order)}
         successors: Dict[str, set] = {name: set() for name in self._order}
         indegree: Dict[str, int] = {name: 0 for name in self._order}
         for path in self._route_adjacencies():
@@ -209,16 +234,16 @@ class Topology:
                     successors[upstream].add(downstream)
                     indegree[downstream] += 1
         order: List[str] = []
-        ready = [name for name in self._order if indegree[name] == 0]
+        ready = [index_of[name] for name in self._order if indegree[name] == 0]
+        heapq.heapify(ready)
         while ready:
             # Smallest declaration index first: deterministic, legacy-stable.
-            name = min(ready, key=self._order.index)
-            ready.remove(name)
+            name = self._order[heapq.heappop(ready)]
             order.append(name)
             for downstream in successors[name]:
                 indegree[downstream] -= 1
                 if indegree[downstream] == 0:
-                    ready.append(downstream)
+                    heapq.heappush(ready, index_of[downstream])
         if len(order) != len(self._order):
             cyclic = sorted(name for name, degree in indegree.items() if degree > 0)
             raise ValueError(f"routes form a cycle through links {cyclic}; "

@@ -1,0 +1,114 @@
+"""In-flight transit between hops: the per-link one-way propagation stage.
+
+A chunk leaving hop *i* of a multi-hop route does not appear in hop *i+1*'s
+FIFO at the same timestamp — it spends hop *i*'s forward propagation delay
+"on the wire" first.  :class:`TransitQueue` models that stage: the network
+simulator puts every forwarded chunk into transit with an eligibility time
+(``departure + forward delay share``), and flushes the chunks whose time has
+come into the downstream FIFO at the start of each tick's drain pass.
+
+The delay-split convention (documented in :mod:`repro.topology.graph`): a
+hop's ``delay`` is its round-trip contribution to the path RTT, so its
+*forward* share — the transit time charged when a chunk is forwarded out of
+it — is ``delay / 2``.  The terminal hop never forwards, so a one-hop route
+never enters transit and keeps the legacy all-at-ack-time accounting
+bit-for-bit (pinned by ``tests/test_topology_differential.py``).
+
+Ordering is deterministic: chunks are released in ``(eligible_time, sequence
+number)`` order, where the sequence number increments in send order — itself
+deterministic because hops drain in topological order tick by tick.  Chunks
+of one flow therefore stay FIFO across the transit stage (same source hop ⇒
+same forward share ⇒ monotone eligibility times), and interleavings at join
+hops (``fan_in``) are reproducible run to run.
+
+In-transit packets are a first-class conservation bucket:
+:meth:`TransitQueue.occupancy`, :meth:`TransitQueue.per_link_occupancy` and
+:meth:`TransitQueue.per_flow_occupancy` let the simulator (and the invariant
+suites) account for every packet that has left one queue but not yet reached
+the next: ``sent == acked + lost + queued + in-transit + notifications
+in flight`` at every tick.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["TransitChunk", "TransitQueue"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class TransitChunk:
+    """A chunk of packets propagating between two hops."""
+
+    flow_id: int
+    packets: float
+    queuing_delay: float   # queuing accumulated on upstream hops (carried over)
+    eligible_time: float   # when it reaches the downstream hop's FIFO
+
+
+class TransitQueue:
+    """Per-destination-hop min-heaps of in-flight chunks.
+
+    One instance serves a whole topology: chunks are keyed by the name of the
+    hop they are travelling *towards*, so fork/join DAGs work unchanged — a
+    join hop simply receives chunks from several upstream heaps' worth of
+    senders, merged in deterministic ``(eligible_time, seq)`` order.
+    """
+
+    def __init__(self) -> None:
+        self._pending: Dict[str, List[Tuple[float, int, TransitChunk]]] = {}
+        self._seq = 0
+        self._occupancy = 0.0
+
+    # ------------------------------------------------------------------ #
+    def send(self, dest: str, flow_id: int, packets: float, queuing_delay: float,
+             eligible_time: float) -> None:
+        """Put a forwarded chunk on the wire towards hop ``dest``."""
+        if packets <= 0:
+            return
+        chunk = TransitChunk(flow_id, packets, queuing_delay, eligible_time)
+        heapq.heappush(self._pending.setdefault(dest, []),
+                       (eligible_time, self._seq, chunk))
+        self._seq += 1
+        self._occupancy += packets
+
+    def arrivals(self, dest: str, now: float) -> List[TransitChunk]:
+        """Pop every chunk destined to ``dest`` whose transit time has elapsed."""
+        heap = self._pending.get(dest)
+        if not heap:
+            return []
+        due: List[TransitChunk] = []
+        while heap and heap[0][0] <= now + _EPS:
+            chunk = heapq.heappop(heap)[2]
+            due.append(chunk)
+            self._occupancy -= chunk.packets
+        return due
+
+    # ------------------------------------------------------------------ #
+    # Conservation accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def occupancy(self) -> float:
+        """Total packets currently in transit between hops."""
+        return max(0.0, self._occupancy)
+
+    def per_link_occupancy(self) -> Dict[str, float]:
+        """In-transit packets keyed by the hop they are travelling towards."""
+        return {dest: sum(entry[2].packets for entry in heap)
+                for dest, heap in self._pending.items() if heap}
+
+    def per_flow_occupancy(self) -> Dict[int, float]:
+        """In-transit packets broken down by flow (conservation diagnostics)."""
+        occupancy: Dict[int, float] = {}
+        for heap in self._pending.values():
+            for _, _, chunk in heap:
+                occupancy[chunk.flow_id] = occupancy.get(chunk.flow_id, 0.0) + chunk.packets
+        return occupancy
+
+    def reset(self) -> None:
+        self._pending.clear()
+        self._occupancy = 0.0

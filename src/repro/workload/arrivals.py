@@ -18,6 +18,7 @@ worker assignment — the same convention as per-hop loss RNG seeds.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -86,6 +87,11 @@ class ArrivalSchedule:
         of the run, so churned flows overlap but do not all persist to the
         end).  The schedule — possibly empty for low rates — depends only on
         ``(rate, duration, seed)``, never on which process draws it.
+
+        When the ``max_flows`` cap cuts the arrival process short, a
+        ``UserWarning`` names the requested (expected) vs. generated flow
+        count — the cap protects the simulator from a typo'd rate, but it
+        must never truncate a workload silently.
         """
         if rate <= 0:
             raise ValueError("rate must be positive")
@@ -96,11 +102,25 @@ class ArrivalSchedule:
         rng = np.random.default_rng(seed)
         windows = []
         now = 0.0
-        while len(windows) < max_flows:
+        truncated = False
+        while True:
             now += float(rng.exponential(1.0 / rate))
             if now >= duration:
+                break
+            if len(windows) >= max_flows:
+                # The next arrival would land inside the run: the cap bites.
+                truncated = True
                 break
             lifetime = float(rng.exponential(mean_lifetime))
             stop = now + lifetime
             windows.append(FlowWindow(now, stop if stop < duration else None))
+        if truncated:
+            warnings.warn(
+                f"poisson arrival schedule truncated at max_flows={max_flows}: "
+                f"rate={rate:g}/s over duration={duration:g}s requests "
+                f"~{rate * duration:.0f} flows on average, generated only "
+                f"{len(windows)}",
+                UserWarning,
+                stacklevel=2,
+            )
         return cls(windows=tuple(windows))

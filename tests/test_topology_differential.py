@@ -252,6 +252,80 @@ class TestTrainingTrajectoryPinned:
             legacy._sim.link.trace.capacity_mbps(0.0), abs=1e-12)
 
 
+class TestMultiHopGoldenPins:
+    """Golden fingerprints of the per-hop propagation physics.
+
+    Multi-hop trajectories intentionally changed when the in-flight transit
+    stage landed (chunks no longer cross a whole DAG inside one tick), so the
+    multi-hop families cannot be pinned against the legacy single-link
+    simulator.  Instead these scalars — recorded from the transit-enabled
+    engine — pin the *new* physics so any future drift in multi-hop timing,
+    loss accounting, or drain order is loud.  One-hop families stay covered
+    by the bit-identical legacy suites above.
+    """
+
+    N_TICKS = 600
+    GOLDEN = {
+        "chain(3)": {
+            0: dict(total_sent=11521.721085503006, total_acked=11190.358521524413,
+                    total_lost=178.31765674604824, final_cwnd=183.69901952029554,
+                    mean_rtt=0.11976975150426264, first_ack_time=0.06),
+            1: dict(total_sent=1514.407746001484, total_acked=1479.57453160371,
+                    total_lost=1.2355043778081864, final_cwnd=40.57908637140498,
+                    mean_rtt=0.08733268879240086, first_ack_time=1.22),
+        },
+        "fan_in(3)": {
+            0: dict(total_sent=10896.631181770015, total_acked=10554.691060192281,
+                    total_lost=169.19159681864656, final_cwnd=203.08368387783423,
+                    mean_rtt=0.12248489665601552, first_ack_time=0.07),
+            1: dict(total_sent=694.7827753749448, total_acked=660.7831663243023,
+                    total_lost=11.462054432071785, final_cwnd=26.28060359559994,
+                    mean_rtt=0.10036081612429205, first_ack_time=1.31),
+        },
+        "shared_segment": {
+            0: dict(total_sent=10884.273596880095, total_acked=10543.684381103227,
+                    total_lost=167.87112014504413, final_cwnd=202.60239296210918,
+                    mean_rtt=0.12228820065052712, first_ack_time=0.07),
+            1: dict(total_sent=693.5498154655309, total_acked=662.2407312830754,
+                    total_lost=8.709759657109464, final_cwnd=26.308601996070568,
+                    mean_rtt=0.0978777429300023, first_ack_time=1.32),
+        },
+    }
+
+    @staticmethod
+    def _fingerprint(spec, n_ticks):
+        trace = make_synthetic_trace("step-12-48")
+        topo = build_topology(spec, trace, min_rtt=0.06, buffer_bdp=1.0, seed=9)
+        flows = [Flow(0, CubicController()), Flow(1, CubicController(), start_time=1.0)]
+        sim = NetworkSimulator(topo, flows, dt=0.01)
+        rtt_samples = {0: [], 1: []}
+        first_ack = {0: None, 1: None}
+        for _ in range(n_ticks):
+            records = sim.tick()
+            for fid, record in records.items():
+                if record.rtt > 0:
+                    rtt_samples[fid].append(record.rtt)
+                if first_ack[fid] is None and record.acked > 0:
+                    first_ack[fid] = sim.now
+        out = {}
+        for fid, flow in sim.flows.items():
+            out[fid] = dict(total_sent=flow.total_sent,
+                            total_acked=flow.total_acked,
+                            total_lost=flow.total_lost,
+                            final_cwnd=flow.controller.cwnd,
+                            mean_rtt=float(np.mean(rtt_samples[fid])),
+                            first_ack_time=first_ack[fid])
+        return out
+
+    @pytest.mark.parametrize("spec", sorted(GOLDEN))
+    def test_multi_hop_fingerprint_pinned(self, spec):
+        observed = self._fingerprint(spec, self.N_TICKS)
+        for fid, golden in self.GOLDEN[spec].items():
+            for name, value in golden.items():
+                assert observed[fid][name] == pytest.approx(value, rel=1e-9, abs=1e-12), (
+                    f"{spec} flow {fid}: {name} drifted from the golden physics")
+
+
 class TestMonitorReportStability:
     def test_monitor_report_identical_on_single_bottleneck(self):
         trace = make_synthetic_trace("step-12-48")

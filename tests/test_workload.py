@@ -12,6 +12,8 @@ simulator, partial-lifetime handling in ``SimulationResult`` /
   reproduce the pre-workload trajectories exactly (atol=1e-12).
 """
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -106,8 +108,28 @@ class TestArrivalSchedule:
             if window.stop is not None:
                 assert window.stop > window.start
 
-    def test_poisson_flow_cap(self):
-        assert len(ArrivalSchedule.poisson(rate=1e6, duration=10.0, seed=1)) <= 64
+    def test_poisson_flow_cap_warns_instead_of_truncating_silently(self):
+        # The MAX_FLOWS guard still bites, but it must name the requested vs
+        # generated flow counts instead of silently dropping arrivals.
+        with pytest.warns(UserWarning, match=r"max_flows=64.*~10000000 flows.*only 64"):
+            schedule = ArrivalSchedule.poisson(rate=1e6, duration=10.0, seed=1)
+        assert len(schedule) == 64
+
+    def test_poisson_below_cap_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            schedule = ArrivalSchedule.poisson(rate=1.0, duration=10.0, seed=1)
+        assert 0 < len(schedule) < 64
+
+    def test_poisson_windows_unchanged_by_cap_detection(self):
+        # The truncation probe draws one extra arrival *after* the cap is
+        # reached; the windows returned for the capped prefix must be exactly
+        # the windows an uncapped schedule starts with.
+        with pytest.warns(UserWarning):
+            capped = ArrivalSchedule.poisson(rate=30.0, duration=10.0, seed=3, max_flows=8)
+        uncapped = ArrivalSchedule.poisson(rate=30.0, duration=10.0, seed=3, max_flows=1000)
+        assert len(uncapped) > 8
+        assert capped.windows == uncapped.windows[:8]
 
 
 # ---------------------------------------------------------------------- #
