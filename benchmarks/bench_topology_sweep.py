@@ -112,6 +112,54 @@ def test_multi_hop_tick_throughput(benchmark):
     assert result["total_acked"] > 0.0
 
 
+def test_telemetry_tick_overhead(benchmark):
+    """Traced vs untraced tick rate on chain(3) — the telemetry overhead gate.
+
+    Runs the multi-hop microbench loop twice, identical except for an
+    attached :class:`EventTrace` (default conservation stride), and records
+    ``telemetry_overhead_ratio`` = untraced/traced ticks-per-sec into the
+    bench JSON.  A ratio creeping far above 1 means event emission has leaked
+    into the per-packet hot path instead of staying on the per-tick seams.
+    """
+    from repro.telemetry import EventTrace
+
+    def run_ticks(telemetry):
+        trace = make_synthetic_trace("step-12-48")
+        topology = build_topology("chain(3)", trace, min_rtt=0.06,
+                                  buffer_bdp=1.0, seed=7)
+        flows = [Flow(0, CubicController()),
+                 Flow(1, CubicController(), start_time=1.0),
+                 Flow(2, CubicController(), start_time=2.0)]
+        sim = NetworkSimulator(topology, flows, dt=0.01, telemetry=telemetry)
+        start = time.perf_counter()
+        for _ in range(MULTI_HOP_TICKS):
+            sim.tick()
+        elapsed = time.perf_counter() - start
+        return MULTI_HOP_TICKS / elapsed, telemetry
+
+    def run_pair():
+        untraced, _ = run_ticks(None)
+        traced, events = run_ticks(EventTrace())
+        return {"untraced_ticks_per_sec": untraced,
+                "traced_ticks_per_sec": traced,
+                "overhead_ratio": untraced / traced,
+                "n_events": len(events)}
+
+    result = run_once(benchmark, run_pair)
+    benchmark.extra_info["traced_ticks_per_sec"] = result["traced_ticks_per_sec"]
+    benchmark.extra_info["telemetry_overhead_ratio"] = result["overhead_ratio"]
+    print(f"\nchain(3) traced tick throughput: "
+          f"{result['traced_ticks_per_sec']:,.0f} ticks/s "
+          f"(untraced {result['untraced_ticks_per_sec']:,.0f}, "
+          f"overhead x{result['overhead_ratio']:.3f}, "
+          f"{result['n_events']} events)")
+    assert result["traced_ticks_per_sec"] > 0.0
+    assert result["n_events"] > 0, "the traced run must actually record events"
+    # Generous CI bound — the signal is the recorded trajectory, the assert
+    # only catches a hot-path catastrophe (per-packet emission, say).
+    assert result["overhead_ratio"] < 3.0
+
+
 def _shape_check(by_family):
     if "single_bottleneck" in by_family:
         single_util = {row["scheme"]: row["utilization"]

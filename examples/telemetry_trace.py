@@ -1,0 +1,54 @@
+"""Rendering structured telemetry with ``python -m repro trace``.
+
+The committed golden store (``tests/golden/workload_stress_mini``) is
+deliberately *untraced* — telemetry defaults to ``off`` so its cell keys and
+rows stay byte-identical to the pre-telemetry era.  This example shows both
+sides of that contract:
+
+1. ``trace`` on the golden store reports "no traced cells" (exit code 1);
+2. re-running one of its cells with ``--set telemetry=on(10)`` produces a
+   sibling store whose trace renders as per-event-group timelines plus the
+   canonical ``tele_*`` summary row.
+
+Equivalent shell session::
+
+    PYTHONPATH=src python -m repro trace tests/golden/workload_stress_mini
+    PYTHONPATH=src python -m repro run workload_stress \
+        --set schemes=cubic --set "topology=fan_in(3)" \
+        --set "workload=poisson(0.25)" --set duration=3.0 \
+        --set "telemetry=on(10)" --store runs/telemetry_demo
+    PYTHONPATH=src python -m repro trace runs/telemetry_demo --validate
+    PYTHONPATH=src python -m repro trace runs/telemetry_demo --events fallback,drop
+
+Run me::
+
+    PYTHONPATH=src python examples/telemetry_trace.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.cli import main
+
+GOLDEN = Path(__file__).resolve().parent.parent / "tests" / "golden" / "workload_stress_mini"
+
+print("=== 1. the golden store is untraced (trace exits 1) ===")
+status = main(["trace", str(GOLDEN)])
+print(f"(exit code {status})\n")
+
+print("=== 2. re-run one golden cell with telemetry enabled ===")
+with tempfile.TemporaryDirectory() as tmp:
+    store = str(Path(tmp) / "telemetry_demo")
+    # Same cell as the golden store's cubic/fan_in(3)/poisson row, but with
+    # the telemetry knob on: the cell key changes (the knob is hashed into it
+    # only when enabled), so golden keys are never shadowed.
+    main(["run", "workload_stress", "--store", store,
+          "--set", "schemes=cubic", "--set", "topology=fan_in(3)",
+          "--set", "workload=poisson(0.25)", "--set", "duration=3.0",
+          "--set", "telemetry=on(10)"])
+
+    print("\n=== 3. render the trace (full lanes + tele_* summary) ===")
+    main(["trace", store, "--validate"])
+
+    print("=== 4. narrow to the drop lane at width 48 ===")
+    main(["trace", store, "--events", "drop", "--width", "48"])

@@ -214,6 +214,11 @@ class Flow:
         """Packets dropped whose loss notification has not reached the sender."""
         return sum(event.packets for event in self._loss_events)
 
+    @property
+    def pending_event_packets(self) -> float:
+        """Packets in either notification queue (ack or loss still in flight)."""
+        return self.pending_ack_packets + self.pending_loss_packets
+
     # ------------------------------------------------------------------ #
     # Receiving side (processed each tick)
     # ------------------------------------------------------------------ #

@@ -32,17 +32,29 @@ Two consumption styles are supported:
 * ``tick()`` / ``monitor_report(flow_id)`` — step manually; used by
   :class:`repro.orca.env.OrcaNetworkEnv`, whose RL agent interacts with the
   network once per monitor interval.
+
+Observability: an optional :class:`~repro.telemetry.events.EventTrace`
+records structured, sim-time-stamped events from the tick loop — per-hop
+queue/transit drops, flow arrival/departure transitions, and conservation
+snapshots every ``stride`` ticks — and an optional
+:class:`~repro.telemetry.profiler.TickProfiler` times the tick phases in
+wall-clock, reported separately so determinism is untouched.  Both default to
+``None`` and cost the hot path only a few ``is not None`` checks per tick
+(the chain(3) tick-rate bench pins the disabled overhead).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.cc.flow import Flow, TickRecord
 from repro.cc.link import BottleneckLink
+from repro.telemetry.events import EventTrace
+from repro.telemetry.profiler import TickProfiler
 
 __all__ = ["NetworkSimulator", "FlowStats", "MonitorReport", "SimulationResult"]
 
@@ -153,6 +165,8 @@ class NetworkSimulator:
         network: Union[BottleneckLink, "Topology"],
         flows: Sequence[Flow],
         dt: float = DEFAULT_TICK,
+        telemetry: Optional[EventTrace] = None,
+        profiler: Optional[TickProfiler] = None,
     ) -> None:
         # Imported here (not at module top): repro.topology builds on
         # repro.cc.link / repro.traces, so a module-level import would cycle.
@@ -202,7 +216,15 @@ class NetworkSimulator:
         # loss notification needs to travel back from there.
         from repro.topology.transit import TransitQueue
 
-        self._transit = TransitQueue()
+        self._telemetry = telemetry
+        self._profiler = profiler
+        # Lifecycle edge detection for flow_arrival/flow_departure events
+        # (only consulted when telemetry is enabled).
+        self._flow_active: Dict[int, bool] = {fid: False for fid in self.flows}
+        if telemetry is not None:
+            telemetry.emit("topology", **self.topology.describe())
+
+        self._transit = TransitQueue(telemetry=telemetry)
         self._ordered_links = self.topology.ordered_links
         self._bottleneck_trace = self.topology.bottleneck.queue.trace
         self._entry_link: Dict[int, "Link"] = {}
@@ -280,6 +302,22 @@ class NetworkSimulator:
         """Advance the simulation by one tick and return per-flow records."""
         now = self.now
         dt = self.dt
+        tel = self._telemetry
+        prof = self._profiler
+        if prof is not None:
+            prof.begin()
+        if tel is not None:
+            tel.advance(now)
+            # One conservation snapshot every `stride` ticks, taken after the
+            # tick completes so the sums include this tick's movements.
+            snapshot_due = self._tick_count % tel.stride == 0
+            # Flow lifetime edges: a flow whose active window opened or closed
+            # since the last tick emits an arrival/departure event.
+            for fid, flow in self.flows.items():
+                active = flow.is_active(now)
+                if active != self._flow_active[fid]:
+                    self._flow_active[fid] = active
+                    tel.emit("flow_arrival" if active else "flow_departure", flow=fid)
 
         # 0. Cross-traffic sources offer their load at their entry hops (they
         # are already "on the wire", so they contend before this tick's
@@ -291,7 +329,13 @@ class NetworkSimulator:
                     source.flow_id, offered, now)
                 counters = self.cross_stats[source.flow_id]
                 counters["offered"] += offered
-                counters["dropped"] += dropped + random_lost
+                lost = dropped + random_lost
+                counters["dropped"] += lost
+                if tel is not None and lost > 0:
+                    tel.emit("queue_drop", hop=self._entry_link[source.flow_id].name,
+                             flow=source.flow_id, packets=lost)
+        if prof is not None:
+            prof.mark("inject")
 
         # 1. Senders put packets on the first hop of their route.  The service
         # order is rotated every tick so no flow systematically wins the race
@@ -309,7 +353,12 @@ class NetworkSimulator:
                 accepted, dropped, random_lost = self._entry_link[fid].queue.enqueue(
                     fid, allowance, now)
                 flow.record_sent(accepted, dropped, random_lost, now, prop_rtt)
+                if tel is not None and dropped + random_lost > 0:
+                    tel.emit("queue_drop", hop=self._entry_link[fid].name,
+                             flow=fid, packets=dropped + random_lost)
         self._tick_count += 1
+        if prof is not None:
+            prof.mark("enqueue")
 
         # 2. Every hop drains at its trace capacity in upstream→downstream
         # order.  Before a hop drains, the transit chunks whose forward
@@ -326,7 +375,13 @@ class NetworkSimulator:
         drop_delay = self._drop_notify_delay
         for link in self._ordered_links:
             link_name = link.name
-            for arriving in transit.arrivals(link_name, now):
+            if prof is not None:
+                t0 = perf_counter()
+                arriving_chunks = transit.arrivals(link_name, now)
+                prof.add("transit", perf_counter() - t0)
+            else:
+                arriving_chunks = transit.arrivals(link_name, now)
+            for arriving in arriving_chunks:
                 fid = arriving.flow_id
                 _, dropped, random_lost = link.queue.enqueue(
                     fid, arriving.packets, now, carried_delay=arriving.queuing_delay)
@@ -337,6 +392,8 @@ class NetworkSimulator:
                         flow.record_transit_drop(lost, now, drop_delay[(fid, link_name)])
                     else:
                         self.cross_stats[fid]["dropped"] += lost
+                    if tel is not None:
+                        tel.emit("transit_drop", hop=link_name, flow=fid, packets=lost)
             deliveries = link.queue.drain(now, dt)
             if not deliveries:
                 continue
@@ -354,6 +411,8 @@ class NetworkSimulator:
                 else:
                     transit.send(successor.name, chunk.flow_id, chunk.packets,
                                  chunk.queuing_delay, now + half_delay)
+        if prof is not None:
+            prof.mark("drain")
 
         # 3. Each flow consumes due ack/loss events and updates its controller.
         end_of_tick = now + dt
@@ -375,7 +434,30 @@ class NetworkSimulator:
         self._capacity_log.append(self._bottleneck_trace.capacity_mbps(now))
         self._time_log.append(end_of_tick)
         self.now = end_of_tick
+        if prof is not None:
+            prof.mark("acks")
+            prof.finish()
+        if tel is not None:
+            # Leave the trace clock at the tick boundary so emitters that run
+            # between ticks (the QC monitor's decision filter) stamp correctly.
+            tel.advance(end_of_tick)
+            if snapshot_due:
+                self._emit_conservation(tel, end_of_tick)
         return records
+
+    def _emit_conservation(self, tel: EventTrace, t: float) -> None:
+        """Emit one conservation snapshot: per-hop state plus lifetime sums."""
+        hops = {link.name: link.queue.queue_occupancy for link in self._ordered_links}
+        caps = {link.name: link.queue.capacity_pps(t) for link in self._ordered_links}
+        sent = acked = lost = pending = 0.0
+        for flow in self._flow_list:
+            sent += flow.total_sent
+            acked += flow.total_acked
+            lost += flow.total_lost
+            pending += flow.pending_event_packets
+        tel.emit("conservation", t=t, hops=hops, caps=caps,
+                 transit=self._transit.occupancy,
+                 sent=sent, acked=acked, lost=lost, pending=pending)
 
     def run(self, duration: float) -> SimulationResult:
         """Run for ``duration`` seconds and return the collected statistics."""

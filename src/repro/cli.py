@@ -17,13 +17,21 @@ Usage (after ``pip install -e .``)::
     python -m repro compare-classical --buffer-bdp 1.0 --jobs 0
     python -m repro evaluate --topology "chain(3)" --trace step-12-48
     python -m repro evaluate --topology "fan_in(3)" --workload "responsive(cubic:2)"
+    python -m repro run workload_stress --set telemetry=on(10) --store runs/traced
+    python -m repro trace runs/traced --events fallback,drop
 
 ``run`` is the generic front door: any experiment registered in
 :data:`repro.harness.registry.REGISTRY` runs with per-axis ``--set``
 overrides, per-cell persistence to a :class:`~repro.harness.store.RunStore`
 (``--store DIR``), and ``--resume`` (skip cells already stored; an
 interrupted sweep continues where it stopped, with rows byte-identical to an
-uninterrupted run).
+uninterrupted run).  ``trace`` renders the telemetry of a store produced with
+``--set telemetry=on``: per-cell event timelines and ``tele_*`` summaries.
+
+Diagnostics go through :mod:`repro.telemetry.log`: ``--quiet`` silences
+everything below ERROR, ``-v`` surfaces INFO, ``-vv`` DEBUG.  Command
+*results* (tables, store paths, verdicts) always print — quiet mode mutes
+commentary, not deliverables.
 
 Every subcommand is a thin wrapper over the public library API, so anything
 the CLI does can also be done programmatically (see the examples/ scripts).
@@ -47,8 +55,12 @@ from repro.harness.models import DEFAULT_TRAINING_STEPS, MODEL_KINDS, get_traine
 from repro.harness.registry import REGISTRY, parse_set_overrides
 from repro.harness.reporting import format_rows, print_experiment
 from repro.harness.spec import parse_topologies, resolve_trace
-from repro.harness.store import RunStore
+from repro.harness.store import RECORDS_FILENAME, RunStore
 from repro.nn.serialization import save_weight_dict
+from repro.telemetry import log
+from repro.telemetry.events import validate_events
+from repro.telemetry.log import console
+from repro.telemetry.render import render_summary, render_timeline, resolve_groups
 from repro.topology.families import topology_family_specs
 from repro.workload.spec import workload_specs
 from repro.traces.cellular import CELLULAR_TRACE_NAMES
@@ -104,18 +116,18 @@ def _get_trace(name: str):
 # Subcommand implementations
 # ---------------------------------------------------------------------- #
 def cmd_list_traces(_args: argparse.Namespace) -> int:
-    print("Synthetic traces (18):")
+    console("Synthetic traces (18):")
     for name in SYNTHETIC_TRACE_NAMES:
-        print(f"  {name}")
-    print("Cellular-like traces (3):")
+        console(f"  {name}")
+    console("Cellular-like traces (3):")
     for name in CELLULAR_TRACE_NAMES:
-        print(f"  {name}")
-    print("Topology families (pass to --topology, e.g. chain(3)):")
+        console(f"  {name}")
+    console("Topology families (pass to --topology, e.g. chain(3)):")
     for spec in topology_family_specs():
-        print(f"  {spec}")
-    print("Workload specs (pass to --workload, e.g. poisson(0.1)):")
+        console(f"  {spec}")
+    console("Workload specs (pass to --workload, e.g. poisson(0.1)):")
     for spec in workload_specs():
-        print(f"  {spec}")
+        console(f"  {spec}")
     return 0
 
 
@@ -123,11 +135,11 @@ def cmd_train(args: argparse.Namespace) -> int:
     model = get_trained_model(args.kind, training_steps=args.steps, seed=args.seed,
                               lam=args.lam, n_components=args.components)
     metrics = model.training.final_metrics()
-    print(f"trained {args.kind} for {args.steps} steps "
-          f"(raw reward {metrics['raw_reward']:.3f}, verifier reward {metrics['verifier_reward']:.3f})")
+    console(f"trained {args.kind} for {args.steps} steps "
+            f"(raw reward {metrics['raw_reward']:.3f}, verifier reward {metrics['verifier_reward']:.3f})")
     if args.out:
         path = save_weight_dict(model.training.agent.get_weights(), args.out)
-        print(f"saved agent weights to {path}")
+        console(f"saved agent weights to {path}")
     return 0
 
 
@@ -140,8 +152,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     get_trained_model(args.kind, training_steps=args.steps, seed=args.seed)
     grid = run_schemes_sharded({args.kind: args.kind, "cubic": None}, [trace], settings,
                                n_jobs=args.jobs, training_steps=args.steps, model_seed=args.seed)
-    print(format_rows(grid.rows, columns=["scheme", "utilization", "avg_queuing_delay_ms",
-                                          "p95_queuing_delay_ms", "loss_rate"]))
+    console(format_rows(grid.rows, columns=["scheme", "utilization", "avg_queuing_delay_ms",
+                                            "p95_queuing_delay_ms", "loss_rate"]))
     return 0
 
 
@@ -152,8 +164,8 @@ def cmd_certify(args: argparse.Namespace) -> int:
                                   workload=args.workload, seed=args.seed)
     model = get_trained_model(args.kind, training_steps=args.steps, seed=args.seed)
     qcsat = evaluate_qcsat(model, trace, settings, n_components=args.components or 50)
-    print(f"QC_sat for {args.kind} on {trace.name}: {qcsat.mean:.3f} +/- {qcsat.std:.3f} "
-          f"({qcsat.n_decisions} decisions, properties {qcsat.property_names})")
+    console(f"QC_sat for {args.kind} on {trace.name}: {qcsat.mean:.3f} +/- {qcsat.std:.3f} "
+            f"({qcsat.n_decisions} decisions, properties {qcsat.property_names})")
     return 0
 
 
@@ -194,11 +206,11 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     """The generic experiment front door (registry + resumable run store)."""
     if args.list or args.name is None:
-        print("Registered experiments (python -m repro run <name> --set axis=value ...):")
+        console("Registered experiments (python -m repro run <name> --set axis=value ...):")
         for entry in REGISTRY.describe():
-            print(f"  {entry['experiment']}: {entry['description']}")
+            console(f"  {entry['experiment']}: {entry['description']}")
             for axis, default in entry["axes"].items():
-                print(f"      --set {axis}={default!r}")
+                console(f"      --set {axis}={default!r}")
         return 0
     try:
         REGISTRY.get(args.name)  # validate the name before mkdir'ing a store
@@ -217,9 +229,54 @@ def cmd_run(args: argparse.Namespace) -> int:
         raise SystemExit(str(exc)) from None
     print_experiment(f"Run {args.name}", result)
     if store is not None:
-        print(f"store: {store.records_path} ({len(store)} records)")
+        console(f"store: {store.records_path} ({len(store)} records)")
     if args.resume and result["computed_cells"] == 0:
-        print(f"resume: all {result['cached_cells']} cells cached")
+        console(f"resume: all {result['cached_cells']} cells cached")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Render the telemetry of a run store: per-cell timelines and summaries."""
+    store_path = Path(args.store)
+    if not (store_path / RECORDS_FILENAME).is_file():
+        raise SystemExit(f"{store_path}: not a run store (no {RECORDS_FILENAME})")
+    groups = None
+    if args.events:
+        try:
+            groups = resolve_groups(
+                [name.strip() for name in args.events.split(",") if name.strip()])
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+    store = RunStore(store_path)
+    traced = [record for record in store.records()
+              if record.row.get("telemetry_events")]
+    if args.cell is not None:
+        selected = [record for record in traced if args.cell in record.key]
+        if not selected:
+            raise SystemExit(
+                f"no traced cell matching {args.cell!r}; traced cells:\n"
+                + ("\n".join(f"  {record.key}" for record in traced) or "  (none)"))
+    else:
+        selected = traced
+    if not selected:
+        console(f"{store.records_path}: no traced cells among {len(store)} records "
+                f"(produce one with --set telemetry=on)")
+        return 1
+    for record in selected:
+        events = record.row["telemetry_events"]
+        if args.validate:
+            try:
+                validate_events(events)
+            except ValueError as exc:
+                console(f"cell: {record.key}")
+                console(f"INVALID trace: {exc}")
+                return 1
+        console(f"cell: {record.key} ({len(events)} events"
+                + (", schema valid" if args.validate else "") + ")")
+        console(render_timeline(events, width=args.width, groups=groups))
+        console(render_summary(record.row))
+        console()
+    console(f"{len(selected)} traced cell(s) of {len(store)} records in {store_path}")
     return 0
 
 
@@ -232,8 +289,9 @@ def cmd_compare_classical(args: argparse.Namespace) -> int:
     grid = run_schemes_sharded(scheme_kinds, traces, settings, n_jobs=args.jobs)
     # Present grouped by scheme (the grid enumerates trace-major).
     rows = sorted(grid.rows, key=lambda row: list(scheme_kinds).index(row["scheme"]))
-    print(format_rows(rows, columns=["scheme", "trace", "utilization",
-                                     "avg_queuing_delay_ms", "p95_queuing_delay_ms", "loss_rate"]))
+    console(format_rows(rows, columns=["scheme", "trace", "utilization",
+                                       "avg_queuing_delay_ms", "p95_queuing_delay_ms",
+                                       "loss_rate"]))
     return 0
 
 
@@ -274,6 +332,10 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro",
                                      description="Canopy reproduction command-line interface")
+    parser.add_argument("--quiet", "-q", action="store_true",
+                        help="silence diagnostics below ERROR (results still print)")
+    parser.add_argument("--verbose", "-v", action="count", default=0,
+                        help="surface INFO diagnostics (-vv for DEBUG)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser("list-traces", help="list available workload traces")
@@ -351,12 +413,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(classical_parser)
     classical_parser.set_defaults(handler=cmd_compare_classical)
 
+    trace_parser = subparsers.add_parser(
+        "trace", help="render telemetry event traces from a run store")
+    trace_parser.add_argument("store",
+                              help="run-store directory produced with --set telemetry=on")
+    trace_parser.add_argument("--cell", default=None, metavar="KEY",
+                              help="render only cells whose key contains this substring")
+    trace_parser.add_argument("--events", default=None, metavar="GROUPS",
+                              help="comma-separated event groups to show "
+                                   "(fallback, drop, flow, conservation, transit); "
+                                   "default: every group with events")
+    trace_parser.add_argument("--width", type=int, default=64,
+                              help="timeline width in characters (default 64)")
+    trace_parser.add_argument("--validate", action="store_true",
+                              help="schema-check every rendered trace (exit 1 on drift)")
+    trace_parser.set_defaults(handler=cmd_trace)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
+    log.configure(verbosity=-1 if args.quiet else args.verbose)
     return args.handler(args)
 
 

@@ -33,16 +33,18 @@ keeping private result shapes.
 Two run stores — e.g. the same sweep at two commits — can be compared
 cell-by-cell with ``--store-diff A B``: records are matched on their cell key
 (:meth:`~repro.harness.spec.ScenarioSpec.key` plus the run-time-knob
-fingerprint), and the report lists cells only one store holds plus every
-metric whose value changed.  The exit status is ``diff``-like: 0 when the
-stores agree, 1 when they differ.
+fingerprint), and the report names, per cell and per metric, the expected
+value (store A), the got value (store B), the delta, and the ``--atol``
+tolerance under which they were compared — so a CI physics-drift failure is
+diagnosable straight from the job log.  The exit status is ``diff``-like: 0
+when the stores agree, 1 when they differ.
 
 Usage (what the CI trajectory job runs)::
 
     python -m repro.harness.benchjson --commit "$GITHUB_SHA" \
         --out BENCH_ci.json bench-verifier.json bench-topology.json ...
     python -m repro.harness.benchjson --validate BENCH_ci.json
-    python -m repro.harness.benchjson --store-diff runs/old runs/new
+    python -m repro.harness.benchjson --store-diff runs/old runs/new --atol 1e-12
 """
 
 from __future__ import annotations
@@ -53,6 +55,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.harness.store import RECORDS_FILENAME, RunStore, validate_schema
+from repro.telemetry.log import console
 
 __all__ = ["canonical_rows", "store_rows", "merge_bench_files", "store_diff",
            "format_store_diff", "validate_bench_payload", "BENCH_PAYLOAD_SCHEMA",
@@ -208,7 +211,7 @@ def _scalar_metrics(row: Dict) -> Dict[str, float]:
             if isinstance(value, (int, float)) and not isinstance(value, bool)}
 
 
-def store_diff(store_a: RunStore, store_b: RunStore) -> Dict:
+def store_diff(store_a: RunStore, store_b: RunStore, atol: float = 0.0) -> Dict:
     """Cell-by-cell comparison of two run stores, keyed by record key.
 
     The key — :meth:`ScenarioSpec.key() <repro.harness.spec.ScenarioSpec.key>`
@@ -216,8 +219,9 @@ def store_diff(store_a: RunStore, store_b: RunStore) -> Dict:
     stores of the same sweep at different commits line up cell for cell.
     Returns ``added`` / ``removed`` key lists (cells only in B / only in A)
     and ``changed`` metric rows (``{key, metric, a, b, delta}``) for every
-    scalar metric whose value differs; non-scalar row entries are compared by
-    equality and reported with ``a``/``b`` verbatim and no delta.
+    scalar metric whose values differ by more than ``atol`` (default 0.0 —
+    exact comparison); non-scalar row entries are compared by equality and
+    reported with ``a``/``b`` verbatim and no delta.
     """
     records_a = store_a.load()
     records_b = store_b.load()
@@ -229,10 +233,11 @@ def store_diff(store_a: RunStore, store_b: RunStore) -> Dict:
         scalars_a, scalars_b = _scalar_metrics(row_a), _scalar_metrics(row_b)
         for metric in sorted(set(row_a) | set(row_b)):
             if metric in scalars_a and metric in scalars_b:
-                if scalars_a[metric] != scalars_b[metric]:
+                delta = scalars_b[metric] - scalars_a[metric]
+                if abs(delta) > atol:
                     changed.append({"key": key, "metric": metric,
                                     "a": scalars_a[metric], "b": scalars_b[metric],
-                                    "delta": scalars_b[metric] - scalars_a[metric]})
+                                    "delta": delta})
             elif row_a.get(metric) != row_b.get(metric):
                 changed.append({"key": key, "metric": metric,
                                 "a": row_a.get(metric), "b": row_b.get(metric)})
@@ -240,6 +245,7 @@ def store_diff(store_a: RunStore, store_b: RunStore) -> Dict:
         "added": added,
         "removed": removed,
         "changed": changed,
+        "atol": atol,
         "n_cells_a": len(records_a),
         "n_cells_b": len(records_b),
         "identical": not (added or removed or changed),
@@ -247,8 +253,15 @@ def store_diff(store_a: RunStore, store_b: RunStore) -> Dict:
 
 
 def format_store_diff(diff: Dict, label_a: str = "A", label_b: str = "B") -> str:
-    """A human-readable rendering of one :func:`store_diff` report."""
-    lines = [f"{label_a}: {diff['n_cells_a']} cells, {label_b}: {diff['n_cells_b']} cells"]
+    """A human-readable rendering of one :func:`store_diff` report.
+
+    Changed scalars print one ``expected ... got ...`` line per cell per
+    metric — the diagnosable form a CI physics-drift failure needs — with the
+    delta and the ``atol`` the comparison ran under.
+    """
+    atol = diff.get("atol", 0.0)
+    lines = [f"{label_a}: {diff['n_cells_a']} cells, {label_b}: {diff['n_cells_b']} cells"
+             + (f" (atol {atol:g})" if atol else "")]
     for key in diff["removed"]:
         lines.append(f"- only in {label_a}: {key}")
     for key in diff["added"]:
@@ -256,10 +269,11 @@ def format_store_diff(diff: Dict, label_a: str = "A", label_b: str = "B") -> str
     for entry in diff["changed"]:
         if "delta" in entry:
             lines.append(f"~ {entry['key']} :: {entry['metric']}: "
-                         f"{entry['a']:g} -> {entry['b']:g} ({entry['delta']:+g})")
+                         f"expected {entry['a']:g} got {entry['b']:g} "
+                         f"(delta {entry['delta']:+g}, atol {atol:g})")
         else:
             lines.append(f"~ {entry['key']} :: {entry['metric']}: "
-                         f"{entry['a']!r} -> {entry['b']!r}")
+                         f"expected {entry['a']!r} got {entry['b']!r}")
     if diff["identical"]:
         lines.append("stores are identical")
     else:
@@ -289,6 +303,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--store-diff", nargs=2, default=None, metavar=("A", "B"),
                         help="compare two run stores cell-by-cell (exit 1 when they "
                              "differ) instead of merging")
+    parser.add_argument("--atol", type=float, default=0.0,
+                        help="absolute tolerance for --store-diff scalar comparisons "
+                             "(default 0.0: exact)")
     args = parser.parse_args(list(argv) if argv is not None else None)
 
     if args.store_diff is not None:
@@ -297,10 +314,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         path_a, path_b = (Path(raw) for raw in args.store_diff)
         for path in (path_a, path_b):
             if not (path / RECORDS_FILENAME).is_file():
-                print(f"{path}: not a run store (no {RECORDS_FILENAME})")
+                console(f"{path}: not a run store (no {RECORDS_FILENAME})")
                 return 2
-        diff = store_diff(RunStore(path_a), RunStore(path_b))
-        print(format_store_diff(diff, label_a=str(path_a), label_b=str(path_b)))
+        diff = store_diff(RunStore(path_a), RunStore(path_b), atol=args.atol)
+        console(format_store_diff(diff, label_a=str(path_a), label_b=str(path_b)))
         return 0 if diff["identical"] else 1
 
     if args.validate:
@@ -317,10 +334,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 payload = json.loads(path.read_text())
                 validate_bench_payload(payload)
             except (OSError, json.JSONDecodeError, ValueError) as exc:
-                print(f"{path}: INVALID: {exc}")
+                console(f"{path}: INVALID: {exc}")
                 status = 1
                 continue
-            print(f"{path}: valid ({len(payload['rows'])} rows, commit {payload['commit']})")
+            console(f"{path}: valid ({len(payload['rows'])} rows, commit {payload['commit']})")
         return status
 
     if not args.files and not args.store:
@@ -329,8 +346,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                 stores=[Path(p) for p in args.store])
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {out} ({len(payload['rows'])} rows from {len(payload['sources'])} files"
-          + (f", skipped {len(payload['skipped'])}" if payload["skipped"] else "") + ")")
+    console(f"wrote {out} ({len(payload['rows'])} rows from {len(payload['sources'])} files"
+            + (f", skipped {len(payload['skipped'])}" if payload["skipped"] else "") + ")")
     return 0 if payload["rows"] else 1
 
 

@@ -27,6 +27,7 @@ from repro.core.qc import QuantitativeCertificate
 from repro.core.verifier import Verifier
 from repro.harness.models import TrainedModel
 from repro.orca.agent import DecisionRecord, LearnedController
+from repro.telemetry.events import DEFAULT_TELEMETRY, EventTrace, parse_telemetry
 from repro.topology.families import DEFAULT_TOPOLOGY, build_topology, parse_topology
 from repro.traces.trace import BandwidthTrace
 from repro.workload.build import build_workload
@@ -69,7 +70,10 @@ class EvaluationSettings:
     hop's buffer, so results stay comparable across families.  ``workload``
     is a workload spec (``static``, ``responsive(cubic:2)``, ``poisson(0.1)``,
     ``step(2-6)``; see :mod:`repro.workload.spec`) expanded into closed-loop
-    background flows competing with the flow under test.
+    background flows competing with the flow under test.  ``telemetry``
+    (``off`` | ``on`` | ``on(stride)``; see :mod:`repro.telemetry.events`)
+    attaches a structured event trace to the run; ``off`` — the default —
+    changes nothing, bit-for-bit.
     """
 
     duration: float = 20.0
@@ -85,6 +89,7 @@ class EvaluationSettings:
     stochastic_loss: bool = False
     topology: str = DEFAULT_TOPOLOGY
     workload: str = DEFAULT_WORKLOAD
+    telemetry: str = DEFAULT_TELEMETRY
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -94,6 +99,7 @@ class EvaluationSettings:
             raise ValueError("buffer_bdp must be positive")
         parse_topology(self.topology)  # fail fast on malformed specs
         parse_workload(self.workload)
+        parse_telemetry(self.telemetry)
 
 
 @dataclass
@@ -106,6 +112,8 @@ class SchemeResult:
     controller: CongestionController
     simulation: SimulationResult
     decisions: List[DecisionRecord] = field(default_factory=list)
+    #: The run's telemetry events (empty when telemetry was off).
+    events: List[Dict] = field(default_factory=list)
 
     def as_row(self) -> Dict[str, float]:
         row = {"scheme": self.scheme, "trace": self.trace}
@@ -132,6 +140,8 @@ class QCSatResult:
     n_applicable: int
     per_decision: List[float] = field(default_factory=list)
     summary: Optional[PerformanceSummary] = None
+    #: The certified run's telemetry events (empty when telemetry was off).
+    events: List[Dict] = field(default_factory=list)
 
 
 # ---------------------------------------------------------------------- #
@@ -185,6 +195,7 @@ def run_scheme_on_trace(
     trace: BandwidthTrace,
     settings: EvaluationSettings,
     scheme_name: str | None = None,
+    telemetry: Optional[EventTrace] = None,
 ) -> SchemeResult:
     """Run one scheme over one trace (on ``settings.topology``) and summarize it.
 
@@ -192,8 +203,14 @@ def run_scheme_on_trace(
     competitors, churned arrivals) next to the flow under test; the summary
     always scores flow 0.  The default ``static`` workload adds none, keeping
     the legacy single-flow trajectory byte-identical.
+
+    ``telemetry`` lets a caller share one :class:`EventTrace` across the run's
+    emitters (e.g. the QC monitor and the simulator); when ``None`` a trace is
+    built from ``settings.telemetry`` (no trace at all for ``off``).
     """
     controller = factory()
+    if telemetry is None:
+        telemetry = EventTrace.from_spec(settings.telemetry)
     topology = build_topology(
         settings.topology,
         trace,
@@ -208,7 +225,7 @@ def run_scheme_on_trace(
                                 seed=settings.seed, trace_name=trace.name,
                                 topology=settings.topology)
     flows = [flow] + [cross.build() for cross in background]
-    simulator = NetworkSimulator(topology, flows, dt=settings.dt)
+    simulator = NetworkSimulator(topology, flows, dt=settings.dt, telemetry=telemetry)
     result = simulator.run(settings.duration)
     summary = summarize_result(result, flow_id=0, skip_seconds=settings.skip_seconds)
     decisions = list(getattr(controller, "decisions", []))
@@ -219,6 +236,7 @@ def run_scheme_on_trace(
         controller=controller,
         simulation=result,
         decisions=decisions,
+        events=telemetry.to_json() if telemetry is not None else [],
     )
 
 
@@ -311,6 +329,7 @@ def evaluate_qcsat(
     properties: Optional[PropertySet] = None,
     n_components: int = 50,
     scheme_name: str | None = None,
+    telemetry: Optional[EventTrace] = None,
 ) -> QCSatResult:
     """Run the learned model over a trace and compute QC_sat.
 
@@ -322,7 +341,9 @@ def evaluate_qcsat(
     factory = scheme_factory(scheme_name or model.kind, model=model,
                              observation_noise=settings.observation_noise,
                              monitor_interval=settings.monitor_interval, seed=settings.seed)
-    run = run_scheme_on_trace(factory, trace, settings, scheme_name=scheme_name or model.kind)
+    run = run_scheme_on_trace(factory, trace, settings,
+                              scheme_name=scheme_name or model.kind,
+                              telemetry=telemetry)
     verifier = model.make_verifier(n_components=n_components)
     certificates = certificates_for_decisions(verifier, properties, run.decisions, n_components=n_components)
 
@@ -352,4 +373,5 @@ def evaluate_qcsat(
         n_applicable=n_applicable,
         per_decision=per_decision,
         summary=run.summary,
+        events=run.events,
     )

@@ -50,6 +50,7 @@ from repro.harness.models import get_trained_model
 from repro.harness.parallel import ExperimentTask, ParallelRunner
 from repro.harness.registry import REGISTRY
 from repro.harness.spec import trace_subset
+from repro.telemetry.events import canonical_telemetry
 from repro.topology.families import canonical_topology, topology_family_specs
 from repro.workload.spec import canonical_workload
 from repro.traces.realworld import intercontinental_profiles, intracontinental_profiles
@@ -735,6 +736,9 @@ def _workload_stress_aggregate(grid, axes: Dict, tasks: Sequence) -> Dict:
         "n_traces": 1,
         "buffer_bdp": 1.0,
         "seeds": (1,),
+        # "off" keeps every pre-telemetry cell key (and the committed golden
+        # store) intact; --set telemetry=on(10) turns on event tracing.
+        "telemetry": "off",
     },
     aggregate=_workload_stress_aggregate,
     description="scheme x topology-family x workload certified stress grid "
@@ -753,7 +757,8 @@ def _workload_stress_build(axes: Dict) -> List[ExperimentTask]:
                     settings = EvaluationSettings(
                         duration=axes["duration"], buffer_bdp=axes["buffer_bdp"],
                         topology=canonical_topology(family),
-                        workload=canonical_workload(workload), seed=seed)
+                        workload=canonical_workload(workload),
+                        telemetry=canonical_telemetry(axes["telemetry"]), seed=seed)
                     for trace in traces:
                         tasks.append(ExperimentTask(
                             scheme=scheme, trace=trace, settings=settings,
@@ -782,6 +787,7 @@ def workload_stress(
     buffer_bdp: float = 1.0,
     seed: int = 1,
     n_jobs: int = 1,
+    telemetry: str = "off",
 ) -> Dict:
     """The (scheme × topology family × workload) certified stress grid.
 
@@ -961,6 +967,10 @@ def _fallback_runtime_aggregate(grid, axes: Dict, tasks: Sequence) -> Dict:
         "n_components": 10,
         "n_traces": 2,
         "seeds": (1,),
+        # "off" keeps every pre-telemetry cell key intact; --set telemetry=on
+        # records the qc_decision / fallback_enter / fallback_exit stream the
+        # `python -m repro trace` fallback timeline renders.
+        "telemetry": "off",
     },
     aggregate=_fallback_runtime_aggregate,
     description="QC_sat-guided runtime fallback grid (Fig. 13)",
@@ -971,7 +981,8 @@ def _fallback_runtime_build(axes: Dict) -> List[ExperimentTask]:
     for family, buffer_bdp, canopy_kind in _FALLBACK_CASES:
         for seed in axes["seeds"]:
             settings = EvaluationSettings(duration=axes["duration"],
-                                          buffer_bdp=buffer_bdp, seed=seed)
+                                          buffer_bdp=buffer_bdp, seed=seed,
+                                          telemetry=canonical_telemetry(axes["telemetry"]))
             for scheme_label, model_kind in (("orca", "orca"), ("canopy", canopy_kind)):
                 for threshold in axes["thresholds"]:
                     for trace in traces:

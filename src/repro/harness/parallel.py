@@ -60,6 +60,8 @@ from repro.harness.evaluate import (
 from repro.harness.spec import PROPERTY_FAMILIES, ScenarioSpec
 from repro.harness.store import fingerprint
 from repro.seeding import derive_seed
+from repro.telemetry.events import DEFAULT_TELEMETRY, EventTrace, canonical_telemetry
+from repro.telemetry.summary import summarize_events
 from repro.workload.spec import DEFAULT_WORKLOAD
 from repro.traces.trace import BandwidthTrace
 
@@ -180,6 +182,11 @@ class ExperimentTask:
             "monitor_components": self.monitor_components,
             "tags": dict(self.tags),
         }
+        # Like the workload column in rows: the telemetry knob only enters the
+        # digest when enabled, so every pre-telemetry store key — including the
+        # committed golden stores — stays valid verbatim.
+        if settings.telemetry != DEFAULT_TELEMETRY:
+            extras["telemetry"] = canonical_telemetry(settings.telemetry)
         return f"{self.scenario().key()} #{fingerprint(extras)}"
 
 
@@ -253,6 +260,22 @@ def _task_model(task: ExperimentTask):
     return model_for_task(task)
 
 
+def _embed_telemetry(row: Dict, trace: Optional[EventTrace],
+                     settings: EvaluationSettings) -> None:
+    """Fold a cell's telemetry into its row: summary scalars + raw events.
+
+    The ``tele_*`` scalars flow into the RunRecord (and from there into
+    BENCH_ci.json trajectory rows); the raw event list rides along as the
+    non-scalar ``telemetry_events`` entry, which the bench layer excludes by
+    construction.  Disabled telemetry adds nothing, keeping legacy row shapes.
+    """
+    if trace is None:
+        return
+    row["telemetry"] = canonical_telemetry(settings.telemetry)
+    row.update(summarize_events(trace.events, duration=settings.duration))
+    row["telemetry_events"] = trace.to_json()
+
+
 def run_task(task: ExperimentTask) -> Dict:
     """Run one grid cell and return its report row (module-level: picklable)."""
     model = _task_model(task) if task.model_kind is not None else None
@@ -263,13 +286,17 @@ def run_task(task: ExperimentTask) -> Dict:
     if task.settings.workload != DEFAULT_WORKLOAD:
         row["workload"] = task.settings.workload
     row.update(task.tags)
+    # One shared trace per cell: the monitor and the simulator emit into the
+    # same stream, ordered by the simulator's tick clock.  None when off.
+    telemetry = EventTrace.from_spec(task.settings.telemetry)
 
     if task.certify:
         properties = None
         if task.property_family is not None:
             properties = PROPERTY_FAMILIES[task.property_family]()
         qcsat = evaluate_qcsat(model, task.trace, task.settings, properties=properties,
-                               n_components=task.n_components, scheme_name=task.scheme)
+                               n_components=task.n_components, scheme_name=task.scheme,
+                               telemetry=telemetry)
         # The certified run doubles as a performance run, so certify rows carry
         # the empirical summary columns too (certified safety + performance in
         # one pass — what the generalization grids report per cell).
@@ -282,6 +309,7 @@ def run_task(task: ExperimentTask) -> Dict:
             "n_applicable": qcsat.n_applicable,
             "n_certificates": qcsat.n_decisions * len(qcsat.property_names),
         })
+        _embed_telemetry(row, telemetry, task.settings)
         return row
 
     monitor = None
@@ -293,6 +321,7 @@ def run_task(task: ExperimentTask) -> Dict:
             threshold=task.monitor_threshold,
             n_components=task.monitor_components,
             enabled=task.monitor_threshold > 0.0,
+            telemetry=telemetry,
         )
         decision_filter = monitor.decision_filter
     if model is None:
@@ -303,11 +332,13 @@ def run_task(task: ExperimentTask) -> Dict:
                                  decision_filter=decision_filter,
                                  monitor_interval=task.settings.monitor_interval,
                                  seed=task.settings.seed)
-    result = run_scheme_on_trace(factory, task.trace, task.settings, scheme_name=task.scheme)
+    result = run_scheme_on_trace(factory, task.trace, task.settings, scheme_name=task.scheme,
+                                 telemetry=telemetry)
     row.update(result.summary.as_dict())
     if monitor is not None:
         row["fallback_fraction"] = monitor.fallback_fraction
         row["mean_qc"] = monitor.mean_qc
+    _embed_telemetry(row, telemetry, task.settings)
     return row
 
 

@@ -46,6 +46,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 from repro.harness.parallel import GridResult, ParallelRunner, run_task
 from repro.harness.spec import parse_bool
 from repro.harness.store import RunRecord, RunStore, canonical_json
+from repro.telemetry import log
 
 __all__ = [
     "Experiment",
@@ -283,6 +284,9 @@ class ExperimentRegistry:
         # nothing, a 95%-done resume trains just the models its remaining
         # cells name.  The setup hook (for anything beyond training) is
         # likewise skipped when no cell needs computing.
+        log.info("experiment_start", logger="harness", experiment=name,
+                 cells=len(tasks), cached=len(cached), pending=len(pending),
+                 n_jobs=n_jobs)
         if pending:
             if experiment.setup is not None:
                 experiment.setup(axes)
@@ -293,6 +297,8 @@ class ExperimentRegistry:
             rows[pending[pending_index][0]] = row
             if store is not None:
                 store.put(RunRecord.for_task(task, row, experiment=name))
+            log.debug("cell_done", logger="harness", experiment=name,
+                      key=task.cell_key())
 
         start = time.perf_counter()
         runner = ParallelRunner(n_jobs)
@@ -304,6 +310,9 @@ class ExperimentRegistry:
             n_jobs=runner.n_jobs,
             n_cached=len(cached),
         )
+        log.info("experiment_done", logger="harness", experiment=name,
+                 computed=len(pending), cached=len(cached),
+                 wall_clock_s=grid.wall_clock_s)
         result = experiment.aggregate(grid, axes, tasks)
         result["experiment"] = name
         result["axes"] = {axis: list(value) if isinstance(value, tuple) else value

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence
 
+from repro.telemetry.log import console
+
 __all__ = ["format_table", "format_rows", "print_experiment"]
 
 
@@ -43,16 +45,16 @@ def format_rows(rows: Sequence[Dict], columns: Sequence[str] | None = None, floa
 
 def print_experiment(title: str, result: Dict, columns: Sequence[str] | None = None) -> None:
     """Print an experiment result in the standard layout used by benchmarks."""
-    print()
-    print("=" * len(title))
-    print(title)
-    print("=" * len(title))
+    console()
+    console("=" * len(title))
+    console(title)
+    console("=" * len(title))
     rows = result.get("rows")
     if rows:
-        print(format_rows(rows, columns=columns))
+        console(format_rows(rows, columns=columns))
     for key, value in result.items():
         # "axes" (the registry's resolved axis dict) is provenance, not a
         # scalar metric — kept out of the standard layout like the row dumps.
         if key in ("rows", "series", "curves", "steps", "series_mbps", "axes"):
             continue
-        print(f"{key}: {value}")
+        console(f"{key}: {value}")

@@ -34,6 +34,8 @@ from hashlib import sha256
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.telemetry.log import console
+
 __all__ = [
     "RUN_RECORD_SCHEMA",
     "RunRecord",
@@ -321,24 +323,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     status = 0
     for path in _iter_record_files(args.paths):
         if not path.exists():
-            print(f"{path}: missing")
+            console(f"{path}: missing")
             status = 1
             continue
         try:
             by_key, _valid_bytes, torn = parse_records(path.read_text(), source=str(path))
         except ValueError as exc:
-            print(f"{path}: INVALID: {exc}")
+            console(f"{path}: INVALID: {exc}")
             status = 1
             continue
         records = list(by_key.values())
         if not records:
-            print(f"{path}: empty")
+            console(f"{path}: empty")
             status = 1
             continue
         if torn:
-            print(f"{path}: torn trailing line (interrupted append) ignored")
-        print(f"{path}: {len(records)} valid records "
-              f"({sum(1 for r in records if r.spec is not None)} with scenario specs)")
+            console(f"{path}: torn trailing line (interrupted append) ignored")
+        console(f"{path}: {len(records)} valid records "
+                f"({sum(1 for r in records if r.spec is not None)} with scenario specs)")
     return status
 
 

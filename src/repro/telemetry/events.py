@@ -1,0 +1,234 @@
+"""The :class:`EventTrace` recorder: schema'd, sim-time-stamped event records.
+
+Telemetry events are plain dicts — ``{"t": <sim seconds>, "kind": <name>,
+...fields}`` — appended in emission order.  Two properties make them safe to
+store next to metrics rows and to compare across execution modes:
+
+* **No wall clock.**  Every timestamp is simulation time, advanced by the
+  :class:`~repro.cc.netsim.NetworkSimulator` via :meth:`EventTrace.advance`,
+  and emission order is fixed by the simulator's deterministic tick loop — so
+  serial, sharded, and interrupted-then-resumed runs of the same cell produce
+  *byte-identical* traces (pinned by ``tests/test_telemetry.py``).  Wall-clock
+  timing lives in :class:`repro.telemetry.profiler.TickProfiler`, reported
+  separately so determinism is untouched.
+* **Schema'd.**  Every event validates against :data:`EVENT_SCHEMA` plus the
+  per-kind required fields of :data:`EVENT_KINDS`; CI round-trips traced run
+  stores through :func:`validate_events`.
+
+Enablement is a settings string (``EvaluationSettings.telemetry``), following
+the topology/workload spec-grammar convention:
+
+* ``off`` — no trace is built; the simulator hot path sees ``None`` and pays
+  only a handful of ``is not None`` checks per tick (zero-overhead-when-
+  disabled, pinned by the chain(3) tick-rate bench).
+* ``on`` — record events, conservation snapshots every
+  :data:`DEFAULT_STRIDE` ticks.
+* ``on(N)`` — conservation snapshots every ``N`` ticks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+__all__ = [
+    "DEFAULT_STRIDE",
+    "DEFAULT_TELEMETRY",
+    "EVENT_KINDS",
+    "EVENT_SCHEMA",
+    "TelemetryConfig",
+    "EventTrace",
+    "parse_telemetry",
+    "canonical_telemetry",
+    "validate_events",
+]
+
+#: Conservation snapshots default to one every this many ticks.
+DEFAULT_STRIDE = 25
+
+#: The settings value meaning "no telemetry" (the only value whose cells keep
+#: their pre-telemetry store keys — see ``ExperimentTask.cell_key``).
+DEFAULT_TELEMETRY = "off"
+
+#: Event kind → the fields every event of that kind must carry (beyond the
+#: universal ``t``/``kind``).  The vocabulary every emitter draws from; an
+#: unknown kind raises at emit time, not at mining time.
+EVENT_KINDS: Dict[str, tuple] = {
+    # One per simulator, at attach time: the hop graph a renderer needs.
+    "topology": ("name", "hops", "bottleneck"),
+    # NetworkSimulator, every `stride` ticks: per-hop queue occupancy and
+    # capacity (pps), in-transit total, lifetime sent/acked/lost sums.
+    "conservation": ("hops", "caps", "transit", "sent", "acked", "lost"),
+    # NetworkSimulator: packets lost entering a hop's FIFO (tail drop or
+    # random loss), attributed to the hop and the offering flow.
+    "queue_drop": ("hop", "flow", "packets"),
+    # NetworkSimulator: packets lost entering a *downstream* hop out of the
+    # transit stage (the loss notification travels back from `hop`).
+    "transit_drop": ("hop", "flow", "packets"),
+    # NetworkSimulator: a flow's lifetime window opened / closed this tick.
+    "flow_arrival": ("flow",),
+    "flow_departure": ("flow",),
+    # QCRuntimeMonitor, per decision: QC value and its margin to threshold.
+    "qc_decision": ("qc", "margin", "allowed"),
+    # QCRuntimeMonitor: the allow→veto / veto→allow transitions bounding a
+    # fallback episode (a "fallback storm" when sustained).
+    "fallback_enter": ("qc",),
+    "fallback_exit": ("qc",),
+    # TransitQueue: a new in-flight occupancy high-water mark towards a hop.
+    "transit_high_water": ("hop", "packets"),
+}
+
+#: Field-level schema (validated with repro.harness.store.validate_schema).
+#: Every field any kind can carry is typed here; per-kind required fields come
+#: from EVENT_KINDS.
+EVENT_SCHEMA = {
+    "type": "object",
+    "required": ["t", "kind"],
+    "properties": {
+        "t": {"type": "number"},
+        "kind": {"type": "string", "minLength": 1},
+        "name": {"type": "string"},
+        "hops": {"type": ["object", "array"]},
+        "caps": {"type": "object", "values": {"type": "number"}},
+        "bottleneck": {"type": "string"},
+        "hop": {"type": "string", "minLength": 1},
+        "flow": {"type": "integer"},
+        "packets": {"type": "number"},
+        "transit": {"type": "number"},
+        "sent": {"type": "number"},
+        "acked": {"type": "number"},
+        "lost": {"type": "number"},
+        "pending": {"type": "number"},
+        "qc": {"type": "number"},
+        "margin": {"type": "number"},
+        "allowed": {"type": "boolean"},
+    },
+}
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Parsed telemetry settings (the ``on`` / ``on(N)`` grammar)."""
+
+    stride: int = DEFAULT_STRIDE
+
+    def __post_init__(self) -> None:
+        if self.stride < 1:
+            raise ValueError("telemetry stride must be >= 1")
+
+    def spec(self) -> str:
+        """The canonical spec string this config round-trips to."""
+        return "on" if self.stride == DEFAULT_STRIDE else f"on({self.stride})"
+
+
+def parse_telemetry(spec: str) -> Optional[TelemetryConfig]:
+    """Parse a telemetry spec; ``None`` means disabled.
+
+    Grammar: ``off`` | ``on`` | ``on(N)`` with N the conservation-snapshot
+    stride in ticks.  Raises ``ValueError`` on anything else — settings
+    validation fails fast, like topology/workload specs.
+    """
+    text = str(spec).strip().lower()
+    if text == DEFAULT_TELEMETRY:
+        return None
+    if text == "on":
+        return TelemetryConfig()
+    if text.startswith("on(") and text.endswith(")"):
+        body = text[3:-1].strip()
+        try:
+            return TelemetryConfig(stride=int(body))
+        except ValueError as exc:
+            raise ValueError(f"malformed telemetry stride {body!r} in {spec!r}") from exc
+    raise ValueError(f"malformed telemetry spec {spec!r}; "
+                     f"expected 'off', 'on', or 'on(stride)'")
+
+
+def canonical_telemetry(spec: str) -> str:
+    """One spelling per telemetry spec (``ON( 25 )`` → ``on``)."""
+    config = parse_telemetry(spec)
+    return DEFAULT_TELEMETRY if config is None else config.spec()
+
+
+def validate_events(events: Sequence[Dict]) -> None:
+    """Check a sequence of event dicts; raise ``ValueError`` on drift.
+
+    Validates the field schema, the kind vocabulary, the per-kind required
+    fields, and that sim timestamps never run backwards (append-only order).
+    """
+    # Imported here, not at module top: the harness imports telemetry from its
+    # hot seams, so a module-level harness import would cycle.
+    from repro.harness.store import validate_schema
+
+    last_t = float("-inf")
+    for index, event in enumerate(events):
+        path = f"$.events[{index}]"
+        validate_schema(event, EVENT_SCHEMA, path)
+        kind = event["kind"]
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"{path}: unknown event kind {kind!r}; "
+                             f"known: {sorted(EVENT_KINDS)}")
+        missing = [name for name in EVENT_KINDS[kind] if name not in event]
+        if missing:
+            raise ValueError(f"{path}: {kind} event missing field(s) {missing}")
+        if event["t"] + 1e-9 < last_t:
+            raise ValueError(f"{path}: timestamp {event['t']} runs backwards "
+                             f"(previous {last_t})")
+        last_t = max(last_t, float(event["t"]))
+
+
+class EventTrace:
+    """Append-only recorder of structured simulation events.
+
+    One instance is shared by every emitter of a run — the simulator advances
+    :attr:`now` each tick, so emitters without their own clock (the QC
+    monitor, the transit queue) stamp events with the current tick time.
+    """
+
+    def __init__(self, config: Optional[TelemetryConfig] = None) -> None:
+        self.config = config or TelemetryConfig()
+        self.events: List[Dict] = []
+        #: Current simulation time; emitters stamp events with this unless
+        #: they pass an explicit ``t``.
+        self.now = 0.0
+
+    @classmethod
+    def from_spec(cls, spec: str) -> Optional["EventTrace"]:
+        """A trace for the spec, or ``None`` when telemetry is ``off``."""
+        config = parse_telemetry(spec)
+        return None if config is None else cls(config)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def stride(self) -> int:
+        return self.config.stride
+
+    def advance(self, now: float) -> None:
+        """Move the trace clock to ``now`` (called by the simulator per tick)."""
+        self.now = now
+
+    def emit(self, kind: str, t: Optional[float] = None, **fields) -> None:
+        """Append one event, stamped with the current (or given) sim time."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}; known: {sorted(EVENT_KINDS)}")
+        event: Dict = {"t": float(self.now if t is None else t), "kind": kind}
+        event.update(fields)
+        self.events.append(event)
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Dict]:
+        return iter(self.events)
+
+    def select(self, kinds: Sequence[str]) -> List[Dict]:
+        """Events whose kind is in ``kinds``, in emission order."""
+        wanted = set(kinds)
+        return [event for event in self.events if event["kind"] in wanted]
+
+    def validate(self) -> None:
+        validate_events(self.events)
+
+    def to_json(self) -> List[Dict]:
+        """The events as a JSON-ready list (stored in the metrics row)."""
+        return list(self.events)

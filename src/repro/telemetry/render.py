@@ -1,0 +1,112 @@
+"""Plain-text rendering of event traces: per-cell timelines and summaries.
+
+The display layer behind ``python -m repro trace <store>``: a fixed-width
+timeline lane per event group (fallback storms, drops, flow churn, transit
+marks) over the run's time axis, plus the ``tele_*`` summary metrics of the
+cell.  Pure string building — no I/O — so the CLI and tests share it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.telemetry.summary import fallback_episodes
+
+__all__ = ["EVENT_GROUPS", "resolve_groups", "render_timeline", "render_summary"]
+
+#: Friendly ``--events`` group name → the event kinds it selects.
+EVENT_GROUPS: Dict[str, tuple] = {
+    "fallback": ("qc_decision", "fallback_enter", "fallback_exit"),
+    "drop": ("queue_drop", "transit_drop"),
+    "flow": ("flow_arrival", "flow_departure"),
+    "conservation": ("conservation",),
+    "transit": ("transit_high_water",),
+}
+
+#: Density ramp for bucketed event counts (index ~ log2 of the count).
+_RAMP = " .:-=+*#%@"
+
+
+def resolve_groups(names: Sequence[str]) -> List[str]:
+    """Validate ``--events`` group names (raises listing the valid ones)."""
+    unknown = sorted(set(names) - set(EVENT_GROUPS))
+    if unknown:
+        raise ValueError(f"unknown event group(s) {unknown}; "
+                         f"known: {sorted(EVENT_GROUPS)}")
+    return [name for name in EVENT_GROUPS if name in set(names)]
+
+
+def _density_lane(times: Sequence[float], t_end: float, width: int) -> str:
+    counts = [0] * width
+    for t in times:
+        index = min(int(t / t_end * width), width - 1) if t_end > 0 else 0
+        counts[index] += 1
+    lane = []
+    for count in counts:
+        level = 0
+        while count >> level and level < len(_RAMP) - 1:
+            level += 1
+        lane.append(_RAMP[level])
+    return "".join(lane)
+
+
+def _fallback_lane(events: Sequence[Dict], t_end: float, width: int) -> str:
+    """``#`` while a fallback storm is open, ``.`` where decisions ran clean."""
+    lane = [" "] * width
+
+    def bucket(t: float) -> int:
+        return min(int(t / t_end * width), width - 1) if t_end > 0 else 0
+
+    for event in events:
+        if event["kind"] == "qc_decision":
+            index = bucket(float(event["t"]))
+            if lane[index] == " ":
+                lane[index] = "."
+    for episode in fallback_episodes(list(events), end_time=t_end):
+        for index in range(bucket(episode["start"]), bucket(episode["stop"]) + 1):
+            lane[index] = "#"
+    return "".join(lane)
+
+
+def render_timeline(events: Sequence[Dict], duration: Optional[float] = None,
+                    width: int = 64, groups: Optional[Sequence[str]] = None) -> str:
+    """Render one cell's events as fixed-width lanes over the time axis.
+
+    ``groups`` restricts the lanes (``--events fallback,drop``); by default
+    every group with at least one event gets a lane.  The fallback lane marks
+    open storms with ``#`` and clean decisions with ``.``; other lanes use a
+    density ramp over per-bucket event counts.
+    """
+    selected = resolve_groups(groups) if groups is not None else list(EVENT_GROUPS)
+    t_end = float(duration) if duration is not None else (
+        max((float(e["t"]) for e in events), default=0.0))
+    if t_end <= 0:
+        t_end = 1.0
+    label_width = max(len(name) for name in EVENT_GROUPS)
+    lines = []
+    for name in selected:
+        of_group = [e for e in events if e["kind"] in EVENT_GROUPS[name]]
+        if not of_group and groups is None:
+            continue
+        if name == "fallback":
+            lane = _fallback_lane(of_group, t_end, width)
+        else:
+            lane = _density_lane([float(e["t"]) for e in of_group], t_end, width)
+        lines.append(f"{name.rjust(label_width)} |{lane}| {len(of_group)} events")
+    axis = f"{'t'.rjust(label_width)} |{'-' * width}| 0 .. {t_end:g}s"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def render_summary(row: Dict) -> str:
+    """The ``tele_*`` summary entries of a row, one aligned line each."""
+    entries = {key: value for key, value in sorted(row.items())
+               if key.startswith("tele_")}
+    if not entries:
+        return "(no telemetry summary in row)"
+    key_width = max(len(key) for key in entries)
+    lines = []
+    for key, value in entries.items():
+        rendered = f"{value:g}" if isinstance(value, float) else f"{value}"
+        lines.append(f"{key.ljust(key_width)}  {rendered}")
+    return "\n".join(lines)

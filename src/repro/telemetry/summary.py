@@ -1,0 +1,142 @@
+"""Reduce an event trace to canonical metrics rows.
+
+:func:`summarize_events` turns the raw event stream of one cell into the
+scalar columns stored in its :class:`~repro.harness.store.RunRecord` — and,
+because :mod:`repro.harness.benchjson` flattens every scalar row metric, into
+``BENCH_ci.json`` trajectory rows for free.  All summary keys carry the
+``tele_`` prefix so traced rows stay disjoint from the physics metrics.
+
+What is summarized (the ISSUE-7 canon):
+
+* **Fallback episodes** — contiguous runs of vetoed decisions, delimited by
+  ``fallback_enter`` / ``fallback_exit`` events: episode count, the longest
+  storm's duration, and the total decision count with its minimum QC margin.
+* **Per-hop queue delay** — p50/p99 of the expected queuing delay
+  (``occupancy / capacity``) sampled by the stride'd ``conservation``
+  snapshots, one pair of columns per hop.
+* **Drop attribution** — lost packets per hop (queue + transit drops
+  combined), plus the totals.
+* **Churn overlap** — the time-weighted histogram of how many flows were
+  simultaneously active (from ``flow_arrival`` / ``flow_departure``), with
+  max/mean scalars; the full histogram stays in the row as a non-scalar
+  entry (excluded from BENCH rows by construction).
+* **Transit high-water** — the peak in-flight occupancy over the run.
+
+Deterministic by construction: pure arithmetic over a deterministic event
+stream, so serial == sharded == resumed summaries byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["summarize_events", "fallback_episodes"]
+
+
+def fallback_episodes(events: Sequence[Dict], end_time: Optional[float] = None
+                      ) -> List[Dict]:
+    """The fallback storms of a trace: ``[{"start", "stop", "duration_s"}]``.
+
+    An episode opens at ``fallback_enter`` and closes at the matching
+    ``fallback_exit``; an episode still open when the trace ends closes at
+    ``end_time`` (default: the last event's timestamp).
+    """
+    episodes: List[Dict] = []
+    open_start: Optional[float] = None
+    last_t = 0.0
+    for event in events:
+        last_t = max(last_t, float(event["t"]))
+        if event["kind"] == "fallback_enter" and open_start is None:
+            open_start = float(event["t"])
+        elif event["kind"] == "fallback_exit" and open_start is not None:
+            episodes.append({"start": open_start, "stop": float(event["t"]),
+                             "duration_s": float(event["t"]) - open_start})
+            open_start = None
+    if open_start is not None:
+        stop = end_time if end_time is not None else last_t
+        episodes.append({"start": open_start, "stop": stop,
+                         "duration_s": max(0.0, stop - open_start)})
+    return episodes
+
+
+def _overlap_histogram(events: Sequence[Dict], end_time: float) -> Dict[int, float]:
+    """Seconds spent at each simultaneous-flow count (churn overlap)."""
+    transitions = [(float(e["t"]), 1 if e["kind"] == "flow_arrival" else -1)
+                   for e in events
+                   if e["kind"] in ("flow_arrival", "flow_departure")]
+    histogram: Dict[int, float] = {}
+    active = 0
+    cursor = 0.0
+    for t, delta in transitions:  # already in emission (= time) order
+        if t > cursor:
+            histogram[active] = histogram.get(active, 0.0) + (t - cursor)
+            cursor = t
+        active += delta
+    if end_time > cursor:
+        histogram[active] = histogram.get(active, 0.0) + (end_time - cursor)
+    return histogram
+
+
+def summarize_events(events: Sequence[Dict], duration: Optional[float] = None
+                     ) -> Dict[str, object]:
+    """Reduce one cell's event stream to its canonical ``tele_*`` row entries."""
+    end_time = float(duration) if duration is not None else (
+        max((float(e["t"]) for e in events), default=0.0))
+    row: Dict[str, object] = {"tele_n_events": len(events)}
+
+    # Fallback storms -------------------------------------------------- #
+    episodes = fallback_episodes(events, end_time=end_time)
+    decisions = [e for e in events if e["kind"] == "qc_decision"]
+    row["tele_fallback_episodes"] = len(episodes)
+    row["tele_fallback_longest_s"] = (
+        max(ep["duration_s"] for ep in episodes) if episodes else 0.0)
+    if decisions:
+        row["tele_qc_decisions"] = len(decisions)
+        row["tele_qc_margin_min"] = min(float(e["margin"]) for e in decisions)
+
+    # Per-hop queue delay from conservation snapshots ------------------- #
+    snapshots = [e for e in events if e["kind"] == "conservation"]
+    delays: Dict[str, List[float]] = {}
+    for snap in snapshots:
+        caps = snap.get("caps", {})
+        for hop, occupancy in snap.get("hops", {}).items():
+            capacity = float(caps.get(hop, 0.0))
+            delays.setdefault(hop, []).append(
+                float(occupancy) / capacity if capacity > 0 else 0.0)
+    for hop in sorted(delays):
+        samples = np.asarray(delays[hop], dtype=np.float64)
+        row[f"tele_queue_p50_ms_{hop}"] = float(np.percentile(samples, 50)) * 1e3
+        row[f"tele_queue_p99_ms_{hop}"] = float(np.percentile(samples, 99)) * 1e3
+
+    # Drop attribution by hop ------------------------------------------ #
+    drops: Dict[str, float] = {}
+    drop_events = 0
+    for event in events:
+        if event["kind"] in ("queue_drop", "transit_drop"):
+            drop_events += 1
+            drops[event["hop"]] = drops.get(event["hop"], 0.0) + float(event["packets"])
+    row["tele_drop_events"] = drop_events
+    row["tele_dropped_packets"] = float(sum(drops.values()))
+    for hop in sorted(drops):
+        row[f"tele_drops_{hop}"] = drops[hop]
+
+    # Churn overlap ---------------------------------------------------- #
+    histogram = _overlap_histogram(events, end_time)
+    if histogram:
+        total = sum(histogram.values())
+        row["tele_churn_max_overlap"] = max(histogram)
+        row["tele_churn_mean_overlap"] = (
+            sum(level * seconds for level, seconds in histogram.items()) / total
+            if total > 0 else 0.0)
+        # The full histogram is a dict — a non-scalar row entry, kept in the
+        # RunRecord but (by construction) excluded from BENCH_ci.json rows.
+        row["tele_churn_overlap_hist"] = {str(level): histogram[level]
+                                          for level in sorted(histogram)}
+
+    # Transit high-water ----------------------------------------------- #
+    marks = [float(e["packets"]) for e in events if e["kind"] == "transit_high_water"]
+    if marks:
+        row["tele_transit_high_water"] = max(marks)
+    return row

@@ -267,6 +267,17 @@ class Topology:
     def link_names(self) -> List[str]:
         return list(self._order)
 
+    def describe(self) -> Dict[str, object]:
+        """The topology's identity as plain JSON-able fields.
+
+        This is the payload of the one-time ``topology`` telemetry event a
+        simulator emits at attach time: the name, the hops in drain order,
+        and the designated bottleneck — what a trace renderer needs to label
+        per-hop lanes without reaching back into live objects.
+        """
+        return {"name": self.name, "hops": list(self._drain_order),
+                "bottleneck": self.bottleneck_name}
+
     @property
     def bottleneck(self) -> Link:
         """The hop whose trace defines the reference capacity."""

@@ -33,7 +33,9 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.events import EventTrace
 
 __all__ = ["TransitChunk", "TransitQueue"]
 
@@ -57,12 +59,23 @@ class TransitQueue:
     hop they are travelling *towards*, so fork/join DAGs work unchanged — a
     join hop simply receives chunks from several upstream heaps' worth of
     senders, merged in deterministic ``(eligible_time, seq)`` order.
+
+    When an :class:`~repro.telemetry.events.EventTrace` is attached the queue
+    tracks per-destination in-flight occupancy and emits a
+    ``transit_high_water`` event whenever a destination's occupancy clears its
+    last emitted mark by 5% (the multiplicative cap keeps the event count
+    logarithmic in the peak while staying fully deterministic).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: Optional[EventTrace] = None) -> None:
         self._pending: Dict[str, List[Tuple[float, int, TransitChunk]]] = {}
         self._seq = 0
         self._occupancy = 0.0
+        self._telemetry = telemetry
+        # High-water tracking is telemetry-only state: per-dest occupancy and
+        # the last emitted mark per destination.
+        self._dest_occupancy: Dict[str, float] = {}
+        self._high_water: Dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
     def send(self, dest: str, flow_id: int, packets: float, queuing_delay: float,
@@ -75,6 +88,14 @@ class TransitQueue:
                        (eligible_time, self._seq, chunk))
         self._seq += 1
         self._occupancy += packets
+        tel = self._telemetry
+        if tel is not None:
+            occupancy = self._dest_occupancy.get(dest, 0.0) + packets
+            self._dest_occupancy[dest] = occupancy
+            last_mark = self._high_water.get(dest, 0.0)
+            if occupancy > last_mark * 1.05:
+                self._high_water[dest] = occupancy
+                tel.emit("transit_high_water", hop=dest, packets=occupancy)
 
     def arrivals(self, dest: str, now: float) -> List[TransitChunk]:
         """Pop every chunk destined to ``dest`` whose transit time has elapsed."""
@@ -86,6 +107,10 @@ class TransitQueue:
             chunk = heapq.heappop(heap)[2]
             due.append(chunk)
             self._occupancy -= chunk.packets
+        if due and self._telemetry is not None:
+            popped = sum(chunk.packets for chunk in due)
+            self._dest_occupancy[dest] = max(
+                0.0, self._dest_occupancy.get(dest, 0.0) - popped)
         return due
 
     # ------------------------------------------------------------------ #
@@ -112,3 +137,5 @@ class TransitQueue:
     def reset(self) -> None:
         self._pending.clear()
         self._occupancy = 0.0
+        self._dest_occupancy.clear()
+        self._high_water.clear()

@@ -18,11 +18,12 @@ worker assignment — the same convention as per-hop loss RNG seeds.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.telemetry import log
 
 __all__ = ["FlowWindow", "ArrivalSchedule"]
 
@@ -89,9 +90,10 @@ class ArrivalSchedule:
         ``(rate, duration, seed)``, never on which process draws it.
 
         When the ``max_flows`` cap cuts the arrival process short, a
-        ``UserWarning`` names the requested (expected) vs. generated flow
-        count — the cap protects the simulator from a typo'd rate, but it
-        must never truncate a workload silently.
+        structured warning (``poisson_schedule_truncated`` on the
+        ``repro.workload`` logger) names the requested (expected) vs.
+        generated flow count — the cap protects the simulator from a typo'd
+        rate, but it must never truncate a workload silently.
         """
         if rate <= 0:
             raise ValueError("rate must be positive")
@@ -115,12 +117,13 @@ class ArrivalSchedule:
             stop = now + lifetime
             windows.append(FlowWindow(now, stop if stop < duration else None))
         if truncated:
-            warnings.warn(
-                f"poisson arrival schedule truncated at max_flows={max_flows}: "
-                f"rate={rate:g}/s over duration={duration:g}s requests "
-                f"~{rate * duration:.0f} flows on average, generated only "
-                f"{len(windows)}",
-                UserWarning,
-                stacklevel=2,
+            log.warn(
+                "poisson_schedule_truncated",
+                logger="workload",
+                max_flows=max_flows,
+                rate=rate,
+                duration=duration,
+                requested=int(round(rate * duration)),
+                generated=len(windows),
             )
         return cls(windows=tuple(windows))

@@ -202,3 +202,73 @@ def test_experiment_command_runs_generalization_grid(capsys):
     assert "Experiment topology_generalization" in out
     assert "train_family" in out and "eval_family" in out
     assert "mixed" in out and "chain(2)" in out
+
+
+# --------------------------------------------------------------------- #
+# trace subcommand (ISSUE 7)
+# --------------------------------------------------------------------- #
+TRACED_SETS = ["--set", "schemes=cubic", "--set", "topology=fan_in(3)",
+               "--set", "workload=poisson(0.1)", "--set", "duration=2.0",
+               "--set", "seeds=1", "--set", "telemetry=on(10)"]
+
+
+@pytest.fixture(scope="module")
+def traced_store(tmp_path_factory):
+    """A one-cell traced workload_stress store, built once per module."""
+    store = str(tmp_path_factory.mktemp("traced") / "store")
+    assert main(["run", "workload_stress", *TRACED_SETS, "--store", store]) == 0
+    return store
+
+
+def test_trace_renders_timeline_and_summary(traced_store, capsys):
+    capsys.readouterr()
+    assert main(["trace", traced_store, "--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "(schema valid)" not in out  # count and validity share one tag...
+    assert "events, schema valid)" in out  # ...formatted as "(N events, schema valid)"
+    assert "cell: scheme=cubic" in out
+    for lane in ("drop", "flow", "conservation"):
+        assert lane in out
+    assert "tele_n_events" in out
+    assert "1 traced cell(s)" in out
+
+
+def test_trace_filters_event_groups(traced_store, capsys):
+    capsys.readouterr()
+    assert main(["trace", traced_store, "--events", "flow", "--width", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "flow" in out and "conservation |" not in out
+
+
+def test_trace_rejects_unknown_group(traced_store):
+    with pytest.raises(SystemExit, match="unknown event group"):
+        main(["trace", traced_store, "--events", "fallback,nope"])
+
+
+def test_trace_cell_filter_no_match_lists_traced_cells(traced_store):
+    with pytest.raises(SystemExit, match="no traced cell matching"):
+        main(["trace", traced_store, "--cell", "scheme=bbr"])
+
+
+def test_trace_untraced_store_exits_one(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["run", "topology_sweep", *RUN_SETS, "--store", store]) == 0
+    capsys.readouterr()
+    assert main(["trace", store]) == 1
+    assert "no traced cells" in capsys.readouterr().out
+
+
+def test_trace_rejects_non_store_path(tmp_path):
+    with pytest.raises(SystemExit, match="not a run store"):
+        main(["trace", str(tmp_path)])
+
+
+def test_quiet_and_verbose_flags_configure_logging(tmp_path, capsys):
+    import logging
+
+    store = str(tmp_path / "store")
+    assert main(["--verbose", "run", "topology_sweep", *RUN_SETS,
+                 "--store", store]) == 0
+    assert logging.getLogger("repro").level == logging.INFO
+    assert main(["--quiet", "trace", store]) == 1  # untraced: exit 1, not a crash
+    assert logging.getLogger("repro").level == logging.ERROR

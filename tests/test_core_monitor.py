@@ -91,3 +91,73 @@ class TestDecisions:
         monitor.reset()
         assert monitor.records == []
         assert monitor.mean_qc == pytest.approx(1.0)
+
+
+class TestEmptyRecordGuards:
+    """Regression: summary properties on a monitor that never decided must
+    return their neutral values, not raise ZeroDivisionError (ISSUE 7 #3)."""
+
+    def test_empty_monitor_summaries_are_neutral(self, setup):
+        _, verifier, _ = setup
+        monitor = QCRuntimeMonitor(verifier, shallow_buffer_properties(), threshold=0.5, n_components=3)
+        assert monitor.records == []
+        assert monitor.fallback_fraction == 0.0
+        assert monitor.mean_qc == pytest.approx(1.0)
+        assert monitor.n_fallback_episodes == 0
+        assert monitor.longest_fallback_run == 0
+
+    def test_guards_hold_after_reset(self, setup):
+        _, verifier, state = setup
+        verifier = make_biased_verifier(ObservationConfig(), bias=-10.0)
+        monitor = QCRuntimeMonitor(verifier, shallow_buffer_properties(), threshold=0.9, n_components=5)
+        monitor.decision_filter(state, 20.0, 20.0)
+        assert monitor.fallback_fraction == pytest.approx(1.0)
+        monitor.reset()
+        assert monitor.fallback_fraction == 0.0
+        assert monitor.mean_qc == pytest.approx(1.0)
+
+
+class TestTelemetryEmission:
+    """The monitor's qc_decision / fallback_enter / fallback_exit stream."""
+
+    def test_vetoing_monitor_emits_decision_and_fallback_enter(self, setup):
+        from repro.telemetry import EventTrace
+
+        _, _, state = setup
+        verifier = make_biased_verifier(ObservationConfig(), bias=-10.0)
+        trace = EventTrace()
+        trace.advance(1.0)
+        monitor = QCRuntimeMonitor(verifier, shallow_buffer_properties(), threshold=0.9,
+                                   n_components=5, telemetry=trace)
+        monitor.decision_filter(state, 20.0, 20.0)
+        kinds = [event["kind"] for event in trace.events]
+        assert kinds == ["qc_decision", "fallback_enter"]
+        decision = trace.events[0]
+        assert decision["t"] == 1.0
+        assert decision["allowed"] is False
+        assert decision["margin"] == pytest.approx(decision["qc"] - 0.9)
+        # Staying in fallback must not re-emit fallback_enter.
+        monitor.decision_filter(state, 20.0, 20.0)
+        kinds = [event["kind"] for event in trace.events]
+        assert kinds == ["qc_decision", "fallback_enter", "qc_decision"]
+        assert monitor.n_fallback_episodes == 1
+        assert monitor.longest_fallback_run == 2
+
+    def test_allowing_monitor_exits_fallback(self, setup):
+        from repro.telemetry import EventTrace
+
+        _, _, state = setup
+        trace = EventTrace()
+        verifier = make_biased_verifier(ObservationConfig(), bias=0.0)
+        monitor = QCRuntimeMonitor(verifier, shallow_buffer_properties(), threshold=0.9,
+                                   n_components=5, telemetry=trace)
+        monitor._in_fallback = True  # as if a storm were in progress
+        monitor.decision_filter(state, 20.0, 20.0)
+        kinds = [event["kind"] for event in trace.events]
+        assert kinds == ["qc_decision", "fallback_exit"]
+        assert trace.events[0]["allowed"] is True
+
+    def test_untraced_monitor_emits_nothing(self, setup):
+        _, verifier, state = setup
+        monitor = QCRuntimeMonitor(verifier, shallow_buffer_properties(), threshold=0.5, n_components=3)
+        monitor.decision_filter(state, 20.0, 20.0)  # telemetry=None: no-op path

@@ -227,6 +227,28 @@ class TestStoreDiff:
         out = capsys.readouterr().out
         assert "identical" in out and "not a run store" in out
 
+    def test_atol_suppresses_sub_tolerance_drift(self, tmp_path):
+        a = self.make_store(tmp_path / "a", {"k #a": {"utilization": 0.8}})
+        b = self.make_store(tmp_path / "b", {"k #a": {"utilization": 0.8 + 5e-13}})
+        assert store_diff(a, b)["identical"] is False
+        diff = store_diff(a, b, atol=1e-12)
+        assert diff["identical"] and diff["atol"] == 1e-12
+        assert "(atol 1e-12)" in format_store_diff(diff)
+
+    def test_changed_line_reports_expected_got_and_atol(self, tmp_path):
+        a = self.make_store(tmp_path / "a", {"k #a": {"utilization": 0.8}})
+        b = self.make_store(tmp_path / "b", {"k #a": {"utilization": 0.9}})
+        rendered = format_store_diff(store_diff(a, b, atol=1e-6), "exp", "got")
+        assert "~ k #a :: utilization: expected 0.8 got 0.9" in rendered
+        assert "delta +0.1" in rendered and "atol 1e-06" in rendered
+
+    def test_main_atol_flag_gates_exit_code(self, tmp_path, capsys):
+        self.make_store(tmp_path / "a", {"k #a": {"utilization": 0.5}})
+        self.make_store(tmp_path / "b", {"k #a": {"utilization": 0.5 + 1e-13}})
+        assert main(["--store-diff", str(tmp_path / "a"), str(tmp_path / "b")]) == 1
+        assert main(["--store-diff", str(tmp_path / "a"), str(tmp_path / "b"),
+                     "--atol", "1e-12"]) == 0
+
     def test_main_store_diff_rejects_other_inputs(self, tmp_path):
         self.make_store(tmp_path / "a", {"k #a": {"u": 0.5}})
         with pytest.raises(SystemExit):

@@ -12,7 +12,7 @@ simulator, partial-lifetime handling in ``SimulationResult`` /
   reproduce the pre-workload trajectories exactly (atol=1e-12).
 """
 
-import warnings
+import logging
 
 import numpy as np
 import pytest
@@ -108,25 +108,35 @@ class TestArrivalSchedule:
             if window.stop is not None:
                 assert window.stop > window.start
 
-    def test_poisson_flow_cap_warns_instead_of_truncating_silently(self):
+    def test_poisson_flow_cap_warns_instead_of_truncating_silently(self, caplog):
         # The MAX_FLOWS guard still bites, but it must name the requested vs
-        # generated flow counts instead of silently dropping arrivals.
-        with pytest.warns(UserWarning, match=r"max_flows=64.*~10000000 flows.*only 64"):
+        # generated flow counts instead of silently dropping arrivals — now a
+        # structured warning on the repro.workload logger.
+        with caplog.at_level(logging.WARNING, logger="repro.workload"):
             schedule = ArrivalSchedule.poisson(rate=1e6, duration=10.0, seed=1)
         assert len(schedule) == 64
+        messages = [r.message for r in caplog.records
+                    if r.name == "repro.workload"]
+        assert len(messages) == 1
+        assert "poisson_schedule_truncated" in messages[0]
+        assert "max_flows=64" in messages[0]
+        assert "requested=10000000" in messages[0]
+        assert "generated=64" in messages[0]
 
-    def test_poisson_below_cap_does_not_warn(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
+    def test_poisson_below_cap_does_not_warn(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.workload"):
             schedule = ArrivalSchedule.poisson(rate=1.0, duration=10.0, seed=1)
         assert 0 < len(schedule) < 64
+        assert not [r for r in caplog.records if r.name == "repro.workload"]
 
-    def test_poisson_windows_unchanged_by_cap_detection(self):
+    def test_poisson_windows_unchanged_by_cap_detection(self, caplog):
         # The truncation probe draws one extra arrival *after* the cap is
         # reached; the windows returned for the capped prefix must be exactly
         # the windows an uncapped schedule starts with.
-        with pytest.warns(UserWarning):
+        with caplog.at_level(logging.WARNING, logger="repro.workload"):
             capped = ArrivalSchedule.poisson(rate=30.0, duration=10.0, seed=3, max_flows=8)
+        assert any("poisson_schedule_truncated" in r.message
+                   for r in caplog.records if r.name == "repro.workload")
         uncapped = ArrivalSchedule.poisson(rate=30.0, duration=10.0, seed=3, max_flows=1000)
         assert len(uncapped) > 8
         assert capped.windows == uncapped.windows[:8]
