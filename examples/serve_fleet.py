@@ -1,0 +1,66 @@
+"""Serving an experiment grid across a crash-surviving worker fleet.
+
+``serve_experiment`` is the programmatic face of ``python -m repro serve``:
+it expands a registered experiment's grid into a lease-based work queue on a
+run store, spawns worker processes that pull cells under TTL leases, and
+streams each finished cell to ``records.jsonl`` as it completes.  Workers
+that die mid-cell (here: one SIGKILLs itself via ``chaos_kill``) lose their
+lease at TTL expiry; the daemon reclaims the cell, hands it to a fresh
+worker, and the finished store is byte-identical to a serial run — the
+determinism contract the serve smoke job in CI enforces with
+``benchjson --store-diff``.
+
+While (or after) a grid is being served, ``python -m repro status <store>``
+replays the on-disk lease journal into a live progress report — no RPC to
+the daemon, just the journal.
+
+Run me::
+
+    PYTHONPATH=src python examples/serve_fleet.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.harness.registry import REGISTRY
+from repro.harness.store import RunStore
+from repro.serve.daemon import serve_experiment
+from repro.serve.status import format_status, read_status
+
+#: A tiny classical-scheme slice of the workload_stress grid (no training,
+#: so the example runs in seconds): 2 schemes x 2 workloads x 2 seeds.
+OVERRIDES = {
+    "schemes": "cubic,vegas",
+    "topology": "single_bottleneck",
+    "workload": "static,poisson(0.1)",
+    "duration": "2.0",
+    "seeds": "1,2",
+}
+
+if __name__ == "__main__":
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = Path(tmp) / "served"
+
+        # Serve the grid on two workers; the first worker kill -9s itself on
+        # receiving its second cell, exercising the reclaim path.
+        result = serve_experiment("workload_stress", OVERRIDES,
+                                  store=RunStore(store_dir), workers=2,
+                                  ttl_s=5.0, chaos_kill=2)
+        print(f"served {result['served_cells']} cells with "
+              f"{result['reclaims']} reclaim(s) at "
+              f"{result['cells_per_sec']:.1f} cells/s")
+
+        # The lease journal doubles as the status feed.
+        print(format_status(read_status(store_dir)))
+
+        # Serving is resumable like any store-backed run: a second serve of
+        # the same grid finds every cell cached and computes nothing.
+        again = serve_experiment("workload_stress", OVERRIDES,
+                                 store=RunStore(store_dir), workers=0)
+        print(f"re-serve computed {again['served_cells']} cells "
+              f"(everything cached)")
+
+        # And the rows agree with a plain serial run of the same grid.
+        serial = REGISTRY.run("workload_stress", OVERRIDES)
+        assert serial["rows"] == again["rows"], "serve broke determinism"
+        print(f"serial run agrees on all {len(serial['rows'])} rows")

@@ -13,7 +13,8 @@ Usage (after ``pip install -e .``)::
     python -m repro run topology_sweep --set seeds=0..4 --jobs 4 --resume
     python -m repro run topology_generalization --set trace=cellular --set seeds=0..2
     python -m repro run workload_stress --set workload=poisson(0.1) --set topology=fan_in(3)
-    python -m repro experiment topology_generalization --jobs 2
+    python -m repro serve workload_stress --store runs/stress --workers 4
+    python -m repro status runs/stress     # live, from the lease journal
     python -m repro compare-classical --buffer-bdp 1.0 --jobs 0
     python -m repro evaluate --topology "chain(3)" --trace step-12-48
     python -m repro evaluate --topology "fan_in(3)" --workload "responsive(cubic:2)"
@@ -25,7 +26,14 @@ Usage (after ``pip install -e .``)::
 overrides, per-cell persistence to a :class:`~repro.harness.store.RunStore`
 (``--store DIR``), and ``--resume`` (skip cells already stored; an
 interrupted sweep continues where it stopped, with rows byte-identical to an
-uninterrupted run).  ``trace`` renders the telemetry of a store produced with
+uninterrupted run).  ``serve`` runs the same grids across a lease-based
+worker fleet that survives worker crashes (:mod:`repro.serve`), and
+``status`` renders live progress from the store's lease journal.  The
+registry-backed ``figure`` ids route through the same resumable store
+(default ``runs/<experiment>``), so re-rendering a figure recomputes only
+missing cells.  The ``experiment`` subcommand is a deprecated alias of
+``run`` kept for compatibility; it warns through the telemetry log.
+``trace`` renders the telemetry of a store produced with
 ``--set telemetry=on``: per-cell event timelines and ``tele_*`` summaries.
 
 Diagnostics go through :mod:`repro.telemetry.log`: ``--quiet`` silences
@@ -57,6 +65,8 @@ from repro.harness.reporting import format_rows, print_experiment
 from repro.harness.spec import parse_topologies, resolve_trace
 from repro.harness.store import RECORDS_FILENAME, RunStore
 from repro.nn.serialization import save_weight_dict
+from repro.serve.daemon import DEFAULT_MAX_LEASES, serve_experiment
+from repro.serve.status import format_status, read_status
 from repro.telemetry import log
 from repro.telemetry.events import validate_events
 from repro.telemetry.log import console
@@ -94,8 +104,23 @@ FIGURE_DRIVERS: Dict[str, Callable[..., dict]] = {
         training_steps=training_steps, seed=seed),
 }
 
-#: Named experiment drivers reachable through ``python -m repro experiment <name>``
-#: (workloads beyond the paper's figures; all of them shard via ``--jobs``).
+#: Figure ids whose drivers are registered experiments: id → (experiment
+#: name, axis overrides the figure bakes in).  ``cmd_figure`` routes these
+#: through the resumable run-store front door (default store
+#: ``runs/<experiment>``), so re-rendering recomputes only missing cells.
+FIGURE_EXPERIMENTS: Dict[str, tuple] = {
+    "5": ("qcsat_buffers", {}),
+    "7": ("qcsat_robustness", {}),
+    "9": ("performance_sweep", {}),
+    "10": ("performance_sweep", {"buffer_bdp": 5.0, "canopy_kind": "canopy-deep"}),
+    "12": ("realworld_deployment", {}),
+    "13": ("fallback_runtime", {}),
+    "topology": ("topology_sweep", {}),
+}
+
+#: Named experiment drivers reachable through the deprecated
+#: ``python -m repro experiment <name>`` alias (use ``run`` instead; every
+#: driver here is a thin shim over the registry already).
 EXPERIMENT_DRIVERS: Dict[str, Callable[..., dict]] = {
     "topology_sweep": experiments.topology_sweep,
     "topology_generalization": experiments.topology_generalization,
@@ -170,6 +195,19 @@ def cmd_certify(args: argparse.Namespace) -> int:
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
+    if args.figure_id in FIGURE_EXPERIMENTS:
+        # Registry-backed figures regenerate through the resumable store:
+        # every completed cell persists, and re-rendering (same store)
+        # recomputes only what is missing.  --fresh forces a full recompute.
+        name, baked = FIGURE_EXPERIMENTS[args.figure_id]
+        overrides = {"training_steps": args.steps, "seeds": (args.seed,), **baked}
+        store = RunStore(args.store if args.store is not None
+                         else DEFAULT_STORE_ROOT / name)
+        result = REGISTRY.run(name, overrides, n_jobs=args.jobs,
+                              store=store, resume=not args.fresh)
+        print_experiment(f"Figure/table {args.figure_id}", result)
+        console(f"store: {store.records_path} ({len(store)} records)")
+        return 0
     driver = FIGURE_DRIVERS.get(args.figure_id)
     if driver is None:
         raise SystemExit(f"no driver for figure {args.figure_id!r}; "
@@ -188,10 +226,16 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
+    """Deprecated alias of ``run`` (every driver is a registry shim now)."""
     driver = EXPERIMENT_DRIVERS.get(args.name)
     if driver is None:
         raise SystemExit(f"no experiment named {args.name!r}; "
                          f"known: {', '.join(sorted(EXPERIMENT_DRIVERS))}")
+    log.warn("experiment_deprecated", logger="cli", name=args.name,
+             replacement=f"python -m repro run {args.name}",
+             detail="the 'experiment' subcommand is a deprecated alias of "
+                    "'run' and will be removed; 'run' adds --set axis "
+                    "overrides, --store persistence and --resume")
     kwargs = {"training_steps": args.steps, "seed": args.seed, "n_jobs": args.jobs}
     parameters = inspect.signature(driver).parameters
     if args.duration is not None and "duration" in parameters:
@@ -200,6 +244,42 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         kwargs["families"] = parse_topologies(args.families)
     result = driver(**kwargs)
     print_experiment(f"Experiment {args.name}", result)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve one experiment grid across a lease-based worker fleet."""
+    try:
+        REGISTRY.get(args.name)  # validate the name before mkdir'ing a store
+        overrides = parse_set_overrides(args.set or [])
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    store = RunStore(args.store if args.store is not None
+                     else DEFAULT_STORE_ROOT / args.name)
+    try:
+        result = serve_experiment(args.name, overrides, store=store,
+                                  workers=args.workers, ttl_s=args.ttl,
+                                  resume=not args.fresh,
+                                  chaos_kill=args.chaos_kill,
+                                  max_leases=args.max_leases,
+                                  timeout_s=args.timeout)
+    except (ValueError, RuntimeError, TimeoutError) as exc:
+        raise SystemExit(str(exc)) from None
+    print_experiment(f"Serve {args.name}", result)
+    console(f"store: {store.records_path} ({len(store)} records)")
+    console(f"served: {result['served_cells']} cell(s) by {result['workers']} "
+            f"worker(s), {result['reclaims']} reclaim(s), "
+            f"{result['cells_per_sec']:.2f} cells/s")
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Render live serve progress replayed from a store's lease journal."""
+    try:
+        status = read_status(args.store)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    console(format_status(status))
     return 0
 
 
@@ -365,6 +445,12 @@ def build_parser() -> argparse.ArgumentParser:
                                help="1, 2, 5, 6, 7, 9, 10, 11, 12, 13, 16, 17, table4 or topology")
     figure_parser.add_argument("--steps", type=int, default=400)
     figure_parser.add_argument("--seed", type=int, default=1)
+    figure_parser.add_argument("--store", default=None, metavar="DIR",
+                               help="run store for registry-backed figures "
+                                    "(default: runs/<experiment>)")
+    figure_parser.add_argument("--fresh", action="store_true",
+                               help="recompute every cell even if the store "
+                                    "already holds it")
     _add_jobs_argument(figure_parser)
     figure_parser.set_defaults(handler=cmd_figure)
 
@@ -387,8 +473,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(run_parser)
     run_parser.set_defaults(handler=cmd_run)
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve an experiment grid to a crash-surviving worker fleet")
+    serve_parser.add_argument("name", help="registered experiment name (see run --list)")
+    serve_parser.add_argument("--set", action="append", default=[], metavar="AXIS=VALUE",
+                              help="override one experiment axis; repeatable "
+                                   "(same syntax as 'run')")
+    serve_parser.add_argument("--store", default=None, metavar="DIR",
+                              help="run-store directory; its leases.jsonl is the "
+                                   "live status surface (default: runs/<experiment>)")
+    serve_parser.add_argument("--workers", type=int, default=2,
+                              help="fleet size (0 computes inline, no processes)")
+    serve_parser.add_argument("--ttl", type=float, default=10.0,
+                              help="lease TTL in seconds; a lease not heartbeat-"
+                                   "renewed for this long is reclaimed")
+    serve_parser.add_argument("--max-leases", dest="max_leases", type=int,
+                              default=DEFAULT_MAX_LEASES,
+                              help="reclaim budget per cell before it is marked failed")
+    serve_parser.add_argument("--timeout", type=float, default=900.0,
+                              help="overall wall-clock guard in seconds")
+    serve_parser.add_argument("--fresh", action="store_true",
+                              help="recompute cells already in the store")
+    serve_parser.add_argument("--chaos-kill", dest="chaos_kill", type=int,
+                              default=None, metavar="N",
+                              help="fault injection: the first worker SIGKILLs "
+                                   "itself upon receiving its N-th cell "
+                                   "(exercises the reclaim path; CI smoke)")
+    serve_parser.set_defaults(handler=cmd_serve)
+
+    status_parser = subparsers.add_parser(
+        "status", help="show serve progress live from a store's lease journal")
+    status_parser.add_argument("store", help="run-store directory being (or once) served")
+    status_parser.set_defaults(handler=cmd_status)
+
     experiment_parser = subparsers.add_parser(
-        "experiment", help="run a named grid experiment (beyond the paper's figures)")
+        "experiment", help="deprecated alias of 'run' (named grid experiments)")
     experiment_parser.add_argument("name",
                                    help="experiment name, e.g. topology_generalization "
                                         "or topology_sweep")

@@ -100,6 +100,7 @@ METRIC_UNITS = {
     "certificates_per_sec": "1/s",
     "ticks": "count",
     "ticks_per_sec": "1/s",
+    "cells_per_sec": "1/s",
     "n_jobs": "count",
     "speedup": "x",
 }

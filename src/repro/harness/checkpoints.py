@@ -11,6 +11,8 @@ evaluation and certification.
 from __future__ import annotations
 
 import json
+import os
+import shutil
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional
@@ -28,7 +30,7 @@ from repro.nn.mlp import MLP
 from repro.nn.serialization import load_mlp, save_mlp
 from repro.orca.observations import ObservationConfig
 
-__all__ = ["SavedModel", "save_model", "load_model"]
+__all__ = ["SavedModel", "save_model", "load_model", "publish_model"]
 
 _PROPERTY_SETS = {
     "shallow": shallow_buffer_properties,
@@ -86,6 +88,32 @@ def save_model(model, directory: str | Path, name: Optional[str] = None) -> Path
         },
     }
     (directory / f"{name}.json").write_text(json.dumps(metadata, indent=2))
+    return directory
+
+
+def publish_model(model, directory: str | Path, name: str = "model") -> Path:
+    """Atomically publish a checkpoint directory (first writer wins).
+
+    The checkpoint is written to a sibling tmp directory and renamed into
+    place, so readers never observe a half-written checkpoint — the rename
+    either succeeds whole or not at all.  When ``directory`` already exists
+    (another process published the same content address concurrently, the
+    model-zoo case) the tmp copy is discarded and the existing checkpoint
+    kept: content addressing makes the two equivalent, so losing the race
+    costs nothing.
+    """
+    directory = Path(directory)
+    if (directory / f"{name}.json").exists():
+        return directory
+    directory.parent.mkdir(parents=True, exist_ok=True)
+    tmp = directory.parent / f".{directory.name}.tmp-{os.getpid()}"
+    save_model(model, tmp, name=name)
+    try:
+        os.rename(tmp, directory)
+    except OSError:
+        # Lost the publish race (rename onto an existing directory fails):
+        # keep the winner's copy, drop ours.
+        shutil.rmtree(tmp, ignore_errors=True)
     return directory
 
 

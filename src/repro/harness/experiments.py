@@ -14,13 +14,15 @@ The grid-shaped drivers (``qcsat_buffers``, ``qcsat_robustness``,
 certificate grids, certificates/sec — so the benchmark JSON captures
 verification throughput alongside the figures.
 
-The registry-shaped experiments (``topology_sweep``,
-``topology_generalization``, ``fallback_runtime``, ``friendliness``,
-``fairness``) are additionally *declared* in
+Every grid-shaped experiment (``qcsat_buffers``, ``qcsat_robustness``,
+``performance_sweep``, ``topology_sweep``, ``topology_generalization``,
+``workload_stress``, ``realworld_deployment``, ``fallback_runtime``,
+``friendliness``, ``fairness``) is additionally *declared* in
 :data:`repro.harness.registry.REGISTRY` — named axes, a grid-expansion build
 hook, and an aggregator — so they are reachable generically via
 ``python -m repro run <name> --set axis=value``, persist per-cell
-:class:`~repro.harness.store.RunRecord`\\ s, and resume interrupted sweeps.
+:class:`~repro.harness.store.RunRecord`\\ s, resume interrupted sweeps, and
+can be served to a lease-based worker fleet (``python -m repro serve``).
 The driver functions of those experiments are thin shims over the registry
 (rows are byte-identical through either entry point).
 """
@@ -47,7 +49,7 @@ from repro.harness.evaluate import (
 )
 from repro.harness.fairness import MultiFlowTask, run_multiflow_task
 from repro.harness.models import get_trained_model
-from repro.harness.parallel import ExperimentTask, ParallelRunner
+from repro.harness.parallel import ExperimentTask
 from repro.harness.registry import REGISTRY
 from repro.harness.spec import trace_subset
 from repro.telemetry.events import canonical_telemetry
@@ -189,6 +191,52 @@ def motivation_bad_state(
 # ---------------------------------------------------------------------- #
 # Figure 5 — QC_sat for the shallow/deep buffer properties
 # ---------------------------------------------------------------------- #
+#: The (property family, buffer depth, canopy model) cases of the Fig. 5 grid.
+_QCSAT_BUFFER_CASES = (("shallow", 0.5, "canopy-shallow"), ("deep", 5.0, "canopy-deep"))
+
+
+def _qcsat_buffers_aggregate(grid, axes: Dict, tasks: Sequence) -> Dict:
+    # Mean/std across traces of the per-trace QC_sat means, per grid cell group.
+    rows = grid.aggregate(group_by=["property_family", "trace_kind", "scheme"], metrics=["qcsat"])
+    for row in rows:
+        row["n_traces"] = row.pop("n_cells")
+    return _qc_grid_summary("5", rows, grid)
+
+
+@REGISTRY.register(
+    "qcsat_buffers",
+    axes={
+        "training_steps": 400,
+        "duration": 10.0,
+        "n_components": 50,
+        "n_synthetic": 3,
+        "n_cellular": 2,
+        "seeds": (1,),
+    },
+    aggregate=_qcsat_buffers_aggregate,
+    description="QC_sat of Canopy vs Orca, shallow & deep buffer properties (Fig. 5)",
+)
+def _qcsat_buffers_build(axes: Dict) -> List[ExperimentTask]:
+    tasks = []
+    for family, buffer_bdp, canopy_kind in _QCSAT_BUFFER_CASES:
+        for trace_kind, count in (("synthetic", axes["n_synthetic"]),
+                                  ("cellular", axes["n_cellular"])):
+            for seed in axes["seeds"]:
+                settings = EvaluationSettings(duration=axes["duration"],
+                                              buffer_bdp=buffer_bdp, seed=seed)
+                for scheme_label, model_kind in (("canopy", canopy_kind), ("orca", "orca")):
+                    for trace in _trace_subset(trace_kind, count):
+                        tasks.append(ExperimentTask(
+                            scheme=scheme_label, trace=trace, settings=settings,
+                            model_kind=model_kind, training_steps=axes["training_steps"],
+                            model_seed=seed,
+                            certify=True, property_family=family,
+                            n_components=axes["n_components"],
+                            tags={"property_family": family, "trace_kind": trace_kind},
+                        ))
+    return tasks
+
+
 def qcsat_buffers(
     training_steps: int = 400,
     duration: float = 10.0,
@@ -198,31 +246,20 @@ def qcsat_buffers(
     seed: int = 1,
     n_jobs: int = 1,
 ) -> Dict:
-    """Mean/std of QC_sat for Canopy vs Orca, shallow & deep properties (Fig. 5)."""
-    # Train in-process first so pool workers inherit the warm model cache.
-    for kind in ("orca", "canopy-shallow", "canopy-deep"):
-        get_trained_model(kind, training_steps=training_steps, seed=seed)
+    """Mean/std of QC_sat for Canopy vs Orca, shallow & deep properties (Fig. 5).
 
-    cases = [("shallow", 0.5, "canopy-shallow"), ("deep", 5.0, "canopy-deep")]
-    tasks = []
-    for family, buffer_bdp, canopy_kind in cases:
-        for trace_kind, count in (("synthetic", n_synthetic), ("cellular", n_cellular)):
-            settings = EvaluationSettings(duration=duration, buffer_bdp=buffer_bdp, seed=seed)
-            for scheme_label, model_kind in (("canopy", canopy_kind), ("orca", "orca")):
-                for trace in _trace_subset(trace_kind, count):
-                    tasks.append(ExperimentTask(
-                        scheme=scheme_label, trace=trace, settings=settings,
-                        model_kind=model_kind, training_steps=training_steps, model_seed=seed,
-                        certify=True, property_family=family, n_components=n_components,
-                        tags={"property_family": family, "trace_kind": trace_kind},
-                    ))
-    grid = ParallelRunner(n_jobs).run(tasks)
-
-    # Mean/std across traces of the per-trace QC_sat means, per grid cell group.
-    rows = grid.aggregate(group_by=["property_family", "trace_kind", "scheme"], metrics=["qcsat"])
-    for row in rows:
-        row["n_traces"] = row.pop("n_cells")
-    return _qc_grid_summary("5", rows, grid)
+    Thin shim over the registered ``qcsat_buffers`` experiment — the registry
+    pre-trains the models the pending cells name, shards the grid, and
+    aggregates; rows are byte-identical to the historical bespoke driver.
+    """
+    return REGISTRY.run("qcsat_buffers", {
+        "training_steps": training_steps,
+        "duration": duration,
+        "n_components": n_components,
+        "n_synthetic": n_synthetic,
+        "n_cellular": n_cellular,
+        "seeds": (seed,),
+    }, n_jobs=n_jobs)
 
 
 # ---------------------------------------------------------------------- #
@@ -280,6 +317,47 @@ def certified_components(
 # ---------------------------------------------------------------------- #
 # Figure 7 — QC_sat for the robustness property
 # ---------------------------------------------------------------------- #
+def _qcsat_robustness_aggregate(grid, axes: Dict, tasks: Sequence) -> Dict:
+    rows = grid.aggregate(group_by=["trace_kind", "scheme"], metrics=["qcsat"])
+    for row in rows:
+        row["n_traces"] = row.pop("n_cells")
+    return _qc_grid_summary("7", rows, grid)
+
+
+@REGISTRY.register(
+    "qcsat_robustness",
+    axes={
+        "training_steps": 400,
+        "duration": 10.0,
+        "n_components": 50,
+        "n_synthetic": 3,
+        "n_cellular": 2,
+        "noise": 0.05,
+        "seeds": (1,),
+    },
+    aggregate=_qcsat_robustness_aggregate,
+    description="QC_sat of Canopy-robust vs Orca under observation noise (Fig. 7)",
+)
+def _qcsat_robustness_build(axes: Dict) -> List[ExperimentTask]:
+    tasks = []
+    for trace_kind, count in (("synthetic", axes["n_synthetic"]),
+                              ("cellular", axes["n_cellular"])):
+        for seed in axes["seeds"]:
+            settings = EvaluationSettings(duration=axes["duration"], buffer_bdp=2.0,
+                                          observation_noise=axes["noise"], seed=seed)
+            for scheme_label, model_kind in (("canopy", "canopy-robust"), ("orca", "orca")):
+                for trace in _trace_subset(trace_kind, count):
+                    tasks.append(ExperimentTask(
+                        scheme=scheme_label, trace=trace, settings=settings,
+                        model_kind=model_kind, training_steps=axes["training_steps"],
+                        model_seed=seed,
+                        certify=True, property_family="robustness",
+                        n_components=axes["n_components"],
+                        tags={"trace_kind": trace_kind},
+                    ))
+    return tasks
+
+
 def qcsat_robustness(
     training_steps: int = 400,
     duration: float = 10.0,
@@ -290,32 +368,96 @@ def qcsat_robustness(
     seed: int = 1,
     n_jobs: int = 1,
 ) -> Dict:
-    """QC_sat of Canopy-robust vs Orca for P5 on 2 BDP buffers (Fig. 7)."""
-    for kind in ("orca", "canopy-robust"):
-        get_trained_model(kind, training_steps=training_steps, seed=seed)
+    """QC_sat of Canopy-robust vs Orca for P5 on 2 BDP buffers (Fig. 7).
 
-    tasks = []
-    for trace_kind, count in (("synthetic", n_synthetic), ("cellular", n_cellular)):
-        settings = EvaluationSettings(duration=duration, buffer_bdp=2.0, observation_noise=noise, seed=seed)
-        for scheme_label, model_kind in (("canopy", "canopy-robust"), ("orca", "orca")):
-            for trace in _trace_subset(trace_kind, count):
-                tasks.append(ExperimentTask(
-                    scheme=scheme_label, trace=trace, settings=settings,
-                    model_kind=model_kind, training_steps=training_steps, model_seed=seed,
-                    certify=True, property_family="robustness", n_components=n_components,
-                    tags={"trace_kind": trace_kind},
-                ))
-    grid = ParallelRunner(n_jobs).run(tasks)
-
-    rows = grid.aggregate(group_by=["trace_kind", "scheme"], metrics=["qcsat"])
-    for row in rows:
-        row["n_traces"] = row.pop("n_cells")
-    return _qc_grid_summary("7", rows, grid)
+    Thin shim over the registered ``qcsat_robustness`` experiment.
+    """
+    return REGISTRY.run("qcsat_robustness", {
+        "training_steps": training_steps,
+        "duration": duration,
+        "n_components": n_components,
+        "n_synthetic": n_synthetic,
+        "n_cellular": n_cellular,
+        "noise": noise,
+        "seeds": (seed,),
+    }, n_jobs=n_jobs)
 
 
 # ---------------------------------------------------------------------- #
 # Figures 9, 10 — empirical performance sweeps
 # ---------------------------------------------------------------------- #
+def _performance_sweep_labels(axes: Dict) -> Dict[str, Optional[str]]:
+    return {
+        "canopy": axes["canopy_kind"],
+        "orca": "orca",
+        "cubic": None,
+        "vegas": None,
+        "bbr": None,
+    }
+
+
+def _performance_sweep_aggregate(grid, axes: Dict, tasks: Sequence) -> Dict:
+    scheme_kinds = _performance_sweep_labels(axes)
+    topologies = list(axes["topologies"])
+    rows = []
+    for topology in topologies:
+        for trace_kind in ("synthetic", "cellular"):
+            for label in scheme_kinds:
+                cells = grid.select(topology=topology, trace_kind=trace_kind, scheme=label)
+                row = {
+                    "trace_kind": trace_kind,
+                    "scheme": label,
+                    "utilization": float(np.mean([c["utilization"] for c in cells])),
+                    "avg_delay_ms": float(np.mean([c["avg_queuing_delay_ms"] for c in cells])),
+                    "p95_delay_ms": float(np.mean([c["p95_queuing_delay_ms"] for c in cells])),
+                    "loss_rate": float(np.mean([c["loss_rate"] for c in cells])),
+                    "n_traces": len(cells),
+                }
+                if len(topologies) > 1:
+                    row = {"topology": topology, **row}
+                rows.append(row)
+    figure = "9" if axes["buffer_bdp"] <= 1.0 else "10"
+    return {"figure": figure, "buffer_bdp": axes["buffer_bdp"], "rows": rows,
+            "topologies": topologies,
+            "wall_clock_s": grid.wall_clock_s, "n_jobs": grid.n_jobs}
+
+
+@REGISTRY.register(
+    "performance_sweep",
+    axes={
+        "buffer_bdp": 1.0,
+        "canopy_kind": "canopy-shallow",
+        "training_steps": 400,
+        "duration": 15.0,
+        "n_synthetic": 3,
+        "n_cellular": 2,
+        "seeds": (1,),
+        "topologies": ("single_bottleneck",),
+    },
+    aggregate=_performance_sweep_aggregate,
+    description="utilization vs delay for every scheme (Fig. 9 shallow / Fig. 10 deep)",
+)
+def _performance_sweep_build(axes: Dict) -> List[ExperimentTask]:
+    scheme_kinds = _performance_sweep_labels(axes)
+    tasks = []
+    for topology in axes["topologies"]:
+        for trace_kind, count in (("synthetic", axes["n_synthetic"]),
+                                  ("cellular", axes["n_cellular"])):
+            for seed in axes["seeds"]:
+                settings = EvaluationSettings(duration=axes["duration"],
+                                              buffer_bdp=axes["buffer_bdp"],
+                                              topology=topology, seed=seed)
+                for trace in _trace_subset(trace_kind, count):
+                    for label, model_kind in scheme_kinds.items():
+                        tasks.append(ExperimentTask(
+                            scheme=label, trace=trace, settings=settings,
+                            model_kind=model_kind, training_steps=axes["training_steps"],
+                            model_seed=seed,
+                            tags={"trace_kind": trace_kind},
+                        ))
+    return tasks
+
+
 def performance_sweep(
     buffer_bdp: float = 1.0,
     canopy_kind: str = "canopy-shallow",
@@ -332,53 +474,19 @@ def performance_sweep(
     ``topologies`` adds a topology axis to the grid: every (trace, scheme)
     cell is replicated per family spec, and — when more than one family is
     swept — the report rows carry a ``topology`` column.  The default single
-    family reproduces the paper's single-bottleneck figures unchanged.
+    family reproduces the paper's single-bottleneck figures unchanged.  Thin
+    shim over the registered ``performance_sweep`` experiment.
     """
-    for kind in ("orca", canopy_kind):
-        get_trained_model(kind, training_steps=training_steps, seed=seed)
-    scheme_kinds: Dict[str, Optional[str]] = {
-        "canopy": canopy_kind,
-        "orca": "orca",
-        "cubic": None,
-        "vegas": None,
-        "bbr": None,
-    }
-    topologies = list(topologies)
-    tasks = []
-    for topology in topologies:
-        for trace_kind, count in (("synthetic", n_synthetic), ("cellular", n_cellular)):
-            settings = EvaluationSettings(duration=duration, buffer_bdp=buffer_bdp,
-                                          topology=topology, seed=seed)
-            for trace in _trace_subset(trace_kind, count):
-                for label, model_kind in scheme_kinds.items():
-                    tasks.append(ExperimentTask(
-                        scheme=label, trace=trace, settings=settings,
-                        model_kind=model_kind, training_steps=training_steps, model_seed=seed,
-                        tags={"trace_kind": trace_kind},
-                    ))
-    grid = ParallelRunner(n_jobs).run(tasks)
-
-    rows = []
-    for topology in topologies:
-        for trace_kind, _count in (("synthetic", n_synthetic), ("cellular", n_cellular)):
-            for label in scheme_kinds:
-                cells = grid.select(topology=topology, trace_kind=trace_kind, scheme=label)
-                row = {
-                    "trace_kind": trace_kind,
-                    "scheme": label,
-                    "utilization": float(np.mean([c["utilization"] for c in cells])),
-                    "avg_delay_ms": float(np.mean([c["avg_queuing_delay_ms"] for c in cells])),
-                    "p95_delay_ms": float(np.mean([c["p95_queuing_delay_ms"] for c in cells])),
-                    "loss_rate": float(np.mean([c["loss_rate"] for c in cells])),
-                    "n_traces": len(cells),
-                }
-                if len(topologies) > 1:
-                    row = {"topology": topology, **row}
-                rows.append(row)
-    figure = "9" if buffer_bdp <= 1.0 else "10"
-    return {"figure": figure, "buffer_bdp": buffer_bdp, "rows": rows,
-            "topologies": topologies,
-            "wall_clock_s": grid.wall_clock_s, "n_jobs": grid.n_jobs}
+    return REGISTRY.run("performance_sweep", {
+        "buffer_bdp": buffer_bdp,
+        "canopy_kind": canopy_kind,
+        "training_steps": training_steps,
+        "duration": duration,
+        "n_synthetic": n_synthetic,
+        "n_cellular": n_cellular,
+        "seeds": (seed,),
+        "topologies": tuple(topologies),
+    }, n_jobs=n_jobs)
 
 
 # ---------------------------------------------------------------------- #
@@ -865,51 +973,27 @@ def noise_sensitivity(
 # ---------------------------------------------------------------------- #
 # Figure 12 — wide-area ("real world") deployment
 # ---------------------------------------------------------------------- #
-def realworld_deployment(
-    training_steps: int = 400,
-    duration: float = 12.0,
-    profiles_per_category: int = 2,
-    seed: int = 1,
-    n_jobs: int = 1,
-) -> Dict:
-    """Normalized throughput/delay over emulated WAN paths (Fig. 12).
+#: The fixed scheme → model-kind map of the Fig. 12 deployment grid.
+_REALWORLD_SCHEME_KINDS: Dict[str, Optional[str]] = {
+    "canopy-shallow": "canopy-shallow",
+    "canopy-deep": "canopy-deep",
+    "orca": "orca",
+    "cubic": None,
+}
 
-    Every (scheme, path) cell runs independently on the pool; the per-path
-    normalization (best throughput / lowest delay across schemes) happens at
-    merge time on the collected rows.
-    """
-    for kind in ("orca", "canopy-shallow", "canopy-deep"):
-        get_trained_model(kind, training_steps=training_steps, seed=seed)
-    scheme_kinds: Dict[str, Optional[str]] = {
-        "canopy-shallow": "canopy-shallow",
-        "canopy-deep": "canopy-deep",
-        "orca": "orca",
-        "cubic": None,
-    }
-    categories = {
-        "intra": intracontinental_profiles()[:profiles_per_category],
-        "inter": intercontinental_profiles()[:profiles_per_category],
-    }
-    tasks = []
-    for category, profiles in categories.items():
-        for profile in profiles:
-            trace = profile.make_trace(duration=duration)
-            settings = EvaluationSettings(
-                duration=duration, min_rtt=profile.min_rtt_s, buffer_bdp=profile.buffer_bdp,
-                random_loss_rate=profile.loss_rate, seed=seed,
-            )
-            for label, model_kind in scheme_kinds.items():
-                tasks.append(ExperimentTask(
-                    scheme=label, trace=trace, settings=settings,
-                    model_kind=model_kind, training_steps=training_steps, model_seed=seed,
-                    tags={"category": category, "path": profile.region},
-                ))
-    grid = ParallelRunner(n_jobs).run(tasks)
 
+def _realworld_categories(axes: Dict) -> Dict[str, list]:
+    return {
+        "intra": intracontinental_profiles()[: axes["profiles_per_category"]],
+        "inter": intercontinental_profiles()[: axes["profiles_per_category"]],
+    }
+
+
+def _realworld_deployment_aggregate(grid, axes: Dict, tasks: Sequence) -> Dict:
     rows = []
-    for category, profiles in categories.items():
+    for category, profiles in _realworld_categories(axes).items():
         normalized: Dict[str, Dict[str, List[float]]] = {
-            name: {"throughput": [], "delay": []} for name in scheme_kinds
+            name: {"throughput": [], "delay": []} for name in _REALWORLD_SCHEME_KINDS
         }
         for profile in profiles:
             cells = {cell["scheme"]: cell
@@ -929,6 +1013,60 @@ def realworld_deployment(
             })
     return {"figure": "12", "rows": rows,
             "wall_clock_s": grid.wall_clock_s, "n_jobs": grid.n_jobs}
+
+
+@REGISTRY.register(
+    "realworld_deployment",
+    axes={
+        "training_steps": 400,
+        "duration": 12.0,
+        "profiles_per_category": 2,
+        "seeds": (1,),
+    },
+    aggregate=_realworld_deployment_aggregate,
+    description="normalized throughput/delay over emulated WAN paths (Fig. 12)",
+)
+def _realworld_deployment_build(axes: Dict) -> List[ExperimentTask]:
+    tasks = []
+    for category, profiles in _realworld_categories(axes).items():
+        for profile in profiles:
+            trace = profile.make_trace(duration=axes["duration"])
+            for seed in axes["seeds"]:
+                settings = EvaluationSettings(
+                    duration=axes["duration"], min_rtt=profile.min_rtt_s,
+                    buffer_bdp=profile.buffer_bdp,
+                    random_loss_rate=profile.loss_rate, seed=seed,
+                )
+                for label, model_kind in _REALWORLD_SCHEME_KINDS.items():
+                    tasks.append(ExperimentTask(
+                        scheme=label, trace=trace, settings=settings,
+                        model_kind=model_kind, training_steps=axes["training_steps"],
+                        model_seed=seed,
+                        tags={"category": category, "path": profile.region},
+                    ))
+    return tasks
+
+
+def realworld_deployment(
+    training_steps: int = 400,
+    duration: float = 12.0,
+    profiles_per_category: int = 2,
+    seed: int = 1,
+    n_jobs: int = 1,
+) -> Dict:
+    """Normalized throughput/delay over emulated WAN paths (Fig. 12).
+
+    Every (scheme, path) cell runs independently on the pool; the per-path
+    normalization (best throughput / lowest delay across schemes) happens at
+    merge time on the collected rows.  Thin shim over the registered
+    ``realworld_deployment`` experiment.
+    """
+    return REGISTRY.run("realworld_deployment", {
+        "training_steps": training_steps,
+        "duration": duration,
+        "profiles_per_category": profiles_per_category,
+        "seeds": (seed,),
+    }, n_jobs=n_jobs)
 
 
 # ---------------------------------------------------------------------- #

@@ -8,12 +8,25 @@ budget and memoizes the result.  Models are identified by
 large enough for the qualitative trends of the paper (Canopy's verifier reward
 rises, Orca's does not; QC_sat ordering) to emerge, small enough for the whole
 benchmark suite to run in minutes.
+
+With ``REPRO_MODEL_ZOO`` set to a directory, the in-process cache is backed by
+a **content-addressed on-disk zoo**: every freshly-trained model is published
+(atomically, first writer wins) under a digest of its full cache identity, and
+:func:`model_for_task` consults the zoo before training.  N serve workers —
+or entirely separate processes pointed at the same directory — therefore
+share one training run per cache key.  A zoo-loaded
+:class:`~repro.harness.checkpoints.SavedModel` evaluates byte-identically to
+the :class:`TrainedModel` it was published from: the actor weights round-trip
+exactly through ``.npz`` (float64, uncompressed) and both policies clip the
+actor output to the same ``[-1, 1]`` action box.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Callable, Dict, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,10 +34,16 @@ from repro.core.config import CanopyConfig
 from repro.core.properties import PropertySet
 from repro.core.trainer import CanopyTrainer, TrainerConfig, TrainingResult
 from repro.core.verifier import Verifier, VerifierConfig
+from repro.harness.checkpoints import SavedModel, load_model, publish_model
+from repro.harness.store import fingerprint
 from repro.orca.observations import ObservationConfig
+from repro.telemetry import log
 
 __all__ = ["TrainedModel", "get_trained_model", "model_for_task", "clear_model_cache",
-           "DEFAULT_TRAINING_STEPS", "MODEL_KINDS"]
+           "DEFAULT_TRAINING_STEPS", "MODEL_KINDS", "ZOO_ENV", "zoo_digest", "zoo_root"]
+
+#: Environment variable naming the shared on-disk model-zoo directory.
+ZOO_ENV = "REPRO_MODEL_ZOO"
 
 DEFAULT_TRAINING_STEPS = 800
 
@@ -82,6 +101,74 @@ def _make_config(kind: str, lam: float | None, n_components: int | None, seed: i
 
 _CACHE: Dict[Tuple, TrainedModel] = {}
 
+#: Zoo checkpoints already loaded this process (SavedModel handles).
+_DISK_CACHE: Dict[Tuple, SavedModel] = {}
+
+
+def _normalize_identity(kind: str, training_steps: int, seed: int,
+                        lam: float | None, n_components: int | None,
+                        topologies: Sequence[str] | None) -> Tuple:
+    """The one cache/zoo identity for a model, shared by every lookup path."""
+    topologies = tuple(str(spec) for spec in topologies) if topologies is not None else None
+    if topologies == ("single_bottleneck",):
+        # Every preset trains on single_bottleneck by default, so an explicit
+        # single-bottleneck catalog shares the preset's cache entry instead of
+        # retraining a bit-identical model under a second key.
+        topologies = None
+    return (kind, training_steps, seed, lam, n_components, topologies)
+
+
+# ---------------------------------------------------------------------- #
+# Content-addressed on-disk zoo (REPRO_MODEL_ZOO)
+# ---------------------------------------------------------------------- #
+def zoo_root() -> Optional[Path]:
+    """The shared zoo directory, or None when ``REPRO_MODEL_ZOO`` is unset."""
+    raw = os.environ.get(ZOO_ENV)
+    return Path(raw) if raw else None
+
+
+def zoo_digest(kind: str, training_steps: int = DEFAULT_TRAINING_STEPS,
+               seed: int = 1, lam: float | None = None,
+               n_components: int | None = None,
+               topologies: Sequence[str] | None = None) -> str:
+    """The content address of one model identity: readable prefix + digest.
+
+    The digest covers the *full* normalized cache key (including λ,
+    component-count and training-topology overrides), so two models that
+    could ever train differently never share a checkpoint directory.
+    """
+    kind, training_steps, seed, lam, n_components, topologies = \
+        _normalize_identity(kind, training_steps, seed, lam, n_components, topologies)
+    digest = fingerprint({
+        "kind": kind, "training_steps": training_steps, "seed": seed,
+        "lam": lam, "n_components": n_components,
+        "topologies": list(topologies) if topologies is not None else None,
+    })
+    return f"{kind}-s{training_steps}-r{seed}-{digest}"
+
+
+def _zoo_load(key: Tuple) -> Optional[SavedModel]:
+    root = zoo_root()
+    if root is None:
+        return None
+    if key in _DISK_CACHE:
+        return _DISK_CACHE[key]
+    directory = root / zoo_digest(*key)
+    if not (directory / "model.json").exists():
+        return None
+    model = load_model(directory, "model")
+    _DISK_CACHE[key] = model
+    log.debug("zoo_hit", logger="harness", kind=key[0], checkpoint=str(directory))
+    return model
+
+
+def _zoo_publish(model: "TrainedModel", key: Tuple) -> None:
+    root = zoo_root()
+    if root is None:
+        return
+    directory = publish_model(model, root / zoo_digest(*key), name="model")
+    log.debug("zoo_publish", logger="harness", kind=key[0], checkpoint=str(directory))
+
 
 def get_trained_model(
     kind: str,
@@ -104,13 +191,8 @@ def get_trained_model(
             single-bottleneck training; several specs train a
             domain-randomized model).
     """
-    topologies = tuple(str(spec) for spec in topologies) if topologies is not None else None
-    if topologies == ("single_bottleneck",):
-        # Every preset trains on single_bottleneck by default, so an explicit
-        # single-bottleneck catalog shares the preset's cache entry instead of
-        # retraining a bit-identical model under a second key.
-        topologies = None
-    key = (kind, training_steps, seed, lam, n_components, topologies)
+    key = _normalize_identity(kind, training_steps, seed, lam, n_components, topologies)
+    kind, training_steps, seed, lam, n_components, topologies = key
     if key in _CACHE:
         return _CACHE[key]
     config = _make_config(kind, lam, n_components, seed, topologies)
@@ -123,10 +205,11 @@ def get_trained_model(
     training = trainer.train()
     model = TrainedModel(kind=kind, config=config, training=training)
     _CACHE[key] = model
+    _zoo_publish(model, key)
     return model
 
 
-def model_for_task(task) -> TrainedModel:
+def model_for_task(task):
     """The zoo model a task names (``ExperimentTask``, ``MultiFlowTask``, ...).
 
     One definition of the task→model mapping, shared by pool workers
@@ -135,19 +218,35 @@ def model_for_task(task) -> TrainedModel:
     parent and the forked workers.  Task types without the optional override
     fields (``lam``/``model_components``/``model_topologies``) get the zoo
     defaults.
+
+    Resolution order: in-process cache, then the ``REPRO_MODEL_ZOO`` on-disk
+    zoo (returning a :class:`~repro.harness.checkpoints.SavedModel`, which
+    evaluates byte-identically), then a fresh training run (which publishes
+    to the zoo when one is configured).  Callers that need the training
+    history (``.training``) must go through :func:`get_trained_model`
+    directly — evaluation-side callers only need the policy/verifier surface
+    both model types share.
     """
     if task.model_kind is None:
         raise ValueError("task has no learned model (model_kind is None)")
-    return get_trained_model(
+    key = _normalize_identity(
         task.model_kind,
-        training_steps=task.training_steps,
-        seed=task.model_seed,
-        lam=getattr(task, "lam", None),
-        n_components=getattr(task, "model_components", None),
-        topologies=getattr(task, "model_topologies", None),
+        task.training_steps,
+        task.model_seed,
+        getattr(task, "lam", None),
+        getattr(task, "model_components", None),
+        getattr(task, "model_topologies", None),
     )
+    if key in _CACHE:
+        return _CACHE[key]
+    saved = _zoo_load(key)
+    if saved is not None:
+        return saved
+    return get_trained_model(key[0], training_steps=key[1], seed=key[2],
+                             lam=key[3], n_components=key[4], topologies=key[5])
 
 
 def clear_model_cache() -> None:
-    """Drop every cached model (used by tests that need fresh training)."""
+    """Drop every cached model handle (in-memory and loaded-from-zoo)."""
     _CACHE.clear()
+    _DISK_CACHE.clear()

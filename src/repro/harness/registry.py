@@ -50,8 +50,10 @@ from repro.telemetry import log
 
 __all__ = [
     "Experiment",
+    "ExperimentPlan",
     "ExperimentRegistry",
     "REGISTRY",
+    "pretrain_models",
     "register",
     "run_experiment",
     "experiment_names",
@@ -155,12 +157,17 @@ def coerce_axis_value(name: str, value: object, default: object):
 # ---------------------------------------------------------------------- #
 # Registry
 # ---------------------------------------------------------------------- #
-def _pretrain_models(tasks: Sequence) -> None:
+def pretrain_models(tasks: Sequence) -> None:
     """Train (in-process) every distinct model the given tasks name.
 
-    Runs in the coordinating parent before the pool forks, so workers inherit
-    the warm zoo cache instead of retraining — and, on resume, only the
-    models the *pending* cells actually need are trained.
+    Runs in the coordinating parent before the pool (or the serve daemon's
+    worker fleet) forks, so workers inherit the warm zoo cache instead of
+    retraining — and, on resume, only the models the *pending* cells actually
+    need are trained.  With ``REPRO_MODEL_ZOO`` set, each freshly-trained
+    model is also published to the on-disk zoo (see
+    :mod:`repro.harness.models`), so even workers spawned later — or entirely
+    separate processes sharing the zoo directory — reuse one training run per
+    cache key.
     """
     # Imported lazily so the registry stays importable without the trainer stack.
     from repro.harness.models import model_for_task
@@ -176,6 +183,23 @@ def _pretrain_models(tasks: Sequence) -> None:
             continue
         seen.add(identity)
         model_for_task(task)
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """One resolved experiment invocation: the grid, before any execution.
+
+    The plan is the shared contract between the in-process runner
+    (:meth:`ExperimentRegistry.run`) and the lease-based serve daemon
+    (:mod:`repro.serve.daemon`): both expand the same axes into the same task
+    list with the same cell keys, so a cell computed under either path lands
+    in the store under the same identity with a byte-identical row.
+    """
+
+    experiment: Experiment
+    axes: Dict
+    tasks: List
+    keys: List[str]
 
 
 class ExperimentRegistry:
@@ -255,6 +279,44 @@ class ExperimentRegistry:
             axes[axis] = coerce_axis_value(axis, value, experiment.axes[axis])
         return axes
 
+    def plan(self, name: str,
+             overrides: Optional[Mapping[str, object]] = None) -> ExperimentPlan:
+        """Resolve axes and expand the grid without running anything.
+
+        Both :meth:`run` and the serve daemon start from the same plan, which
+        is what guarantees their cell identities (and therefore store keys)
+        agree.
+        """
+        experiment = self.get(name)
+        axes = self.resolve_axes(name, overrides)
+        tasks = list(experiment.build(axes))
+        return ExperimentPlan(experiment=experiment, axes=axes, tasks=tasks,
+                              keys=[task.cell_key() for task in tasks])
+
+    def finalize(self, plan: ExperimentPlan, rows: List[Optional[Dict]],
+                 wall_clock_s: float, n_jobs: int, n_cached: int) -> Dict:
+        """Aggregate completed rows into the experiment's result dict.
+
+        ``rows`` must be in plan-task order.  Shared by :meth:`run` and the
+        serve daemon so a served sweep reports the identical result shape
+        (aggregated rows, figure id, axes echo, cache accounting) as an
+        in-process one.
+        """
+        grid = GridResult(
+            rows=rows,
+            wall_clock_s=wall_clock_s,
+            n_tasks=len(plan.tasks),
+            n_jobs=n_jobs,
+            n_cached=n_cached,
+        )
+        result = plan.experiment.aggregate(grid, plan.axes, plan.tasks)
+        result["experiment"] = plan.experiment.name
+        result["axes"] = {axis: list(value) if isinstance(value, tuple) else value
+                          for axis, value in plan.axes.items()}
+        result["cached_cells"] = n_cached
+        result["computed_cells"] = len(plan.tasks) - n_cached
+        return result
+
     def run(self, name: str, overrides: Optional[Mapping[str, object]] = None,
             n_jobs: int = 1, store: Optional[RunStore] = None,
             resume: bool = False) -> Dict:
@@ -266,10 +328,8 @@ class ExperimentRegistry:
         of recomputed.  Rows — cached or fresh — are canonicalized through
         JSON, so serial, sharded, and resumed runs are byte-identical.
         """
-        experiment = self.get(name)
-        axes = self.resolve_axes(name, overrides)
-        tasks = list(experiment.build(axes))
-        keys = [task.cell_key() for task in tasks]
+        plan = self.plan(name, overrides)
+        experiment, axes, tasks, keys = plan.experiment, plan.axes, plan.tasks, plan.keys
 
         cached: Dict[str, Dict] = {}
         if store is not None and resume:
@@ -290,36 +350,27 @@ class ExperimentRegistry:
         if pending:
             if experiment.setup is not None:
                 experiment.setup(axes)
-            _pretrain_models([task for _, task in pending])
+            pretrain_models([task for _, task in pending])
+
+        runner = ParallelRunner(n_jobs)
+        producer = "serial" if runner.n_jobs <= 1 else "pool"
 
         def on_result(pending_index: int, task, row) -> None:
             row = canonical_json(row)
             rows[pending[pending_index][0]] = row
             if store is not None:
-                store.put(RunRecord.for_task(task, row, experiment=name))
+                store.put(RunRecord.for_task(task, row, experiment=name,
+                                             producer=producer))
             log.debug("cell_done", logger="harness", experiment=name,
                       key=task.cell_key())
 
         start = time.perf_counter()
-        runner = ParallelRunner(n_jobs)
         runner.map(experiment.runner, [task for _, task in pending], on_result=on_result)
-        grid = GridResult(
-            rows=rows,
-            wall_clock_s=time.perf_counter() - start,
-            n_tasks=len(tasks),
-            n_jobs=runner.n_jobs,
-            n_cached=len(cached),
-        )
+        wall_clock_s = time.perf_counter() - start
         log.info("experiment_done", logger="harness", experiment=name,
                  computed=len(pending), cached=len(cached),
-                 wall_clock_s=grid.wall_clock_s)
-        result = experiment.aggregate(grid, axes, tasks)
-        result["experiment"] = name
-        result["axes"] = {axis: list(value) if isinstance(value, tuple) else value
-                          for axis, value in axes.items()}
-        result["cached_cells"] = len(cached)
-        result["computed_cells"] = len(pending)
-        return result
+                 wall_clock_s=wall_clock_s)
+        return self.finalize(plan, rows, wall_clock_s, runner.n_jobs, len(cached))
 
 
 #: Whether the built-in experiments module has been imported into REGISTRY.

@@ -20,6 +20,12 @@ subset checked by :func:`validate_schema` — no external dependency), which CI
 uses to schema-check both run stores and the canonical bench JSON::
 
     python -m repro.harness.store runs/topology_sweep
+
+Records carry a ``schema_version``; readers reject any other version with a
+pointed error, and stores written by an older checkout are upgraded in place
+with::
+
+    python -m repro.harness.store migrate runs/topology_sweep
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ import argparse
 import json
 import os
 import subprocess
+import sys
 from dataclasses import dataclass, field
 from functools import lru_cache
 from hashlib import sha256
@@ -40,30 +47,51 @@ __all__ = [
     "RUN_RECORD_SCHEMA",
     "RunRecord",
     "RunStore",
+    "SchemaVersionError",
     "canonical_json",
+    "check_schema_version",
     "current_commit",
+    "migrate_payload",
+    "migrate_store",
     "parse_records",
     "validate_schema",
     "main",
 ]
 
-SCHEMA_VERSION = 1
+#: Version history:
+#:   v1 — PR 4 original shape (key/experiment/commit/spec/hop_seeds/row).
+#:   v2 — adds ``producer`` provenance ("serial", "pool", "serve:<worker>",
+#:        or "unknown" for migrated v1 records).
+SCHEMA_VERSION = 2
 RECORDS_FILENAME = "records.jsonl"
 
 #: The schema every RunRecord (one line of ``records.jsonl``) must satisfy.
 RUN_RECORD_SCHEMA = {
     "type": "object",
-    "required": ["schema_version", "key", "experiment", "commit", "spec", "hop_seeds", "row"],
+    "required": ["schema_version", "key", "experiment", "commit", "producer",
+                 "spec", "hop_seeds", "row"],
     "properties": {
         "schema_version": {"type": "integer"},
         "key": {"type": "string", "minLength": 1},
         "experiment": {"type": "string"},
         "commit": {"type": "string", "minLength": 1},
+        "producer": {"type": "string", "minLength": 1},
         "spec": {"type": ["object", "null"]},
         "hop_seeds": {"type": "object", "values": {"type": "integer"}},
         "row": {"type": "object"},
     },
 }
+
+
+class SchemaVersionError(ValueError):
+    """A record's ``schema_version`` is not the one this checkout writes.
+
+    Raised *before* field-level schema validation so the error says how to fix
+    the mismatch (migrate the store, or update the checkout) rather than
+    complaining about a missing field the old version never had.  Never
+    swallowed by the torn-tail tolerance in :func:`parse_records` — a whole
+    store of old records must not silently load as empty.
+    """
 
 _TYPE_CHECKS = {
     "object": lambda value: isinstance(value, dict),
@@ -139,6 +167,28 @@ def fingerprint(payload: Dict) -> str:
     return sha256(canonical.encode("utf-8")).hexdigest()[:12]
 
 
+def check_schema_version(payload: Dict) -> None:
+    """Reject any record version this checkout does not write, pointedly.
+
+    Version problems get their own error class and message — "run the migrate
+    subcommand" for an old store, "update the checkout" for a newer one —
+    instead of a generic missing-field complaint from the schema validator.
+    """
+    version = payload.get("schema_version") if isinstance(payload, dict) else None
+    if not isinstance(version, int) or isinstance(version, bool):
+        return  # let validate_schema produce the field-level error
+    if version < SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"record schema v{version} predates this checkout's v{SCHEMA_VERSION}; "
+            f"upgrade the store in place with "
+            f"`python -m repro.harness.store migrate <store>`")
+    if version > SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"record schema v{version} is newer than this checkout's "
+            f"v{SCHEMA_VERSION}; this store was written by a newer repro — "
+            f"update the checkout to read it")
+
+
 # ---------------------------------------------------------------------- #
 # RunRecord
 # ---------------------------------------------------------------------- #
@@ -152,10 +202,12 @@ class RunRecord:
     spec: Optional[Dict] = None
     hop_seeds: Dict[str, int] = field(default_factory=dict)
     commit: str = field(default_factory=current_commit)
+    producer: str = "unknown"
     schema_version: int = SCHEMA_VERSION
 
     @classmethod
-    def for_task(cls, task, row: Dict, experiment: str = "") -> "RunRecord":
+    def for_task(cls, task, row: Dict, experiment: str = "",
+                 producer: str = "unknown") -> "RunRecord":
         """Build the record for one completed task (ExperimentTask or any task
         type exposing ``cell_key()``; spec/hop-seeds are stamped when the task
         describes a scenario)."""
@@ -171,7 +223,7 @@ class RunRecord:
 
             hop_seeds = topology_hop_seeds(scenario.topology, scenario.trace, scenario.seed)
         return cls(key=task.cell_key(), row=canonical_json(row), experiment=experiment,
-                   spec=spec, hop_seeds=hop_seeds)
+                   spec=spec, hop_seeds=hop_seeds, producer=producer)
 
     def to_json(self) -> Dict:
         return {
@@ -179,6 +231,7 @@ class RunRecord:
             "key": self.key,
             "experiment": self.experiment,
             "commit": self.commit,
+            "producer": self.producer,
             "spec": self.spec,
             "hop_seeds": self.hop_seeds,
             "row": self.row,
@@ -186,10 +239,12 @@ class RunRecord:
 
     @classmethod
     def from_json(cls, payload: Dict) -> "RunRecord":
+        check_schema_version(payload)
         validate_schema(payload, RUN_RECORD_SCHEMA)
         return cls(key=payload["key"], row=payload["row"], experiment=payload["experiment"],
                    spec=payload["spec"], hop_seeds=payload["hop_seeds"],
-                   commit=payload["commit"], schema_version=payload["schema_version"])
+                   commit=payload["commit"], producer=payload["producer"],
+                   schema_version=payload["schema_version"])
 
     def validate(self) -> None:
         validate_schema(self.to_json(), RUN_RECORD_SCHEMA)
@@ -205,6 +260,9 @@ def parse_records(text: str, source: str = "records") -> tuple:
     byte length of the well-formed prefix.  A malformed chunk is tolerated
     only when nothing but whitespace follows it (``torn=True`` — the torn
     tail of an interrupted append); malformed content anywhere else raises.
+    A :class:`SchemaVersionError` always raises, even on the final line —
+    a store full of old-version records must surface the migrate hint, not
+    quietly load as empty and truncate the file.
     """
     records: Dict[str, RunRecord] = {}
     valid_bytes = 0
@@ -216,6 +274,9 @@ def parse_records(text: str, source: str = "records") -> tuple:
         if stripped:
             try:
                 record = RunRecord.from_json(json.loads(stripped))
+            except SchemaVersionError as exc:
+                raise SchemaVersionError(
+                    f"{source}:{line_number}: {exc}") from exc
             except (json.JSONDecodeError, ValueError) as exc:
                 if all(not rest.strip() for rest in lines[line_number:]):
                     return records, valid_bytes, True
@@ -303,7 +364,76 @@ class RunStore:
 
 
 # ---------------------------------------------------------------------- #
-# CLI — schema validation (used by the CI resume smoke job)
+# Store migration (the `migrate` subcommand)
+# ---------------------------------------------------------------------- #
+def migrate_payload(payload: Dict) -> Dict:
+    """Upgrade one raw record payload from any known older version.
+
+    Returns a new payload at :data:`SCHEMA_VERSION`; already-current payloads
+    come back unchanged (migration is idempotent).  Raises
+    :class:`SchemaVersionError` for versions newer than this checkout and
+    ``ValueError`` for payloads with no integer ``schema_version`` at all.
+    """
+    version = payload.get("schema_version") if isinstance(payload, dict) else None
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ValueError("payload has no integer schema_version; not a run record")
+    if version > SCHEMA_VERSION:
+        check_schema_version(payload)  # raises the pointed "newer" error
+    upgraded = dict(payload)
+    if version < 2:
+        # v1 records predate producer provenance; "unknown" marks the gap
+        # honestly rather than guessing serial vs pool after the fact.
+        upgraded.setdefault("producer", "unknown")
+    upgraded["schema_version"] = SCHEMA_VERSION
+    return upgraded
+
+
+def migrate_store(path: str | Path) -> tuple:
+    """Upgrade every record in a store to :data:`SCHEMA_VERSION`, in place.
+
+    Returns ``(n_records, n_upgraded, torn)``.  The rewrite is atomic
+    (tmp file + ``os.replace``), preserves line order, and — like
+    :meth:`RunStore.load` — drops a torn trailing chunk from an interrupted
+    append.  Every rewritten line is validated against the current schema
+    before the original file is replaced.
+    """
+    path = Path(path)
+    records_path = path / RECORDS_FILENAME if path.is_dir() else path
+    if not records_path.exists():
+        raise FileNotFoundError(f"{records_path}: missing")
+    lines = records_path.read_text().split("\n")
+    out_lines: List[str] = []
+    upgraded = 0
+    torn = False
+    for line_number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            payload = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            if all(not rest.strip() for rest in lines[line_number:]):
+                torn = True
+                break
+            raise ValueError(
+                f"{records_path}:{line_number}: invalid JSON: {exc}") from exc
+        was_current = isinstance(payload, dict) and \
+            payload.get("schema_version") == SCHEMA_VERSION
+        try:
+            migrated = migrate_payload(payload)
+            RunRecord.from_json(migrated)
+        except ValueError as exc:
+            raise ValueError(f"{records_path}:{line_number}: {exc}") from exc
+        upgraded += not was_current
+        out_lines.append(json.dumps(migrated, sort_keys=True))
+    tmp_path = records_path.with_name(records_path.name + ".migrate-tmp")
+    tmp_path.write_text("".join(line + "\n" for line in out_lines))
+    os.replace(tmp_path, records_path)
+    return len(out_lines), upgraded, torn
+
+
+# ---------------------------------------------------------------------- #
+# CLI — schema validation (used by the CI resume smoke job) + migrate
 # ---------------------------------------------------------------------- #
 def _iter_record_files(paths: Sequence[str]) -> Iterable[Path]:
     for raw in paths:
@@ -311,14 +441,44 @@ def _iter_record_files(paths: Sequence[str]) -> Iterable[Path]:
         yield path / RECORDS_FILENAME if path.is_dir() else path
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def _main_migrate(argv: Sequence[str]) -> int:
     parser = argparse.ArgumentParser(
-        prog="repro.harness.store",
-        description="validate run-store records against the RunRecord schema",
+        prog="repro.harness.store migrate",
+        description="upgrade run-store records to the current schema version, in place",
     )
     parser.add_argument("paths", nargs="+",
                         help="run-store directories or records.jsonl files")
-    args = parser.parse_args(list(argv) if argv is not None else None)
+    args = parser.parse_args(list(argv))
+
+    status = 0
+    for path in _iter_record_files(args.paths):
+        try:
+            total, upgraded, torn = migrate_store(path)
+        except (FileNotFoundError, ValueError) as exc:
+            console(f"{path}: MIGRATION FAILED: {exc}")
+            status = 1
+            continue
+        if torn:
+            console(f"{path}: torn trailing line (interrupted append) dropped")
+        console(f"{path}: {total} records at schema v{SCHEMA_VERSION} "
+                f"({upgraded} upgraded)")
+    return status
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    # `migrate` dispatches as a leading subcommand so the original positional
+    # validate usage (`python -m repro.harness.store <store>...`) is unchanged.
+    if argv[:1] == ["migrate"]:
+        return _main_migrate(argv[1:])
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.store",
+        description="validate run-store records against the RunRecord schema "
+                    "(or `migrate <store>...` to upgrade old stores in place)",
+    )
+    parser.add_argument("paths", nargs="+",
+                        help="run-store directories or records.jsonl files")
+    args = parser.parse_args(argv)
 
     status = 0
     for path in _iter_record_files(args.paths):

@@ -1,0 +1,32 @@
+"""Fleet-scale experiment serving: lease-based scheduling over the run store.
+
+The package grows :class:`~repro.harness.store.RunStore` + the experiment
+registry from a single-machine process pool into a small serving system:
+
+* :mod:`repro.serve.lease` — cell leases with heartbeat-renewed TTLs, the
+  in-flight dedupe table, and the append-only ``leases.jsonl`` journal;
+* :mod:`repro.serve.worker` — the disposable worker process (compute a
+  leased cell, heartbeat while doing so, hand the row back; never writes);
+* :mod:`repro.serve.daemon` — the scheduler that owns the store, leases
+  cells, reclaims them from dead/wedged workers, respawns the fleet, and
+  streams completed records to disk;
+* :mod:`repro.serve.status` — `python -m repro status <store>`, replayed
+  from the journal while the daemon runs.
+
+Entry points: ``python -m repro serve <experiment> --store DIR --workers N``
+and :func:`repro.serve.daemon.serve_experiment`.
+"""
+
+from repro.serve.daemon import serve_experiment
+from repro.serve.lease import LEASES_FILENAME, Lease, LeaseJournal, LeaseTable
+from repro.serve.status import format_status, read_status
+
+__all__ = [
+    "LEASES_FILENAME",
+    "Lease",
+    "LeaseJournal",
+    "LeaseTable",
+    "format_status",
+    "read_status",
+    "serve_experiment",
+]

@@ -1,0 +1,157 @@
+"""Live serve status, replayed from the on-disk lease journal.
+
+``python -m repro status <store>`` works *while the daemon runs* and needs no
+channel to it: the daemon appends every lease transition to ``leases.jsonl``
+(see :mod:`repro.serve.lease`), so any process can replay the journal into a
+point-in-time view — leased / completed / failed cells, worker liveness
+(heartbeat recency), reclaim count, and throughput.  A torn trailing line
+(the daemon is mid-append right now) is simply ignored.
+
+The journal may span several daemon sessions against the same store (serve,
+crash, serve again): replay resets at each ``serve_start``, so the status
+always describes the most recent session.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.serve.lease import LEASES_FILENAME, LeaseJournal
+
+__all__ = ["read_status", "format_status"]
+
+
+def read_status(store_path: str | Path, now: Optional[float] = None) -> Dict:
+    """Replay a store's lease journal into a status dict.
+
+    Raises ``FileNotFoundError`` when the store has no journal (nothing was
+    ever served into it).
+    """
+    store_path = Path(store_path)
+    journal = LeaseJournal(store_path)
+    if not journal.path.exists():
+        raise FileNotFoundError(
+            f"{store_path / LEASES_FILENAME}: no lease journal — "
+            f"nothing has been served into this store")
+    now = time.time() if now is None else now
+
+    status: Dict = {}
+    workers: Dict[str, Dict] = {}
+    leased: Dict[str, str] = {}
+    completed = 0
+    failed = 0
+    reclaims = 0
+    stale = 0
+    started_t: Optional[float] = None
+    last_t: Optional[float] = None
+    done_event: Optional[Dict] = None
+
+    for event in journal.read():
+        kind = event.get("event")
+        t = event.get("t")
+        if kind == "serve_start":
+            # A fresh daemon session: status describes the latest one.
+            workers, leased = {}, {}
+            completed = failed = reclaims = stale = 0
+            started_t, done_event = t, None
+            status = {"experiment": event.get("experiment"),
+                      "cells": event.get("cells"),
+                      "cached": event.get("cached"),
+                      "pending": event.get("pending"),
+                      "fleet_size": event.get("workers"),
+                      "ttl_s": event.get("ttl_s"),
+                      "pid": event.get("pid")}
+            continue
+        last_t = t if t is not None else last_t
+        worker = event.get("worker")
+        if worker:
+            state = workers.setdefault(worker, {"alive": True, "pid": None,
+                                                "last_seen": t, "leased": None})
+            state["last_seen"] = t
+        if kind == "worker_spawn":
+            workers[worker]["pid"] = event.get("pid")
+        elif kind == "worker_dead":
+            workers[worker]["alive"] = False
+            workers[worker]["leased"] = None
+        elif kind == "lease":
+            leased[event["key"]] = worker
+            workers[worker]["leased"] = event["key"]
+        elif kind == "complete":
+            leased.pop(event["key"], None)
+            completed += 1
+            if worker in workers:
+                workers[worker]["leased"] = None
+        elif kind == "failed":
+            leased.pop(event["key"], None)
+            failed += 1
+            if worker in workers:
+                workers[worker]["leased"] = None
+        elif kind == "reclaim":
+            leased.pop(event["key"], None)
+            reclaims += 1
+            if worker in workers:
+                workers[worker]["leased"] = None
+        elif kind == "stale_result":
+            stale += 1
+        elif kind == "serve_done":
+            done_event = event
+
+    total = status.get("cells") or 0
+    cached = status.get("cached") or 0
+    outstanding = max(total - cached - completed - failed - len(leased), 0)
+    elapsed = (last_t - started_t) if (started_t is not None and
+                                       last_t is not None) else 0.0
+    if done_event is not None and done_event.get("wall_clock_s") is not None:
+        elapsed = done_event["wall_clock_s"]
+    status.update({
+        "running": done_event is None,
+        "completed": completed,
+        "failed": failed,
+        "leased": dict(leased),
+        "outstanding": outstanding,
+        "reclaims": reclaims,
+        "stale_results": stale,
+        "elapsed_s": elapsed,
+        "cells_per_sec": (completed / elapsed) if elapsed and elapsed > 0 else 0.0,
+        "workers": {name: dict(state, age_s=(now - state["last_seen"])
+                               if state["last_seen"] is not None else None)
+                    for name, state in workers.items()},
+    })
+    return status
+
+
+def _trim(key: str, width: int = 64) -> str:
+    return key if len(key) <= width else key[: width - 1] + "…"
+
+
+def format_status(status: Dict) -> str:
+    """Render a status dict as the multi-line `repro status` report."""
+    lines = [
+        f"experiment: {status.get('experiment')} "
+        f"({'running' if status.get('running') else 'done'})",
+        f"cells: {status.get('cells')} total = {status.get('cached')} cached"
+        f" + {status.get('completed')} completed + {len(status.get('leased', {}))}"
+        f" leased + {status.get('failed')} failed + {status.get('outstanding')}"
+        f" outstanding",
+        f"reclaims: {status.get('reclaims')}"
+        + (f" (stale results dropped: {status['stale_results']})"
+           if status.get("stale_results") else ""),
+        f"throughput: {status.get('cells_per_sec', 0.0):.2f} cells/s over "
+        f"{status.get('elapsed_s', 0.0):.1f}s",
+    ]
+    workers = status.get("workers", {})
+    if workers:
+        lines.append("workers:")
+        for name in sorted(workers):
+            state = workers[name]
+            liveness = "alive" if state.get("alive") else "dead"
+            age = state.get("age_s")
+            seen = f", last seen {age:.1f}s ago" if age is not None else ""
+            held = state.get("leased")
+            cell = f", leased: {_trim(held)}" if held else ""
+            lines.append(f"  {name}: {liveness} pid={state.get('pid')}{seen}{cell}")
+    for key, worker in sorted(status.get("leased", {}).items()):
+        lines.append(f"in flight: {_trim(key)} @ {worker}")
+    return "\n".join(lines)

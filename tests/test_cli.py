@@ -194,6 +194,85 @@ def test_experiment_unknown_name_errors():
         main(["experiment", "not-an-experiment"])
 
 
+def test_experiment_is_a_deprecated_alias_of_run(caplog):
+    import logging
+
+    with caplog.at_level(logging.WARNING, logger="repro"):
+        code = main(["experiment", "topology_sweep", "--steps", "30",
+                     "--duration", "2.0", "--families", "single_bottleneck"])
+    assert code == 0
+    assert "experiment_deprecated" in caplog.text
+    assert "repro run topology_sweep" in caplog.text
+
+
+def test_figure_experiments_are_known_figure_ids():
+    from repro.cli import FIGURE_EXPERIMENTS
+    from repro.harness.registry import REGISTRY
+
+    assert set(FIGURE_EXPERIMENTS) <= set(FIGURE_DRIVERS)
+    for name, overrides in FIGURE_EXPERIMENTS.values():
+        axes = REGISTRY.get(name).axes
+        assert {"training_steps", "seeds"} <= set(axes)
+        assert set(overrides) <= set(axes)
+
+
+def test_figure_routes_registry_figures_through_resumable_store(
+        tmp_path, capsys, monkeypatch):
+    from repro.cli import FIGURE_EXPERIMENTS
+
+    monkeypatch.setitem(FIGURE_EXPERIMENTS, "topology",
+                        ("topology_sweep", {"families": ("single_bottleneck",),
+                                            "schemes": ("cubic",),
+                                            "duration": 2.0, "n_synthetic": 1}))
+    store = str(tmp_path / "figstore")
+    assert main(["figure", "topology", "--steps", "30", "--store", store]) == 0
+    first = capsys.readouterr().out
+    assert "Figure/table topology" in first and "computed_cells: 1" in first
+    assert f"store: {store}" in first
+    # Re-rendering the figure against the same store recomputes nothing.
+    assert main(["figure", "topology", "--steps", "30", "--store", store]) == 0
+    second = capsys.readouterr().out
+    assert "computed_cells: 0" in second and "cached_cells: 1" in second
+    # --fresh forces a full recompute.
+    assert main(["figure", "topology", "--steps", "30", "--store", store,
+                 "--fresh"]) == 0
+    assert "computed_cells: 1" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------- #
+# serve / status subcommands (ISSUE 8)
+# --------------------------------------------------------------------- #
+SERVE_SETS = ["--set", "schemes=cubic", "--set", "topology=single_bottleneck",
+              "--set", "workload=static", "--set", "duration=2.0",
+              "--set", "seeds=1,2"]
+
+
+def test_serve_inline_then_status(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_MODEL_ZOO", str(tmp_path / "zoo"))
+    store = str(tmp_path / "store")
+    assert main(["serve", "workload_stress", *SERVE_SETS, "--store", store,
+                 "--workers", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "Serve workload_stress" in out
+    assert "served: 2 cell(s)" in out and "0 reclaim(s)" in out
+    assert main(["status", store]) == 0
+    status_out = capsys.readouterr().out
+    assert "experiment: workload_stress (done)" in status_out
+    assert "2 completed" in status_out
+
+
+def test_serve_unknown_experiment_errors(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(SystemExit, match="no experiment named"):
+        main(["serve", "not-an-experiment"])
+    assert not (tmp_path / "runs").exists()
+
+
+def test_status_without_journal_errors(tmp_path):
+    with pytest.raises(SystemExit, match="no lease journal"):
+        main(["status", str(tmp_path)])
+
+
 def test_experiment_command_runs_generalization_grid(capsys):
     code = main(["experiment", "topology_generalization", "--steps", "40", "--seed", "54",
                  "--duration", "2.0", "--families", "single_bottleneck,chain(2)", "--jobs", "1"])

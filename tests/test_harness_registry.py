@@ -66,7 +66,10 @@ class TestRegistration:
 
     def test_builtin_experiments_registered(self):
         assert {"topology_sweep", "topology_generalization", "fallback_runtime",
-                "friendliness", "fairness"} <= set(REGISTRY.names())
+                "friendliness", "fairness", "workload_stress",
+                # The paper-figure grids demoted to registry experiments.
+                "qcsat_buffers", "qcsat_robustness", "performance_sweep",
+                "realworld_deployment"} <= set(REGISTRY.names())
 
     def test_reregistering_replaces(self):
         registry = make_registry()
@@ -199,3 +202,34 @@ class TestRunAndResume:
         result = registry.run("toy", {"seeds": "5,6", "schemes": "cubic"})
         assert result["computed_cells"] == 2
         assert [row["seed"] for row in result["rows"]] == [5, 6]
+
+    def test_records_stamp_producer_provenance(self, tmp_path):
+        registry = make_registry()
+        registry.run("toy", store=RunStore(tmp_path / "serial"))
+        registry.run("toy", n_jobs=2, store=RunStore(tmp_path / "pool"))
+        assert {record.producer
+                for record in RunStore(tmp_path / "serial").records()} == {"serial"}
+        assert {record.producer
+                for record in RunStore(tmp_path / "pool").records()} == {"pool"}
+
+
+class TestPlanAndFinalize:
+    def test_plan_expands_grid_without_running(self):
+        registry = make_registry()
+        plan = registry.plan("toy", {"schemes": "cubic,vegas"})
+        assert [task.scheme for task in plan.tasks] == ["cubic", "vegas"]
+        assert plan.keys == [task.cell_key() for task in plan.tasks]
+        assert plan.axes["schemes"] == ("cubic", "vegas")
+
+    def test_finalize_matches_run_result(self):
+        # run() and the serve daemon both aggregate through finalize(); the
+        # result shape (rows, axes echo, cache accounting) must agree.
+        registry = make_registry()
+        result = registry.run("toy")
+        plan = registry.plan("toy")
+        finalized = registry.finalize(plan, result["rows"], wall_clock_s=1.0,
+                                      n_jobs=1, n_cached=0)
+        assert finalized["rows"] == result["rows"]
+        assert finalized["experiment"] == "toy"
+        assert finalized["axes"] == result["axes"]
+        assert finalized["computed_cells"] == result["computed_cells"]

@@ -8,12 +8,16 @@ from repro.harness.evaluate import EvaluationSettings
 from repro.harness.parallel import ExperimentTask
 from repro.harness.store import (
     RUN_RECORD_SCHEMA,
+    SCHEMA_VERSION,
     RunRecord,
     RunStore,
+    SchemaVersionError,
     canonical_json,
     current_commit,
     fingerprint,
     main,
+    migrate_payload,
+    migrate_store,
     validate_schema,
 )
 from repro.seeding import derive_seed
@@ -170,6 +174,90 @@ class TestRunStore:
 
     def test_canonical_json_normalizes_rows(self):
         assert canonical_json({"t": (1, 2), 3: "x"}) == {"t": [1, 2], "3": "x"}
+
+
+def _v1_payload(**extra):
+    """A schema-v1 record payload as PR 1-7 checkouts wrote it (no producer)."""
+    payload = RunRecord.for_task(make_task(), {"utilization": 1.0},
+                                 experiment="toy").to_json()
+    del payload["producer"]
+    payload["schema_version"] = 1
+    payload.update(extra)
+    return payload
+
+
+class TestSchemaVersioning:
+    def test_old_version_rejected_with_migrate_hint(self, tmp_path):
+        (tmp_path / "records.jsonl").write_text(json.dumps(_v1_payload()) + "\n")
+        with pytest.raises(SchemaVersionError) as excinfo:
+            RunStore(tmp_path).load()
+        message = str(excinfo.value)
+        assert "records.jsonl:1" in message
+        assert "repro.harness.store migrate" in message  # pointed, not generic
+
+    def test_newer_version_rejected_pointing_at_the_checkout(self):
+        with pytest.raises(SchemaVersionError, match="newer.*update the checkout"):
+            RunRecord.from_json(_v1_payload(schema_version=SCHEMA_VERSION + 1,
+                                            producer="serial"))
+
+    def test_old_version_is_not_swallowed_as_a_torn_tail(self, tmp_path):
+        # Torn-tail tolerance must not quietly drop (and then truncate!) a
+        # store whose only problem is its age — even on the final line.
+        store = RunStore(tmp_path)
+        store.put(RunRecord(key="k", row={}))
+        with (tmp_path / "records.jsonl").open("a") as handle:
+            handle.write(json.dumps(_v1_payload()) + "\n")
+        before = (tmp_path / "records.jsonl").read_text()
+        with pytest.raises(SchemaVersionError, match="records.jsonl:2"):
+            RunStore(tmp_path).load()
+        assert (tmp_path / "records.jsonl").read_text() == before
+
+    def test_validate_cli_surfaces_the_migrate_hint(self, tmp_path, capsys):
+        (tmp_path / "records.jsonl").write_text(json.dumps(_v1_payload()) + "\n")
+        assert main([str(tmp_path)]) == 1
+        assert "migrate" in capsys.readouterr().out
+
+
+class TestMigration:
+    def test_migrate_payload_upgrades_v1_and_is_idempotent(self):
+        upgraded = migrate_payload(_v1_payload())
+        assert upgraded["schema_version"] == SCHEMA_VERSION
+        assert upgraded["producer"] == "unknown"  # honest: provenance predates v2
+        RunRecord.from_json(upgraded)  # passes current-schema validation
+        assert migrate_payload(upgraded) == upgraded
+
+    def test_migrate_payload_rejects_newer_and_non_records(self):
+        with pytest.raises(SchemaVersionError, match="newer"):
+            migrate_payload(_v1_payload(schema_version=SCHEMA_VERSION + 1))
+        with pytest.raises(ValueError, match="schema_version"):
+            migrate_payload({"key": "k"})
+
+    def test_migrate_store_in_place_preserving_rows_and_order(self, tmp_path):
+        current = RunRecord.for_task(make_task(seed=8), {"utilization": 0.5},
+                                     experiment="toy", producer="serial")
+        lines = [json.dumps(_v1_payload()), json.dumps(current.to_json())]
+        (tmp_path / "records.jsonl").write_text("\n".join(lines) + "\n"
+                                                + '{"torn": "ta')  # interrupted append
+        total, upgraded, torn = migrate_store(tmp_path)
+        assert (total, upgraded, torn) == (2, 1, True)
+        records = RunStore(tmp_path).load()
+        assert len(records) == 2
+        migrated = records[_v1_payload()["key"]]
+        assert migrated.producer == "unknown"
+        assert migrated.row == {"utilization": 1.0}  # rows untouched
+        assert records[current.key].producer == "serial"
+        # Idempotent: a second pass upgrades nothing and changes no bytes.
+        before = (tmp_path / "records.jsonl").read_text()
+        assert migrate_store(tmp_path) == (2, 0, False)
+        assert (tmp_path / "records.jsonl").read_text() == before
+
+    def test_migrate_cli(self, tmp_path, capsys):
+        (tmp_path / "records.jsonl").write_text(json.dumps(_v1_payload()) + "\n")
+        assert main(["migrate", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"1 records at schema v{SCHEMA_VERSION} (1 upgraded)" in out
+        assert main([str(tmp_path)]) == 0  # validates clean after the upgrade
+        assert main(["migrate", str(tmp_path / "missing.jsonl")]) == 1
 
 
 class TestStoreCli:
