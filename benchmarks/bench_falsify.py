@@ -1,0 +1,63 @@
+"""Falsification campaign throughput — cells/sec through search + shrink.
+
+Runs the toy deterministic ``loss_burst`` campaign (classical CUBIC at a
+shallow buffer — the same cell family the CI falsify-smoke job and the
+committed golden counterexample store use) into a throwaway store and stamps
+the search-efficiency stats into the bench JSON (``extra_info``):
+
+* ``falsify_cells_per_sec`` — evaluated cells per wall-clock second, the
+  falsification subsystem's headline throughput number, and
+* ``violations_found`` / ``counterexamples_promoted`` — the campaign must
+  actually find, shrink, and promote something, or the bench itself is
+  measuring a broken search.
+
+Budget and strategy can be scaled through ``REPRO_BENCH_FALSIFY_BUDGET`` /
+``REPRO_BENCH_FALSIFY_STRATEGY``.
+"""
+
+import os
+import tempfile
+from pathlib import Path
+
+from benchconfig import N_JOBS, run_once
+
+from repro.falsify import CampaignConfig, resolve_objective, run_campaign
+from repro.harness.store import RunStore
+
+BUDGET = int(os.environ.get("REPRO_BENCH_FALSIFY_BUDGET", "12"))
+STRATEGY = os.environ.get("REPRO_BENCH_FALSIFY_STRATEGY", "random")
+
+
+def _run_campaign():
+    workdir = Path(tempfile.mkdtemp(prefix="bench-falsify-"))
+    config = CampaignConfig(
+        experiment="workload_stress",
+        objective=resolve_objective("loss_burst", threshold=0.001),
+        budget=BUDGET,
+        strategy=STRATEGY,
+        campaign_seed=7,
+        jobs=N_JOBS,
+        overrides={"schemes": "cubic", "duration": "3", "buffer_bdp": "0.25"},
+        max_counterexamples=2,
+    )
+    return run_campaign(config, RunStore(workdir / "campaign"))
+
+
+def test_falsify_campaign_throughput(benchmark):
+    summary = run_once(benchmark, _run_campaign)
+
+    benchmark.extra_info["falsify_cells_per_sec"] = summary["falsify_cells_per_sec"]
+    benchmark.extra_info["violations_found"] = summary["violations_found"]
+    benchmark.extra_info["counterexamples_promoted"] = len(summary["counterexamples"])
+    benchmark.extra_info["computed_cells"] = summary["computed_cells"]
+    benchmark.extra_info["strategy"] = summary["strategy"]
+    benchmark.extra_info["budget"] = summary["budget"]
+
+    print(f"\nfalsify [{summary['strategy']}] budget={summary['budget']}: "
+          f"{summary['computed_cells']} cells computed at "
+          f"{summary['falsify_cells_per_sec']:.2f} cells/s, "
+          f"{summary['violations_found']} violation(s), "
+          f"{len(summary['counterexamples'])} promoted")
+
+    assert summary["violations_found"] >= 1, "bench campaign found nothing"
+    assert summary["counterexamples"], "bench campaign promoted nothing"

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""API-driven falsification campaign: search, shrink, promote, replay.
+
+Runs a tiny deterministic campaign against the ``workload_stress`` experiment
+collapsed to a classical CUBIC cell at a shallow buffer, hunting for
+``loss_burst`` violations (loss rate above a threshold) with the seeded
+random strategy — the same toy campaign the CI smoke job and the committed
+golden counterexample store use.  Then shows the three follow-up moves:
+
+* read the campaign journal back as a report,
+* replay the promoted counterexamples as a regression gate, and
+* rerun the identical campaign to demonstrate the byte-identity contract
+  (same campaign seed ⇒ same journal, fully served from the run-store cache).
+
+Everything here is also reachable from the CLI::
+
+    python -m repro falsify workload_stress --objective loss_burst \
+        --threshold 0.001 --strategy random --budget 12 \
+        --set schemes=cubic --set duration=3 --set buffer_bdp=0.25 \
+        --campaign-seed 7 --store runs/falsify-example
+    python -m repro falsify report runs/falsify-example
+    python -m repro falsify --check runs/falsify-example/counterexamples
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.falsify import (
+    CampaignConfig,
+    check_counterexamples,
+    resolve_objective,
+    run_campaign,
+)
+from repro.falsify.report import format_report, read_campaign
+from repro.harness.store import RunStore
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="falsify-example-"))
+    config = CampaignConfig(
+        experiment="workload_stress",
+        objective=resolve_objective("loss_burst", threshold=0.001),
+        budget=12,
+        strategy="random",
+        campaign_seed=7,
+        overrides={"schemes": "cubic", "duration": "3", "buffer_bdp": "0.25"},
+        max_counterexamples=2,
+    )
+
+    store = RunStore(workdir / "campaign")
+    summary = run_campaign(config, store)
+    print(f"searched {summary['candidates']} candidates "
+          f"({summary['computed_cells']} computed, "
+          f"{summary['cached_cells']} cached), "
+          f"found {summary['violations_found']} violation(s), "
+          f"best score {summary['best_score']:.4f}")
+
+    print("\n=== campaign report ===")
+    print(format_report(read_campaign(store.path)))
+
+    print("\n=== regression gate (falsify --check) ===")
+    result = check_counterexamples(store.path / "counterexamples")
+    for replay in result["results"]:
+        verdict = "PASS" if replay["passed"] else "FAIL"
+        print(f"  {replay['id']} {verdict} score={replay['score']:.4f} "
+              f"(threshold {replay['threshold']:g})")
+    print("gate:", "green" if result["passed"] else "RED")
+
+    print("\n=== determinism: rerun the identical campaign ===")
+    journal_before = (store.path / "campaign.jsonl").read_bytes()
+    rerun = run_campaign(config, store)
+    journal_after = (store.path / "campaign.jsonl").read_bytes()
+    print(f"rerun computed {rerun['computed_cells']} cells "
+          f"(everything cached), journal byte-identical: "
+          f"{journal_before == journal_after}")
+
+
+if __name__ == "__main__":
+    main()

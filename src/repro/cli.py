@@ -20,6 +20,10 @@ Usage (after ``pip install -e .``)::
     python -m repro evaluate --topology "fan_in(3)" --workload "responsive(cubic:2)"
     python -m repro run workload_stress --set telemetry=on(10) --store runs/traced
     python -m repro trace runs/traced --events fallback,drop
+    python -m repro falsify workload_stress --objective fallback_storm \\
+        --budget 30 --store runs/falsify-demo --jobs 2
+    python -m repro falsify report runs/falsify-demo
+    python -m repro falsify --check runs/falsify-demo/counterexamples
 
 ``run`` is the generic front door: any experiment registered in
 :data:`repro.harness.registry.REGISTRY` runs with per-axis ``--set``
@@ -35,6 +39,9 @@ missing cells.  The ``experiment`` subcommand is a deprecated alias of
 ``run`` kept for compatibility; it warns through the telemetry log.
 ``trace`` renders the telemetry of a store produced with
 ``--set telemetry=on``: per-cell event timelines and ``tele_*`` summaries.
+``falsify`` searches the scenario space of a registered experiment for
+counterexamples, shrinks them, and promotes them into a replayable
+regression store (see :mod:`repro.falsify`).
 
 Diagnostics go through :mod:`repro.telemetry.log`: ``--quiet`` silences
 everything below ERROR, ``-v`` surfaces INFO, ``-vv`` DEBUG.  Command
@@ -49,10 +56,15 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
+from repro.falsify.objective import objective_names, resolve_objective
+from repro.falsify.promote import DEFAULT_COUNTEREXAMPLES_DIR, check_counterexamples
+from repro.falsify.report import format_report, read_campaign, report_stats
+from repro.falsify.search import STRATEGIES, CampaignConfig, run_campaign
 from repro.harness import experiments
 from repro.harness.evaluate import (
     EvaluationSettings,
@@ -360,6 +372,87 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_falsify(args: argparse.Namespace) -> int:
+    """Falsification front door: campaign, ``report <store>``, or ``--check``."""
+    if args.check is not None:
+        try:
+            result = check_counterexamples(args.check, jobs=args.jobs)
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
+        if not result["results"]:
+            console(f"{args.check}: no promoted counterexamples (nothing to replay)")
+            return 0
+        for replay in result["results"]:
+            status = "PASS" if replay["passed"] else (
+                "STALE ROW" if replay["still_violated"] else "NOT VIOLATED")
+            console(f"  {replay['id']} {status} [{replay['objective']}] "
+                    f"score={replay['score']:.4f} (threshold {replay['threshold']:g}) "
+                    f"{replay['key']}")
+        verdict = "all green" if result["passed"] else "FAILURES"
+        console(f"counterexample check: {len(result['results'])} replayed, {verdict}")
+        return 0 if result["passed"] else 1
+    if args.target == "report":
+        if args.report_store is None:
+            raise SystemExit("usage: python -m repro falsify report <store>")
+        try:
+            report = read_campaign(args.report_store)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        if args.json:
+            console(json.dumps(report_stats(report), indent=2, sort_keys=True))
+        else:
+            console(format_report(report))
+        return 0
+    if args.target is None:
+        raise SystemExit(
+            "usage: python -m repro falsify <experiment> [--objective NAME ...]\n"
+            "       python -m repro falsify report <store>\n"
+            "       python -m repro falsify --check [COUNTEREXAMPLES_DIR]")
+    try:
+        REGISTRY.get(args.target)  # validate the name before mkdir'ing a store
+        objective = resolve_objective(args.objective, threshold=args.threshold)
+        config = CampaignConfig(
+            experiment=args.target,
+            objective=objective,
+            budget=args.budget,
+            strategy=args.strategy,
+            campaign_seed=args.campaign_seed,
+            jobs=args.jobs,
+            overrides=parse_set_overrides(args.set or []),
+            monitor_threshold=args.monitor_threshold,
+            max_counterexamples=args.max_counterexamples,
+            promote_to=Path(args.promote_to) if args.promote_to else None,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    store = RunStore(args.store if args.store is not None
+                     else DEFAULT_STORE_ROOT / f"falsify_{args.target}")
+    try:
+        summary = run_campaign(config, store)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    console(f"falsify {summary['experiment']} [{summary['objective']}"
+            f"/{summary['strategy']}]: {summary['candidates']} candidate(s), "
+            f"{summary['violations_found']} violation(s), "
+            f"best score {summary['best_score']:.4f}")
+    console(f"cells: {summary['computed_cells']} computed, "
+            f"{summary['cached_cells']} cached, "
+            f"{summary['falsify_cells_per_sec']:.2f} cells/s")
+    for entry in summary["counterexamples"]:
+        source = entry["source"]
+        console(f"  counterexample {entry['id']} score={entry['score']:.4f} "
+                f"({source.get('shrink_accepted', 0)} of "
+                f"{source.get('shrink_attempts', 0)} reductions accepted)")
+        console(f"    {entry['key']}")
+    console(f"{len(summary['counterexamples'])} counterexample(s) promoted to "
+            f"{summary['counterexample_store']}")
+    console(f"store: {store.records_path} ({len(store)} records) · "
+            f"journal: {summary['journal']}")
+    console(f"replay the regression gate: python -m repro falsify --check "
+            f"{summary['counterexample_store']}")
+    return 0
+
+
 def cmd_compare_classical(args: argparse.Namespace) -> int:
     traces = [make_synthetic_trace(name) for name in SYNTHETIC_TRACE_NAMES[:args.traces]]
     settings = EvaluationSettings(duration=args.duration, buffer_bdp=args.buffer_bdp,
@@ -531,6 +624,59 @@ def build_parser() -> argparse.ArgumentParser:
     classical_parser.add_argument("--seed", type=int, default=1)
     _add_jobs_argument(classical_parser)
     classical_parser.set_defaults(handler=cmd_compare_classical)
+
+    falsify_parser = subparsers.add_parser(
+        "falsify", help="search the scenario space for counterexamples "
+                        "(and replay promoted ones)")
+    falsify_parser.add_argument("target", nargs="?", default=None,
+                                help="registered experiment name to falsify, or "
+                                     "'report' to summarize a campaign store")
+    falsify_parser.add_argument("report_store", nargs="?", default=None,
+                                help="campaign store directory (report mode only)")
+    falsify_parser.add_argument("--objective", default="qc_gap",
+                                help="falsification objective: "
+                                     + ", ".join(objective_names()))
+    falsify_parser.add_argument("--threshold", type=float, default=None,
+                                help="override the objective's violation threshold")
+    falsify_parser.add_argument("--budget", type=int, default=40,
+                                help="candidate cells the search may propose")
+    falsify_parser.add_argument("--strategy", default="evolve",
+                                choices=sorted(STRATEGIES),
+                                help="search strategy (default: evolve)")
+    falsify_parser.add_argument("--store", default=None, metavar="DIR",
+                                help="campaign run store (default: "
+                                     "runs/falsify_<experiment>)")
+    falsify_parser.add_argument("--set", action="append", default=[],
+                                metavar="AXIS=VALUE",
+                                help="override one experiment axis for the "
+                                     "template cell; repeatable (same syntax "
+                                     "as 'run')")
+    falsify_parser.add_argument("--campaign-seed", dest="campaign_seed", type=int,
+                                default=1,
+                                help="campaign seed; the whole candidate/shrink "
+                                     "journal is a pure function of it")
+    falsify_parser.add_argument("--monitor-threshold", dest="monitor_threshold",
+                                type=float, default=0.8,
+                                help="runtime-monitor veto threshold installed "
+                                     "for monitor objectives (default 0.8)")
+    falsify_parser.add_argument("--max-counterexamples", dest="max_counterexamples",
+                                type=int, default=3,
+                                help="distinct violating cells to shrink and "
+                                     "promote (default 3)")
+    falsify_parser.add_argument("--promote-to", dest="promote_to", default=None,
+                                metavar="DIR",
+                                help="counterexample regression store "
+                                     "(default: <store>/counterexamples)")
+    falsify_parser.add_argument("--check", nargs="?",
+                                const=str(DEFAULT_COUNTEREXAMPLES_DIR),
+                                default=None, metavar="DIR",
+                                help="replay a promoted-counterexample store as "
+                                     "a regression gate (exit 1 on any failure)")
+    falsify_parser.add_argument("--json", action="store_true",
+                                help="report mode: emit the flat stats dict "
+                                     "instead of the human summary")
+    _add_jobs_argument(falsify_parser)
+    falsify_parser.set_defaults(handler=cmd_falsify)
 
     trace_parser = subparsers.add_parser(
         "trace", help="render telemetry event traces from a run store")

@@ -1,0 +1,173 @@
+"""The falsification candidate currency: tasks as JSON, plus seeded mutations.
+
+A search candidate is a full :class:`~repro.harness.parallel.ExperimentTask`
+— not just a :class:`~repro.harness.spec.ScenarioSpec` — because run-time
+knobs outside the scenario identity (duration, buffer depth, monitor
+threshold) are part of what makes a counterexample replayable.  This module
+owns the three seams every other falsify module shares:
+
+* :func:`task_to_json` / :func:`task_from_json` — the replay codec.  A
+  promoted counterexample stores its task this way, and ``--check`` rebuilds
+  the exact cell (same ``cell_key()``) from it months later.
+* :func:`prepare_template` — reshapes a registered experiment's first cell
+  into the campaign template an objective needs (certified, monitored,
+  traced), with the tags cleared so mutated cells don't carry stale labels.
+* :func:`mutate_task` — one seeded mutation step along the searchable axes
+  (seed, workload, topology, trace).  Model identity is deliberately *not*
+  an axis: every candidate shares the template's trained model, so a
+  campaign trains once and spends its budget on scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, replace
+from typing import Dict, List, Tuple
+
+from repro.falsify.objective import Objective
+from repro.harness.evaluate import EvaluationSettings
+from repro.harness.parallel import ExperimentTask
+from repro.harness.spec import resolve_trace, trace_names
+from repro.topology.families import canonical_topology
+from repro.workload.spec import mutate_workload
+
+__all__ = [
+    "MUTATION_AXES",
+    "mutate_task",
+    "prepare_template",
+    "task_from_json",
+    "task_to_json",
+    "topology_pool",
+]
+
+#: Scenario axes one mutation step may move along.
+MUTATION_AXES = ("seed", "workload", "topology", "trace")
+
+#: Seeds mutations draw from (small ints keep canonical keys short).
+_SEED_POOL = 1000
+
+_TASK_FIELDS = ("scheme", "model_kind", "training_steps", "model_seed", "lam",
+                "model_components", "model_topologies", "certify", "property_family",
+                "n_components", "monitor_threshold", "monitor_family",
+                "monitor_components")
+
+
+# ---------------------------------------------------------------------- #
+# Replay codec
+# ---------------------------------------------------------------------- #
+def task_to_json(task: ExperimentTask) -> Dict:
+    """A JSON-safe dict rebuilding the exact cell (``task_from_json`` inverts it)."""
+    payload: Dict = {name: getattr(task, name) for name in _TASK_FIELDS}
+    if payload["model_topologies"] is not None:
+        payload["model_topologies"] = list(payload["model_topologies"])
+    payload["trace"] = task.trace.name
+    payload["settings"] = asdict(task.settings)
+    payload["tags"] = dict(task.tags)
+    return payload
+
+
+def task_from_json(payload: Dict) -> ExperimentTask:
+    """Rebuild a task from its :func:`task_to_json` form (bundled traces only)."""
+    values = dict(payload)
+    unknown = sorted(set(values) - set(_TASK_FIELDS) - {"trace", "settings", "tags"})
+    if unknown:
+        raise ValueError(f"unknown task fields {unknown} in falsify payload")
+    trace = resolve_trace(values.pop("trace"))
+    settings = EvaluationSettings(**values.pop("settings"))
+    if values.get("model_topologies") is not None:
+        values["model_topologies"] = tuple(values["model_topologies"])
+    return ExperimentTask(trace=trace, settings=settings, **values)
+
+
+# ---------------------------------------------------------------------- #
+# Template preparation
+# ---------------------------------------------------------------------- #
+def prepare_template(task: ExperimentTask, objective: Objective, *,
+                     monitor_threshold: float = 0.8,
+                     telemetry: str = "on(10)") -> ExperimentTask:
+    """Reshape an experiment's cell into the campaign template an objective needs.
+
+    ``certify`` objectives need a certified learned cell; ``monitor``
+    objectives a runtime-monitored (uncertified) one; ``telemetry``
+    objectives an event trace.  Tags are cleared — they would go stale the
+    moment a mutation moves an axis the tag echoes.  Raises with a pointed
+    message when the experiment's cell cannot be reshaped (a classical
+    scheme cannot carry certificates or a monitor).
+    """
+    changes: Dict = {"tags": {}}
+    needs_model = {"certify", "monitor"} & objective.requires
+    if needs_model and task.model_kind is None:
+        raise ValueError(
+            f"objective {objective.name!r} needs a learned scheme "
+            f"({'/'.join(sorted(needs_model))}), but the experiment's template cell "
+            f"runs the classical scheme {task.scheme!r}; pick a learned scheme "
+            f"(e.g. --set schemes=canopy-shallow) or a scheme-agnostic objective")
+    if "certify" in objective.requires:
+        changes.update(certify=True,
+                       property_family=task.property_family or "shallow",
+                       monitor_threshold=None, monitor_family=None)
+    if "monitor" in objective.requires:
+        threshold = (task.monitor_threshold if task.monitor_threshold is not None
+                     else monitor_threshold)
+        changes.update(certify=False, property_family=None,
+                       monitor_threshold=threshold,
+                       monitor_family=(task.monitor_family or task.property_family
+                                       or "shallow"))
+    if "telemetry" in objective.requires:
+        changes["settings"] = replace(task.settings, telemetry=telemetry)
+    return replace(task, **changes)
+
+
+# ---------------------------------------------------------------------- #
+# Mutations
+# ---------------------------------------------------------------------- #
+def topology_pool() -> List[str]:
+    """Topology shapes a mutation may move to (sized variants included)."""
+    return ["single_bottleneck", "chain(2)", "chain(3)", "chain(4)",
+            "parking_lot(2)", "parking_lot(3)", "dumbbell",
+            "fan_in(2)", "fan_in(3)", "fan_in(4)", "tree(2)", "tree(3)",
+            "shared_segment"]
+
+
+def _mutate_seed(task: ExperimentTask, rng) -> Tuple[ExperimentTask, str]:
+    new_seed = int(rng.integers(0, _SEED_POOL))
+    return (replace(task, settings=replace(task.settings, seed=new_seed)),
+            f"seed={new_seed}")
+
+
+def _mutate_workload(task: ExperimentTask, rng) -> Tuple[ExperimentTask, str]:
+    new_workload = mutate_workload(task.settings.workload, rng)
+    return (replace(task, settings=replace(task.settings, workload=new_workload)),
+            f"workload={new_workload}")
+
+
+def _mutate_topology(task: ExperimentTask, rng) -> Tuple[ExperimentTask, str]:
+    current = canonical_topology(task.settings.topology)
+    options = [spec for spec in topology_pool() if canonical_topology(spec) != current]
+    new_topology = options[int(rng.integers(len(options)))]
+    return (replace(task, settings=replace(task.settings, topology=new_topology)),
+            f"topology={canonical_topology(new_topology)}")
+
+
+def _mutate_trace(task: ExperimentTask, rng) -> Tuple[ExperimentTask, str]:
+    options = [name for name in trace_names() if name != task.trace.name]
+    new_trace = options[int(rng.integers(len(options)))]
+    return replace(task, trace=resolve_trace(new_trace)), f"trace={new_trace}"
+
+
+_MUTATORS = {"seed": _mutate_seed, "workload": _mutate_workload,
+             "topology": _mutate_topology, "trace": _mutate_trace}
+
+
+def mutate_task(task: ExperimentTask, rng,
+                n_mutations: int = 1) -> Tuple[ExperimentTask, List[str]]:
+    """Apply ``n_mutations`` seeded mutation steps; returns (task, actions).
+
+    Each step picks one axis uniformly and moves it; the action strings
+    (``"workload=poisson(0.5)"``) journal what changed, in order.
+    """
+    actions: List[str] = []
+    for _ in range(max(1, int(n_mutations))):
+        axis = MUTATION_AXES[int(rng.integers(len(MUTATION_AXES)))]
+        task, action = _MUTATORS[axis](task, rng)
+        actions.append(action)
+    return task, actions

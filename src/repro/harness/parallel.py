@@ -218,6 +218,17 @@ class GridResult:
             raise ValueError(f"unknown grid column(s) {unknown}; "
                              f"valid columns: {sorted(valid)}")
 
+    @staticmethod
+    def _values_match(row_value, wanted) -> bool:
+        """One value-equality rule for row selection: numeric values compare
+        across int/float (a ``seeds=1`` override must match a row whose seed
+        round-tripped through JSON as ``1.0``, and ``poisson(0.1)`` float rates
+        select regardless of spelling), but bools never match their 0/1
+        integer aliases (``certify=True`` must not select ``certify=1``)."""
+        if isinstance(row_value, bool) != isinstance(wanted, bool):
+            return False
+        return row_value == wanted
+
     def select(self, **tags) -> List[Dict]:
         """Rows whose tag columns match every given key/value.
 
@@ -226,7 +237,8 @@ class GridResult:
         """
         self._check_columns(list(tags))
         return [row for row in self.rows
-                if all(row.get(key) == value for key, value in tags.items())]
+                if all(self._values_match(row.get(key), value)
+                       for key, value in tags.items())]
 
     def aggregate(self, group_by: Sequence[str], metrics: Sequence[str]) -> List[Dict]:
         """Mean/std of ``metrics`` per distinct ``group_by`` tuple (in first-seen order)."""

@@ -44,7 +44,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.harness.parallel import GridResult, ParallelRunner, run_task
-from repro.harness.spec import parse_bool
+from repro.harness.spec import coerce_scalar
 from repro.harness.store import RunRecord, RunStore, canonical_json
 from repro.telemetry import log
 
@@ -95,18 +95,6 @@ def parse_set_overrides(pairs: Sequence[str]) -> Dict[str, str]:
     return overrides
 
 
-def _coerce_scalar(value: str, template: object):
-    if isinstance(template, bool):
-        return parse_bool(value)
-    if isinstance(template, int):
-        return int(value)
-    if isinstance(template, float):
-        return float(value)
-    if template is None and value.lower() == "none":
-        return None
-    return value
-
-
 def _element_template(default: Sequence):
     for element in default:
         return element
@@ -115,18 +103,23 @@ def _element_template(default: Sequence):
 
 def _coerce_sequence(value: str, default: Sequence):
     template = _element_template(default)
+    # Ranges expand for both int- and float-typed axes (cast to the axis
+    # type), so `--set thresholds=0..1` is not rejected just because the
+    # defaults happen to be floats.  Endpoints are always whole numbers.
+    ranged = isinstance(template, (int, float)) and not isinstance(template, bool)
     elements: List = []
     for part in value.split(","):
         part = part.strip()
         if not part:
             continue
         start, sep, stop = part.partition("..")
-        if sep and isinstance(template, int) and not isinstance(template, bool):
+        if sep and ranged and "." not in start and "." not in stop:
             first, last = int(start), int(stop)
             step = 1 if last >= first else -1
-            elements.extend(range(first, last + step, step))
+            elements.extend(type(template)(element)
+                            for element in range(first, last + step, step))
         else:
-            elements.append(_coerce_scalar(part, template))
+            elements.append(coerce_scalar(part, template))
     if not elements:
         raise ValueError(f"empty sequence for axis override {value!r}")
     return tuple(elements)
@@ -135,16 +128,18 @@ def _coerce_sequence(value: str, default: Sequence):
 def coerce_axis_value(name: str, value: object, default: object):
     """Coerce one override to its axis's shape, using the default as template.
 
-    String overrides (from ``--set``) are parsed: booleans/ints/floats by the
-    default's type; sequence axes by splitting on commas, with ``a..b``
-    expanding to an inclusive integer range.  Typed overrides (from the
-    driver shims) pass through, normalized to tuples for sequence axes.
+    String overrides (from ``--set``) are parsed by
+    :func:`repro.harness.spec.coerce_scalar` — the one scalar-coercion rule
+    of the repo, so int/float/bool handling matches everywhere; sequence axes
+    split on commas, with ``a..b`` expanding to an inclusive whole-number
+    range cast to the axis's element type.  Typed overrides (from the driver
+    shims) pass through, normalized to tuples for sequence axes.
     """
     is_sequence_axis = isinstance(default, (tuple, list))
     if isinstance(value, str):
         try:
             return _coerce_sequence(value, default) if is_sequence_axis \
-                else _coerce_scalar(value, default)
+                else coerce_scalar(value, default)
         except ValueError as exc:
             raise ValueError(f"axis {name!r}: cannot parse {value!r}: {exc}") from exc
     if is_sequence_axis:

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, fields
+from dataclasses import replace as _dataclass_replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.properties import (
@@ -56,6 +57,7 @@ __all__ = [
     "PROPERTY_FAMILIES",
     "TRACE_KINDS",
     "ScenarioSpec",
+    "coerce_scalar",
     "parse_bool",
     "parse_topologies",
     "resolve_trace",
@@ -90,6 +92,42 @@ def parse_bool(raw: str) -> bool:
         return False
     raise ValueError(f"expected a boolean "
                      f"({'/'.join(_TRUE_WORDS + _FALSE_WORDS)}), got {raw!r}")
+
+
+def coerce_scalar(value: str, template: object):
+    """Parse one scalar string by the *template's* type — the single coercion
+    rule shared by registry axis overrides (``--set``) and spec surfaces.
+
+    Booleans use :func:`parse_bool`'s vocabulary.  Integer templates accept
+    integral float spellings (``"2.0"`` → ``2`` — what a float-formatted axis
+    sweep hands back) but reject fractional values with a pointed error
+    instead of ``int('0.5')``'s bare ``ValueError``.  Float templates accept
+    plain integers (``"2"`` → ``2.0``).  A ``None`` template maps the word
+    ``"none"`` to ``None`` and leaves anything else a string.
+    """
+    if isinstance(template, bool):
+        return parse_bool(value)
+    if isinstance(template, int):
+        try:
+            return int(value)
+        except ValueError:
+            pass
+        try:
+            as_float = float(value)
+        except ValueError:
+            raise ValueError(f"expected an integer, got {value!r}") from None
+        if not as_float.is_integer():
+            raise ValueError(f"expected an integer, got the fractional value {value!r} "
+                             "(this axis is integer-typed)")
+        return int(as_float)
+    if isinstance(template, float):
+        try:
+            return float(value)
+        except ValueError:
+            raise ValueError(f"expected a number, got {value!r}") from None
+    if template is None and value.lower() == "none":
+        return None
+    return value
 
 
 def parse_topologies(raw: str | Sequence[str]) -> Tuple[str, ...]:
@@ -260,6 +298,31 @@ class ScenarioSpec:
             if required not in values:
                 raise ValueError(f"scenario spec {text!r} is missing {required}=...")
         return cls(**values)
+
+    def replace(self, **axes) -> "ScenarioSpec":
+        """A copy with the given fields changed, re-validated and re-canonical.
+
+        Accepts dataclass field names *and* the ``key()`` token aliases
+        (``model`` → ``model_kind``, ``train`` → ``model_topologies``,
+        ``family`` → ``property_family``), so callers can speak either the
+        canonical-key vocabulary or the field vocabulary.  Unknown names raise
+        with the valid list.  The copy runs ``__post_init__`` again, so the
+        result is canonicalized (topology/workload spellings collapse) and
+        cross-field constraints (``certify`` needs a model, ...) still hold —
+        ``spec.replace(**changes).key()`` is always a parseable canonical key.
+        """
+        field_names = {spec_field.name for spec_field in fields(self)}
+        changes: Dict[str, object] = {}
+        for name, value in axes.items():
+            field_name = _TOKEN_FIELDS.get(name, name)
+            if field_name not in field_names:
+                valid = sorted(field_names | set(_TOKEN_FIELDS))
+                raise ValueError(f"unknown scenario field {name!r}; valid: {valid}")
+            if field_name in changes:
+                raise ValueError(f"scenario field {field_name!r} set twice "
+                                 f"(field name and token alias)")
+            changes[field_name] = value
+        return _dataclass_replace(self, **changes)
 
     # ------------------------------------------------------------------ #
     # JSON form

@@ -51,6 +51,7 @@ __all__ = [
     "WorkloadSpec",
     "parse_workload",
     "canonical_workload",
+    "mutate_workload",
     "workload_specs",
 ]
 
@@ -196,3 +197,95 @@ def canonical_workload(spec: str) -> str:
 def workload_specs() -> List[str]:
     """Representative specs for listings and sweeps (one per kind)."""
     return ["static", "responsive(cubic:2)", "poisson(0.25)", "step(2-6)"]
+
+
+# ---------------------------------------------------------------------- #
+# Mutation (the falsification search's workload move)
+# ---------------------------------------------------------------------- #
+#: Poisson arrival rates (flows/s) :func:`mutate_workload` introduces; rate
+#: mutations stay within [min, 2*max] so canonical forms keep short %g forms.
+_MUTATION_RATES = (0.05, 0.1, 0.25, 0.5, 1.0)
+
+#: Ceiling on always-on responsive background flows a mutation may reach.
+_MUTATION_MAX_FLOWS = 4
+
+#: Most step windows a mutation may script (each is one background flow).
+_MUTATION_MAX_WINDOWS = 3
+
+
+def _pick(rng, options):
+    return options[int(rng.integers(len(options)))]
+
+
+def mutate_workload(spec: str, rng) -> str:
+    """One seeded mutation step over the workload grammar; returns a canonical spec.
+
+    ``rng`` is a ``numpy.random.Generator`` (only ``integers``/``random`` are
+    called, so any duck-typed equivalent works).  Every move keeps the result
+    inside the validated grammar — kind switches (``static`` ↔ churn), scheme
+    swaps, flow-count/rate scaling on a fixed grid, and step-window
+    shift/add/drop — so the falsification search can walk the workload axis
+    without ever proposing a spec :func:`parse_workload` would reject.  The
+    result may occasionally equal the input (a shift clipped at a bound);
+    callers dedupe by scenario key.
+    """
+    current = parse_workload(spec)
+    if current.kind == "static":
+        kind = _pick(rng, ("responsive", "poisson", "step"))
+        if kind == "responsive":
+            mutated = WorkloadSpec(kind="responsive", scheme=_pick(rng, WORKLOAD_SCHEMES),
+                                   count=int(rng.integers(1, _MUTATION_MAX_FLOWS + 1)))
+        elif kind == "poisson":
+            mutated = WorkloadSpec(kind="poisson", rate=_pick(rng, _MUTATION_RATES),
+                                   scheme=_pick(rng, WORKLOAD_SCHEMES))
+        else:
+            start = float(int(rng.integers(0, 4)))
+            length = float(int(rng.integers(2, 7)))
+            mutated = WorkloadSpec(kind="step", windows=((start, start + length),))
+    elif current.kind == "responsive":
+        move = _pick(rng, ("count", "scheme", "kind"))
+        if move == "count":
+            delta = 1 if current.count == 1 else int(_pick(rng, (-1, 1)))
+            count = min(max(current.count + delta, 1), _MUTATION_MAX_FLOWS)
+            mutated = WorkloadSpec(kind="responsive", scheme=current.scheme, count=count)
+        elif move == "scheme":
+            others = [s for s in WORKLOAD_SCHEMES if s != current.scheme]
+            mutated = WorkloadSpec(kind="responsive", scheme=_pick(rng, others),
+                                   count=current.count)
+        else:
+            mutated = WorkloadSpec(kind="poisson", rate=_pick(rng, _MUTATION_RATES),
+                                   scheme=current.scheme)
+    elif current.kind == "poisson":
+        move = _pick(rng, ("rate", "scheme", "kind"))
+        if move == "rate":
+            scale = _pick(rng, (0.5, 2.0))
+            rate = min(max(current.rate * scale, _MUTATION_RATES[0]),
+                       2.0 * _MUTATION_RATES[-1])
+            mutated = WorkloadSpec(kind="poisson", rate=rate, scheme=current.scheme)
+        elif move == "scheme":
+            others = [s for s in WORKLOAD_SCHEMES if s != current.scheme]
+            mutated = WorkloadSpec(kind="poisson", rate=current.rate,
+                                   scheme=_pick(rng, others))
+        else:
+            mutated = WorkloadSpec(kind="responsive", scheme=current.scheme,
+                                   count=int(rng.integers(1, _MUTATION_MAX_FLOWS + 1)))
+    else:  # step
+        move = _pick(rng, ("shift", "add", "drop"))
+        windows = list(current.windows)
+        if move == "drop" and len(windows) > 1:
+            windows.pop(int(rng.integers(len(windows))))
+        elif move == "add" and len(windows) < _MUTATION_MAX_WINDOWS:
+            anchor = windows[-1][0]
+            start = anchor + float(int(rng.integers(1, 4)))
+            windows.append((start, start + float(int(rng.integers(2, 5)))))
+        else:  # shift — also the fallback when add/drop sits at its bound
+            index = int(rng.integers(len(windows)))
+            start, stop = windows[index]
+            shift = float(_pick(rng, (-1.0, 1.0)))
+            start = max(0.0, start + shift)
+            if stop is not None:
+                stop = max(start + 1.0, stop + shift)
+            windows[index] = (start, stop)
+        windows.sort(key=lambda w: (w[0], w[1] if w[1] is not None else float("inf")))
+        mutated = WorkloadSpec(kind="step", windows=tuple(windows))
+    return mutated.canonical()

@@ -115,6 +115,29 @@ class TestAxisOverrides:
         with pytest.raises(ValueError, match="boolean"):
             coerce_axis_value("x", "maybe", True)
 
+    def test_coerce_scalar_int_axis_accepts_whole_floats(self):
+        # "2.0" is a whole number, so an int-typed axis takes it; a true
+        # fraction is a pointed error, not a silent truncation.
+        assert coerce_axis_value("x", "2.0", 1) == 2
+        assert isinstance(coerce_axis_value("x", "2.0", 1), int)
+        with pytest.raises(ValueError, match="integer-typed"):
+            coerce_axis_value("x", "0.5", 1)
+
+    def test_coerce_scalar_bool_not_int(self):
+        # bool is an int subclass; the coercion must not treat a bool axis
+        # as integer-typed (nor an int axis as boolean).
+        assert coerce_axis_value("x", "yes", False) is True
+        assert coerce_axis_value("x", "3", 1) == 3
+
+    def test_float_ranges_expand(self):
+        # Ranges work for float-typed axes too, cast to the axis type.
+        assert coerce_axis_value("x", "0..2", (0.0, 0.5)) == (0.0, 1.0, 2.0)
+        assert all(isinstance(v, float)
+                   for v in coerce_axis_value("x", "0..2", (0.0,)))
+        assert coerce_axis_value("x", "5..1", (1,)) == (5, 4, 3, 2, 1)
+        # A fractional endpoint is a plain list element, not a range.
+        assert coerce_axis_value("x", "0.5,1.5", (0.0,)) == (0.5, 1.5)
+
     def test_parse_set_overrides(self):
         assert parse_set_overrides(["a=1", "b=x,y"]) == {"a": "1", "b": "x,y"}
         with pytest.raises(ValueError, match="malformed"):

@@ -154,6 +154,45 @@ class TestValidation:
             ScenarioSpec.from_json(payload)
 
 
+class TestReplace:
+    def test_replace_revalidates_and_canonicalizes(self):
+        spec = ScenarioSpec(scheme="cubic", trace="t")
+        moved = spec.replace(topology="chain( 3 )", workload=" poisson( 0.25 ) ")
+        assert moved.topology == "chain(3)"
+        assert moved.workload == "poisson(0.25)"
+        assert spec.topology == "single_bottleneck"  # original untouched
+
+    def test_replace_round_trips_through_key(self):
+        spec = ScenarioSpec(scheme="canopy", trace="t", model_kind="canopy-shallow",
+                            certify=True, property_family="shallow")
+        moved = spec.replace(seed=9, workload="responsive(cubic)")
+        assert ScenarioSpec.parse(moved.key()) == moved
+        assert moved.replace(seed=spec.seed, workload=spec.workload) == spec
+
+    def test_replace_accepts_key_token_aliases(self):
+        spec = ScenarioSpec(scheme="canopy", trace="t", model_kind="canopy-shallow")
+        via_alias = spec.replace(model="canopy-deep", family="shallow")
+        assert via_alias.model_kind == "canopy-deep"
+        assert via_alias.property_family == "shallow"
+
+    def test_replace_rejects_unknown_axis(self):
+        spec = ScenarioSpec(scheme="cubic", trace="t")
+        with pytest.raises(ValueError, match="workload"):
+            spec.replace(bandwidth=12)
+
+    def test_replace_rejects_alias_collision(self):
+        spec = ScenarioSpec(scheme="canopy", trace="t", model_kind="canopy-shallow")
+        with pytest.raises(ValueError, match="model"):
+            spec.replace(model="canopy-deep", model_kind="canopy-deep")
+
+    def test_replace_reruns_validation(self):
+        spec = ScenarioSpec(scheme="cubic", trace="t")
+        with pytest.raises(ValueError):
+            spec.replace(topology="mesh(9)")
+        with pytest.raises(ValueError):
+            spec.replace(certify=True)  # classical cells cannot certify
+
+
 class TestSharedParsing:
     def test_parse_topologies_string_and_sequence(self):
         assert parse_topologies(" single_bottleneck, chain(3) ") == \

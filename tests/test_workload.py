@@ -83,6 +83,57 @@ class TestParseWorkload:
 
 
 # ---------------------------------------------------------------------- #
+# Seeded mutation (the falsification search's workload axis)
+# ---------------------------------------------------------------------- #
+class TestMutateWorkload:
+    def test_mutations_stay_inside_grammar_and_canonical(self):
+        from repro.workload.spec import mutate_workload
+        rng = np.random.default_rng(3)
+        spec = "static"
+        for _ in range(60):
+            spec = mutate_workload(spec, rng)
+            # Round trip: every mutated spec parses and is already canonical.
+            assert parse_workload(spec).canonical() == spec
+
+    def test_mutation_sequence_is_seed_deterministic(self):
+        from repro.workload.spec import mutate_workload
+        sequences = []
+        for _ in range(2):
+            rng = np.random.default_rng(17)
+            spec, seen = "static", []
+            for _ in range(25):
+                spec = mutate_workload(spec, rng)
+                seen.append(spec)
+            sequences.append(seen)
+        assert sequences[0] == sequences[1]
+        # The walk actually moves (not a constant sequence).
+        assert len(set(sequences[0])) > 1
+
+    def test_every_kind_reachable_from_static(self):
+        from repro.workload.spec import mutate_workload
+        rng = np.random.default_rng(1)
+        kinds = {parse_workload(mutate_workload("static", rng)).kind
+                 for _ in range(40)}
+        assert kinds == {"responsive", "poisson", "step"}
+
+    def test_bounds_respected(self):
+        from repro.workload.spec import mutate_workload
+        rng = np.random.default_rng(23)
+        spec = "responsive(cubic:4)"
+        for _ in range(80):
+            spec = mutate_workload(spec, rng)
+            parsed = parse_workload(spec)
+            if parsed.kind == "responsive":
+                assert 1 <= parsed.count <= 4
+            if parsed.kind == "poisson":
+                assert 0.05 <= parsed.rate <= 2.0
+            if parsed.kind == "step":
+                assert 1 <= len(parsed.windows) <= 3
+                for start, stop in parsed.windows:
+                    assert start >= 0.0 and stop > start
+
+
+# ---------------------------------------------------------------------- #
 # Arrival schedules
 # ---------------------------------------------------------------------- #
 class TestArrivalSchedule:
