@@ -1,0 +1,110 @@
+"""Observability-plane throughput — frames through rollup and exposition.
+
+The serve daemon's HTTP surface re-aggregates the full ``metrics.jsonl``
+stream on every ``GET /metrics`` scrape, so the cost that matters is *frames
+through* ``fleet_rollup`` *plus exposition render* per scrape.  This bench
+builds a synthetic fleet stream (many workers, many cumulative frames each,
+realistic monotone counters), times the scrape path end to end, and stamps
+``frames_per_scrape`` / ``scrapes_per_sec`` into the bench JSON.
+
+A second pass times store compaction over the same stream and records the
+``compaction_ratio`` — the retention subsystem's headline number, matching
+what the obs-smoke CI job measures on a live fleet.
+
+Scale knobs: ``REPRO_BENCH_OBS_WORKERS`` / ``REPRO_BENCH_OBS_FRAMES``.
+"""
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.obs.aggregate import fleet_rollup
+from repro.obs.http import render_exposition, validate_exposition
+from repro.obs.metrics import MetricsJournal
+from repro.obs.retention import RetentionPolicy, compact_store
+from repro.telemetry.profiler import TICK_PHASES
+
+N_WORKERS = int(os.environ.get("REPRO_BENCH_OBS_WORKERS", "8"))
+N_FRAMES = int(os.environ.get("REPRO_BENCH_OBS_FRAMES", "200"))
+
+#: Scrapes timed per benchmark round.
+N_SCRAPES = 20
+
+
+def synthetic_stream(store: Path) -> int:
+    """Write a plausible cumulative frame stream for N_WORKERS workers."""
+    journal = MetricsJournal(store)
+    for worker_index in range(N_WORKERS):
+        worker = f"w{worker_index}"
+        ticks = 0
+        phase_seconds = {phase: 0.0 for phase in TICK_PHASES}
+        for seq in range(N_FRAMES):
+            ticks += 200 + 7 * (seq % 5)
+            for offset, phase in enumerate(TICK_PHASES):
+                # Distinct but deterministic per-phase costs.
+                phase_seconds[phase] += 1e-6 * ticks * (offset + 1)
+            journal.append({
+                "v": 1, "kind": "frame", "worker": worker, "seq": seq,
+                "t": float(seq) + 0.01 * worker_index,
+                "uptime_s": float(seq),
+                "cells_done": seq // 4, "ticks": ticks,
+                "sim_wall_s": 0.001 * ticks,
+                "phase_seconds": dict(phase_seconds),
+                "telemetry_events": 3 * seq,
+            })
+    return journal.appended
+
+
+def scrape_pass(store: Path) -> int:
+    samples = 0
+    for _ in range(N_SCRAPES):
+        text = render_exposition(store)
+        samples = validate_exposition(text)["samples"]
+    return samples
+
+
+def test_metrics_scrape_throughput(benchmark):
+    store = Path(tempfile.mkdtemp(prefix="bench-obs-"))
+    frames = synthetic_stream(store)
+
+    start = time.perf_counter()
+    samples = benchmark.pedantic(scrape_pass, args=(store,),
+                                 rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+
+    rollup = fleet_rollup(MetricsJournal(store).read())
+    benchmark.extra_info["frames_per_scrape"] = frames
+    benchmark.extra_info["scrapes_per_sec"] = N_SCRAPES / elapsed
+    benchmark.extra_info["metrics_frames_per_sec"] = frames * N_SCRAPES / elapsed
+    benchmark.extra_info["exposition_samples"] = samples
+
+    print(f"\nobs scrape: {N_SCRAPES} scrapes over {frames} frames "
+          f"({N_WORKERS} workers) at {N_SCRAPES / elapsed:.1f} scrapes/s, "
+          f"{samples} exposition samples each")
+
+    assert rollup["fleet"]["frames"] == frames
+    assert samples > 0
+    # A scrape of a fleet this size must stay interactive.
+    assert elapsed / N_SCRAPES < 5.0, "GET /metrics would feel unusable"
+
+
+def test_frame_compaction_ratio(benchmark):
+    store = Path(tempfile.mkdtemp(prefix="bench-obs-compact-"))
+    frames = synthetic_stream(store)
+
+    report = benchmark.pedantic(
+        compact_store, args=(store, RetentionPolicy(keep_frames=10)),
+        rounds=1, iterations=1)
+
+    benchmark.extra_info["compaction_ratio"] = report["compaction_ratio"]
+    benchmark.extra_info["frames_folded"] = report["frames_folded"]
+
+    print(f"\nobs compaction: folded {report['frames_folded']}/{frames} "
+          f"frames, ratio {report['compaction_ratio']:.3f}")
+
+    assert report["frames_folded"] == frames - N_WORKERS * 10
+    assert report["compaction_ratio"] < 0.5, "folding should shrink the stream"
+    # The folded stream still aggregates to the same cumulative truth.
+    after = fleet_rollup(MetricsJournal(store).read())["fleet"]
+    assert after["frames"] == frames

@@ -1,0 +1,120 @@
+"""Watching a chaos-kill fleet live through the observability plane.
+
+The serve daemon's observability plane has three faces, all fed by the same
+``metrics.jsonl`` stream of cumulative worker frames:
+
+* ``serve --http PORT`` — an in-daemon HTTP thread serving ``GET /status``
+  (the lease-journal replay as JSON), ``GET /metrics`` (Prometheus text
+  exposition: lease-state gauges, per-phase tick latency histograms,
+  reclaim counters), and ``GET /cells/<key>`` (one stored row plus its
+  ``tele_*`` summary).
+* ``status --watch`` — the same replay re-rendered in the terminal.
+* ``python -m repro.harness.store compact`` — retention: fold old metric
+  frames into rollup segments and drop raw event traces, while ``tele_*``
+  summaries and counterexample-pinned traces always survive.
+
+None of it touches the rows: the served store stays byte-identical to a
+serial run with observability off (the determinism wall the obs-smoke CI
+job enforces).
+
+This example serves a chaos-kill grid (one worker SIGKILLs itself mid-run)
+with the HTTP surface up, polls ``/metrics`` from a background thread while
+the fleet works, then compacts the store and shows what retention kept.
+
+Run me::
+
+    PYTHONPATH=src python examples/serve_observability.py
+"""
+
+import json
+import socket
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.harness.store import RunStore
+from repro.obs.aggregate import fleet_rollup, format_phase_table, fleet_phase_report
+from repro.obs.http import validate_exposition
+from repro.obs.metrics import MetricsJournal
+from repro.obs.retention import RetentionPolicy, compact_store
+from repro.serve.daemon import serve_experiment
+
+#: Classical-only slice so the example runs in seconds — but long enough
+#: (8 cells of a 30 s emulation) that the poller catches the fleet mid-grid.
+#: Telemetry on so the compaction pass has raw event traces to drop.
+OVERRIDES = {
+    "schemes": "cubic,vegas",
+    "topology": "single_bottleneck",
+    "workload": "poisson(0.1)",
+    "duration": "30.0",
+    "seeds": "1,2,3,4",
+    "telemetry": "on(10)",
+}
+
+
+def poll_metrics(port: int, stop: threading.Event, samples: list) -> None:
+    """Scrape GET /metrics like a Prometheus agent would, while serving runs."""
+    url = f"http://127.0.0.1:{port}/metrics"
+    while not stop.is_set():
+        try:
+            text = urllib.request.urlopen(url, timeout=2.0).read().decode()
+            validate_exposition(text)  # every scrape is well-formed exposition
+            samples.append(text)
+        except OSError:
+            pass  # daemon still starting or already gone
+        stop.wait(0.1)
+
+
+if __name__ == "__main__":
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = Path(tmp) / "served"
+        with socket.socket() as probe:  # pick a free port up front so the
+            probe.bind(("127.0.0.1", 0))  # poller knows where to scrape
+            port = probe.getsockname()[1]
+
+        stop = threading.Event()
+        scrapes: list = []
+        poller = threading.Thread(target=poll_metrics, args=(port, stop, scrapes),
+                                  daemon=True)
+        poller.start()
+
+        result = serve_experiment("workload_stress", OVERRIDES,
+                                  store=RunStore(store_dir), workers=2,
+                                  ttl_s=5.0, chaos_kill=3, http_port=port,
+                                  metrics_interval=0.2)
+        time.sleep(0.2)  # let the poller catch the final state
+        stop.set()
+        poller.join()
+
+        print(f"served {result['served_cells']} cells with "
+              f"{result['reclaims']} reclaim(s); {result['metrics_frames']} "
+              f"metric frame(s) streamed; {len(scrapes)} live /metrics "
+              f"scrape(s), all valid exposition")
+
+        # The on-disk stream supports the same rollup the daemon serves.
+        frames = MetricsJournal(store_dir).read()
+        rollup = fleet_rollup(frames)
+        print(f"fleet rollup: {rollup['fleet']['cells_done']} cells over "
+              f"{rollup['fleet']['workers']} worker(s), "
+              f"{rollup['fleet']['ticks']} simulator ticks")
+        print(format_phase_table(fleet_phase_report(rollup["fleet"])))
+
+        # Retention: keep one raw trace, fold frames into a rollup segment.
+        report = compact_store(store_dir,
+                               RetentionPolicy(keep_traces=1, keep_frames=2))
+        print(f"compaction: dropped {report['traces_dropped']} raw trace(s), "
+              f"folded {report['frames_folded']} frame(s), "
+              f"ratio {report['compaction_ratio']:.2f}")
+
+        # tele_* summaries survive compaction on every row.
+        rows = [record.row for record in RunStore(store_dir).load().values()]
+        kept_summaries = sum(1 for row in rows if "tele_n_events" in row)
+        print(f"{kept_summaries}/{len(rows)} rows still carry tele_* summaries")
+
+        # And the audit trail says exactly what happened.
+        audit = json.loads((store_dir / "compactions.jsonl").read_text()
+                           .splitlines()[-1])
+        print(f"audit: {audit['event']} at ratio "
+              f"{audit['compaction_ratio']:.2f} under policy {audit['policy']}")

@@ -14,7 +14,10 @@ Usage (after ``pip install -e .``)::
     python -m repro run topology_generalization --set trace=cellular --set seeds=0..2
     python -m repro run workload_stress --set workload=poisson(0.1) --set topology=fan_in(3)
     python -m repro serve workload_stress --store runs/stress --workers 4
+    python -m repro serve workload_stress --store runs/stress --http 8080
     python -m repro status runs/stress     # live, from the lease journal
+    python -m repro status runs/stress --watch --interval 1
+    python -m repro run topology_sweep --profile   # tick-phase cost table
     python -m repro compare-classical --buffer-bdp 1.0 --jobs 0
     python -m repro evaluate --topology "chain(3)" --trace step-12-48
     python -m repro evaluate --topology "fan_in(3)" --workload "responsive(cubic:2)"
@@ -58,6 +61,7 @@ import argparse
 import inspect
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
@@ -77,7 +81,12 @@ from repro.harness.reporting import format_rows, print_experiment
 from repro.harness.spec import parse_topologies, resolve_trace
 from repro.harness.store import RECORDS_FILENAME, RunStore
 from repro.nn.serialization import save_weight_dict
-from repro.serve.daemon import DEFAULT_MAX_LEASES, serve_experiment
+from repro.obs.metrics import METRICS_FILENAME
+from repro.serve.daemon import (
+    DEFAULT_MAX_LEASES,
+    DEFAULT_METRICS_INTERVAL,
+    serve_experiment,
+)
 from repro.serve.status import format_status, read_status
 from repro.telemetry import log
 from repro.telemetry.events import validate_events
@@ -274,7 +283,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                   resume=not args.fresh,
                                   chaos_kill=args.chaos_kill,
                                   max_leases=args.max_leases,
-                                  timeout_s=args.timeout)
+                                  timeout_s=args.timeout,
+                                  metrics_interval=args.metrics_interval,
+                                  http_port=args.http)
     except (ValueError, RuntimeError, TimeoutError) as exc:
         raise SystemExit(str(exc)) from None
     print_experiment(f"Serve {args.name}", result)
@@ -282,17 +293,42 @@ def cmd_serve(args: argparse.Namespace) -> int:
     console(f"served: {result['served_cells']} cell(s) by {result['workers']} "
             f"worker(s), {result['reclaims']} reclaim(s), "
             f"{result['cells_per_sec']:.2f} cells/s")
+    if result.get("metrics_frames"):
+        console(f"metrics: {result['metrics_frames']} frame(s) in "
+                f"{store.path / METRICS_FILENAME}")
+    if args.profile:
+        from repro.obs.aggregate import (fleet_phase_report, fleet_rollup,
+                                         format_phase_table)
+        from repro.obs.metrics import MetricsJournal
+
+        frames = MetricsJournal(store.path).read()
+        if frames:
+            fleet = fleet_rollup(frames)["fleet"]
+            console(format_phase_table(fleet_phase_report(fleet)))
+        else:
+            console("profile: no metric frames recorded "
+                    "(is --metrics-interval 0?)")
     return 0
 
 
 def cmd_status(args: argparse.Namespace) -> int:
     """Render live serve progress replayed from a store's lease journal."""
-    try:
-        status = read_status(args.store)
-    except (FileNotFoundError, ValueError) as exc:
-        raise SystemExit(str(exc)) from None
-    console(format_status(status))
-    return 0
+    while True:
+        try:
+            status = read_status(args.store)
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
+        if args.json:
+            # The exact structure GET /status serves, for scripting.
+            console(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            if args.watch and sys.stdout.isatty():
+                console("\x1b[2J\x1b[H" + format_status(status))
+            else:
+                console(format_status(status))
+        if not args.watch or not status.get("running"):
+            return 0
+        time.sleep(args.interval)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -316,7 +352,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         store = RunStore(DEFAULT_STORE_ROOT / args.name)
     try:
         result = REGISTRY.run(args.name, overrides, n_jobs=args.jobs,
-                              store=store, resume=args.resume)
+                              store=store, resume=args.resume,
+                              profile=args.profile)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     print_experiment(f"Run {args.name}", result)
@@ -324,6 +361,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         console(f"store: {store.records_path} ({len(store)} records)")
     if args.resume and result["computed_cells"] == 0:
         console(f"resume: all {result['cached_cells']} cells cached")
+    if args.profile and "profile" in result:
+        from repro.obs.aggregate import format_phase_table
+
+        console(format_phase_table(result["profile"]))
     return 0
 
 
@@ -563,6 +604,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--resume", action="store_true",
                             help="skip cells already in the run store "
                                  "(default store: runs/<experiment>)")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="profile simulator tick phases per cell and "
+                                 "print the phase table (rows are unchanged; "
+                                 "with --store, frames also stream to the "
+                                 "store's metrics.jsonl)")
     _add_jobs_argument(run_parser)
     run_parser.set_defaults(handler=cmd_run)
 
@@ -592,11 +638,31 @@ def build_parser() -> argparse.ArgumentParser:
                               help="fault injection: the first worker SIGKILLs "
                                    "itself upon receiving its N-th cell "
                                    "(exercises the reclaim path; CI smoke)")
+    serve_parser.add_argument("--http", type=int, default=None, metavar="PORT",
+                              help="serve GET /status, /metrics (Prometheus "
+                                   "exposition) and /cells/<key> on this port "
+                                   "while the daemon runs (0 picks a free port)")
+    serve_parser.add_argument("--metrics-interval", dest="metrics_interval",
+                              type=float, default=DEFAULT_METRICS_INTERVAL,
+                              metavar="S",
+                              help="worker metric-frame sampling period in "
+                                   "seconds, streamed to the store's "
+                                   "metrics.jsonl (0 disables the stream)")
+    serve_parser.add_argument("--profile", action="store_true",
+                              help="print the fleet's tick-phase table after "
+                                   "the grid (from the metrics stream)")
     serve_parser.set_defaults(handler=cmd_serve)
 
     status_parser = subparsers.add_parser(
         "status", help="show serve progress live from a store's lease journal")
     status_parser.add_argument("store", help="run-store directory being (or once) served")
+    status_parser.add_argument("--json", action="store_true",
+                               help="emit the status dict as JSON (the same "
+                                    "structure GET /status serves)")
+    status_parser.add_argument("--watch", action="store_true",
+                               help="re-render until the serve session finishes")
+    status_parser.add_argument("--interval", type=float, default=2.0, metavar="S",
+                               help="refresh period for --watch (default 2s)")
     status_parser.set_defaults(handler=cmd_status)
 
     experiment_parser = subparsers.add_parser(

@@ -186,6 +186,14 @@ class _Evaluator:
                          else "falsify-pool")
         self.computed = 0
         self.cached = 0
+        # Campaigns stream the same metric frames the serve daemon does (one
+        # per computed cell, cumulative counters) into the campaign store's
+        # metrics.jsonl — observability only, never part of the rows.
+        # Imported lazily so search stays importable without the obs plane.
+        from repro.obs.metrics import MetricsJournal, MetricsSampler
+
+        self.sampler = MetricsSampler("falsify")
+        self.metrics = MetricsJournal(store.path)
 
     def evaluate(self, tasks: Sequence[ExperimentTask]) -> List[Dict]:
         pending: List[ExperimentTask] = []
@@ -204,6 +212,8 @@ class _Evaluator:
             self.store.put(RunRecord.for_task(
                 task, row, experiment=f"falsify:{self.experiment}",
                 producer=self.producer))
+            self.sampler.note_cell_done(row)
+            self.metrics.append(self.sampler.sample(current_key=task.cell_key()))
 
         if pending:
             self.runner.map(run_task, pending, on_result=on_result)

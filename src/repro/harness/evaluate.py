@@ -28,6 +28,7 @@ from repro.core.verifier import Verifier
 from repro.harness.models import TrainedModel
 from repro.orca.agent import DecisionRecord, LearnedController
 from repro.telemetry.events import DEFAULT_TELEMETRY, EventTrace, parse_telemetry
+from repro.telemetry.profiler import active_profiler
 from repro.topology.families import DEFAULT_TOPOLOGY, build_topology, parse_topology
 from repro.traces.trace import BandwidthTrace
 from repro.workload.build import build_workload
@@ -225,7 +226,10 @@ def run_scheme_on_trace(
                                 seed=settings.seed, trace_name=trace.name,
                                 topology=settings.topology)
     flows = [flow] + [cross.build() for cross in background]
-    simulator = NetworkSimulator(topology, flows, dt=settings.dt, telemetry=telemetry)
+    # The process-wide profiler (serve workers, `run --profile` pools) rides
+    # along on every simulator; wall-clock only, rows are untouched.
+    simulator = NetworkSimulator(topology, flows, dt=settings.dt,
+                                 telemetry=telemetry, profiler=active_profiler())
     result = simulator.run(settings.duration)
     summary = summarize_result(result, flow_id=0, skip_seconds=settings.skip_seconds)
     decisions = list(getattr(controller, "decisions", []))

@@ -1,0 +1,67 @@
+"""Torn-tail-tolerant JSONL parsing, shared by every journal reader.
+
+Three on-disk artifacts share one failure mode: an append-only ``*.jsonl``
+file whose final line may be torn because the writing process was killed
+mid-append (SIGKILL, OOM, power loss).  The run store's ``records.jsonl``,
+the serve daemon's ``leases.jsonl``, and the observability plane's
+``metrics.jsonl`` all tolerate exactly that — a malformed *final* chunk with
+nothing but whitespace after it — while malformed content anywhere else is
+real corruption and raises.  This module is the one implementation of that
+rule (it used to be copied in three places).
+
+:func:`parse_jsonl_tolerant` also does the byte accounting
+(``valid_bytes``) the run store needs to truncate a torn file back to its
+well-formed prefix before the next append.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["parse_jsonl_tolerant"]
+
+
+def parse_jsonl_tolerant(
+    text: str,
+    source: str = "jsonl",
+    parse: Optional[Callable[[object], object]] = None,
+    intolerant: Tuple[type, ...] = (),
+    label: str = "line",
+) -> Tuple[List, int, bool]:
+    """Parse a JSONL body into ``(items, valid_bytes, torn)``.
+
+    ``items`` holds one parsed value per non-blank line (each passed through
+    ``parse`` when given); ``valid_bytes`` is the byte length of the
+    well-formed prefix.  A line that fails to decode — or whose ``parse``
+    raises ``ValueError`` — is tolerated only when nothing but whitespace
+    follows it (``torn=True``); anywhere else it raises ``ValueError`` with
+    the source and line number.
+
+    ``intolerant`` lists exception types that must *never* be swallowed by
+    the torn-tail rule (e.g. the run store's ``SchemaVersionError`` — a whole
+    store of old-version records must surface the migrate hint, not quietly
+    load as empty).  They are re-raised with location context prepended.
+    """
+    items: List = []
+    valid_bytes = 0
+    consumed = 0
+    lines = text.split("\n")
+    for line_number, line in enumerate(lines, start=1):
+        consumed += len(line.encode("utf-8")) + 1  # the split "\n"
+        stripped = line.strip()
+        if stripped:
+            try:
+                item = json.loads(stripped)
+                if parse is not None:
+                    item = parse(item)
+            except intolerant as exc:
+                raise type(exc)(f"{source}:{line_number}: {exc}") from exc
+            except (json.JSONDecodeError, ValueError) as exc:
+                if all(not rest.strip() for rest in lines[line_number:]):
+                    return items, valid_bytes, True  # torn tail of an append
+                raise ValueError(
+                    f"{source}:{line_number}: invalid {label}: {exc}") from exc
+            items.append(item)
+        valid_bytes = min(consumed, len(text.encode("utf-8")))
+    return items, valid_bytes, False

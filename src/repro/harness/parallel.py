@@ -69,6 +69,7 @@ __all__ = [
     "ExperimentTask",
     "GridResult",
     "ParallelRunner",
+    "run_profiled",
     "run_task",
     "derive_seed",
     "PROPERTY_FAMILIES",
@@ -352,6 +353,28 @@ def run_task(task: ExperimentTask) -> Dict:
         row["mean_qc"] = monitor.mean_qc
     _embed_telemetry(row, telemetry, task.settings)
     return row
+
+
+def run_profiled(runner: Callable, task) -> Dict:
+    """Run one cell under a fresh process-wide :class:`TickProfiler`.
+
+    The ``--profile`` wrapper for pool workers: module-level (so a
+    ``functools.partial`` of it pickles into the pool), it activates a
+    profiler for the duration of one cell and hands back
+    ``{"row": ..., "profile": ...}``.  The caller unwraps the row *before*
+    canonicalization/storage, so profiled and unprofiled rows stay
+    byte-identical — the profile report travels next to the row, never
+    inside it.
+    """
+    from repro.telemetry.profiler import (TickProfiler, activate_profiler,
+                                          deactivate_profiler)
+
+    profiler = activate_profiler(TickProfiler())
+    try:
+        row = runner(task)
+    finally:
+        deactivate_profiler()
+    return {"row": row, "profile": profiler.report()}
 
 
 class ParallelRunner:

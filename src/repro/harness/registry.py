@@ -39,11 +39,12 @@ Registering a new experiment is ~20 lines (see
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
-from repro.harness.parallel import GridResult, ParallelRunner, run_task
+from repro.harness.parallel import GridResult, ParallelRunner, run_profiled, run_task
 from repro.harness.spec import coerce_scalar
 from repro.harness.store import RunRecord, RunStore, canonical_json
 from repro.telemetry import log
@@ -314,7 +315,7 @@ class ExperimentRegistry:
 
     def run(self, name: str, overrides: Optional[Mapping[str, object]] = None,
             n_jobs: int = 1, store: Optional[RunStore] = None,
-            resume: bool = False) -> Dict:
+            resume: bool = False, profile: bool = False) -> Dict:
         """Run one experiment end to end, optionally persisted and resumable.
 
         With a ``store``, every completed cell is written incrementally (an
@@ -322,6 +323,14 @@ class ExperimentRegistry:
         cells whose key the store already holds are served from disk instead
         of recomputed.  Rows — cached or fresh — are canonicalized through
         JSON, so serial, sharded, and resumed runs are byte-identical.
+
+        ``profile=True`` runs every cell (serial or pooled) under a
+        :class:`~repro.telemetry.profiler.TickProfiler` and returns the
+        merged phase report under ``result["profile"]``; with a ``store`` it
+        also streams one cumulative metric frame per cell into the store's
+        ``metrics.jsonl`` (same stream the serve daemon writes).  Profiling
+        is wall-clock observability only: rows and cell keys are identical
+        with it on or off.
         """
         plan = self.plan(name, overrides)
         experiment, axes, tasks, keys = plan.experiment, plan.axes, plan.tasks, plan.keys
@@ -350,7 +359,30 @@ class ExperimentRegistry:
         runner = ParallelRunner(n_jobs)
         producer = "serial" if runner.n_jobs <= 1 else "pool"
 
+        map_fn = experiment.runner
+        profile_reports: List[Dict] = []
+        sampler = metrics_journal = None
+        if profile:
+            # Imported lazily so the registry stays importable without the
+            # observability plane.
+            from repro.obs.metrics import MetricsJournal, MetricsSampler
+
+            map_fn = functools.partial(run_profiled, experiment.runner)
+            sampler = MetricsSampler("run")
+            if store is not None:
+                metrics_journal = MetricsJournal(store.path)
+
         def on_result(pending_index: int, task, row) -> None:
+            if profile:
+                # Unwrap before canonicalization: the profile report rides
+                # next to the row, never inside it, so profiled rows stay
+                # byte-identical to unprofiled ones.
+                report, row = row["profile"], row["row"]
+                profile_reports.append(report)
+                sampler.absorb_report(report)
+                sampler.note_cell_done(row)
+                if metrics_journal is not None:
+                    metrics_journal.append(sampler.sample(current_key=task.cell_key()))
             row = canonical_json(row)
             rows[pending[pending_index][0]] = row
             if store is not None:
@@ -360,12 +392,17 @@ class ExperimentRegistry:
                       key=task.cell_key())
 
         start = time.perf_counter()
-        runner.map(experiment.runner, [task for _, task in pending], on_result=on_result)
+        runner.map(map_fn, [task for _, task in pending], on_result=on_result)
         wall_clock_s = time.perf_counter() - start
         log.info("experiment_done", logger="harness", experiment=name,
                  computed=len(pending), cached=len(cached),
                  wall_clock_s=wall_clock_s)
-        return self.finalize(plan, rows, wall_clock_s, runner.n_jobs, len(cached))
+        result = self.finalize(plan, rows, wall_clock_s, runner.n_jobs, len(cached))
+        if profile:
+            from repro.obs.aggregate import merge_phase_reports
+
+            result["profile"] = merge_phase_reports(profile_reports)
+        return result
 
 
 #: Whether the built-in experiments module has been imported into REGISTRY.

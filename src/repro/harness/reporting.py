@@ -53,8 +53,11 @@ def print_experiment(title: str, result: Dict, columns: Sequence[str] | None = N
     if rows:
         console(format_rows(rows, columns=columns))
     for key, value in result.items():
-        # "axes" (the registry's resolved axis dict) is provenance, not a
-        # scalar metric — kept out of the standard layout like the row dumps.
-        if key in ("rows", "series", "curves", "steps", "series_mbps", "axes"):
+        # "axes" (the registry's resolved axis dict) and "profile" (the
+        # merged phase report, rendered as a table by `run --profile`) are
+        # structured payloads, not scalar metrics — kept out of the standard
+        # layout like the row dumps.
+        if key in ("rows", "series", "curves", "steps", "series_mbps", "axes",
+                   "profile"):
             continue
         console(f"{key}: {value}")

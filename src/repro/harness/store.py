@@ -26,6 +26,12 @@ pointed error, and stores written by an older checkout are upgraded in place
 with::
 
     python -m repro.harness.store migrate runs/topology_sweep
+
+Stores also accumulate observability artifacts (raw event traces inside rows,
+``metrics.jsonl`` next to the records); ``python -m repro.harness.store
+compact <store>`` applies a declared retention policy to them (see
+:mod:`repro.obs.retention`) without ever touching the canonical ``tele_*``
+summaries.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ from hashlib import sha256
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.harness.jsonl import parse_jsonl_tolerant
 from repro.telemetry.log import console
 
 __all__ = [
@@ -257,34 +264,21 @@ def parse_records(text: str, source: str = "records") -> tuple:
     """Parse a ``records.jsonl`` body into ``(records, valid_bytes, torn)``.
 
     ``records`` maps key → last :class:`RunRecord`; ``valid_bytes`` is the
-    byte length of the well-formed prefix.  A malformed chunk is tolerated
-    only when nothing but whitespace follows it (``torn=True`` — the torn
-    tail of an interrupted append); malformed content anywhere else raises.
-    A :class:`SchemaVersionError` always raises, even on the final line —
-    a store full of old-version records must surface the migrate hint, not
-    quietly load as empty and truncate the file.
+    byte length of the well-formed prefix.  Torn-tail tolerance is the shared
+    :func:`~repro.harness.jsonl.parse_jsonl_tolerant` rule: a malformed chunk
+    is tolerated only when nothing but whitespace follows it (``torn=True`` —
+    the torn tail of an interrupted append); malformed content anywhere else
+    raises.  A :class:`SchemaVersionError` always raises, even on the final
+    line — a store full of old-version records must surface the migrate hint,
+    not quietly load as empty and truncate the file.
     """
+    parsed, valid_bytes, torn = parse_jsonl_tolerant(
+        text, source=source, parse=RunRecord.from_json,
+        intolerant=(SchemaVersionError,), label="run record")
     records: Dict[str, RunRecord] = {}
-    valid_bytes = 0
-    consumed = 0
-    lines = text.split("\n")
-    for line_number, line in enumerate(lines, start=1):
-        consumed += len(line.encode("utf-8")) + 1  # the split "\n"
-        stripped = line.strip()
-        if stripped:
-            try:
-                record = RunRecord.from_json(json.loads(stripped))
-            except SchemaVersionError as exc:
-                raise SchemaVersionError(
-                    f"{source}:{line_number}: {exc}") from exc
-            except (json.JSONDecodeError, ValueError) as exc:
-                if all(not rest.strip() for rest in lines[line_number:]):
-                    return records, valid_bytes, True
-                raise ValueError(
-                    f"{source}:{line_number}: invalid run record: {exc}") from exc
-            records[record.key] = record
-        valid_bytes = min(consumed, len(text.encode("utf-8")))
-    return records, valid_bytes, False
+    for record in parsed:
+        records[record.key] = record
+    return records, valid_bytes, torn
 
 
 # ---------------------------------------------------------------------- #
@@ -467,14 +461,23 @@ def _main_migrate(argv: Sequence[str]) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
-    # `migrate` dispatches as a leading subcommand so the original positional
-    # validate usage (`python -m repro.harness.store <store>...`) is unchanged.
+    # `migrate`/`compact` dispatch as leading subcommands so the original
+    # positional validate usage (`python -m repro.harness.store <store>...`)
+    # is unchanged.
     if argv[:1] == ["migrate"]:
         return _main_migrate(argv[1:])
+    if argv[:1] == ["compact"]:
+        # Local import: retention lives in the observability plane, and the
+        # store must stay importable without it.
+        from repro.obs.retention import main_compact
+
+        return main_compact(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.harness.store",
         description="validate run-store records against the RunRecord schema "
-                    "(or `migrate <store>...` to upgrade old stores in place)",
+                    "(`migrate <store>...` upgrades old stores in place; "
+                    "`compact <store>` applies an observability retention "
+                    "policy)",
     )
     parser.add_argument("paths", nargs="+",
                         help="run-store directories or records.jsonl files")

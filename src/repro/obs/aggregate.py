@@ -1,0 +1,250 @@
+"""Fold metric frames into per-worker and fleet-wide rollups.
+
+Frames carry *cumulative* counters (see :mod:`repro.obs.metrics`), so every
+rate and latency here is a difference of consecutive snapshots: per-tick
+phase latency samples are ``Δphase_seconds / Δticks`` between a worker's
+consecutive frames, throughput trend is ``Δcells / Δt`` over the fleet's
+merged timeline.  Compaction rollup lines (``"kind": "rollup"``) hold the
+same cumulative counters and act as the baseline snapshot for the raw frames
+that follow them; they contribute totals but no fresh latency samples.
+
+Also home to the ``--profile`` phase table: :func:`merge_phase_reports` sums
+per-cell :meth:`TickProfiler.report` dicts and :func:`format_phase_table`
+renders the familiar phase/seconds/fraction table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.profiler import TICK_PHASES
+
+__all__ = [
+    "fleet_phase_report",
+    "fleet_rollup",
+    "format_phase_table",
+    "merge_phase_reports",
+    "percentile",
+]
+
+#: Cap on throughput-trend points kept in a rollup (newest win).
+TREND_POINTS = 50
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (numpy's default method), dependency-free."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = (len(ordered) - 1) * (q / 100.0)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return float(ordered[low] * (1.0 - fraction) + ordered[high] * fraction)
+
+
+# ---------------------------------------------------------------------- #
+# Profiler report merging (the --profile phase table)
+# ---------------------------------------------------------------------- #
+def merge_phase_reports(reports: Sequence[Dict]) -> Dict:
+    """Sum per-cell profiler reports into one grid-wide report.
+
+    Seconds and ticks add; fractions and ticks/s are recomputed from the
+    sums, so the merged report has the exact shape of a single
+    :meth:`TickProfiler.report`.
+    """
+    ticks = sum(int(report.get("ticks", 0)) for report in reports)
+    total = sum(float(report.get("total_seconds", 0.0)) for report in reports)
+    merged: Dict[str, float] = {
+        "ticks": float(ticks),
+        "total_seconds": total,
+        "ticks_per_sec": ticks / total if total > 0 else 0.0,
+    }
+    charged = sum(float(report.get(f"{phase}_s", 0.0))
+                  for report in reports for phase in TICK_PHASES)
+    for phase in TICK_PHASES:
+        seconds = sum(float(report.get(f"{phase}_s", 0.0)) for report in reports)
+        merged[f"{phase}_s"] = seconds
+        merged[f"{phase}_frac"] = seconds / charged if charged > 0 else 0.0
+    return merged
+
+
+def fleet_phase_report(fleet: Dict) -> Dict:
+    """Reshape a :func:`fleet_rollup` fleet dict into a phase-table report.
+
+    Lets ``serve --profile`` print the same table as ``run --profile`` from
+    the metrics stream alone (the daemon never sees worker profilers
+    directly — only their frames).
+    """
+    report: Dict[str, float] = {
+        "ticks": float(fleet.get("ticks", 0)),
+        "total_seconds": float(fleet.get("sim_wall_s", 0.0)),
+        "ticks_per_sec": float(fleet.get("ticks_per_sec", 0.0)),
+    }
+    phase_seconds = fleet.get("phase_seconds") or {}
+    charged = sum(float(phase_seconds.get(phase, 0.0)) for phase in TICK_PHASES)
+    for phase in TICK_PHASES:
+        seconds = float(phase_seconds.get(phase, 0.0))
+        report[f"{phase}_s"] = seconds
+        report[f"{phase}_frac"] = seconds / charged if charged > 0 else 0.0
+    return report
+
+
+def format_phase_table(report: Dict) -> str:
+    """Render one (merged) profiler report as the ``--profile`` phase table."""
+    lines = [
+        f"ticks: {int(report.get('ticks', 0))} in "
+        f"{report.get('total_seconds', 0.0):.3f}s "
+        f"({report.get('ticks_per_sec', 0.0):,.0f} ticks/s)",
+        f"  {'phase':<10} {'seconds':>10} {'share':>7}",
+    ]
+    for phase in TICK_PHASES:
+        lines.append(f"  {phase:<10} {report.get(f'{phase}_s', 0.0):>10.4f} "
+                     f"{report.get(f'{phase}_frac', 0.0):>6.1%}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Frame aggregation
+# ---------------------------------------------------------------------- #
+def _frame_order(frame: Dict) -> Tuple[int, float]:
+    # Rollup lines stamp the seq of their newest folded frame as seq_last.
+    seq = frame.get("seq_last" if frame.get("kind") == "rollup" else "seq", 0)
+    return (int(seq) if isinstance(seq, (int, float)) else 0,
+            float(frame.get("t", 0.0) or 0.0))
+
+
+def _latency_samples(ordered: Sequence[Dict]) -> Dict[str, List[float]]:
+    """Per-tick phase latency samples (seconds) from consecutive snapshots.
+
+    The implicit baseline before a worker's first *raw* frame is zero (its
+    counters start at zero); a rollup line is its own baseline and yields no
+    sample (its deltas span the whole folded segment, not one interval).
+    """
+    samples: Dict[str, List[float]] = {phase: [] for phase in TICK_PHASES}
+    prev_ticks = 0
+    prev_phase: Dict[str, float] = {phase: 0.0 for phase in TICK_PHASES}
+    for frame in ordered:
+        ticks = int(frame.get("ticks", 0))
+        phase_seconds = frame.get("phase_seconds") or {}
+        if frame.get("kind") != "rollup":
+            delta_ticks = ticks - prev_ticks
+            if delta_ticks > 0:
+                for phase in TICK_PHASES:
+                    delta = float(phase_seconds.get(phase, 0.0)) - prev_phase[phase]
+                    if delta >= 0.0:
+                        samples[phase].append(delta / delta_ticks)
+        prev_ticks = ticks
+        prev_phase = {phase: float(phase_seconds.get(phase, 0.0))
+                      for phase in TICK_PHASES}
+    return samples
+
+
+def _worker_rollup(ordered: Sequence[Dict]) -> Dict:
+    last = ordered[-1]
+    raw = [frame for frame in ordered if frame.get("kind") != "rollup"]
+    folded = sum(int(frame.get("frames", 0)) for frame in ordered
+                 if frame.get("kind") == "rollup")
+    samples = _latency_samples(ordered)
+    ticks = int(last.get("ticks", 0))
+    sim_wall = float(last.get("sim_wall_s", 0.0))
+    times = [float(frame["t"]) for frame in ordered
+             if isinstance(frame.get("t"), (int, float))]
+    return {
+        "frames": len(raw) + folded,
+        "cells_done": int(last.get("cells_done", 0)),
+        "ticks": ticks,
+        "sim_wall_s": sim_wall,
+        "ticks_per_sec": ticks / sim_wall if sim_wall > 0 else 0.0,
+        "telemetry_events": int(last.get("telemetry_events", 0)),
+        "phase_seconds": {phase: float((last.get("phase_seconds") or {})
+                                       .get(phase, 0.0))
+                          for phase in TICK_PHASES},
+        "phase_latency_ms": {
+            phase: {"p50": percentile(samples[phase], 50) * 1e3,
+                    "p99": percentile(samples[phase], 99) * 1e3,
+                    "n": len(samples[phase])}
+            for phase in TICK_PHASES},
+        "first_t": min(times) if times else None,
+        "last_t": max(times) if times else None,
+        "latency_samples_s": samples,
+    }
+
+
+def _throughput_trend(by_worker: Dict[str, List[Dict]]) -> List[Dict]:
+    """Fleet cells/s over time: Δ(total completed cells) between frame times."""
+    merged = sorted((frame for frames in by_worker.values() for frame in frames
+                     if isinstance(frame.get("t"), (int, float))),
+                    key=lambda frame: float(frame["t"]))
+    latest: Dict[str, int] = {}
+    points: List[Tuple[float, int]] = []
+    for frame in merged:
+        latest[frame["worker"]] = int(frame.get("cells_done", 0))
+        points.append((float(frame["t"]), sum(latest.values())))
+    trend: List[Dict] = []
+    for (t_prev, cells_prev), (t_now, cells_now) in zip(points, points[1:]):
+        if t_now > t_prev:
+            trend.append({"t": t_now,
+                          "cells_per_sec": (cells_now - cells_prev) / (t_now - t_prev)})
+    return trend[-TREND_POINTS:]
+
+
+def fleet_rollup(frames: Sequence[Dict], status: Optional[Dict] = None) -> Dict:
+    """Fold frames (and optional serve status) into the fleet rollup dict.
+
+    Returns ``{"workers": {name: ...}, "fleet": {...}}`` — cumulative totals,
+    p50/p99 per-tick phase latencies, and a throughput trend.  ``status`` (a
+    :func:`~repro.serve.status.read_status` dict) contributes the lease-side
+    counters (reclaims, stale results, cells/s over the session).
+    """
+    by_worker: Dict[str, List[Dict]] = {}
+    for frame in frames:
+        worker = frame.get("worker")
+        if isinstance(worker, str) and worker:
+            by_worker.setdefault(worker, []).append(frame)
+    for ordered in by_worker.values():
+        ordered.sort(key=_frame_order)
+
+    workers = {name: _worker_rollup(ordered)
+               for name, ordered in by_worker.items()}
+    fleet_samples: Dict[str, List[float]] = {phase: [] for phase in TICK_PHASES}
+    for rollup in workers.values():
+        for phase in TICK_PHASES:
+            fleet_samples[phase].extend(rollup["latency_samples_s"][phase])
+        del rollup["latency_samples_s"]
+
+    ticks = sum(rollup["ticks"] for rollup in workers.values())
+    sim_wall = sum(rollup["sim_wall_s"] for rollup in workers.values())
+    times = [t for rollup in workers.values()
+             for t in (rollup["first_t"], rollup["last_t"]) if t is not None]
+    span = (max(times) - min(times)) if len(times) >= 2 else 0.0
+    cells = sum(rollup["cells_done"] for rollup in workers.values())
+    fleet = {
+        "workers": len(workers),
+        "frames": sum(rollup["frames"] for rollup in workers.values()),
+        "cells_done": cells,
+        "ticks": ticks,
+        "sim_wall_s": sim_wall,
+        "ticks_per_sec": ticks / sim_wall if sim_wall > 0 else 0.0,
+        "cells_per_sec": cells / span if span > 0 else 0.0,
+        "telemetry_events": sum(rollup["telemetry_events"]
+                                for rollup in workers.values()),
+        "phase_seconds": {phase: sum(rollup["phase_seconds"][phase]
+                                     for rollup in workers.values())
+                          for phase in TICK_PHASES},
+        "phase_latency_ms": {
+            phase: {"p50": percentile(fleet_samples[phase], 50) * 1e3,
+                    "p99": percentile(fleet_samples[phase], 99) * 1e3,
+                    "n": len(fleet_samples[phase])}
+            for phase in TICK_PHASES},
+        "throughput_trend": _throughput_trend(by_worker),
+        "latency_samples_s": fleet_samples,
+    }
+    if status is not None:
+        fleet["reclaims"] = status.get("reclaims", 0)
+        fleet["stale_results"] = status.get("stale_results", 0)
+        fleet["session_cells_per_sec"] = status.get("cells_per_sec", 0.0)
+        fleet["running"] = status.get("running", False)
+    return {"workers": workers, "fleet": fleet}

@@ -65,12 +65,14 @@ class _Fleet:
     """The daemon's view of its worker processes."""
 
     def __init__(self, ctx, messages, runner, heartbeat_s: float,
-                 journal: LeaseJournal):
+                 journal: LeaseJournal,
+                 metrics_interval: Optional[float] = None):
         self._ctx = ctx
         self._messages = messages
         self._runner = runner
         self._heartbeat_s = heartbeat_s
         self._journal = journal
+        self._metrics_interval = metrics_interval
         self._next_id = 0
         self.workers: Dict[str, Dict] = {}
 
@@ -81,7 +83,7 @@ class _Fleet:
         process = self._ctx.Process(
             target=worker_main,
             args=(name, self._runner, task_queue, self._messages,
-                  self._heartbeat_s, chaos_kill_after),
+                  self._heartbeat_s, chaos_kill_after, self._metrics_interval),
             name=f"repro-serve-{name}",
             daemon=True,
         )
@@ -120,13 +122,19 @@ class _Fleet:
                 state["process"].join(timeout=2.0)
 
 
+#: Default worker metric-frame sampling interval (seconds); 0/None disables.
+DEFAULT_METRICS_INTERVAL = 1.0
+
+
 def serve_experiment(name: str, overrides: Optional[Dict] = None,
                      store: RunStore | str | Path = None, workers: int = 2,
                      ttl_s: float = 10.0, heartbeat_s: Optional[float] = None,
                      resume: bool = True, chaos_kill: Optional[int] = None,
                      max_leases: int = DEFAULT_MAX_LEASES,
                      poll_s: float = 0.05,
-                     timeout_s: Optional[float] = 900.0) -> Dict:
+                     timeout_s: Optional[float] = 900.0,
+                     metrics_interval: Optional[float] = DEFAULT_METRICS_INTERVAL,
+                     http_port: Optional[int] = None) -> Dict:
     """Serve one experiment grid across a crash-surviving worker fleet.
 
     Returns the same aggregated result dict as
@@ -152,6 +160,14 @@ def serve_experiment(name: str, overrides: Optional[Dict] = None,
         poll_s: Daemon message-loop poll interval.
         timeout_s: Overall wall-clock guard; the daemon kills the fleet and
             raises if the sweep has not completed in time (None disables).
+        metrics_interval: Worker metric-frame sampling period (seconds); the
+            daemon appends frames to ``metrics.jsonl`` next to the lease
+            journal.  ``0``/``None`` turns the metrics stream off.  Frames
+            are wall-clock observability only — rows stay byte-identical to
+            a serial run either way.
+        http_port: Start the observability HTTP surface (``/status``,
+            ``/metrics``, ``/cells/<key>``) on this port for the duration of
+            the serve (``0`` picks a free port; ``None`` disables).
     """
     if store is None:
         raise ValueError("serve_experiment requires a store directory")
@@ -179,6 +195,20 @@ def serve_experiment(name: str, overrides: Optional[Dict] = None,
     log.info("serve_start", logger="serve", experiment=name,
              cells=len(plan.tasks), cached=len(cached), pending=len(pending),
              workers=workers)
+
+    # Observability rides next to the lease loop, never inside the row path:
+    # the metrics journal is append-only wall-clock data, and the HTTP surface
+    # replays on-disk journals per request (no channel into this process).
+    metrics_journal = None
+    if metrics_interval is not None and metrics_interval > 0:
+        from repro.obs.metrics import MetricsJournal
+
+        metrics_journal = MetricsJournal(store.path)
+    obs_server = None
+    if http_port is not None:
+        from repro.obs.http import ObsServer
+
+        obs_server = ObsServer(store.path, port=http_port).start()
 
     if pending:
         if plan.experiment.setup is not None:
@@ -210,40 +240,35 @@ def serve_experiment(name: str, overrides: Optional[Dict] = None,
         pending.appendleft(by_key[key])
 
     n_to_serve = len(pending)
-    if workers <= 0 or n_to_serve == 0:
-        # Inline mode: same lease bookkeeping, no processes.  Used where fork
-        # is unavailable and for fully-cached resumes (nothing to serve).
-        while pending:
-            index, task = pending.popleft()
-            key = keys[index]
-            if table.grant(key, "inline") is None:
-                continue
-            try:
-                row = plan.experiment.runner(task)
-            except Exception as exc:  # noqa: BLE001 - recorded, surfaced below
-                table.fail(key, "inline", f"{type(exc).__name__}: {exc}")
-                continue
-            table.complete(key, "inline")
-            _finish_row("inline", key, row)
-    else:
-        _serve_fleet(plan, table, journal, pending, keys, by_key, _finish_row,
-                     _requeue, workers=workers, heartbeat_s=heartbeat_s,
-                     chaos_kill=chaos_kill, poll_s=poll_s, timeout_s=timeout_s,
-                     n_to_serve=n_to_serve)
+    try:
+        if workers <= 0 or n_to_serve == 0:
+            _serve_inline(plan, table, pending, keys, _finish_row,
+                          metrics_journal=metrics_journal)
+        else:
+            _serve_fleet(plan, table, journal, pending, keys, by_key,
+                         _finish_row, _requeue, workers=workers,
+                         heartbeat_s=heartbeat_s, chaos_kill=chaos_kill,
+                         poll_s=poll_s, timeout_s=timeout_s,
+                         n_to_serve=n_to_serve,
+                         metrics_journal=metrics_journal,
+                         metrics_interval=metrics_interval)
 
-    wall_clock_s = time.perf_counter() - start
-    failed = table.failed
-    served = len(table.completed)
-    cells_per_sec = served / wall_clock_s if wall_clock_s > 0 else 0.0
-    journal.append("serve_done", experiment=name, completed=served,
-                   failed=len(failed), reclaims=reclaims,
-                   wall_clock_s=round(wall_clock_s, 3))
-    log.info("serve_done", logger="serve", experiment=name, completed=served,
-             failed=len(failed), reclaims=reclaims, wall_clock_s=wall_clock_s)
-    if failed:
-        details = "; ".join(f"{key}: {error}" for key, error in failed.items())
-        raise RuntimeError(
-            f"serve {name!r}: {len(failed)} cell(s) failed — {details}")
+        wall_clock_s = time.perf_counter() - start
+        failed = table.failed
+        served = len(table.completed)
+        cells_per_sec = served / wall_clock_s if wall_clock_s > 0 else 0.0
+        journal.append("serve_done", experiment=name, completed=served,
+                       failed=len(failed), reclaims=reclaims,
+                       wall_clock_s=round(wall_clock_s, 3))
+        log.info("serve_done", logger="serve", experiment=name, completed=served,
+                 failed=len(failed), reclaims=reclaims, wall_clock_s=wall_clock_s)
+        if failed:
+            details = "; ".join(f"{key}: {error}" for key, error in failed.items())
+            raise RuntimeError(
+                f"serve {name!r}: {len(failed)} cell(s) failed — {details}")
+    finally:
+        if obs_server is not None:
+            obs_server.close()
 
     result = REGISTRY.finalize(plan, rows, wall_clock_s, n_jobs=max(workers, 1),
                                n_cached=len(cached))
@@ -251,21 +276,63 @@ def serve_experiment(name: str, overrides: Optional[Dict] = None,
     result["reclaims"] = reclaims
     result["workers"] = workers
     result["cells_per_sec"] = cells_per_sec
+    result["metrics_frames"] = (metrics_journal.appended
+                                if metrics_journal is not None else 0)
+    result["http_port"] = obs_server.port if obs_server is not None else None
     return result
+
+
+def _serve_inline(plan, table: LeaseTable, pending, keys, finish_row,
+                  metrics_journal=None) -> None:
+    """Inline mode: same lease bookkeeping, no processes.
+
+    Used where fork is unavailable and for fully-cached resumes (nothing to
+    serve).  With metrics on, the daemon process itself profiles and streams
+    frames as the single "inline" worker.
+    """
+    sampler = None
+    if metrics_journal is not None:
+        from repro.obs.metrics import MetricsSampler
+        from repro.telemetry.profiler import (TickProfiler, activate_profiler,
+                                              deactivate_profiler)
+
+        sampler = MetricsSampler("inline", profiler=activate_profiler(TickProfiler()))
+    try:
+        while pending:
+            index, task = pending.popleft()
+            key = keys[index]
+            if table.grant(key, "inline") is None:
+                continue
+            try:
+                row = plan.experiment.runner(task)
+            except Exception as exc:  # noqa: BLE001 - recorded, surfaced by caller
+                table.fail(key, "inline", f"{type(exc).__name__}: {exc}")
+                continue
+            table.complete(key, "inline")
+            finish_row("inline", key, row)
+            if sampler is not None:
+                sampler.note_cell_done(row)
+                metrics_journal.append(sampler.sample(current_key=key))
+    finally:
+        if sampler is not None:
+            deactivate_profiler()
 
 
 def _serve_fleet(plan, table: LeaseTable, journal: LeaseJournal, pending,
                  keys, by_key, finish_row, requeue, *, workers: int,
                  heartbeat_s: float, chaos_kill: Optional[int],
                  poll_s: float, timeout_s: Optional[float],
-                 n_to_serve: int) -> None:
+                 n_to_serve: int, metrics_journal=None,
+                 metrics_interval: Optional[float] = None) -> None:
     """The daemon main loop: lease, collect, sweep, reclaim, respawn."""
     if "fork" in multiprocessing.get_all_start_methods():
         ctx = multiprocessing.get_context("fork")
     else:  # pragma: no cover - non-POSIX fallback
         ctx = multiprocessing.get_context()
     messages = ctx.Queue()
-    fleet = _Fleet(ctx, messages, plan.experiment.runner, heartbeat_s, journal)
+    fleet = _Fleet(ctx, messages, plan.experiment.runner, heartbeat_s, journal,
+                   metrics_interval=metrics_interval
+                   if metrics_journal is not None else None)
 
     deadline = (time.monotonic() + timeout_s) if timeout_s else None
     try:
@@ -301,6 +368,11 @@ def _serve_fleet(plan, table: LeaseTable, journal: LeaseJournal, pending,
                     table.fail(key, worker_name, payload)
                     if state is not None:
                         state["idle"] = True
+                elif kind == "metrics":
+                    # The daemon is the single writer of everything in the
+                    # store directory, metrics.jsonl included.
+                    if metrics_journal is not None and isinstance(payload, dict):
+                        metrics_journal.append(payload)
 
             # Reclaim leases whose worker stopped renewing (wedged or half
             # dead): SIGKILL the holder first so it cannot race the re-lease,

@@ -42,6 +42,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+from repro.harness.jsonl import parse_jsonl_tolerant
+
 __all__ = ["LEASES_FILENAME", "Lease", "LeaseJournal", "LeaseTable"]
 
 LEASES_FILENAME = "leases.jsonl"
@@ -67,25 +69,17 @@ class LeaseJournal:
         return payload
 
     def read(self) -> List[Dict]:
-        """Every well-formed event, tolerating a torn trailing line."""
+        """Every well-formed event, tolerating a torn trailing line.
+
+        Tolerance is the shared :func:`~repro.harness.jsonl.parse_jsonl_tolerant`
+        rule, the same one ``records.jsonl`` and ``metrics.jsonl`` readers use.
+        """
         if not self.path.exists():
             return []
-        events: List[Dict] = []
-        lines = self.path.read_text().split("\n")
-        for line_number, line in enumerate(lines, start=1):
-            stripped = line.strip()
-            if not stripped:
-                continue
-            try:
-                payload = json.loads(stripped)
-            except json.JSONDecodeError as exc:
-                if all(not rest.strip() for rest in lines[line_number:]):
-                    break  # torn tail of an in-flight append
-                raise ValueError(
-                    f"{self.path}:{line_number}: invalid journal line: {exc}") from exc
-            if isinstance(payload, dict) and "event" in payload:
-                events.append(payload)
-        return events
+        payloads, _valid_bytes, _torn = parse_jsonl_tolerant(
+            self.path.read_text(), source=str(self.path), label="journal line")
+        return [payload for payload in payloads
+                if isinstance(payload, dict) and "event" in payload]
 
 
 @dataclass

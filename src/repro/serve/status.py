@@ -114,12 +114,32 @@ def read_status(store_path: str | Path, now: Optional[float] = None) -> Dict:
         "reclaims": reclaims,
         "stale_results": stale,
         "elapsed_s": elapsed,
-        "cells_per_sec": (completed / elapsed) if elapsed and elapsed > 0 else 0.0,
+        # Guarded both ways: zero completed cells (or a sub-resolution
+        # elapsed, which the journal's 3-decimal stamps can round to 0) must
+        # not render a misleading rate — format_status shows "n/a" instead.
+        "cells_per_sec": (completed / elapsed) if completed and elapsed
+        and elapsed > 0 else 0.0,
         "workers": {name: dict(state, age_s=(now - state["last_seen"])
                                if state["last_seen"] is not None else None)
                     for name, state in workers.items()},
+        "metrics_frames": _count_metric_frames(store_path),
     })
     return status
+
+
+def _count_metric_frames(store_path: Path) -> int:
+    """Frames in the store's metrics stream (0 when metrics were off).
+
+    Reads through the shared torn-tail-tolerant parser, so a status poll
+    mid-append never trips over a half-written frame — the same tolerance
+    ``leases.jsonl`` and ``records.jsonl`` get.
+    """
+    # Local import: status stays usable without the obs plane on the path.
+    from repro.obs.metrics import MetricsJournal
+
+    frames = MetricsJournal(store_path).read()
+    return sum(int(frame.get("frames", 1)) if frame.get("kind") == "rollup" else 1
+               for frame in frames)
 
 
 def _trim(key: str, width: int = 64) -> str:
@@ -138,9 +158,13 @@ def format_status(status: Dict) -> str:
         f"reclaims: {status.get('reclaims')}"
         + (f" (stale results dropped: {status['stale_results']})"
            if status.get("stale_results") else ""),
-        f"throughput: {status.get('cells_per_sec', 0.0):.2f} cells/s over "
-        f"{status.get('elapsed_s', 0.0):.1f}s",
+        (f"throughput: {status.get('cells_per_sec', 0.0):.2f} cells/s over "
+         f"{status.get('elapsed_s', 0.0):.1f}s"
+         if status.get("completed") and (status.get("elapsed_s") or 0.0) > 0
+         else "throughput: n/a (no completed cells yet)"),
     ]
+    if status.get("metrics_frames"):
+        lines.append(f"metrics: {status['metrics_frames']} frames in metrics.jsonl")
     workers = status.get("workers", {})
     if workers:
         lines.append("workers:")

@@ -13,6 +13,14 @@ every ``heartbeat_s`` seconds *while a cell is computing* — that is the whole
 point of heartbeats: a worker grinding through a long cell renews its lease,
 a SIGKILLed or wedged worker stops renewing and its lease is reclaimed.
 
+With ``metrics_interval`` set the worker also streams observability: it
+activates a process-wide :class:`~repro.telemetry.profiler.TickProfiler`
+(every simulator the runner builds attaches to it) and a second daemon-thread
+pushes cumulative :mod:`~repro.obs.metrics` frames on that interval — plus
+one frame after every completed cell, so even sub-interval grids stream.
+Frames ride the same message queue and the daemon journals them; nothing a
+worker measures ever touches a row.
+
 ``chaos_kill_after=n`` makes the worker SIGKILL itself upon receiving its
 ``n``-th cell — after the lease is granted, before the row exists.  That is
 the deterministic stand-in for "kill -9 a worker mid-cell" used by the CI
@@ -29,6 +37,8 @@ Message protocol (worker → daemon), all tuples ``(kind, worker, key, payload)`
 ``("error", name, key, message)``
     the runner raised; the cell is marked failed (a deterministic error
     would fail identically under a serial run, so it is not re-leased).
+``("metrics", name, key_or_None, frame)``
+    one cumulative metric frame; the daemon appends it to ``metrics.jsonl``.
 """
 
 from __future__ import annotations
@@ -43,7 +53,8 @@ __all__ = ["worker_main"]
 
 def worker_main(name: str, runner: Callable, task_queue, message_queue,
                 heartbeat_s: float = 1.0,
-                chaos_kill_after: Optional[int] = None) -> None:
+                chaos_kill_after: Optional[int] = None,
+                metrics_interval: Optional[float] = None) -> None:
     """Run one worker until the daemon sends the ``None`` sentinel."""
     current = {"key": None}
     stop = threading.Event()
@@ -57,6 +68,29 @@ def worker_main(name: str, runner: Callable, task_queue, message_queue,
 
     heartbeat = threading.Thread(target=_beat, name=f"{name}-heartbeat", daemon=True)
     heartbeat.start()
+
+    sampler = None
+    if metrics_interval is not None and metrics_interval > 0:
+        # Local import: the worker stays importable without the obs plane.
+        from repro.obs.metrics import MetricsSampler
+        from repro.telemetry.profiler import TickProfiler, activate_profiler
+
+        sampler = MetricsSampler(name, profiler=activate_profiler(TickProfiler()))
+
+        def _push_frame() -> None:
+            try:
+                message_queue.put(("metrics", name, current["key"],
+                                   sampler.sample(current_key=current["key"])))
+            except (OSError, ValueError):  # daemon gone / queue closed
+                pass
+
+        def _sample_beat() -> None:
+            while not stop.wait(metrics_interval):
+                _push_frame()
+
+        threading.Thread(target=_sample_beat, name=f"{name}-metrics",
+                         daemon=True).start()
+
     message_queue.put(("ready", name, None, None))
 
     received = 0
@@ -77,6 +111,12 @@ def worker_main(name: str, runner: Callable, task_queue, message_queue,
         except Exception as exc:  # noqa: BLE001 - forwarded to the daemon verbatim
             message_queue.put(("error", name, key, f"{type(exc).__name__}: {exc}"))
         else:
+            if sampler is not None:
+                sampler.note_cell_done(row)
             message_queue.put(("result", name, key, row))
+            if sampler is not None:
+                _push_frame()  # a frame per cell: short grids still stream
         current["key"] = None
     stop.set()
+    if sampler is not None:
+        _push_frame()  # final totals before exit

@@ -34,7 +34,13 @@ from repro.telemetry.events import (
     parse_telemetry,
     validate_events,
 )
-from repro.telemetry.profiler import TICK_PHASES, TickProfiler
+from repro.telemetry.profiler import (
+    TICK_PHASES,
+    TickProfiler,
+    activate_profiler,
+    active_profiler,
+    deactivate_profiler,
+)
 from repro.telemetry.render import EVENT_GROUPS, render_summary, render_timeline
 from repro.telemetry.summary import fallback_episodes, summarize_events
 
@@ -48,6 +54,9 @@ __all__ = [
     "TelemetryConfig",
     "TICK_PHASES",
     "TickProfiler",
+    "activate_profiler",
+    "active_profiler",
+    "deactivate_profiler",
     "canonical_telemetry",
     "parse_telemetry",
     "validate_events",

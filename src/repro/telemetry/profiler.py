@@ -27,9 +27,15 @@ runs and machines.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict
+from typing import Dict, Optional
 
-__all__ = ["TICK_PHASES", "TickProfiler"]
+__all__ = [
+    "TICK_PHASES",
+    "TickProfiler",
+    "activate_profiler",
+    "active_profiler",
+    "deactivate_profiler",
+]
 
 #: The per-tick phases of the simulator hot path, in execution order.
 TICK_PHASES = ("inject", "enqueue", "transit", "drain", "acks")
@@ -86,3 +92,34 @@ class TickProfiler:
             report[f"{phase}_s"] = seconds
             report[f"{phase}_frac"] = seconds / charged if charged > 0 else 0.0
         return report
+
+
+# ---------------------------------------------------------------------- #
+# The process-wide active profiler
+# ---------------------------------------------------------------------- #
+# The evaluation layer sits many call frames above simulator construction, so
+# threading a profiler argument through every path would touch each driver.
+# Instead the harness activates one profiler per process (serve workers and
+# --profile pool workers do this right after fork) and
+# :func:`~repro.harness.evaluate.run_scheme_on_trace` attaches whatever is
+# active to each simulator it builds.  Profiler numbers stay wall-clock-only
+# observability: activating one never changes rows or cell keys.
+_ACTIVE_PROFILER: Optional[TickProfiler] = None
+
+
+def activate_profiler(profiler: TickProfiler) -> TickProfiler:
+    """Make ``profiler`` the process-wide profiler new simulators attach to."""
+    global _ACTIVE_PROFILER
+    _ACTIVE_PROFILER = profiler
+    return profiler
+
+
+def deactivate_profiler() -> None:
+    """Clear the process-wide profiler (new simulators run unprofiled)."""
+    global _ACTIVE_PROFILER
+    _ACTIVE_PROFILER = None
+
+
+def active_profiler() -> Optional[TickProfiler]:
+    """The process-wide profiler, or ``None`` when profiling is off."""
+    return _ACTIVE_PROFILER
